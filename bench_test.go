@@ -1,0 +1,374 @@
+// Benchmark harness: one benchmark family per table and figure of the
+// paper (see EXPERIMENTS.md for the mapping and the recorded results).
+//
+// Space results are reported as custom metrics (objects, covered,
+// objects/writer) next to the usual time/op, because the paper's subject is
+// space, not latency. Run with:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/cluster"
+	"repro/internal/emulation/casmax"
+	"repro/internal/fabric"
+	"repro/internal/layout"
+	"repro/internal/runner"
+	"repro/internal/types"
+)
+
+// benchParams is the (k, f, n) grid shared by the Table 1 benches.
+var benchParams = []struct{ k, f, n int }{
+	{2, 1, 3}, {4, 1, 3}, {4, 1, 6},
+	{4, 2, 6}, {8, 2, 6}, {4, 2, 8},
+	{6, 3, 10},
+}
+
+// BenchmarkTable1MaxRegister regenerates Table 1's max-register row
+// (experiment E1): 2f+1 objects for every k and n, safe under the covering
+// adversary.
+func BenchmarkTable1MaxRegister(b *testing.B) {
+	benchTable1Row(b, runner.KindABDMax)
+}
+
+// BenchmarkTable1CAS regenerates Table 1's CAS row (experiment E2).
+func BenchmarkTable1CAS(b *testing.B) {
+	benchTable1Row(b, runner.KindCASMax)
+}
+
+// BenchmarkTable1Register regenerates Table 1's register row (experiment
+// E3): space grows with k, shrinks with n, within [lower, upper].
+func BenchmarkTable1Register(b *testing.B) {
+	benchTable1Row(b, runner.KindRegEmu)
+}
+
+// benchTable1Row runs the covering experiment for one construction across
+// the parameter grid.
+func benchTable1Row(b *testing.B, kind runner.Kind) {
+	for _, p := range benchParams {
+		p := p
+		b.Run(fmt.Sprintf("k=%d/f=%d/n=%d", p.k, p.f, p.n), func(b *testing.B) {
+			ctx := context.Background()
+			var rep *runner.CoveringReport
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = runner.RunCovering(ctx, kind, p.k, p.f, p.n)
+				if err != nil {
+					b.Fatalf("RunCovering: %v", err)
+				}
+				if !rep.Checks.OK() {
+					b.Fatalf("run unsafe: %+v", rep.Checks)
+				}
+			}
+			b.ReportMetric(float64(rep.Resources), "objects")
+			b.ReportMetric(float64(rep.TotalCovered), "covered")
+			b.ReportMetric(float64(rep.Resources)/float64(p.k), "objects/writer")
+		})
+	}
+}
+
+// BenchmarkFigure1Layout regenerates the Figure 1 register-to-server layout
+// at the paper's exact parameters n=6, k=5, f=2 (experiment E4).
+func BenchmarkFigure1Layout(b *testing.B) {
+	var total int
+	for i := 0; i < b.N; i++ {
+		plan, err := layout.NewPlan(5, 2, 6)
+		if err != nil {
+			b.Fatalf("NewPlan: %v", err)
+		}
+		if err := plan.Verify(); err != nil {
+			b.Fatalf("Verify: %v", err)
+		}
+		total = plan.TotalRegisters()
+	}
+	b.ReportMetric(float64(total), "objects")
+}
+
+// BenchmarkFigure2Covering regenerates the Lemma 1 covering run (experiment
+// E5): k*f registers end up covered, none on the protected set.
+func BenchmarkFigure2Covering(b *testing.B) {
+	ctx := context.Background()
+	var rep *runner.CoveringReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = runner.RunCovering(ctx, runner.KindRegEmu, 5, 2, 6)
+		if err != nil {
+			b.Fatalf("RunCovering: %v", err)
+		}
+		if rep.TotalCovered < rep.CoveringLowerBound || rep.CoveredOnF != 0 {
+			b.Fatalf("covering shape broken: %+v", rep)
+		}
+	}
+	b.ReportMetric(float64(rep.TotalCovered), "covered")
+}
+
+// BenchmarkSeparationAttack regenerates the Theorem 1 separation
+// (experiment E6): the stale-release schedule breaks the naive baseline and
+// spares max-register/CAS.
+func BenchmarkSeparationAttack(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		sep, err := runner.RunSeparation(ctx, 2)
+		if err != nil {
+			b.Fatalf("RunSeparation: %v", err)
+		}
+		for _, rep := range sep.Reports {
+			violated := rep.Violated()
+			if (rep.Kind == runner.KindNaive) != violated {
+				b.Fatalf("%s: violated=%v, unexpected", rep.Kind, violated)
+			}
+		}
+	}
+}
+
+// BenchmarkTheorem8Adaptivity regenerates the point-contention experiment
+// (E10): consumption grows with k at contention 1.
+func BenchmarkTheorem8Adaptivity(b *testing.B) {
+	ctx := context.Background()
+	for _, k := range []int{2, 4, 8} {
+		k := k
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			var used int
+			for i := 0; i < b.N; i++ {
+				rep, err := runner.RunCovering(ctx, runner.KindRegEmu, k, 2, 6)
+				if err != nil {
+					b.Fatalf("RunCovering: %v", err)
+				}
+				used = rep.UsedObjects
+			}
+			b.ReportMetric(float64(used), "used_objects")
+			b.ReportMetric(1, "point_contention")
+		})
+	}
+}
+
+// BenchmarkCASMaxRetries regenerates the Algorithm 1 time-complexity
+// tradeoff (experiment E11): write-max retries per op under rising
+// contention, with response latency modeled by the yield gate.
+func BenchmarkCASMaxRetries(b *testing.B) {
+	for _, writers := range []int{1, 2, 4, 8} {
+		writers := writers
+		b.Run(fmt.Sprintf("writers=%d", writers), func(b *testing.B) {
+			ctx := context.Background()
+			c, err := cluster.New(3)
+			if err != nil {
+				b.Fatalf("cluster: %v", err)
+			}
+			fab := fabric.New(c, fabric.WithGate(&fabric.YieldGate{Yields: 2}))
+			reg, metrics, err := casmax.New(fab, writers, 1, casmax.Options{})
+			if err != nil {
+				b.Fatalf("casmax: %v", err)
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			perWriter := b.N
+			for w := 0; w < writers; w++ {
+				wr, err := reg.Writer(w)
+				if err != nil {
+					b.Fatalf("writer: %v", err)
+				}
+				wg.Add(1)
+				go func(w int, wr interface {
+					Write(context.Context, types.Value) error
+				}) {
+					defer wg.Done()
+					for i := 0; i < perWriter; i++ {
+						if err := wr.Write(ctx, types.Value(w<<40|i)); err != nil {
+							panic(err)
+						}
+					}
+				}(w, wr)
+			}
+			wg.Wait()
+			b.StopTimer()
+			calls := metrics.WriteMaxCalls.Load()
+			if calls > 0 {
+				b.ReportMetric(float64(metrics.Retries())/float64(calls), "retries/writemax")
+			}
+		})
+	}
+}
+
+// BenchmarkWriteLatency measures the high-level write cost per construction
+// on a benign fabric — the time side of the space/time tradeoffs.
+func BenchmarkWriteLatency(b *testing.B) {
+	for _, kind := range []runner.Kind{runner.KindRegEmu, runner.KindABDMax, runner.KindCASMax, runner.KindAACMax} {
+		kind := kind
+		b.Run(string(kind), func(b *testing.B) {
+			ctx := context.Background()
+			env, err := runner.NewEnv(6, nil)
+			if err != nil {
+				b.Fatalf("env: %v", err)
+			}
+			k, f := 4, 2
+			if kind == runner.KindAACMax {
+				// aacmax is the n = 2f+1 special case.
+				env, err = runner.NewEnv(5, nil)
+				if err != nil {
+					b.Fatalf("env: %v", err)
+				}
+			}
+			reg, _, err := runner.Build(kind, env.Fabric, k, f)
+			if err != nil {
+				b.Fatalf("build: %v", err)
+			}
+			w, err := reg.Writer(0)
+			if err != nil {
+				b.Fatalf("writer: %v", err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.Write(ctx, types.Value(i+1)); err != nil {
+					b.Fatalf("write: %v", err)
+				}
+			}
+			b.ReportMetric(float64(reg.ResourceComplexity()), "objects")
+		})
+	}
+}
+
+// BenchmarkReadLatency measures the high-level read cost per construction:
+// Algorithm 2's reads scan every register, so its read cost grows with k —
+// the latency price of the space-optimal layout (ablation for DESIGN.md).
+func BenchmarkReadLatency(b *testing.B) {
+	for _, kind := range []runner.Kind{runner.KindRegEmu, runner.KindABDMax, runner.KindCASMax} {
+		for _, k := range []int{2, 8} {
+			kind, k := kind, k
+			b.Run(fmt.Sprintf("%s/k=%d", kind, k), func(b *testing.B) {
+				ctx := context.Background()
+				env, err := runner.NewEnv(6, nil)
+				if err != nil {
+					b.Fatalf("env: %v", err)
+				}
+				reg, _, err := runner.Build(kind, env.Fabric, k, 2)
+				if err != nil {
+					b.Fatalf("build: %v", err)
+				}
+				w, err := reg.Writer(0)
+				if err != nil {
+					b.Fatalf("writer: %v", err)
+				}
+				if err := w.Write(ctx, 7); err != nil {
+					b.Fatalf("write: %v", err)
+				}
+				rd := reg.NewReader()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := rd.Read(ctx); err != nil {
+						b.Fatalf("read: %v", err)
+					}
+				}
+				b.ReportMetric(float64(reg.ResourceComplexity()), "objects")
+			})
+		}
+	}
+}
+
+// BenchmarkExhaustiveSearch measures the bounded model-checking sweep
+// (experiment E13): all 320 f=1 adversary schedules against Algorithm 2.
+func BenchmarkExhaustiveSearch(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		rep, err := runner.RunExhaustive(ctx, runner.KindRegEmu)
+		if err != nil {
+			b.Fatalf("RunExhaustive: %v", err)
+		}
+		if rep.Violations != 0 {
+			b.Fatalf("violations: %d", rep.Violations)
+		}
+	}
+	b.ReportMetric(320, "schedules")
+}
+
+// BenchmarkChaosRun measures one seeded chaos run (experiment E15).
+func BenchmarkChaosRun(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		rep, err := runner.RunChaos(ctx, runner.ChaosConfig{
+			Kind: runner.KindRegEmu, K: 3, F: 2, N: 7, Ops: 25, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatalf("RunChaos: %v", err)
+		}
+		if !rep.Checks.OK() {
+			b.Fatalf("seed %d unsafe: %+v", i, rep.Checks)
+		}
+	}
+}
+
+// BenchmarkTheorem5Partition measures the n = 2f partition demonstration
+// (experiment E14).
+func BenchmarkTheorem5Partition(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		rep, err := runner.RunTheorem5(ctx, 2)
+		if err != nil {
+			b.Fatalf("RunTheorem5: %v", err)
+		}
+		if rep.SafetyViolation == nil {
+			b.Fatal("partition did not violate")
+		}
+	}
+}
+
+// BenchmarkCheckers measures the consistency checkers on a fixed-size
+// generated history: they run after every experiment, so their cost caps
+// experiment throughput.
+func BenchmarkCheckers(b *testing.B) {
+	env, err := runner.NewEnv(6, nil)
+	if err != nil {
+		b.Fatalf("env: %v", err)
+	}
+	reg, hist, err := runner.Build(runner.KindRegEmu, env.Fabric, 4, 2)
+	if err != nil {
+		b.Fatalf("build: %v", err)
+	}
+	ctx := context.Background()
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 4; i++ {
+			w, err := reg.Writer(i)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := w.Write(ctx, types.Value(round*10+i+1)); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := reg.NewReader().Read(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c := runner.Check(hist); !c.OK() {
+			b.Fatalf("history unsafe: %+v", c)
+		}
+	}
+	b.ReportMetric(float64(hist.Len()), "history_ops")
+}
+
+// BenchmarkBoundsFormulas measures the closed-form calculator (sanity: it
+// must be trivially cheap) and doubles as a sweep correctness check.
+func BenchmarkBoundsFormulas(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, p := range benchParams {
+			lo, err := bounds.RegisterLower(p.k, p.f, p.n)
+			if err != nil {
+				b.Fatalf("lower: %v", err)
+			}
+			hi, err := bounds.RegisterUpper(p.k, p.f, p.n)
+			if err != nil {
+				b.Fatalf("upper: %v", err)
+			}
+			if lo > hi {
+				b.Fatalf("lower %d > upper %d at %+v", lo, hi, p)
+			}
+		}
+	}
+}

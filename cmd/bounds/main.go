@@ -1,0 +1,90 @@
+// Command bounds prints the paper's Table 1 for concrete parameters and
+// sweeps the register bounds across n, showing the coincidence points the
+// paper highlights (n = 2f+1 and n >= kf+f+1).
+//
+// Usage:
+//
+//	bounds -k 5 -f 2 -n 6
+//	bounds -k 5 -f 2 -sweep        # sweep n from 2f+1 to kf+f+3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/bounds"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bounds:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	k := flag.Int("k", 5, "number of writers")
+	f := flag.Int("f", 2, "failure threshold")
+	n := flag.Int("n", 0, "number of servers (default 2f+2)")
+	sweep := flag.Bool("sweep", false, "sweep n from 2f+1 to kf+f+3")
+	flag.Parse()
+
+	if *n == 0 {
+		*n = 2**f + 2
+	}
+	if *sweep {
+		return sweepN(*k, *f)
+	}
+	return printTable1(*k, *f, *n)
+}
+
+// printTable1 prints Table 1 instantiated at (k, f, n).
+func printTable1(k, f, n int) error {
+	rows, err := bounds.Table1(k, f, n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Table 1 at k=%d writers, f=%d failures, n=%d servers\n\n", k, f, n)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "base object\tlower (WS-Safe, obstruction-free)\tupper (WS-Regular, wait-free)")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\n", row.BaseObject, row.Lower, row.Upper)
+	}
+	return w.Flush()
+}
+
+// sweepN prints the register bounds for every n in the interesting range.
+func sweepN(k, f int) error {
+	lo := 2*f + 1
+	hi := k*f + f + 3
+	fmt.Printf("register bounds sweep: k=%d f=%d, n=%d..%d\n\n", k, f, lo, hi)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "n\tz\tlower\tupper\tgap\tnote")
+	for n := lo; n <= hi; n++ {
+		z, err := bounds.Z(f, n)
+		if err != nil {
+			return err
+		}
+		lower, err := bounds.RegisterLower(k, f, n)
+		if err != nil {
+			return err
+		}
+		upper, err := bounds.RegisterUpper(k, f, n)
+		if err != nil {
+			return err
+		}
+		note := ""
+		switch {
+		case n == 2*f+1:
+			note = "coincide: kf+k(f+1)"
+		case n >= k*f+f+1 && lower == k*f+f+1:
+			note = "coincide: kf+f+1"
+		case lower == upper:
+			note = "coincide"
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%s\n", n, z, lower, upper, upper-lower, note)
+	}
+	return w.Flush()
+}

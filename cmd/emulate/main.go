@@ -1,0 +1,135 @@
+// Command emulate runs one emulated register construction under a chosen
+// workload — sequential or concurrent — with optional server crashes, and
+// reports the consistency verdicts.
+//
+// Usage:
+//
+//	emulate -kind regemu -k 4 -f 2 -n 6 -rounds 3 -crashes 2
+//	emulate -kind abd-max -k 4 -f 1 -n 3 -concurrent -ops 40
+//	emulate -scenario attack.json     # data-driven schedule (see internal/scenario)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/runner"
+	"repro/internal/scenario"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "emulate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	kind := flag.String("kind", string(runner.KindRegEmu), "construction: regemu | abd-max | abd-cas | aac-max | naive")
+	k := flag.Int("k", 4, "number of writers")
+	f := flag.Int("f", 2, "failure threshold")
+	n := flag.Int("n", 6, "number of servers")
+	rounds := flag.Int("rounds", 2, "write rounds per writer (sequential mode)")
+	crashes := flag.Int("crashes", 0, "servers to crash during the run (<= f)")
+	concurrent := flag.Bool("concurrent", false, "run writers and readers concurrently")
+	ops := flag.Int("ops", 20, "ops per client (concurrent mode)")
+	readers := flag.Int("readers", 2, "reader clients (concurrent mode)")
+	atomic := flag.Bool("atomic", false, "enable read write-back (abd-max/abd-cas only)")
+	scenarioPath := flag.String("scenario", "", "run a JSON scenario file instead of a generated workload")
+	timeout := flag.Duration("timeout", 60*time.Second, "run timeout")
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	if *scenarioPath != "" {
+		return runScenario(ctx, *scenarioPath)
+	}
+	if *concurrent {
+		return runConcurrent(ctx, runner.Kind(*kind), *k, *f, *n, *ops, *readers, *atomic)
+	}
+	return runSequential(ctx, runner.Kind(*kind), *k, *f, *n, *rounds, *crashes)
+}
+
+// runSequential executes round-robin writes with interleaved reads and a
+// crash plan, then prints the write-sequential verdicts.
+func runSequential(ctx context.Context, kind runner.Kind, k, f, n, rounds, crashes int) error {
+	steps := workload.RoundRobinWrites(k, rounds)
+	var reads []workload.Step
+	for i := range steps {
+		reads = append(reads, steps[i], workload.Step{Client: 0, IsRead: true})
+	}
+	plan := faults.SpreadCrashes(crashes, len(reads))
+	rep, err := runner.RunSequential(ctx, kind, k, f, n, reads, plan)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sequential run: %s k=%d f=%d n=%d\n", rep.Kind, rep.K, rep.F, rep.N)
+	fmt.Printf("writes=%d reads=%d crashes=%d\n", rep.Writes, rep.Reads, rep.Crashes)
+	fmt.Printf("WS-Safety: %v\nWS-Regularity: %v\n", verdict(rep.Checks.WSSafety), verdict(rep.Checks.WSRegularity))
+	return nil
+}
+
+// runConcurrent stress-runs all clients in parallel and prints the
+// concurrent-run verdicts.
+func runConcurrent(ctx context.Context, kind runner.Kind, k, f, n, ops, readers int, atomic bool) error {
+	rep, err := runner.RunConcurrent(ctx, runner.ConcurrentConfig{
+		Kind:            kind,
+		K:               k,
+		F:               f,
+		N:               n,
+		WritesPerWriter: ops,
+		Readers:         readers,
+		ReadsPerReader:  ops,
+		Atomic:          atomic,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("concurrent run: %s k=%d f=%d n=%d writes=%d reads=%d\n",
+		rep.Kind, rep.K, rep.F, rep.N, rep.Writes, rep.Reads)
+	fmt.Printf("read validity: %v\n", verdict(rep.ReadValidity))
+	if rep.LinearizabilityChecked {
+		fmt.Printf("linearizability: %v\n", verdict(rep.Linearizable))
+	}
+	return nil
+}
+
+// runScenario loads and executes a data-driven schedule.
+func runScenario(ctx context.Context, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	s, err := scenario.Load(f)
+	if err != nil {
+		return err
+	}
+	res, err := s.Run(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario %q: reads=%v released=%d\n", res.Name, res.Reads, res.Released)
+	fmt.Printf("WS-Safety: %v\n", verdict(res.WSSafety))
+	if res.ExpectationsMet {
+		fmt.Println("expectations: MET")
+		return nil
+	}
+	for _, f := range res.Failures {
+		fmt.Println("expectation failed:", f)
+	}
+	return fmt.Errorf("scenario %q: %d expectations failed", res.Name, len(res.Failures))
+}
+
+func verdict(err error) string {
+	if err == nil {
+		return "PASS"
+	}
+	return "FAIL: " + err.Error()
+}

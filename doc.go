@@ -1,0 +1,13 @@
+// Package repro is a reproduction of "Space Complexity of Fault Tolerant
+// Register Emulations" (Chockler & Spiegelman, PODC 2017): emulations of
+// reliable multi-writer registers from fault-prone base objects
+// (read/write registers, max-registers, CAS) hosted on crash-prone servers,
+// together with the covering adversary behind the paper's lower bounds and
+// a benchmark harness regenerating every table and figure.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the measured
+// paper-vs-reproduction results, and README.md for a tour. The root package
+// only anchors the module documentation and the repository-level benchmark
+// suite (bench_test.go); the implementation lives under internal/ and the
+// runnable entry points under cmd/ and examples/.
+package repro

@@ -1,0 +1,201 @@
+// Integration tests: end-to-end flows across the whole stack, mirroring
+// what cmd/sweep prints but with assertions. These are the repository's
+// "does the reproduction hold together" checks; the per-package suites
+// cover the parts.
+package repro_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/bounds"
+	"repro/internal/layout"
+	"repro/internal/runner"
+)
+
+func integCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// TestTable1EndToEnd sweeps the Table 1 grid and asserts the full shape
+// claim: constant rows for max-register/CAS, k-linear n-decreasing rows for
+// registers, everything safe, everything within the formula bounds.
+func TestTable1EndToEnd(t *testing.T) {
+	ctx := integCtx(t)
+	grid := []struct{ k, f, n int }{
+		{1, 1, 3}, {2, 1, 3}, {4, 1, 3}, {4, 1, 6},
+		{2, 2, 5}, {4, 2, 6}, {8, 2, 6}, {4, 2, 8},
+	}
+	type key struct{ f int }
+	maxRegByF := make(map[key]int)
+	for _, p := range grid {
+		rows, err := runner.MeasureTable1(ctx, p.k, p.f, p.n)
+		if err != nil {
+			t.Fatalf("MeasureTable1(%+v): %v", p, err)
+		}
+		for _, row := range rows {
+			if !row.Safe {
+				t.Errorf("%+v %s: unsafe", p, row.BaseObject)
+			}
+			if row.Measured < row.LowerFormula || row.Measured > row.UpperFormula {
+				t.Errorf("%+v %s: measured %d outside [%d,%d]", p, row.BaseObject,
+					row.Measured, row.LowerFormula, row.UpperFormula)
+			}
+			switch row.BaseObject {
+			case "max-register", "cas":
+				// Constant in k and n for fixed f.
+				if prev, ok := maxRegByF[key{p.f}]; ok && prev != row.Measured {
+					t.Errorf("f=%d: %s row varies with k/n: %d vs %d", p.f, row.BaseObject, prev, row.Measured)
+				}
+				maxRegByF[key{p.f}] = row.Measured
+				if row.Measured != 2*p.f+1 {
+					t.Errorf("%+v %s: measured %d, want 2f+1", p, row.BaseObject, row.Measured)
+				}
+			case "register":
+				if row.TotalCovered < p.k*p.f {
+					t.Errorf("%+v register: covered %d < k*f", p, row.TotalCovered)
+				}
+			}
+		}
+	}
+	// k-linearity at fixed (f, n): k=4 vs k=8 at f=2, n=6.
+	rows4, err := runner.MeasureTable1(ctx, 4, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows8, err := runner.MeasureTable1(ctx, 8, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows8[2].Measured != 2*rows4[2].Measured {
+		t.Errorf("register row not k-linear at n=2f+1+1: k=4 -> %d, k=8 -> %d",
+			rows4[2].Measured, rows8[2].Measured)
+	}
+	// n-monotonicity: k=4, f=2 at n=6 vs n=8.
+	rows6, err := runner.MeasureTable1(ctx, 4, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsN8, err := runner.MeasureTable1(ctx, 4, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowsN8[2].Measured >= rows6[2].Measured {
+		t.Errorf("register row did not shrink with n: n=6 -> %d, n=8 -> %d",
+			rows6[2].Measured, rowsN8[2].Measured)
+	}
+}
+
+// TestLayoutMatchesBoundsEverywhere sweeps a large (k, f, n) grid and
+// cross-checks the materialized layout against the closed forms.
+func TestLayoutMatchesBoundsEverywhere(t *testing.T) {
+	for f := 1; f <= 3; f++ {
+		for k := 1; k <= 10; k++ {
+			for n := 2*f + 1; n <= 2*f+1+k+3; n++ {
+				plan, err := layout.NewPlan(k, f, n)
+				if err != nil {
+					t.Fatalf("NewPlan(%d,%d,%d): %v", k, f, n, err)
+				}
+				if err := plan.Verify(); err != nil {
+					t.Errorf("Verify(%d,%d,%d): %v", k, f, n, err)
+				}
+				upper, err := bounds.RegisterUpper(k, f, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lower, err := bounds.RegisterLower(k, f, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := plan.TotalRegisters()
+				if got != upper {
+					t.Errorf("(%d,%d,%d): layout %d != upper %d", k, f, n, got, upper)
+				}
+				if got < lower {
+					t.Errorf("(%d,%d,%d): layout %d below lower bound %d", k, f, n, got, lower)
+				}
+			}
+		}
+	}
+}
+
+// TestFullExperimentPipeline runs each experiment driver once, as
+// cmd/sweep's "all" does, asserting the headline result of each.
+func TestFullExperimentPipeline(t *testing.T) {
+	ctx := integCtx(t)
+
+	cov, err := runner.RunCovering(ctx, runner.KindRegEmu, 5, 2, 6)
+	if err != nil {
+		t.Fatalf("covering: %v", err)
+	}
+	if cov.TotalCovered < 10 || cov.CoveredOnF != 0 || !cov.Checks.OK() {
+		t.Errorf("covering shape: %+v", cov)
+	}
+
+	sep, err := runner.RunSeparation(ctx, 2)
+	if err != nil {
+		t.Fatalf("separation: %v", err)
+	}
+	for _, r := range sep.Reports {
+		if (r.Kind == runner.KindNaive) != r.Violated() {
+			t.Errorf("separation: %s violated=%v", r.Kind, r.Violated())
+		}
+	}
+
+	t2, err := runner.RunTheorem2(ctx, 3, 2)
+	if err != nil {
+		t.Fatalf("theorem2: %v", err)
+	}
+	if t2.Total != t2.TotalWant || !t2.Safe {
+		t.Errorf("theorem2: %+v", t2)
+	}
+
+	t5, err := runner.RunTheorem5(ctx, 2)
+	if err != nil {
+		t.Fatalf("theorem5: %v", err)
+	}
+	if t5.SafetyViolation == nil {
+		t.Error("theorem5: partition did not violate")
+	}
+
+	t6, err := runner.RunTheorem6(4, 2)
+	if err != nil {
+		t.Fatalf("theorem6: %v", err)
+	}
+	for _, c := range t6.PerServer {
+		if c != 4 {
+			t.Errorf("theorem6: per-server %v", t6.PerServer)
+			break
+		}
+	}
+
+	t7, err := runner.RunTheorem7(6, 2, 3)
+	if err != nil {
+		t.Fatalf("theorem7: %v", err)
+	}
+	if !t7.Feasible || t7.MinFeasibleN < t7.BoundN {
+		t.Errorf("theorem7: %+v", t7)
+	}
+
+	t8, err := runner.RunTheorem8(ctx, 2, 6, []int{2, 4})
+	if err != nil {
+		t.Fatalf("theorem8: %v", err)
+	}
+	if len(t8) != 2 || t8[1].UsedObjects <= t8[0].UsedObjects {
+		t.Errorf("theorem8: %+v", t8)
+	}
+
+	coin, err := runner.RunCoincidence(5, 2)
+	if err != nil {
+		t.Fatalf("coincidence: %v", err)
+	}
+	for _, p := range coin {
+		if !p.Coincide {
+			t.Errorf("coincidence: %+v", p)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/baseobj"
+	"repro/internal/fabric"
+	"repro/internal/types"
+)
+
+func writeEv(token uint64, client types.ClientID, obj types.ObjectID, server types.ServerID) fabric.TriggerEvent {
+	return fabric.TriggerEvent{
+		Token:  token,
+		Client: client,
+		Object: obj,
+		Server: server,
+		Inv:    baseobj.Invocation{Op: baseobj.OpWrite, Arg: types.TSValue{TS: 1}},
+	}
+}
+
+func TestIsMutating(t *testing.T) {
+	one := types.TSValue{TS: 1}
+	tests := []struct {
+		name string
+		inv  baseobj.Invocation
+		want bool
+	}{
+		{"write", baseobj.Invocation{Op: baseobj.OpWrite, Arg: one}, true},
+		{"write-max", baseobj.Invocation{Op: baseobj.OpWriteMax, Arg: one}, true},
+		{"read", baseobj.Invocation{Op: baseobj.OpRead}, false},
+		{"read-max", baseobj.Invocation{Op: baseobj.OpReadMax}, false},
+		{"cas update", baseobj.Invocation{Op: baseobj.OpCAS, Exp: types.ZeroTSValue, New: one}, true},
+		{"cas no-op read", baseobj.Invocation{Op: baseobj.OpCAS, Exp: one, New: one}, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := IsMutating(tc.inv); got != tc.want {
+				t.Errorf("IsMutating = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestCoveringBudgetAndFreshness(t *testing.T) {
+	adv := NewCovering([]types.ServerID{5, 6}, 2)
+
+	// Inactive: everything passes.
+	if adv.BeforeApply(writeEv(1, 0, 10, 0)) != fabric.Pass {
+		t.Fatal("inactive gate held an op")
+	}
+
+	adv.BeginWrite(0)
+	// Reads pass even when armed.
+	readEv := fabric.TriggerEvent{Client: 0, Server: 0, Inv: baseobj.Invocation{Op: baseobj.OpRead}}
+	if adv.BeforeApply(readEv) != fabric.Pass {
+		t.Fatal("armed gate held a read")
+	}
+	// Another client's writes pass.
+	if adv.BeforeApply(writeEv(2, 1, 11, 0)) != fabric.Pass {
+		t.Fatal("armed gate held a foreign client's write")
+	}
+	// The active writer's first two fresh off-F writes are held.
+	if adv.BeforeApply(writeEv(3, 0, 12, 0)) != fabric.Hold {
+		t.Fatal("first fresh write not held")
+	}
+	// Same object again: passes (already covered).
+	if adv.BeforeApply(writeEv(4, 0, 12, 1)) != fabric.Pass {
+		t.Fatal("already-covered object held twice")
+	}
+	// Protected server: passes.
+	if adv.BeforeApply(writeEv(5, 0, 13, 5)) != fabric.Pass {
+		t.Fatal("write on protected F held")
+	}
+	if adv.BeforeApply(writeEv(6, 0, 14, 1)) != fabric.Hold {
+		t.Fatal("second fresh write not held")
+	}
+	// Budget exhausted.
+	if adv.BeforeApply(writeEv(7, 0, 15, 2)) != fabric.Pass {
+		t.Fatal("write held beyond budget")
+	}
+	wc := adv.EndWrite()
+	if wc.NewlyCovered != 2 || wc.Cumulative != 2 || wc.Writer != 0 {
+		t.Fatalf("EndWrite = %+v", wc)
+	}
+
+	// Second write by another client: budget resets, covered set persists.
+	adv.BeginWrite(1)
+	if adv.BeforeApply(writeEv(8, 1, 12, 0)) != fabric.Pass {
+		t.Fatal("covered object held for new writer")
+	}
+	if adv.BeforeApply(writeEv(9, 1, 16, 0)) != fabric.Hold {
+		t.Fatal("fresh object for new writer not held")
+	}
+	wc = adv.EndWrite()
+	if wc.NewlyCovered != 1 || wc.Cumulative != 3 {
+		t.Fatalf("second EndWrite = %+v", wc)
+	}
+
+	per := adv.PerWrite()
+	if len(per) != 2 {
+		t.Fatalf("PerWrite len = %d, want 2", len(per))
+	}
+	if got := adv.CoveredObjects(); len(got) != 3 {
+		t.Fatalf("CoveredObjects = %v, want 3 objects", got)
+	}
+	// Responses always pass.
+	if adv.BeforeRespond(writeEv(10, 1, 17, 0), baseobj.Response{}) != fabric.Pass {
+		t.Fatal("BeforeRespond held")
+	}
+}
+
+func TestScriptRules(t *testing.T) {
+	s := NewScript()
+	ev := writeEv(1, 0, 10, 0)
+	// No rules: pass.
+	if s.BeforeApply(ev) != fabric.Pass || s.BeforeRespond(ev, baseobj.Response{}) != fabric.Pass {
+		t.Fatal("empty script held")
+	}
+	s.SetApplyRule(func(e fabric.TriggerEvent) bool { return e.Server == 0 })
+	if s.BeforeApply(ev) != fabric.Hold {
+		t.Fatal("apply rule not applied")
+	}
+	s.SetApplyRule(nil)
+	if s.BeforeApply(ev) != fabric.Pass {
+		t.Fatal("cleared apply rule still holds")
+	}
+	s.SetRespondRule(func(e fabric.TriggerEvent) bool { return e.Client == 0 })
+	if s.BeforeRespond(ev, baseobj.Response{}) != fabric.Hold {
+		t.Fatal("respond rule not applied")
+	}
+	s.SetRespondRule(nil)
+	if s.BeforeRespond(ev, baseobj.Response{}) != fabric.Pass {
+		t.Fatal("cleared respond rule still holds")
+	}
+}

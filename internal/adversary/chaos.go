@@ -1,0 +1,113 @@
+package adversary
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/baseobj"
+	"repro/internal/fabric"
+	"repro/internal/types"
+)
+
+// Chaos is a seeded randomized environment: it holds mutating low-level
+// operations with a fixed probability, subject to the liveness budget that
+// makes every construction's quorum math still work out — at most f of a
+// writer's operations are outstanding-held at any time.
+//
+// Combined with random releases between high-level operations (the driver's
+// job, via fabric.ReleaseWhere), Chaos explores a large space of legal
+// environment behaviours: delayed effects, stale overwrites landing late,
+// and responses that never arrive. Sound constructions must pass the
+// write-sequential checkers for every seed; the experiment suite runs many.
+type Chaos struct {
+	mu          sync.Mutex
+	rng         *rand.Rand
+	holdProb    float64
+	budget      int // max outstanding held ops per writer (f)
+	outstanding map[types.ClientID]map[uint64]struct{}
+	holds       int
+}
+
+// Compile-time interface compliance check.
+var _ fabric.Gate = (*Chaos)(nil)
+
+// NewChaos creates a chaos gate. holdProb is the per-op hold probability;
+// budget is the per-writer outstanding-hold cap (use f).
+func NewChaos(seed int64, holdProb float64, budget int) *Chaos {
+	return &Chaos{
+		rng:         rand.New(rand.NewSource(seed)),
+		holdProb:    holdProb,
+		budget:      budget,
+		outstanding: make(map[types.ClientID]map[uint64]struct{}),
+	}
+}
+
+// BeforeApply implements fabric.Gate.
+func (c *Chaos) BeforeApply(ev fabric.TriggerEvent) fabric.Decision {
+	if !IsMutating(ev.Inv) {
+		return fabric.Pass
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	held := c.outstanding[ev.Client]
+	if len(held) >= c.budget {
+		return fabric.Pass
+	}
+	if c.rng.Float64() >= c.holdProb {
+		return fabric.Pass
+	}
+	if held == nil {
+		held = make(map[uint64]struct{})
+		c.outstanding[ev.Client] = held
+	}
+	held[ev.Token] = struct{}{}
+	c.holds++
+	return fabric.Hold
+}
+
+// BeforeRespond implements fabric.Gate.
+func (c *Chaos) BeforeRespond(fabric.TriggerEvent, baseobj.Response) fabric.Decision {
+	return fabric.Pass
+}
+
+// Released informs the gate that a held op was released, freeing budget.
+func (c *Chaos) Released(client types.ClientID, token uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if held, ok := c.outstanding[client]; ok {
+		delete(held, token)
+	}
+}
+
+// Holds returns the total number of holds performed.
+func (c *Chaos) Holds() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.holds
+}
+
+// ReleaseSome releases each currently held op with probability p, drawing
+// from the gate's own PRNG for reproducibility, and returns how many were
+// released.
+func (c *Chaos) ReleaseSome(fab *fabric.Fabric, p float64) int {
+	pending := fab.Pending()
+	c.mu.Lock()
+	var victims []fabric.PendingOp
+	for _, op := range pending {
+		if op.Phase != fabric.PhaseApply && op.Phase != fabric.PhaseRespond {
+			continue
+		}
+		if c.rng.Float64() < p {
+			victims = append(victims, op)
+		}
+	}
+	c.mu.Unlock()
+	released := 0
+	for _, op := range victims {
+		if err := fab.Release(op.Event.Token); err == nil {
+			c.Released(op.Event.Client, op.Event.Token)
+			released++
+		}
+	}
+	return released
+}

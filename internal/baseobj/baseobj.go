@@ -1,0 +1,316 @@
+// Package baseobj implements the three base-object types studied by the
+// paper (Table 1): multi-writer/multi-reader read/write registers,
+// max-registers, and compare-and-swap (CAS) cells.
+//
+// A base object is a sequential state machine that a server applies
+// operations to atomically; the asynchrony between a client's trigger and
+// the object's response lives in package fabric, not here. Objects store
+// types.TSValue so that every emulation algorithm can layer timestamps on
+// top of the raw primitive.
+//
+// Registers optionally enforce a bounded writer set: Theorem 3 only needs
+// z-writer registers, and the enforcement lets tests prove that the upper
+// bound construction never exceeds its declared writer bound.
+package baseobj
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// Kind enumerates the base object types of Table 1.
+type Kind int
+
+const (
+	// KindRegister is a read/write register.
+	KindRegister Kind = iota + 1
+	// KindMaxRegister is a max-register (write-max / read-max).
+	KindMaxRegister
+	// KindCAS is a compare-and-swap cell.
+	KindCAS
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindRegister:
+		return "register"
+	case KindMaxRegister:
+		return "max-register"
+	case KindCAS:
+		return "cas"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// OpCode enumerates the low-level operations base objects support.
+type OpCode int
+
+const (
+	// OpRead reads a register.
+	OpRead OpCode = iota + 1
+	// OpWrite writes a register.
+	OpWrite
+	// OpReadMax reads a max-register.
+	OpReadMax
+	// OpWriteMax writes a max-register (takes effect only if larger).
+	OpWriteMax
+	// OpCAS performs compare-and-swap and returns the previous value.
+	OpCAS
+)
+
+// String implements fmt.Stringer.
+func (c OpCode) String() string {
+	switch c {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpReadMax:
+		return "read-max"
+	case OpWriteMax:
+		return "write-max"
+	case OpCAS:
+		return "cas"
+	default:
+		return fmt.Sprintf("op(%d)", int(c))
+	}
+}
+
+// IsWrite reports whether the op code mutates object state. Covering
+// arguments only care about mutating operations.
+func (c OpCode) IsWrite() bool {
+	switch c {
+	case OpWrite, OpWriteMax, OpCAS:
+		return true
+	default:
+		return false
+	}
+}
+
+// Invocation is a low-level operation invocation.
+type Invocation struct {
+	// Op selects the operation.
+	Op OpCode
+	// Arg is the argument of OpWrite and OpWriteMax.
+	Arg types.TSValue
+	// Exp and New are the arguments of OpCAS.
+	Exp types.TSValue
+	New types.TSValue
+}
+
+// Response is a low-level operation response.
+type Response struct {
+	// Op echoes the invocation's op code.
+	Op OpCode
+	// Val carries the result of OpRead and OpReadMax, and the previous
+	// value for OpCAS. It is the zero TSValue for plain writes.
+	Val types.TSValue
+}
+
+// Errors returned by Apply.
+var (
+	// ErrWrongOp is returned when an invocation's op code does not match
+	// the object kind (e.g. OpCAS on a register).
+	ErrWrongOp = errors.New("baseobj: operation not supported by object kind")
+	// ErrUnauthorizedWriter is returned when a client outside a register's
+	// declared writer set attempts a write.
+	ErrUnauthorizedWriter = errors.New("baseobj: client is not in the register's writer set")
+)
+
+// Object is a base object: a sequential state machine applied atomically.
+// Implementations are safe for concurrent use; Apply is the object's
+// linearization point.
+type Object interface {
+	// ID returns the object's cluster-wide identifier.
+	ID() types.ObjectID
+	// Kind returns the object's type.
+	Kind() Kind
+	// Apply atomically applies inv on behalf of client and returns the
+	// response. It returns an error for malformed invocations; errors
+	// model protocol misuse, not failures (failures live in the fabric).
+	Apply(client types.ClientID, inv Invocation) (Response, error)
+	// Peek returns the current state without linearizing an operation.
+	// It exists for checkers and reports only; emulation algorithms must
+	// never call it.
+	Peek() types.TSValue
+}
+
+// Compile-time interface compliance checks.
+var (
+	_ Object = (*Register)(nil)
+	_ Object = (*MaxRegister)(nil)
+	_ Object = (*CASCell)(nil)
+)
+
+// Register is a multi-writer/multi-reader atomic read/write register,
+// optionally restricted to a bounded writer set.
+type Register struct {
+	id      types.ObjectID
+	writers map[types.ClientID]struct{} // nil means unbounded (MWMR)
+
+	mu  sync.Mutex
+	val types.TSValue
+}
+
+// RegisterOption configures a Register.
+type RegisterOption func(*Register)
+
+// WithWriters restricts the register to the given writer set, modelling the
+// z-writer registers of Theorem 3. A nil or empty set leaves the register
+// unbounded.
+func WithWriters(writers []types.ClientID) RegisterOption {
+	return func(r *Register) {
+		if len(writers) == 0 {
+			return
+		}
+		r.writers = make(map[types.ClientID]struct{}, len(writers))
+		for _, w := range writers {
+			r.writers[w] = struct{}{}
+		}
+	}
+}
+
+// NewRegister returns a register initialized to the zero TSValue.
+func NewRegister(id types.ObjectID, opts ...RegisterOption) *Register {
+	r := &Register{id: id, val: types.ZeroTSValue}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r
+}
+
+// ID implements Object.
+func (r *Register) ID() types.ObjectID { return r.id }
+
+// Kind implements Object.
+func (r *Register) Kind() Kind { return KindRegister }
+
+// WriterBound returns the size of the register's writer set, or 0 if the
+// register is unbounded.
+func (r *Register) WriterBound() int { return len(r.writers) }
+
+// Apply implements Object. Writes overwrite unconditionally (last write
+// wins): this is precisely the weakness the lower bound exploits, because a
+// delayed old write can erase a newer value.
+func (r *Register) Apply(client types.ClientID, inv Invocation) (Response, error) {
+	switch inv.Op {
+	case OpRead:
+		r.mu.Lock()
+		v := r.val
+		r.mu.Unlock()
+		return Response{Op: OpRead, Val: v}, nil
+	case OpWrite:
+		if r.writers != nil {
+			if _, ok := r.writers[client]; !ok {
+				return Response{}, fmt.Errorf("%w: client %d, register %d", ErrUnauthorizedWriter, client, r.id)
+			}
+		}
+		r.mu.Lock()
+		r.val = inv.Arg
+		r.mu.Unlock()
+		return Response{Op: OpWrite}, nil
+	default:
+		return Response{}, fmt.Errorf("%w: %v on register %d", ErrWrongOp, inv.Op, r.id)
+	}
+}
+
+// Peek implements Object.
+func (r *Register) Peek() types.TSValue {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.val
+}
+
+// MaxRegister is a max-register [Aspnes, Attiya, Censor 2009]: write-max
+// only takes effect when the written value exceeds the current one, so a
+// delayed old write-max can never erase a newer value. This monotonicity is
+// what separates max-registers from plain registers in Table 1.
+type MaxRegister struct {
+	id types.ObjectID
+
+	mu  sync.Mutex
+	val types.TSValue
+}
+
+// NewMaxRegister returns a max-register initialized to the zero TSValue.
+func NewMaxRegister(id types.ObjectID) *MaxRegister {
+	return &MaxRegister{id: id, val: types.ZeroTSValue}
+}
+
+// ID implements Object.
+func (m *MaxRegister) ID() types.ObjectID { return m.id }
+
+// Kind implements Object.
+func (m *MaxRegister) Kind() Kind { return KindMaxRegister }
+
+// Apply implements Object.
+func (m *MaxRegister) Apply(_ types.ClientID, inv Invocation) (Response, error) {
+	switch inv.Op {
+	case OpReadMax:
+		m.mu.Lock()
+		v := m.val
+		m.mu.Unlock()
+		return Response{Op: OpReadMax, Val: v}, nil
+	case OpWriteMax:
+		m.mu.Lock()
+		m.val = types.MaxTSValue(m.val, inv.Arg)
+		m.mu.Unlock()
+		return Response{Op: OpWriteMax}, nil
+	default:
+		return Response{}, fmt.Errorf("%w: %v on max-register %d", ErrWrongOp, inv.Op, m.id)
+	}
+}
+
+// Peek implements Object.
+func (m *MaxRegister) Peek() types.TSValue {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.val
+}
+
+// CASCell is a compare-and-swap object. CAS(exp, new) sets the value to new
+// when the current value equals exp, and always returns the previous value
+// (the semantics of Algorithm 1 in Appendix B).
+type CASCell struct {
+	id types.ObjectID
+
+	mu  sync.Mutex
+	val types.TSValue
+}
+
+// NewCASCell returns a CAS cell initialized to the zero TSValue.
+func NewCASCell(id types.ObjectID) *CASCell {
+	return &CASCell{id: id, val: types.ZeroTSValue}
+}
+
+// ID implements Object.
+func (c *CASCell) ID() types.ObjectID { return c.id }
+
+// Kind implements Object.
+func (c *CASCell) Kind() Kind { return KindCAS }
+
+// Apply implements Object.
+func (c *CASCell) Apply(_ types.ClientID, inv Invocation) (Response, error) {
+	if inv.Op != OpCAS {
+		return Response{}, fmt.Errorf("%w: %v on cas cell %d", ErrWrongOp, inv.Op, c.id)
+	}
+	c.mu.Lock()
+	prev := c.val
+	if c.val == inv.Exp {
+		c.val = inv.New
+	}
+	c.mu.Unlock()
+	return Response{Op: OpCAS, Val: prev}, nil
+}
+
+// Peek implements Object.
+func (c *CASCell) Peek() types.TSValue {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.val
+}

@@ -1,0 +1,211 @@
+// Package bounds implements every closed-form space bound the paper proves
+// (Table 1 and Theorems 1–3 and 5–7), together with the derived quantities
+// of the upper-bound construction (z, y, m and the register-set sizes).
+//
+// All functions validate their parameters: the paper assumes k > 0 writers,
+// failure threshold f > 0, and n >= 2f+1 servers (Theorem 5 shows emulation
+// is impossible below 2f+1).
+package bounds
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors reported for invalid parameter combinations.
+var (
+	// ErrInvalidParams is returned when k <= 0 or f <= 0.
+	ErrInvalidParams = errors.New("bounds: k and f must be positive")
+	// ErrTooFewServers is returned when n < 2f+1 (Theorem 5).
+	ErrTooFewServers = errors.New("bounds: need n >= 2f+1 servers")
+)
+
+// Validate checks a (k, f, n) parameter triple.
+func Validate(k, f, n int) error {
+	if k <= 0 || f <= 0 {
+		return fmt.Errorf("%w: k=%d f=%d", ErrInvalidParams, k, f)
+	}
+	if n < MinServers(f) {
+		return fmt.Errorf("%w: n=%d f=%d", ErrTooFewServers, n, f)
+	}
+	return nil
+}
+
+// ceilDiv returns ceil(a/b) for positive b.
+func ceilDiv(a, b int) int {
+	return (a + b - 1) / b
+}
+
+// MinServers returns 2f+1, the minimum number of servers for any f-tolerant
+// WS-Safe obstruction-free register emulation (Theorem 5).
+func MinServers(f int) int { return 2*f + 1 }
+
+// MaxRegisterBound returns the number of max-register base objects that is
+// both necessary and sufficient for an f-tolerant emulation (Table 1, row
+// "max-register"): 2f+1, independent of k and n.
+func MaxRegisterBound(f int) int { return 2*f + 1 }
+
+// CASBound returns the number of CAS base objects that is both necessary
+// and sufficient (Table 1, row "CAS"): 2f+1, independent of k and n, since
+// a max-register embeds into a single CAS (Appendix B).
+func CASBound(f int) int { return 2*f + 1 }
+
+// Z returns z = floor((n-(f+1))/f), the maximum number of writers one
+// register set of the upper-bound construction supports (Section 3.3).
+func Z(f, n int) (int, error) {
+	if f <= 0 {
+		return 0, fmt.Errorf("%w: f=%d", ErrInvalidParams, f)
+	}
+	if n < MinServers(f) {
+		return 0, fmt.Errorf("%w: n=%d f=%d", ErrTooFewServers, n, f)
+	}
+	return (n - (f + 1)) / f, nil
+}
+
+// Y returns y = z*f + f + 1, the size of a full register set.
+func Y(f, n int) (int, error) {
+	z, err := Z(f, n)
+	if err != nil {
+		return 0, err
+	}
+	return z*f + f + 1, nil
+}
+
+// NumSets returns m = ceil(k/z), the number of register sets.
+func NumSets(k, f, n int) (int, error) {
+	if err := Validate(k, f, n); err != nil {
+		return 0, err
+	}
+	z, err := Z(f, n)
+	if err != nil {
+		return 0, err
+	}
+	return ceilDiv(k, z), nil
+}
+
+// OverflowSetSize returns the size of the overflow set R_{m-1} when z does
+// not divide k: (k - floor(k/z)*z)*f + f + 1, i.e. (k mod z)*f + f + 1.
+// When z divides k it returns y (all sets are full).
+func OverflowSetSize(k, f, n int) (int, error) {
+	if err := Validate(k, f, n); err != nil {
+		return 0, err
+	}
+	z, err := Z(f, n)
+	if err != nil {
+		return 0, err
+	}
+	rem := k % z
+	if rem == 0 {
+		return z*f + f + 1, nil
+	}
+	return rem*f + f + 1, nil
+}
+
+// RegisterLower returns the lower bound of Theorem 1 on the number of
+// read/write base registers: kf + ceil(kf/(n-(f+1)))*(f+1). It holds for
+// every f-tolerant WS-Safe obstruction-free k-register emulation.
+func RegisterLower(k, f, n int) (int, error) {
+	if err := Validate(k, f, n); err != nil {
+		return 0, err
+	}
+	return k*f + ceilDiv(k*f, n-(f+1))*(f+1), nil
+}
+
+// RegisterUpper returns the space used by the upper-bound construction of
+// Theorem 3: kf + ceil(k/z)*(f+1) with z = floor((n-(f+1))/f). The
+// construction is wait-free and WS-Regular.
+func RegisterUpper(k, f, n int) (int, error) {
+	if err := Validate(k, f, n); err != nil {
+		return 0, err
+	}
+	z, err := Z(f, n)
+	if err != nil {
+		return 0, err
+	}
+	return k*f + ceilDiv(k, z)*(f+1), nil
+}
+
+// MaxRegisterFromRegistersLower returns Theorem 2's bound: any wait-free
+// k-writer max-register built from MWMR atomic registers uses at least k
+// registers.
+func MaxRegisterFromRegistersLower(k int) (int, error) {
+	if k <= 0 {
+		return 0, fmt.Errorf("%w: k=%d", ErrInvalidParams, k)
+	}
+	return k, nil
+}
+
+// PerServerLowerAtMinServers returns Theorem 6's bound: with n = 2f+1
+// servers, every server must store at least k registers.
+func PerServerLowerAtMinServers(k int) (int, error) {
+	if k <= 0 {
+		return 0, fmt.Errorf("%w: k=%d", ErrInvalidParams, k)
+	}
+	return k, nil
+}
+
+// ServersLowerWithCap returns Theorem 7's bound: if every server stores at
+// most cap registers, any emulation needs at least ceil(kf/cap) + f + 1
+// servers.
+func ServersLowerWithCap(k, f, cap int) (int, error) {
+	if k <= 0 || f <= 0 || cap <= 0 {
+		return 0, fmt.Errorf("%w: k=%d f=%d cap=%d", ErrInvalidParams, k, f, cap)
+	}
+	return ceilDiv(k*f, cap) + f + 1, nil
+}
+
+// SpecialCaseRegisters returns (2f+1)*k, the register count of the
+// alternative upper bound for n = 2f+1 built from one k-writer max-register
+// (of k base registers) per server; it matches the lower bound
+// kf + k(f+1) = (2f+1)k at n = 2f+1 and satisfies stronger regularity.
+func SpecialCaseRegisters(k, f int) (int, error) {
+	if k <= 0 || f <= 0 {
+		return 0, fmt.Errorf("%w: k=%d f=%d", ErrInvalidParams, k, f)
+	}
+	return (2*f + 1) * k, nil
+}
+
+// CoveredLower returns the covering guarantee of Lemma 1: after i complete
+// sequential writes the adversary forces at least i*f covered registers.
+func CoveredLower(i, f int) int { return i * f }
+
+// Gap returns upper - lower for a (k, f, n) triple. The paper notes the gap
+// is zero at n = 2f+1 and for n >= kf+f+1, and small in between.
+func Gap(k, f, n int) (int, error) {
+	lo, err := RegisterLower(k, f, n)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := RegisterUpper(k, f, n)
+	if err != nil {
+		return 0, err
+	}
+	return hi - lo, nil
+}
+
+// Row is one line of Table 1 instantiated at concrete parameters.
+type Row struct {
+	BaseObject string
+	Lower      int
+	Upper      int
+}
+
+// Table1 instantiates Table 1 of the paper for concrete (k, f, n).
+func Table1(k, f, n int) ([]Row, error) {
+	if err := Validate(k, f, n); err != nil {
+		return nil, err
+	}
+	lo, err := RegisterLower(k, f, n)
+	if err != nil {
+		return nil, err
+	}
+	hi, err := RegisterUpper(k, f, n)
+	if err != nil {
+		return nil, err
+	}
+	return []Row{
+		{BaseObject: "max-register", Lower: MaxRegisterBound(f), Upper: MaxRegisterBound(f)},
+		{BaseObject: "cas", Lower: CASBound(f), Upper: CASBound(f)},
+		{BaseObject: "register", Lower: lo, Upper: hi},
+	}, nil
+}

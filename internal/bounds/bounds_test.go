@@ -1,0 +1,245 @@
+package bounds
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestHandComputedValues(t *testing.T) {
+	// Values computed by hand from the Table 1 formulas.
+	tests := []struct {
+		k, f, n      int
+		lower, upper int
+		z            int
+	}{
+		// n = 2f+1: both bounds are kf + k(f+1) = (2f+1)k.
+		{1, 1, 3, 3, 3, 1},
+		{2, 1, 3, 6, 6, 1},
+		{5, 2, 5, 25, 25, 1},
+		// The paper's Figure 1 parameters.
+		{5, 2, 6, 22, 25, 1},
+		// n large: both bounds are kf + f + 1.
+		{3, 1, 5, 5, 5, 3},
+		{5, 2, 13, 13, 13, 5},
+		// In-between points.
+		{5, 2, 7, 19, 19, 2},
+		{5, 2, 8, 16, 19, 2},
+		{4, 2, 6, 17, 20, 1},
+		{8, 2, 6, 34, 40, 1},
+	}
+	for _, tc := range tests {
+		z, err := Z(tc.f, tc.n)
+		if err != nil {
+			t.Fatalf("Z(%d,%d): %v", tc.f, tc.n, err)
+		}
+		if z != tc.z {
+			t.Errorf("Z(f=%d,n=%d) = %d, want %d", tc.f, tc.n, z, tc.z)
+		}
+		lo, err := RegisterLower(tc.k, tc.f, tc.n)
+		if err != nil {
+			t.Fatalf("RegisterLower(%+v): %v", tc, err)
+		}
+		if lo != tc.lower {
+			t.Errorf("RegisterLower(k=%d,f=%d,n=%d) = %d, want %d", tc.k, tc.f, tc.n, lo, tc.lower)
+		}
+		hi, err := RegisterUpper(tc.k, tc.f, tc.n)
+		if err != nil {
+			t.Fatalf("RegisterUpper(%+v): %v", tc, err)
+		}
+		if hi != tc.upper {
+			t.Errorf("RegisterUpper(k=%d,f=%d,n=%d) = %d, want %d", tc.k, tc.f, tc.n, hi, tc.upper)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := []struct {
+		k, f, n int
+		want    error
+	}{
+		{0, 1, 3, ErrInvalidParams},
+		{1, 0, 3, ErrInvalidParams},
+		{-1, 1, 3, ErrInvalidParams},
+		{1, 1, 2, ErrTooFewServers},
+		{1, 2, 4, ErrTooFewServers},
+		{1, 1, 3, nil},
+	}
+	for _, tc := range cases {
+		err := Validate(tc.k, tc.f, tc.n)
+		if tc.want == nil && err != nil {
+			t.Errorf("Validate(%d,%d,%d) = %v, want nil", tc.k, tc.f, tc.n, err)
+		}
+		if tc.want != nil && !errors.Is(err, tc.want) {
+			t.Errorf("Validate(%d,%d,%d) = %v, want %v", tc.k, tc.f, tc.n, err, tc.want)
+		}
+	}
+	if _, err := Z(1, 2); !errors.Is(err, ErrTooFewServers) {
+		t.Errorf("Z on tiny n err = %v", err)
+	}
+	if _, err := Z(0, 3); !errors.Is(err, ErrInvalidParams) {
+		t.Errorf("Z on f=0 err = %v", err)
+	}
+	for _, fn := range []func(int) (int, error){MaxRegisterFromRegistersLower, PerServerLowerAtMinServers} {
+		if _, err := fn(0); !errors.Is(err, ErrInvalidParams) {
+			t.Errorf("k=0 err = %v, want ErrInvalidParams", err)
+		}
+	}
+	if _, err := ServersLowerWithCap(1, 1, 0); !errors.Is(err, ErrInvalidParams) {
+		t.Errorf("cap=0 err = %v, want ErrInvalidParams", err)
+	}
+	if _, err := SpecialCaseRegisters(0, 1); !errors.Is(err, ErrInvalidParams) {
+		t.Errorf("SpecialCaseRegisters k=0 err = %v", err)
+	}
+}
+
+// quickParams draws a random valid (k, f, n) triple.
+func quickParams(rng *rand.Rand) (k, f, n int) {
+	f = 1 + rng.Intn(4)
+	k = 1 + rng.Intn(12)
+	n = 2*f + 1 + rng.Intn(3*f+k*f)
+	return k, f, n
+}
+
+func TestBoundsPropertyLowerLEUpper(t *testing.T) {
+	cfg := &quick.Config{Values: func(vs []reflect.Value, rng *rand.Rand) {
+		k, f, n := quickParams(rng)
+		vs[0], vs[1], vs[2] = reflect.ValueOf(k), reflect.ValueOf(f), reflect.ValueOf(n)
+	}}
+	if err := quick.Check(func(k, f, n int) bool {
+		lo, err := RegisterLower(k, f, n)
+		if err != nil {
+			return false
+		}
+		hi, err := RegisterUpper(k, f, n)
+		if err != nil {
+			return false
+		}
+		// lower <= upper, and both at least the k-independent floor.
+		return lo <= hi && lo >= k*f+f+1 && hi >= k*f+f+1
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundsPropertyMonotonicity(t *testing.T) {
+	cfg := &quick.Config{Values: func(vs []reflect.Value, rng *rand.Rand) {
+		k, f, n := quickParams(rng)
+		vs[0], vs[1], vs[2] = reflect.ValueOf(k), reflect.ValueOf(f), reflect.ValueOf(n)
+	}}
+	// More servers never increase either bound; more writers never
+	// decrease them.
+	if err := quick.Check(func(k, f, n int) bool {
+		lo1, _ := RegisterLower(k, f, n)
+		lo2, _ := RegisterLower(k, f, n+1)
+		hi1, _ := RegisterUpper(k, f, n)
+		hi2, _ := RegisterUpper(k, f, n+1)
+		if lo2 > lo1 || hi2 > hi1 {
+			return false
+		}
+		lo3, _ := RegisterLower(k+1, f, n)
+		hi3, _ := RegisterUpper(k+1, f, n)
+		return lo3 >= lo1 && hi3 >= hi1
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundsPropertyCoincidenceRegimes(t *testing.T) {
+	cfg := &quick.Config{Values: func(vs []reflect.Value, rng *rand.Rand) {
+		vs[0] = reflect.ValueOf(1 + rng.Intn(12))
+		vs[1] = reflect.ValueOf(1 + rng.Intn(4))
+	}}
+	if err := quick.Check(func(k, f int) bool {
+		// Regime n = 2f+1.
+		lo, _ := RegisterLower(k, f, 2*f+1)
+		hi, _ := RegisterUpper(k, f, 2*f+1)
+		if lo != hi || lo != (2*f+1)*k {
+			return false
+		}
+		// Regime n >= kf+f+1.
+		n := k*f + f + 1
+		lo2, _ := RegisterLower(k, f, n)
+		hi2, _ := RegisterUpper(k, f, n)
+		return lo2 == hi2 && lo2 == k*f+f+1
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDerivedSetQuantities(t *testing.T) {
+	// y = z*f + f + 1; overflow set size; m = ceil(k/z); the sizes sum to
+	// the upper bound.
+	cfg := &quick.Config{Values: func(vs []reflect.Value, rng *rand.Rand) {
+		k, f, n := quickParams(rng)
+		vs[0], vs[1], vs[2] = reflect.ValueOf(k), reflect.ValueOf(f), reflect.ValueOf(n)
+	}}
+	if err := quick.Check(func(k, f, n int) bool {
+		z, err := Z(f, n)
+		if err != nil || z < 1 {
+			return false
+		}
+		y, err := Y(f, n)
+		if err != nil || y != z*f+f+1 {
+			return false
+		}
+		m, err := NumSets(k, f, n)
+		if err != nil || m != (k+z-1)/z {
+			return false
+		}
+		over, err := OverflowSetSize(k, f, n)
+		if err != nil {
+			return false
+		}
+		total := (m-1)*y + over
+		hi, err := RegisterUpper(k, f, n)
+		return err == nil && total == hi
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows, err := Table1(5, 2, 6)
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if rows[0].Lower != 5 || rows[0].Upper != 5 {
+		t.Errorf("max-register row = %+v, want 2f+1 = 5", rows[0])
+	}
+	if rows[1].Lower != 5 || rows[1].Upper != 5 {
+		t.Errorf("cas row = %+v, want 2f+1 = 5", rows[1])
+	}
+	if rows[2].Lower != 22 || rows[2].Upper != 25 {
+		t.Errorf("register row = %+v, want 22/25", rows[2])
+	}
+	if _, err := Table1(0, 2, 6); err == nil {
+		t.Error("Table1 with k=0 succeeded")
+	}
+}
+
+func TestGapAndMisc(t *testing.T) {
+	g, err := Gap(5, 2, 6)
+	if err != nil || g != 3 {
+		t.Errorf("Gap(5,2,6) = %d, %v; want 3, nil", g, err)
+	}
+	if MinServers(2) != 5 || MaxRegisterBound(3) != 7 || CASBound(1) != 3 {
+		t.Error("constant-formula helpers disagree with 2f+1")
+	}
+	if CoveredLower(4, 2) != 8 {
+		t.Errorf("CoveredLower(4,2) = %d, want 8", CoveredLower(4, 2))
+	}
+	s, err := ServersLowerWithCap(4, 1, 2)
+	if err != nil || s != 4 {
+		t.Errorf("ServersLowerWithCap(4,1,2) = %d, %v; want 4", s, err)
+	}
+	sc, err := SpecialCaseRegisters(3, 2)
+	if err != nil || sc != 15 {
+		t.Errorf("SpecialCaseRegisters(3,2) = %d, %v; want 15", sc, err)
+	}
+}

@@ -1,0 +1,283 @@
+// Package cluster models the collection S of fault-prone servers and the
+// mapping delta: B -> S from base objects to the servers storing them
+// (Section 2 / Appendix A.4 of the paper).
+//
+// The failure granularity is servers: crashing a server instantaneously
+// crashes every base object mapped to it. The cluster also implements the
+// paper's resource-complexity accounting: the number of base objects
+// |delta^-1(S)| and the per-server object counts |delta^-1({s})|.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/baseobj"
+	"repro/internal/types"
+)
+
+// Errors reported by cluster operations.
+var (
+	// ErrNoSuchServer is returned for server IDs outside [0, n).
+	ErrNoSuchServer = errors.New("cluster: no such server")
+	// ErrNoSuchObject is returned for unknown object IDs.
+	ErrNoSuchObject = errors.New("cluster: no such object")
+	// ErrServerCrashed is returned when applying an operation to an
+	// object on a crashed server.
+	ErrServerCrashed = errors.New("cluster: server crashed")
+)
+
+// Server is a fault-prone server hosting base objects.
+type Server struct {
+	id types.ServerID
+
+	mu      sync.Mutex
+	crashed bool
+	objects map[types.ObjectID]baseobj.Object
+}
+
+// ID returns the server's identifier.
+func (s *Server) ID() types.ServerID { return s.id }
+
+// Crashed reports whether the server has crashed.
+func (s *Server) Crashed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashed
+}
+
+// NumObjects returns |delta^-1({s})|, the number of base objects stored on
+// the server.
+func (s *Server) NumObjects() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.objects)
+}
+
+// crash marks the server (and hence all its objects) as crashed.
+func (s *Server) crash() {
+	s.mu.Lock()
+	s.crashed = true
+	s.mu.Unlock()
+}
+
+// place registers an object on the server.
+func (s *Server) place(obj baseobj.Object) {
+	s.mu.Lock()
+	if s.objects == nil {
+		s.objects = make(map[types.ObjectID]baseobj.Object)
+	}
+	s.objects[obj.ID()] = obj
+	s.mu.Unlock()
+}
+
+// apply applies inv to the hosted object, or fails if the server crashed.
+func (s *Server) apply(obj types.ObjectID, client types.ClientID, inv baseobj.Invocation) (baseobj.Response, error) {
+	s.mu.Lock()
+	if s.crashed {
+		s.mu.Unlock()
+		return baseobj.Response{}, fmt.Errorf("%w: server %d", ErrServerCrashed, s.id)
+	}
+	o, ok := s.objects[obj]
+	s.mu.Unlock()
+	if !ok {
+		return baseobj.Response{}, fmt.Errorf("%w: object %d on server %d", ErrNoSuchObject, obj, s.id)
+	}
+	// The object's own mutex is the linearization point; holding the
+	// server lock across Apply would serialize unrelated objects.
+	return o.Apply(client, inv)
+}
+
+// Cluster is the set of servers plus the delta mapping.
+type Cluster struct {
+	servers []*Server
+
+	mu      sync.Mutex
+	delta   map[types.ObjectID]types.ServerID
+	objects map[types.ObjectID]baseobj.Object
+	nextID  types.ObjectID
+	crashes int
+}
+
+// New creates a cluster of n servers with IDs 0..n-1 and no objects.
+func New(n int) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: n must be positive, got %d", n)
+	}
+	c := &Cluster{
+		servers: make([]*Server, n),
+		delta:   make(map[types.ObjectID]types.ServerID),
+		objects: make(map[types.ObjectID]baseobj.Object),
+	}
+	for i := range c.servers {
+		c.servers[i] = &Server{id: types.ServerID(i)}
+	}
+	return c, nil
+}
+
+// N returns the number of servers, |S|.
+func (c *Cluster) N() int { return len(c.servers) }
+
+// Server returns the server with the given ID.
+func (c *Cluster) Server(id types.ServerID) (*Server, error) {
+	if int(id) < 0 || int(id) >= len(c.servers) {
+		return nil, fmt.Errorf("%w: %d (n=%d)", ErrNoSuchServer, id, len(c.servers))
+	}
+	return c.servers[id], nil
+}
+
+// allocID hands out the next object ID.
+func (c *Cluster) allocID() types.ObjectID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.nextID
+	c.nextID++
+	return id
+}
+
+// placeObject records delta(obj) = server and hosts the object.
+func (c *Cluster) placeObject(obj baseobj.Object, server types.ServerID) error {
+	s, err := c.Server(server)
+	if err != nil {
+		return err
+	}
+	s.place(obj)
+	c.mu.Lock()
+	c.delta[obj.ID()] = server
+	c.objects[obj.ID()] = obj
+	c.mu.Unlock()
+	return nil
+}
+
+// PlaceRegister creates a read/write register on the given server and
+// returns its ID. Options restrict the writer set (z-writer registers).
+func (c *Cluster) PlaceRegister(server types.ServerID, opts ...baseobj.RegisterOption) (types.ObjectID, error) {
+	id := c.allocID()
+	if err := c.placeObject(baseobj.NewRegister(id, opts...), server); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// PlaceMaxRegister creates a max-register on the given server.
+func (c *Cluster) PlaceMaxRegister(server types.ServerID) (types.ObjectID, error) {
+	id := c.allocID()
+	if err := c.placeObject(baseobj.NewMaxRegister(id), server); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// PlaceCASCell creates a CAS cell on the given server.
+func (c *Cluster) PlaceCASCell(server types.ServerID) (types.ObjectID, error) {
+	id := c.allocID()
+	if err := c.placeObject(baseobj.NewCASCell(id), server); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// Delta returns delta(obj), the server storing the object.
+func (c *Cluster) Delta(obj types.ObjectID) (types.ServerID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.delta[obj]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNoSuchObject, obj)
+	}
+	return s, nil
+}
+
+// Object returns the base object with the given ID.
+func (c *Cluster) Object(obj types.ObjectID) (baseobj.Object, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	o, ok := c.objects[obj]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchObject, obj)
+	}
+	return o, nil
+}
+
+// Apply routes a low-level invocation to the server hosting the object and
+// applies it atomically. Package fabric is the only intended caller.
+func (c *Cluster) Apply(obj types.ObjectID, client types.ClientID, inv baseobj.Invocation) (baseobj.Response, error) {
+	server, err := c.Delta(obj)
+	if err != nil {
+		return baseobj.Response{}, err
+	}
+	return c.servers[server].apply(obj, client, inv)
+}
+
+// Crash crashes the given server and all objects mapped to it.
+func (c *Cluster) Crash(server types.ServerID) error {
+	s, err := c.Server(server)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	already := s.crashed
+	s.mu.Unlock()
+	if already {
+		return nil
+	}
+	s.crash()
+	c.mu.Lock()
+	c.crashes++
+	c.mu.Unlock()
+	return nil
+}
+
+// Crashes returns the number of crashed servers.
+func (c *Cluster) Crashes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashes
+}
+
+// ResourceComplexity returns |delta^-1(S)|: the total number of base
+// objects placed in the cluster. This is the paper's space measure.
+func (c *Cluster) ResourceComplexity() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.objects)
+}
+
+// PerServerCounts returns |delta^-1({s})| for every server, indexed by
+// server ID.
+func (c *Cluster) PerServerCounts() []int {
+	counts := make([]int, len(c.servers))
+	for i, s := range c.servers {
+		counts[i] = s.NumObjects()
+	}
+	return counts
+}
+
+// ObjectsOn returns the IDs of all objects mapped to the given server, in
+// ascending order.
+func (c *Cluster) ObjectsOn(server types.ServerID) []types.ObjectID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var ids []types.ObjectID
+	for obj, s := range c.delta {
+		if s == server {
+			ids = append(ids, obj)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// AllObjects returns the IDs of every placed object in ascending order.
+func (c *Cluster) AllObjects() []types.ObjectID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]types.ObjectID, 0, len(c.objects))
+	for obj := range c.objects {
+		ids = append(ids, obj)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

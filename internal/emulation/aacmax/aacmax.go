@@ -1,0 +1,168 @@
+// Package aacmax implements the paper's n = 2f+1 special-case construction
+// (Section 3.3 remark, Theorem 2 tightness): every server hosts a k-writer
+// max-register built from k single-writer base registers in the style of
+// Aspnes, Attiya, and Censor [4], and the ABD quorum engine runs on top.
+//
+// The space cost is (2f+1)·k base registers, which matches the register
+// lower bound kf + k(f+1) = (2f+1)k exactly at n = 2f+1, while supporting
+// stronger (fully regular, not just write-sequential) semantics: register i
+// of a server is written only by writer i, whose timestamps are monotone,
+// so no covering write can ever erase another writer's value.
+//
+// read-max collects all k registers of the server; because they live on the
+// same server they crash together, so the collect either completes in full
+// or stalls like any faulty base object.
+package aacmax
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/baseobj"
+	"repro/internal/emulation/abdcore"
+	"repro/internal/emulation/quorumreg"
+	"repro/internal/fabric"
+	"repro/internal/spec"
+	"repro/internal/types"
+)
+
+// store is one per-server k-writer max-register made of k base registers.
+type store struct {
+	fab    *fabric.Fabric
+	server types.ServerID
+	regs   []types.ObjectID // regs[i] is writable only by writer i
+
+	mu   sync.Mutex
+	last map[types.ClientID]types.TSValue // client-side write-max floor
+}
+
+// Compile-time interface compliance check.
+var _ abdcore.MaxStore = (*store)(nil)
+
+// Server implements abdcore.MaxStore.
+func (s *store) Server() types.ServerID { return s.server }
+
+// StartWriteMax implements abdcore.MaxStore: writer i writes its own base
+// register, skipping values no larger than what it already wrote there
+// (which makes the cell monotone, i.e. a genuine single-writer max).
+func (s *store) StartWriteMax(client types.ClientID, v types.TSValue, report func(types.TSValue, error)) {
+	if int(client) < 0 || int(client) >= len(s.regs) {
+		report(types.ZeroTSValue, fmt.Errorf("aacmax: client %d is not a writer (k=%d)", client, len(s.regs)))
+		return
+	}
+	s.mu.Lock()
+	prev := s.last[client]
+	if !prev.Less(v) {
+		s.mu.Unlock()
+		report(prev, nil)
+		return
+	}
+	s.last[client] = v
+	s.mu.Unlock()
+	call := s.fab.Trigger(client, s.regs[client], baseobj.Invocation{Op: baseobj.OpWrite, Arg: v})
+	call.OnComplete(func(o fabric.Outcome) { report(o.Resp.Val, o.Err) })
+}
+
+// StartReadMax implements abdcore.MaxStore: read all k registers of the
+// server and report their maximum once all have responded.
+func (s *store) StartReadMax(client types.ClientID, report func(types.TSValue, error)) {
+	join := &readJoin{remaining: len(s.regs), report: report}
+	for _, obj := range s.regs {
+		call := s.fab.Trigger(client, obj, baseobj.Invocation{Op: baseobj.OpRead})
+		call.OnComplete(func(o fabric.Outcome) { join.complete(o.Resp.Val, o.Err) })
+	}
+}
+
+// readJoin folds k base reads into one read-max completion.
+type readJoin struct {
+	mu        sync.Mutex
+	remaining int
+	max       types.TSValue
+	done      bool
+	report    func(types.TSValue, error)
+}
+
+// complete accumulates one base-read response.
+func (j *readJoin) complete(v types.TSValue, err error) {
+	j.mu.Lock()
+	if j.done {
+		j.mu.Unlock()
+		return
+	}
+	if err != nil {
+		j.done = true
+		r := j.report
+		j.mu.Unlock()
+		r(types.ZeroTSValue, err)
+		return
+	}
+	j.max = types.MaxTSValue(j.max, v)
+	j.remaining--
+	if j.remaining > 0 {
+		j.mu.Unlock()
+		return
+	}
+	j.done = true
+	r := j.report
+	max := j.max
+	j.mu.Unlock()
+	r(max, nil)
+}
+
+// Options configure the construction.
+type Options struct {
+	// History receives the high-level operations (optional).
+	History *spec.History
+	// Servers optionally pins the 2f+1 hosting servers.
+	Servers []types.ServerID
+}
+
+// New places k single-writer registers on each of 2f+1 servers ((2f+1)k
+// base registers in total) and returns the emulated k-register. Reads never
+// write, so only the regular (non-write-back) protocol is offered: the
+// k-register per-server max has no cell a reader could write.
+func New(fab *fabric.Fabric, k, f int, opts Options) (*quorumreg.Register, error) {
+	if f <= 0 {
+		return nil, fmt.Errorf("aacmax: f must be positive, got %d", f)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("aacmax: k must be positive, got %d", k)
+	}
+	servers := opts.Servers
+	if servers == nil {
+		for s := 0; s < 2*f+1; s++ {
+			servers = append(servers, types.ServerID(s))
+		}
+	}
+	if len(servers) != 2*f+1 {
+		return nil, fmt.Errorf("aacmax: need exactly 2f+1=%d servers, got %d", 2*f+1, len(servers))
+	}
+	c := fab.Cluster()
+	stores := make([]abdcore.MaxStore, 0, len(servers))
+	total := 0
+	for _, server := range servers {
+		st := &store{
+			fab:    fab,
+			server: server,
+			regs:   make([]types.ObjectID, 0, k),
+			last:   make(map[types.ClientID]types.TSValue, k),
+		}
+		for w := 0; w < k; w++ {
+			obj, err := c.PlaceRegister(server, baseobj.WithWriters([]types.ClientID{types.ClientID(w)}))
+			if err != nil {
+				return nil, fmt.Errorf("aacmax: placing register: %w", err)
+			}
+			st.regs = append(st.regs, obj)
+			total++
+		}
+		stores = append(stores, st)
+	}
+	return quorumreg.New(quorumreg.Config{
+		Name:      "aac-max",
+		K:         k,
+		F:         f,
+		Stores:    stores,
+		Resources: total,
+		History:   opts.History,
+	})
+}

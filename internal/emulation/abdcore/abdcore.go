@@ -1,0 +1,162 @@
+// Package abdcore implements the quorum engine shared by the max-register,
+// CAS, and baseline emulations: the multi-writer ABD pattern [Attiya,
+// Bar-Noy, Dolev 1995; Gilbert, Lynch, Shvartsman 2010] in which a write
+// first collects the highest timestamp from a quorum, picks a larger one,
+// and then pushes the timestamped value to a quorum; a read collects from a
+// quorum and returns the value with the highest timestamp.
+//
+// The paper observes (Section 1, "Results") that the per-server code of
+// multi-writer ABD is exactly the write-max / read-max interface of a
+// max-register, so the engine is parameterized by a MaxStore abstraction:
+// one store per server, with asynchronous start/report semantics matching
+// the fabric's trigger/respond model. Plugging in different stores yields
+// the different rows of Table 1.
+package abdcore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// MaxStore is the per-server storage abstraction: an asynchronous
+// max-register. Start calls must not block; report must be invoked at most
+// once, when (and if) the operation completes. A store whose server crashed
+// simply never reports, like any faulty base object.
+type MaxStore interface {
+	// Server returns the hosting server.
+	Server() types.ServerID
+	// StartWriteMax asynchronously applies write-max(v) for client.
+	StartWriteMax(client types.ClientID, v types.TSValue, report func(types.TSValue, error))
+	// StartReadMax asynchronously applies read-max() for client.
+	StartReadMax(client types.ClientID, report func(types.TSValue, error))
+}
+
+// Errors reported by the engine.
+var (
+	// ErrTooFewStores is returned when fewer than 2f+1 stores back the
+	// engine.
+	ErrTooFewStores = errors.New("abdcore: need at least 2f+1 stores")
+)
+
+// Engine is the quorum read/write core. It is stateless across operations
+// and safe for concurrent use by multiple clients.
+type Engine struct {
+	stores        []MaxStore
+	f             int
+	readWriteBack bool
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithReadWriteBack makes reads write the collected maximum back to a
+// quorum before returning. This is the classic atomicity (linearizability)
+// fix: it costs readers a write round, which is exactly why the paper's
+// space bounds target regularity ("since atomicity usually requires readers
+// to write", Section 1).
+func WithReadWriteBack() Option {
+	return func(e *Engine) { e.readWriteBack = true }
+}
+
+// New creates an engine over the given stores with failure threshold f.
+func New(stores []MaxStore, f int, opts ...Option) (*Engine, error) {
+	if f <= 0 {
+		return nil, fmt.Errorf("abdcore: f must be positive, got %d", f)
+	}
+	if len(stores) < 2*f+1 {
+		return nil, fmt.Errorf("%w: have %d, f=%d", ErrTooFewStores, len(stores), f)
+	}
+	e := &Engine{stores: stores, f: f}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e, nil
+}
+
+// Quorum returns the number of store responses each phase waits for:
+// len(stores) - f, a majority when len(stores) = 2f+1.
+func (e *Engine) Quorum() int { return len(e.stores) - e.f }
+
+// report is a store completion.
+type report struct {
+	val types.TSValue
+	err error
+}
+
+// Collect reads the highest timestamped value from a quorum of stores.
+func (e *Engine) Collect(ctx context.Context, client types.ClientID) (types.TSValue, error) {
+	ch := make(chan report, len(e.stores))
+	for _, s := range e.stores {
+		s.StartReadMax(client, func(v types.TSValue, err error) {
+			ch <- report{val: v, err: err}
+		})
+	}
+	return e.await(ctx, ch)
+}
+
+// WriteMax pushes v to a quorum of stores.
+func (e *Engine) WriteMax(ctx context.Context, client types.ClientID, v types.TSValue) error {
+	ch := make(chan report, len(e.stores))
+	for _, s := range e.stores {
+		s.StartWriteMax(client, v, func(got types.TSValue, err error) {
+			ch <- report{val: got, err: err}
+		})
+	}
+	_, err := e.await(ctx, ch)
+	return err
+}
+
+// await gathers quorum-many reports, folding values with max.
+func (e *Engine) await(ctx context.Context, ch <-chan report) (types.TSValue, error) {
+	max := types.ZeroTSValue
+	for got := 0; got < e.Quorum(); got++ {
+		// A done context fails deterministically even when reports are
+		// already buffered (select picks ready cases at random).
+		if err := ctx.Err(); err != nil {
+			return max, fmt.Errorf("abdcore: quorum wait (%d/%d): %w", got, e.Quorum(), err)
+		}
+		select {
+		case <-ctx.Done():
+			return max, fmt.Errorf("abdcore: quorum wait (%d/%d): %w", got, e.Quorum(), ctx.Err())
+		case r := <-ch:
+			if r.err != nil {
+				// Store errors are protocol violations (wrong op,
+				// unauthorized writer), not crash failures; fail fast.
+				return max, fmt.Errorf("abdcore: store error: %w", r.err)
+			}
+			max = types.MaxTSValue(max, r.val)
+		}
+	}
+	return max, nil
+}
+
+// Write performs the high-level write: collect, bump the timestamp, push.
+func (e *Engine) Write(ctx context.Context, client types.ClientID, v types.Value) error {
+	cur, err := e.Collect(ctx, client)
+	if err != nil {
+		return fmt.Errorf("abdcore: write collect: %w", err)
+	}
+	next := types.TSValue{TS: cur.TS + 1, Writer: client, Val: v}
+	if err := e.WriteMax(ctx, client, next); err != nil {
+		return fmt.Errorf("abdcore: write push: %w", err)
+	}
+	return nil
+}
+
+// Read performs the high-level read: collect, optionally write back, return
+// the freshest value.
+func (e *Engine) Read(ctx context.Context, client types.ClientID) (types.Value, error) {
+	cur, err := e.Collect(ctx, client)
+	if err != nil {
+		return types.InitialValue, fmt.Errorf("abdcore: read collect: %w", err)
+	}
+	if e.readWriteBack {
+		if err := e.WriteMax(ctx, client, cur); err != nil {
+			return types.InitialValue, fmt.Errorf("abdcore: read write-back: %w", err)
+		}
+	}
+	return cur.Val, nil
+}

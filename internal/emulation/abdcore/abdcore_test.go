@@ -1,0 +1,246 @@
+package abdcore
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+// fakeStore is an in-memory max-store with controllable delivery: silent
+// stores never report (like crashed or held base objects), failing stores
+// report an error.
+type fakeStore struct {
+	server types.ServerID
+
+	mu      sync.Mutex
+	val     types.TSValue
+	silent  bool
+	failErr error
+
+	writeMaxCalls int
+	readMaxCalls  int
+}
+
+var _ MaxStore = (*fakeStore)(nil)
+
+func (s *fakeStore) Server() types.ServerID { return s.server }
+
+func (s *fakeStore) StartWriteMax(_ types.ClientID, v types.TSValue, report func(types.TSValue, error)) {
+	s.mu.Lock()
+	s.writeMaxCalls++
+	if s.silent {
+		s.mu.Unlock()
+		return
+	}
+	if s.failErr != nil {
+		err := s.failErr
+		s.mu.Unlock()
+		report(types.ZeroTSValue, err)
+		return
+	}
+	s.val = types.MaxTSValue(s.val, v)
+	got := s.val
+	s.mu.Unlock()
+	report(got, nil)
+}
+
+func (s *fakeStore) StartReadMax(_ types.ClientID, report func(types.TSValue, error)) {
+	s.mu.Lock()
+	s.readMaxCalls++
+	if s.silent {
+		s.mu.Unlock()
+		return
+	}
+	if s.failErr != nil {
+		err := s.failErr
+		s.mu.Unlock()
+		report(types.ZeroTSValue, err)
+		return
+	}
+	got := s.val
+	s.mu.Unlock()
+	report(got, nil)
+}
+
+// newFakes builds n fake stores.
+func newFakes(n int) ([]*fakeStore, []MaxStore) {
+	fakes := make([]*fakeStore, n)
+	stores := make([]MaxStore, n)
+	for i := range fakes {
+		fakes[i] = &fakeStore{server: types.ServerID(i)}
+		stores[i] = fakes[i]
+	}
+	return fakes, stores
+}
+
+func TestEngineValidation(t *testing.T) {
+	_, stores := newFakes(3)
+	if _, err := New(stores, 0); err == nil {
+		t.Error("f=0 accepted")
+	}
+	if _, err := New(stores[:2], 1); !errors.Is(err, ErrTooFewStores) {
+		t.Errorf("2 stores for f=1 err = %v, want ErrTooFewStores", err)
+	}
+	e, err := New(stores, 1)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if e.Quorum() != 2 {
+		t.Errorf("Quorum = %d, want 2", e.Quorum())
+	}
+}
+
+func TestWriteThenRead(t *testing.T) {
+	_, stores := newFakes(3)
+	e, err := New(stores, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := e.Write(ctx, 0, 42); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := e.Read(ctx, 100)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got != 42 {
+		t.Fatalf("Read = %d, want 42", got)
+	}
+}
+
+func TestTimestampsIncrease(t *testing.T) {
+	fakes, stores := newFakes(3)
+	e, err := New(stores, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 1; i <= 5; i++ {
+		if err := e.Write(ctx, types.ClientID(i%2), types.Value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, s := range fakes {
+		if s.val.TS != 5 {
+			t.Errorf("store %d ts = %d, want 5", i, s.val.TS)
+		}
+		if s.val.Val != 5 {
+			t.Errorf("store %d val = %d, want 5", i, s.val.Val)
+		}
+	}
+}
+
+func TestToleratesFSilentStores(t *testing.T) {
+	fakes, stores := newFakes(5)
+	fakes[0].silent = true
+	fakes[3].silent = true // f = 2 silent stores
+	e, err := New(stores, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := e.Write(ctx, 0, 7); err != nil {
+		t.Fatalf("Write with f silent stores: %v", err)
+	}
+	got, err := e.Read(ctx, 100)
+	if err != nil {
+		t.Fatalf("Read with f silent stores: %v", err)
+	}
+	if got != 7 {
+		t.Fatalf("Read = %d, want 7", got)
+	}
+}
+
+func TestBlocksBeyondFSilentStores(t *testing.T) {
+	fakes, stores := newFakes(3)
+	fakes[0].silent = true
+	fakes[1].silent = true // more than f = 1
+	e, err := New(stores, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := e.Write(ctx, 0, 7); err == nil {
+		t.Fatal("Write with f+1 silent stores succeeded")
+	} else if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline", err)
+	}
+}
+
+func TestStoreErrorFailsFast(t *testing.T) {
+	fakes, stores := newFakes(3)
+	boom := errors.New("boom")
+	fakes[1].failErr = boom
+	e, err := New(stores, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// The error may or may not be in the first quorum-many reports;
+	// retry until it is observed (delivery order is deterministic here:
+	// stores report inline in order, so store 1's error is always seen).
+	if err := e.Write(ctx, 0, 7); !errors.Is(err, boom) {
+		t.Fatalf("Write err = %v, want boom", err)
+	}
+}
+
+func TestReadWriteBack(t *testing.T) {
+	fakes, stores := newFakes(3)
+	e, err := New(stores, 1, WithReadWriteBack())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := e.Write(ctx, 0, 9); err != nil {
+		t.Fatal(err)
+	}
+	before := fakes[0].writeMaxCalls
+	if _, err := e.Read(ctx, 100); err != nil {
+		t.Fatal(err)
+	}
+	if fakes[0].writeMaxCalls <= before {
+		t.Error("read with write-back did not write")
+	}
+
+	// Without write-back, reads never write.
+	_, stores2 := newFakes(3)
+	e2, err := New(stores2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.Read(ctx, 100); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range stores2 {
+		if s.(*fakeStore).writeMaxCalls != 0 {
+			t.Errorf("store %d: reader wrote without write-back", i)
+		}
+	}
+}
+
+func TestCollectReturnsMaximum(t *testing.T) {
+	fakes, stores := newFakes(3)
+	fakes[0].val = types.TSValue{TS: 3, Writer: 0, Val: 30}
+	fakes[1].val = types.TSValue{TS: 7, Writer: 1, Val: 70}
+	fakes[2].val = types.TSValue{TS: 5, Writer: 2, Val: 50}
+	e, err := New(stores, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect waits for quorum (2) reports; stores report inline in
+	// order, so it sees stores 0 and 1.
+	got, err := e.Collect(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TS != 7 {
+		t.Fatalf("Collect ts = %d, want 7", got.TS)
+	}
+}

@@ -1,0 +1,232 @@
+package abdmax
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/emulation/quorumreg"
+	"repro/internal/fabric"
+	"repro/internal/spec"
+	"repro/internal/types"
+)
+
+func newReg(t *testing.T, k, f, n int, opts Options) (*quorumreg.Register, *fabric.Fabric) {
+	t.Helper()
+	c, err := cluster.New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab := fabric.New(c)
+	reg, err := New(fab, k, f, opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return reg, fab
+}
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestBasicsAndResources(t *testing.T) {
+	reg, fab := newReg(t, 4, 2, 6, Options{})
+	if reg.ResourceComplexity() != 5 {
+		t.Fatalf("resources = %d, want 2f+1 = 5", reg.ResourceComplexity())
+	}
+	// 2f+1 base objects regardless of k; only 2f+1 servers host objects.
+	counts := fab.Cluster().PerServerCounts()
+	hosting := 0
+	for _, c := range counts {
+		if c > 1 {
+			t.Fatalf("a server hosts %d max-registers, want at most 1", c)
+		}
+		hosting += c
+	}
+	if hosting != 5 {
+		t.Fatalf("hosting servers = %d, want 5", hosting)
+	}
+
+	ctx := testCtx(t)
+	for i := 0; i < 4; i++ {
+		w, err := reg.Writer(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(ctx, types.Value(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := reg.NewReader().Read(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Fatalf("Read = %d, want 4", got)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	c, err := cluster.New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab := fabric.New(c)
+	if _, err := New(fab, 1, 0, Options{}); err == nil {
+		t.Error("f=0 accepted")
+	}
+	if _, err := New(fab, 1, 1, Options{Servers: []types.ServerID{0, 1}}); err == nil {
+		t.Error("2 servers for f=1 accepted")
+	}
+	if _, err := New(fab, 1, 3, Options{}); err == nil {
+		t.Error("f=3 on a 5-server cluster accepted (needs 7 default servers)")
+	}
+}
+
+func TestSurvivesFCrashes(t *testing.T) {
+	reg, fab := newReg(t, 2, 2, 5, Options{})
+	ctx := testCtx(t)
+	w0, err := reg.Writer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w0.Write(ctx, 10); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []types.ServerID{1, 3} {
+		if err := fab.Crash(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w1, err := reg.Writer(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w1.Write(ctx, 20); err != nil {
+		t.Fatalf("write after f crashes: %v", err)
+	}
+	got, err := reg.NewReader().Read(ctx)
+	if err != nil {
+		t.Fatalf("read after f crashes: %v", err)
+	}
+	if got != 20 {
+		t.Fatalf("Read = %d, want 20", got)
+	}
+}
+
+func TestBlocksBeyondFCrashes(t *testing.T) {
+	reg, fab := newReg(t, 1, 1, 3, Options{})
+	for _, s := range []types.ServerID{0, 1} { // f+1 crashes
+		if err := fab.Crash(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	w, err := reg.Writer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(ctx, 1); err == nil {
+		t.Fatal("write with f+1 crashes succeeded")
+	}
+}
+
+func TestSequentialHistoryIsRegular(t *testing.T) {
+	hist := &spec.History{}
+	reg, _ := newReg(t, 3, 1, 3, Options{History: hist})
+	ctx := testCtx(t)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 3; i++ {
+			w, err := reg.Writer(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Write(ctx, types.Value(round*10+i+1)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := reg.NewReader().Read(ctx); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ops := hist.Snapshot()
+	if err := spec.CheckWSSafety(ops, types.InitialValue); err != nil {
+		t.Errorf("WS-Safety: %v", err)
+	}
+	if err := spec.CheckWSRegularity(ops, types.InitialValue); err != nil {
+		t.Errorf("WS-Regularity: %v", err)
+	}
+}
+
+func TestAtomicModeLinearizable(t *testing.T) {
+	// With read write-back, even write-concurrent histories linearize.
+	hist := &spec.History{}
+	reg, _ := newReg(t, 2, 1, 3, Options{History: hist, ReadWriteBack: true})
+	ctx := testCtx(t)
+
+	done := make(chan error, 3)
+	for i := 0; i < 2; i++ {
+		w, err := reg.Writer(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func(i int, w interface {
+			Write(context.Context, types.Value) error
+		}) {
+			var err error
+			for op := 0; op < 8 && err == nil; op++ {
+				err = w.Write(ctx, types.Value((i+1)*100+op))
+			}
+			done <- err
+		}(i, w)
+	}
+	rd := reg.NewReader()
+	go func() {
+		var err error
+		for op := 0; op < 8 && err == nil; op++ {
+			_, err = rd.Read(ctx)
+		}
+		done <- err
+	}()
+	for i := 0; i < 3; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("concurrent op: %v", err)
+		}
+	}
+	if err := spec.CheckLinearizable(hist.Snapshot(), types.InitialValue); err != nil {
+		t.Fatalf("atomic mode not linearizable: %v", err)
+	}
+}
+
+func TestTimestampsGrowLinearly(t *testing.T) {
+	// The TSVal domain is N x V: timestamps are unbounded counters that
+	// advance once per write (the model's register size aside — the paper
+	// studies register COUNT, not size).
+	reg, fab := newReg(t, 2, 1, 3, Options{})
+	ctx := testCtx(t)
+	const writes = 7
+	for i := 0; i < writes; i++ {
+		w, err := reg.Writer(i % 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(ctx, types.Value(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := fab.Cluster()
+	for _, obj := range c.AllObjects() {
+		o, err := c.Object(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := o.Peek().TS; got != writes {
+			t.Errorf("object %d ts = %d, want %d (one bump per write)", obj, got, writes)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package casmax implements the Table 1 "CAS" upper bound: an f-tolerant,
+// wait-free, WS-Regular k-register from 2f+1 CAS base objects, one per
+// server.
+//
+// Each per-server max-register is emulated from a single CAS cell with
+// Algorithm 1 (Appendix B):
+//
+//	write-max(v):  loop { tmp <- CAS(v0, v0)      // read via no-op CAS
+//	                      if tmp >= v: return ok
+//	                      CAS(tmp, v) }
+//	read-max():    return CAS(v0, v0)
+//
+// The loop makes the construction's space cost match the max-register row
+// (2f+1) while its time cost grows with contention — the tradeoff the
+// paper's discussion section calls out. Metrics counts the retries so the
+// benches can exhibit it (experiment E11).
+package casmax
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/baseobj"
+	"repro/internal/emulation/abdcore"
+	"repro/internal/emulation/quorumreg"
+	"repro/internal/fabric"
+	"repro/internal/spec"
+	"repro/internal/types"
+)
+
+// Metrics aggregates the cost of the CAS emulation across all stores.
+type Metrics struct {
+	// WriteMaxCalls counts write-max invocations.
+	WriteMaxCalls atomic.Int64
+	// CASAttempts counts conditional CAS(tmp, v) attempts; attempts
+	// beyond the first per write-max are retries caused by contention.
+	CASAttempts atomic.Int64
+}
+
+// Retries returns the number of extra loop iterations beyond one per
+// write-max call.
+func (m *Metrics) Retries() int64 {
+	r := m.CASAttempts.Load() - m.WriteMaxCalls.Load()
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// store emulates one max-register from a single CAS cell. Operations run as
+// callback chains on the fabric: if any low-level CAS never responds (held
+// or crashed), the chain silently stalls — precisely a pending op.
+type store struct {
+	fab     *fabric.Fabric
+	obj     types.ObjectID
+	server  types.ServerID
+	metrics *Metrics
+}
+
+// Compile-time interface compliance check.
+var _ abdcore.MaxStore = (*store)(nil)
+
+// Server implements abdcore.MaxStore.
+func (s *store) Server() types.ServerID { return s.server }
+
+// readInv is the no-op CAS(v0, v0) used as a read (Algorithm 1, lines 3/8).
+func readInv() baseobj.Invocation {
+	return baseobj.Invocation{Op: baseobj.OpCAS, Exp: types.ZeroTSValue, New: types.ZeroTSValue}
+}
+
+// StartReadMax implements abdcore.MaxStore: read-max is one no-op CAS whose
+// returned previous value is the register content.
+func (s *store) StartReadMax(client types.ClientID, report func(types.TSValue, error)) {
+	call := s.fab.Trigger(client, s.obj, readInv())
+	call.OnComplete(func(o fabric.Outcome) { report(o.Resp.Val, o.Err) })
+}
+
+// StartWriteMax implements abdcore.MaxStore with the Algorithm 1 loop as a
+// callback chain.
+func (s *store) StartWriteMax(client types.ClientID, v types.TSValue, report func(types.TSValue, error)) {
+	s.metrics.WriteMaxCalls.Add(1)
+	var attempt func()
+	attempt = func() {
+		read := s.fab.Trigger(client, s.obj, readInv())
+		read.OnComplete(func(o fabric.Outcome) {
+			if o.Err != nil {
+				report(types.ZeroTSValue, o.Err)
+				return
+			}
+			tmp := o.Resp.Val
+			if !tmp.Less(v) {
+				// tmp >= v: the register already holds a value at
+				// least as large; write-max is done (line 4-5).
+				report(tmp, nil)
+				return
+			}
+			s.metrics.CASAttempts.Add(1)
+			cas := s.fab.Trigger(client, s.obj, baseobj.Invocation{Op: baseobj.OpCAS, Exp: tmp, New: v})
+			cas.OnComplete(func(o2 fabric.Outcome) {
+				if o2.Err != nil {
+					report(types.ZeroTSValue, o2.Err)
+					return
+				}
+				// Whether or not the CAS succeeded, re-read and
+				// re-check (line 2): termination follows from the
+				// monotonically increasing values (Observation 2).
+				attempt()
+			})
+		})
+	}
+	attempt()
+}
+
+// Options configure the construction.
+type Options struct {
+	// History receives the high-level operations (optional).
+	History *spec.History
+	// ReadWriteBack upgrades reads to the atomic protocol.
+	ReadWriteBack bool
+	// Servers optionally pins the 2f+1 hosting servers.
+	Servers []types.ServerID
+}
+
+// New places one CAS cell on each of 2f+1 servers and returns the emulated
+// k-register together with its retry metrics.
+func New(fab *fabric.Fabric, k, f int, opts Options) (*quorumreg.Register, *Metrics, error) {
+	if f <= 0 {
+		return nil, nil, fmt.Errorf("casmax: f must be positive, got %d", f)
+	}
+	servers := opts.Servers
+	if servers == nil {
+		for s := 0; s < 2*f+1; s++ {
+			servers = append(servers, types.ServerID(s))
+		}
+	}
+	if len(servers) != 2*f+1 {
+		return nil, nil, fmt.Errorf("casmax: need exactly 2f+1=%d servers, got %d", 2*f+1, len(servers))
+	}
+	metrics := &Metrics{}
+	c := fab.Cluster()
+	stores := make([]abdcore.MaxStore, 0, len(servers))
+	for _, server := range servers {
+		obj, err := c.PlaceCASCell(server)
+		if err != nil {
+			return nil, nil, fmt.Errorf("casmax: placing cas cell: %w", err)
+		}
+		stores = append(stores, &store{fab: fab, obj: obj, server: server, metrics: metrics})
+	}
+	var engineOpts []abdcore.Option
+	if opts.ReadWriteBack {
+		engineOpts = append(engineOpts, abdcore.WithReadWriteBack())
+	}
+	reg, err := quorumreg.New(quorumreg.Config{
+		Name:       "abd-cas",
+		K:          k,
+		F:          f,
+		Stores:     stores,
+		Resources:  len(stores),
+		History:    opts.History,
+		EngineOpts: engineOpts,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return reg, metrics, nil
+}

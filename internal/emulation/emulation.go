@@ -1,0 +1,70 @@
+// Package emulation defines the public surface of the reliable-register
+// emulations studied by the paper: a fault-tolerant multi-writer register
+// for an a-priori known set of k writers (the paper's k-register), exposed
+// through per-client handles.
+//
+// Five constructions implement this interface, one per sub-package:
+//
+//   - abdmax:   multi-writer ABD over one max-register per server (2f+1
+//     base objects — Table 1, row "max-register").
+//   - casmax:   the same quorum engine over per-server max-registers each
+//     emulated from a single CAS cell via Algorithm 1 (2f+1 base objects —
+//     Table 1, row "CAS").
+//   - regemu:   Algorithm 2, the paper's main upper-bound construction from
+//     plain registers (kf + ceil(k/z)(f+1) base objects — Table 1, row
+//     "register").
+//   - aacmax:   the n = 2f+1 special case: per-server k-writer max-registers
+//     built from k plain registers each ((2f+1)k base objects).
+//   - naiveabd: a deliberately under-provisioned baseline (one plain
+//     register per server) that the lower-bound adversary breaks.
+//
+// Handles are not safe for concurrent use; each client runs its own handle,
+// mirroring the paper's per-client deterministic state machines.
+package emulation
+
+import (
+	"context"
+
+	"repro/internal/types"
+)
+
+// ReaderIDBase is the first client ID handed to readers, keeping them
+// disjoint from writer IDs 0..k-1.
+const ReaderIDBase types.ClientID = 1 << 20
+
+// Writer is the write-side handle of an emulated register for one client.
+type Writer interface {
+	// Write performs a high-level write of v. It blocks until the write
+	// returns or ctx is done; a ctx error means the operation could not
+	// complete (e.g. too many servers crashed for the failure threshold).
+	Write(ctx context.Context, v types.Value) error
+	// Client returns the writer's client ID.
+	Client() types.ClientID
+}
+
+// Reader is the read-side handle of an emulated register for one client.
+type Reader interface {
+	// Read performs a high-level read.
+	Read(ctx context.Context) (types.Value, error)
+	// Client returns the reader's client ID.
+	Client() types.ClientID
+}
+
+// Register is an emulated fault-tolerant k-register.
+type Register interface {
+	// Name identifies the construction (for reports and benches).
+	Name() string
+	// K returns the number of supported writers.
+	K() int
+	// F returns the failure threshold.
+	F() int
+	// Writer returns the handle for writer i in [0, k). Each call
+	// returns the same underlying per-client state; the handle must be
+	// used from one goroutine at a time.
+	Writer(i int) (Writer, error)
+	// NewReader returns a fresh reader handle with a fresh client ID.
+	NewReader() Reader
+	// ResourceComplexity returns the number of base objects the
+	// construction placed — the paper's space measure.
+	ResourceComplexity() int
+}

@@ -1,0 +1,139 @@
+// Package quorumreg adapts an abdcore.Engine into the emulation.Register
+// interface: it owns the per-client handles, records every high-level
+// operation into a spec.History, and reports the construction's resource
+// complexity. The abdmax, casmax, aacmax, and naiveabd constructions are
+// thin store layers underneath this adapter.
+package quorumreg
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/emulation"
+	"repro/internal/emulation/abdcore"
+	"repro/internal/spec"
+	"repro/internal/types"
+)
+
+// Config assembles a quorum-backed register.
+type Config struct {
+	// Name identifies the construction.
+	Name string
+	// K is the number of writers; F the failure threshold.
+	K, F int
+	// Stores are the per-server max-stores, at least 2f+1 of them.
+	Stores []abdcore.MaxStore
+	// Resources is the number of base objects the construction placed.
+	Resources int
+	// History receives the high-level operations; a fresh history is
+	// created when nil.
+	History *spec.History
+	// EngineOpts configure the underlying quorum engine.
+	EngineOpts []abdcore.Option
+}
+
+// Register implements emulation.Register over an abdcore.Engine.
+type Register struct {
+	name      string
+	k, f      int
+	resources int
+	engine    *abdcore.Engine
+	hist      *spec.History
+	readers   atomic.Int64
+}
+
+// Compile-time interface compliance check.
+var _ emulation.Register = (*Register)(nil)
+
+// New builds the adapter.
+func New(cfg Config) (*Register, error) {
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("quorumreg: k must be positive, got %d", cfg.K)
+	}
+	engine, err := abdcore.New(cfg.Stores, cfg.F, cfg.EngineOpts...)
+	if err != nil {
+		return nil, err
+	}
+	hist := cfg.History
+	if hist == nil {
+		hist = &spec.History{}
+	}
+	return &Register{
+		name:      cfg.Name,
+		k:         cfg.K,
+		f:         cfg.F,
+		resources: cfg.Resources,
+		engine:    engine,
+		hist:      hist,
+	}, nil
+}
+
+// Name implements emulation.Register.
+func (r *Register) Name() string { return r.name }
+
+// K implements emulation.Register.
+func (r *Register) K() int { return r.k }
+
+// F implements emulation.Register.
+func (r *Register) F() int { return r.f }
+
+// ResourceComplexity implements emulation.Register.
+func (r *Register) ResourceComplexity() int { return r.resources }
+
+// History returns the recorded high-level history.
+func (r *Register) History() *spec.History { return r.hist }
+
+// Writer implements emulation.Register.
+func (r *Register) Writer(i int) (emulation.Writer, error) {
+	if i < 0 || i >= r.k {
+		return nil, fmt.Errorf("quorumreg: writer %d out of range (k=%d)", i, r.k)
+	}
+	return &writerHandle{reg: r, client: types.ClientID(i)}, nil
+}
+
+// NewReader implements emulation.Register.
+func (r *Register) NewReader() emulation.Reader {
+	id := emulation.ReaderIDBase + types.ClientID(r.readers.Add(1))
+	return &readerHandle{reg: r, client: id}
+}
+
+// writerHandle is the per-writer handle.
+type writerHandle struct {
+	reg    *Register
+	client types.ClientID
+}
+
+// Client implements emulation.Writer.
+func (w *writerHandle) Client() types.ClientID { return w.client }
+
+// Write implements emulation.Writer. Incomplete operations (ctx expiry)
+// stay pending in the history, like the paper's pending high-level ops.
+func (w *writerHandle) Write(ctx context.Context, v types.Value) error {
+	pw := w.reg.hist.BeginWrite(w.client, v)
+	if err := w.reg.engine.Write(ctx, w.client, v); err != nil {
+		return err
+	}
+	pw.End()
+	return nil
+}
+
+// readerHandle is the per-reader handle.
+type readerHandle struct {
+	reg    *Register
+	client types.ClientID
+}
+
+// Client implements emulation.Reader.
+func (r *readerHandle) Client() types.ClientID { return r.client }
+
+// Read implements emulation.Reader.
+func (r *readerHandle) Read(ctx context.Context) (types.Value, error) {
+	pr := r.reg.hist.BeginRead(r.client)
+	v, err := r.reg.engine.Read(ctx, r.client)
+	if err != nil {
+		return types.InitialValue, err
+	}
+	pr.End(v)
+	return v, nil
+}

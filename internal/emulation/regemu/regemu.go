@@ -1,0 +1,321 @@
+// Package regemu implements Algorithm 2, the paper's main upper-bound
+// construction (Section 3.3, Appendix D): an f-tolerant, wait-free,
+// WS-Regular k-register built from kf + ceil(k/z)·(f+1) plain read/write
+// registers spread over n > 2f servers, z = floor((n-(f+1))/f).
+//
+// The construction is crafted against the covering adversary of Lemma 1:
+//
+//   - Registers are grouped into disjoint sets R_0..R_{m-1} (package
+//     layout); writer w uses only set floor(w/z).
+//   - A write first collects: it reads every register and waits for all
+//     registers of n-f servers to respond, picking a fresh higher
+//     timestamp (lines 20–26 of Algorithm 2).
+//   - It then triggers writes on every register of its set except those
+//     still covered by its own previous writes (lines 6–10): a register
+//     with a pending write cannot be reliably reused, so the writer leaves
+//     it alone until the old write responds, at which point it immediately
+//     re-triggers with the current value (lines 29–32).
+//   - The write returns after |R_j| - f acknowledgements (line 11), so at
+//     most f of its low-level writes are left pending (Observation 3).
+//
+// Reads collect and return the value with the highest timestamp; readers
+// never write, so the space cost is independent of the number of readers.
+package regemu
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/baseobj"
+	"repro/internal/emulation"
+	"repro/internal/fabric"
+	"repro/internal/layout"
+	"repro/internal/spec"
+	"repro/internal/types"
+)
+
+// Emulation is the Algorithm 2 register.
+type Emulation struct {
+	fab       *fabric.Fabric
+	placement *layout.Placement
+	hist      *spec.History
+	k, f, n   int
+	byServer  map[types.ServerID][]types.ObjectID
+	writers   []*Writer
+	readers   atomic.Int64
+}
+
+// Compile-time interface compliance check.
+var _ emulation.Register = (*Emulation)(nil)
+
+// Options configure the construction.
+type Options struct {
+	// History receives the high-level operations (optional).
+	History *spec.History
+}
+
+// New builds the register-set layout on the fabric's cluster (all n of its
+// servers) and returns the emulated k-register.
+func New(fab *fabric.Fabric, k, f int, opts Options) (*Emulation, error) {
+	c := fab.Cluster()
+	plan, err := layout.NewPlan(k, f, c.N())
+	if err != nil {
+		return nil, fmt.Errorf("regemu: planning layout: %w", err)
+	}
+	if err := plan.Verify(); err != nil {
+		return nil, fmt.Errorf("regemu: verifying layout: %w", err)
+	}
+	placement, err := layout.Materialize(c, plan)
+	if err != nil {
+		return nil, fmt.Errorf("regemu: materializing layout: %w", err)
+	}
+	hist := opts.History
+	if hist == nil {
+		hist = &spec.History{}
+	}
+	e := &Emulation{
+		fab:       fab,
+		placement: placement,
+		hist:      hist,
+		k:         k,
+		f:         f,
+		n:         c.N(),
+		byServer:  placement.ObjectsByServer(),
+	}
+	e.writers = make([]*Writer, k)
+	for w := 0; w < k; w++ {
+		set, err := placement.SetOf(w)
+		if err != nil {
+			return nil, err
+		}
+		j, err := plan.SetForWriter(w)
+		if err != nil {
+			return nil, err
+		}
+		quorum, err := plan.WriteQuorumSize(j)
+		if err != nil {
+			return nil, err
+		}
+		e.writers[w] = &Writer{
+			em:      e,
+			client:  types.ClientID(w),
+			set:     set,
+			quorum:  quorum,
+			pending: make(map[types.ObjectID]bool, len(set)),
+			events:  make(chan writeEvent, 2*len(set)),
+		}
+	}
+	return e, nil
+}
+
+// Name implements emulation.Register.
+func (e *Emulation) Name() string { return "regemu" }
+
+// K implements emulation.Register.
+func (e *Emulation) K() int { return e.k }
+
+// F implements emulation.Register.
+func (e *Emulation) F() int { return e.f }
+
+// ResourceComplexity implements emulation.Register; it equals
+// bounds.RegisterUpper(k, f, n) by layout.Plan.Verify.
+func (e *Emulation) ResourceComplexity() int { return e.placement.Plan.TotalRegisters() }
+
+// History returns the recorded high-level history.
+func (e *Emulation) History() *spec.History { return e.hist }
+
+// Placement exposes the register layout for experiments.
+func (e *Emulation) Placement() *layout.Placement { return e.placement }
+
+// Writer implements emulation.Register. The returned handle carries the
+// writer's persistent cover-set state; it must be used by one goroutine at
+// a time.
+func (e *Emulation) Writer(i int) (emulation.Writer, error) {
+	if i < 0 || i >= e.k {
+		return nil, fmt.Errorf("regemu: writer %d out of range (k=%d)", i, e.k)
+	}
+	return e.writers[i], nil
+}
+
+// NewReader implements emulation.Register.
+func (e *Emulation) NewReader() emulation.Reader {
+	id := emulation.ReaderIDBase + types.ClientID(e.readers.Add(1))
+	return &Reader{em: e, client: id}
+}
+
+// scanEvent is one base-register read completion during a collect.
+type scanEvent struct {
+	server types.ServerID
+	val    types.TSValue
+	err    error
+}
+
+// collect implements lines 13–26 of Algorithm 2: trigger a read on every
+// register of every server and wait until, for n-f servers, every register
+// of the server has responded (n-f complete scans). It returns the highest
+// timestamped value observed.
+func (e *Emulation) collect(ctx context.Context, client types.ClientID) (types.TSValue, error) {
+	total := 0
+	for _, objs := range e.byServer {
+		total += len(objs)
+	}
+	ch := make(chan scanEvent, total)
+	remaining := make(map[types.ServerID]int, len(e.byServer))
+	for server, objs := range e.byServer {
+		remaining[server] = len(objs)
+		for _, obj := range objs {
+			server := server
+			call := e.fab.Trigger(client, obj, baseobj.Invocation{Op: baseobj.OpRead})
+			call.OnComplete(func(o fabric.Outcome) {
+				ch <- scanEvent{server: server, val: o.Resp.Val, err: o.Err}
+			})
+		}
+	}
+	need := e.n - e.f
+	max := types.ZeroTSValue
+	for scans := 0; scans < need; {
+		// A done context fails deterministically even when events are
+		// already buffered (select picks ready cases at random).
+		if err := ctx.Err(); err != nil {
+			return max, fmt.Errorf("regemu: collect (%d/%d scans): %w", scans, need, err)
+		}
+		select {
+		case <-ctx.Done():
+			return max, fmt.Errorf("regemu: collect (%d/%d scans): %w", scans, need, ctx.Err())
+		case ev := <-ch:
+			if ev.err != nil {
+				return max, fmt.Errorf("regemu: collect: %w", ev.err)
+			}
+			max = types.MaxTSValue(max, ev.val)
+			remaining[ev.server]--
+			if remaining[ev.server] == 0 {
+				scans++
+			}
+		}
+	}
+	return max, nil
+}
+
+// writeEvent is one base-register write completion for a writer. ts is the
+// timestamp that was written, which identifies the high-level write it
+// belongs to.
+type writeEvent struct {
+	obj types.ObjectID
+	ts  types.TSValue
+	err error
+}
+
+// Writer is the Algorithm 2 per-writer state machine (the Statei of the
+// pseudo-code). pending[b] plays the role of coverSet: it is true while b
+// has a low-level write of ours without a response.
+type Writer struct {
+	em     *Emulation
+	client types.ClientID
+	set    []types.ObjectID
+	quorum int
+
+	pending map[types.ObjectID]bool
+	events  chan writeEvent
+}
+
+// Compile-time interface compliance check.
+var _ emulation.Writer = (*Writer)(nil)
+
+// Client implements emulation.Writer.
+func (w *Writer) Client() types.ClientID { return w.client }
+
+// trigger issues a low-level write of ts on register b and marks it
+// pending; the completion lands in the writer's event channel.
+func (w *Writer) trigger(b types.ObjectID, ts types.TSValue) {
+	w.pending[b] = true
+	call := w.em.fab.Trigger(w.client, b, baseobj.Invocation{Op: baseobj.OpWrite, Arg: ts})
+	call.OnComplete(func(o fabric.Outcome) {
+		w.events <- writeEvent{obj: b, ts: ts, err: o.Err}
+	})
+}
+
+// Write implements emulation.Writer: collect, pick a higher timestamp,
+// push to the writer's register set avoiding self-covered registers, and
+// return after |R_j| - f acknowledgements.
+func (w *Writer) Write(ctx context.Context, v types.Value) error {
+	pw := w.em.hist.BeginWrite(w.client, v)
+	cur, err := w.em.collect(ctx, w.client)
+	if err != nil {
+		return err
+	}
+	ts := types.TSValue{TS: cur.TS + 1, Writer: w.client, Val: v}
+
+	// Lines 6–10: trigger on every register of R_j that we do not
+	// currently cover. (Self-covered registers are re-armed as their old
+	// writes respond, below.)
+	for _, b := range w.set {
+		if !w.pending[b] {
+			w.trigger(b, ts)
+		}
+	}
+
+	// Line 11 + lines 29–34: drain completions until |R_j|-f registers
+	// acknowledged the *current* timestamp. A response for an older
+	// timestamp frees a previously covered register: immediately
+	// re-trigger it with the current value.
+	acked := 0
+	for acked < w.quorum {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("regemu: write (%d/%d acks): %w", acked, w.quorum, err)
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("regemu: write (%d/%d acks): %w", acked, w.quorum, ctx.Err())
+		case ev := <-w.events:
+			if ev.err != nil {
+				return fmt.Errorf("regemu: write: %w", ev.err)
+			}
+			w.pending[ev.obj] = false
+			if ev.ts == ts {
+				acked++
+			} else {
+				w.trigger(ev.obj, ts)
+			}
+		}
+	}
+	pw.End()
+	return nil
+}
+
+// CoveredByMe returns the registers of the writer's set that currently
+// have one of its low-level writes pending — at most f after a completed
+// write (Observation 3). Exposed for the covering experiments.
+func (w *Writer) CoveredByMe() []types.ObjectID {
+	var covered []types.ObjectID
+	for _, b := range w.set {
+		if w.pending[b] {
+			covered = append(covered, b)
+		}
+	}
+	return covered
+}
+
+// Reader is the Algorithm 2 read-side handle.
+type Reader struct {
+	em     *Emulation
+	client types.ClientID
+}
+
+// Compile-time interface compliance check.
+var _ emulation.Reader = (*Reader)(nil)
+
+// Client implements emulation.Reader.
+func (r *Reader) Client() types.ClientID { return r.client }
+
+// Read implements emulation.Reader: collect and return the freshest value
+// (lines 17–19).
+func (r *Reader) Read(ctx context.Context) (types.Value, error) {
+	pr := r.em.hist.BeginRead(r.client)
+	cur, err := r.em.collect(ctx, r.client)
+	if err != nil {
+		return types.InitialValue, err
+	}
+	pr.End(cur.Val)
+	return cur.Val, nil
+}

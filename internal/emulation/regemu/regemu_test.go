@@ -1,0 +1,134 @@
+package regemu
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/bounds"
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+	"repro/internal/spec"
+	"repro/internal/types"
+)
+
+// newEmulation builds a fabric over n fresh servers and an Algorithm 2
+// register on it.
+func newEmulation(t *testing.T, k, f, n int) (*Emulation, *fabric.Fabric) {
+	t.Helper()
+	c, err := cluster.New(n)
+	if err != nil {
+		t.Fatalf("cluster.New(%d): %v", n, err)
+	}
+	fab := fabric.New(c)
+	em, err := New(fab, k, f, Options{})
+	if err != nil {
+		t.Fatalf("New(k=%d f=%d n=%d): %v", k, f, n, err)
+	}
+	return em, fab
+}
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestWriteThenRead(t *testing.T) {
+	em, _ := newEmulation(t, 3, 1, 4)
+	ctx := testCtx(t)
+
+	w0, err := em.Writer(0)
+	if err != nil {
+		t.Fatalf("Writer(0): %v", err)
+	}
+	if err := w0.Write(ctx, 42); err != nil {
+		t.Fatalf("Write(42): %v", err)
+	}
+	got, err := em.NewReader().Read(ctx)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got != 42 {
+		t.Fatalf("Read = %d, want 42", got)
+	}
+}
+
+func TestSequentialWritersAllVisible(t *testing.T) {
+	const k, f, n = 5, 2, 7
+	em, _ := newEmulation(t, k, f, n)
+	ctx := testCtx(t)
+
+	for i := 0; i < k; i++ {
+		w, err := em.Writer(i)
+		if err != nil {
+			t.Fatalf("Writer(%d): %v", i, err)
+		}
+		v := types.Value(100 + i)
+		if err := w.Write(ctx, v); err != nil {
+			t.Fatalf("writer %d Write(%d): %v", i, v, err)
+		}
+		got, err := em.NewReader().Read(ctx)
+		if err != nil {
+			t.Fatalf("Read after writer %d: %v", i, err)
+		}
+		if got != v {
+			t.Fatalf("Read after writer %d = %d, want %d", i, got, v)
+		}
+	}
+
+	ops := em.History().Snapshot()
+	if err := spec.CheckWSSafety(ops, types.InitialValue); err != nil {
+		t.Fatalf("WS-Safety: %v", err)
+	}
+	if err := spec.CheckWSRegularity(ops, types.InitialValue); err != nil {
+		t.Fatalf("WS-Regularity: %v", err)
+	}
+}
+
+func TestResourceComplexityMatchesUpperBound(t *testing.T) {
+	for _, tc := range []struct{ k, f, n int }{
+		{1, 1, 3}, {2, 1, 3}, {5, 1, 4}, {5, 2, 6}, {3, 2, 5}, {8, 3, 12},
+	} {
+		em, fab := newEmulation(t, tc.k, tc.f, tc.n)
+		want, err := bounds.RegisterUpper(tc.k, tc.f, tc.n)
+		if err != nil {
+			t.Fatalf("RegisterUpper(%v): %v", tc, err)
+		}
+		if got := em.ResourceComplexity(); got != want {
+			t.Errorf("k=%d f=%d n=%d: ResourceComplexity = %d, want %d", tc.k, tc.f, tc.n, got, want)
+		}
+		if got := fab.Cluster().ResourceComplexity(); got != want {
+			t.Errorf("k=%d f=%d n=%d: cluster objects = %d, want %d", tc.k, tc.f, tc.n, got, want)
+		}
+	}
+}
+
+func TestSurvivesFServerCrashes(t *testing.T) {
+	const k, f, n = 2, 2, 6
+	em, fab := newEmulation(t, k, f, n)
+	ctx := testCtx(t)
+
+	w0, _ := em.Writer(0)
+	if err := w0.Write(ctx, 7); err != nil {
+		t.Fatalf("Write before crashes: %v", err)
+	}
+	// Crash f servers; the emulation must stay live and safe.
+	for s := 0; s < f; s++ {
+		if err := fab.Crash(types.ServerID(s)); err != nil {
+			t.Fatalf("Crash(%d): %v", s, err)
+		}
+	}
+	w1, _ := em.Writer(1)
+	if err := w1.Write(ctx, 8); err != nil {
+		t.Fatalf("Write after %d crashes: %v", f, err)
+	}
+	got, err := em.NewReader().Read(ctx)
+	if err != nil {
+		t.Fatalf("Read after crashes: %v", err)
+	}
+	if got != 8 {
+		t.Fatalf("Read = %d, want 8", got)
+	}
+}

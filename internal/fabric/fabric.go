@@ -1,0 +1,537 @@
+// Package fabric implements the asynchronous shared-memory fabric between
+// clients and the base objects hosted on fault-prone servers.
+//
+// The paper's model (Section 2) decouples a low-level operation's trigger
+// from its response: "clients can trigger several low-level operations
+// without waiting for the previously triggered operations to respond", and
+// the environment "is allowed to prevent a pending low-level write from
+// taking effect for arbitrarily long" [Aguilera, Englert, Gafni 2003]. The
+// fabric realizes both powers:
+//
+//   - Trigger returns a *Call immediately; the response arrives later (or
+//     never) through Call.OnComplete.
+//   - A Gate — the environment — may Hold any operation either before it
+//     takes effect (phase apply: the op has NOT linearized; releasing it
+//     later applies it then, possibly erasing a newer value) or before its
+//     response is delivered (phase respond: the op HAS linearized but the
+//     client does not know).
+//   - Crashing a server silently drops every pending and future operation
+//     on its objects: they remain pending forever.
+//
+// Pending write operations are exactly the paper's covering writes; the
+// fabric exposes them via Pending and CoveredObjects for the covering
+// experiments of Lemma 1.
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/baseobj"
+	"repro/internal/cluster"
+	"repro/internal/types"
+)
+
+// Decision is a gate verdict for a single operation phase.
+type Decision int
+
+const (
+	// Pass lets the operation proceed.
+	Pass Decision = iota + 1
+	// Hold parks the operation until Release (or forever).
+	Hold
+)
+
+// Phase identifies where in its lifecycle a pending operation is parked.
+type Phase int
+
+const (
+	// PhaseApply means the op was held before taking effect: it has not
+	// linearized. Releasing it applies it at release time.
+	PhaseApply Phase = iota + 1
+	// PhaseRespond means the op took effect but its response is held.
+	PhaseRespond
+	// PhaseDropped means the op's server crashed: it will never respond.
+	PhaseDropped
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case PhaseApply:
+		return "held-apply"
+	case PhaseRespond:
+		return "held-respond"
+	case PhaseDropped:
+		return "dropped"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// TriggerEvent describes a triggered low-level operation. Gates receive it
+// to make identity-based (deterministic) decisions.
+type TriggerEvent struct {
+	// Token uniquely identifies the low-level operation.
+	Token uint64
+	// Client is the triggering client.
+	Client types.ClientID
+	// Object is the target base object and Server = delta(Object).
+	Object types.ObjectID
+	Server types.ServerID
+	// Inv is the invocation.
+	Inv baseobj.Invocation
+}
+
+// Gate is the environment: it decides, per operation and phase, whether the
+// fabric may proceed. Implementations must be safe for concurrent use and
+// must not call back into the Fabric from within a decision.
+type Gate interface {
+	// BeforeApply is consulted before the operation takes effect.
+	BeforeApply(ev TriggerEvent) Decision
+	// BeforeRespond is consulted after the operation took effect and
+	// before its response is delivered.
+	BeforeRespond(ev TriggerEvent, resp baseobj.Response) Decision
+}
+
+// PassGate is the benign environment: every operation proceeds immediately.
+type PassGate struct{}
+
+// BeforeApply implements Gate.
+func (PassGate) BeforeApply(TriggerEvent) Decision { return Pass }
+
+// BeforeRespond implements Gate.
+func (PassGate) BeforeRespond(TriggerEvent, baseobj.Response) Decision { return Pass }
+
+// GateFuncs adapts two plain functions into a Gate. A nil function passes.
+type GateFuncs struct {
+	Apply   func(ev TriggerEvent) Decision
+	Respond func(ev TriggerEvent, resp baseobj.Response) Decision
+}
+
+// BeforeApply implements Gate.
+func (g GateFuncs) BeforeApply(ev TriggerEvent) Decision {
+	if g.Apply == nil {
+		return Pass
+	}
+	return g.Apply(ev)
+}
+
+// BeforeRespond implements Gate.
+func (g GateFuncs) BeforeRespond(ev TriggerEvent, resp baseobj.Response) Decision {
+	if g.Respond == nil {
+		return Pass
+	}
+	return g.Respond(ev, resp)
+}
+
+// Compile-time interface compliance checks.
+var (
+	_ Gate = PassGate{}
+	_ Gate = GateFuncs{}
+)
+
+// Outcome is the result of a completed low-level operation.
+type Outcome struct {
+	Resp baseobj.Response
+	Err  error
+}
+
+// Call is the client-side handle of a triggered low-level operation.
+type Call struct {
+	ev TriggerEvent
+
+	mu   sync.Mutex
+	out  *Outcome
+	done func(Outcome)
+}
+
+// Event returns the call's trigger event.
+func (c *Call) Event() TriggerEvent { return c.ev }
+
+// Token returns the operation token.
+func (c *Call) Token() uint64 { return c.ev.Token }
+
+// Outcome returns the call's outcome, if it has completed.
+func (c *Call) Outcome() (Outcome, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.out == nil {
+		return Outcome{}, false
+	}
+	return *c.out, true
+}
+
+// OnComplete registers fn to run exactly once when the call completes; if
+// the call already completed, fn runs immediately in the caller's
+// goroutine. At most one callback may be registered per call; a second
+// registration replaces the first if the call is still pending. Callbacks
+// must be non-blocking (typically a send into a buffered channel).
+func (c *Call) OnComplete(fn func(Outcome)) {
+	c.mu.Lock()
+	if c.out != nil {
+		o := *c.out
+		c.mu.Unlock()
+		fn(o)
+		return
+	}
+	c.done = fn
+	c.mu.Unlock()
+}
+
+// complete delivers the outcome, firing the callback at most once.
+func (c *Call) complete(o Outcome) {
+	c.mu.Lock()
+	if c.out != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.out = &o
+	fn := c.done
+	c.done = nil
+	c.mu.Unlock()
+	if fn != nil {
+		fn(o)
+	}
+}
+
+// PendingOp describes a low-level operation that was triggered but has not
+// responded: the paper's "pending" ops, whose write instances cover their
+// target registers.
+type PendingOp struct {
+	Event TriggerEvent
+	Phase Phase
+}
+
+// heldOp is the fabric-internal record of a parked operation.
+type heldOp struct {
+	ev    TriggerEvent
+	phase Phase
+	resp  baseobj.Response // valid when phase == PhaseRespond
+	call  *Call
+}
+
+// Errors reported by fabric operations.
+var (
+	// ErrNotHeld is returned by Release for unknown or already released
+	// tokens.
+	ErrNotHeld = errors.New("fabric: token not held")
+)
+
+// Fabric routes low-level operations from clients to base objects through
+// the gate.
+type Fabric struct {
+	cluster *cluster.Cluster
+	gate    Gate
+	tracer  Tracer
+
+	mu        sync.Mutex
+	nextToken uint64
+	held      map[uint64]*heldOp
+	dropped   map[uint64]*heldOp
+	triggers  uint64
+	used      map[types.ObjectID]struct{}
+}
+
+// Option configures a Fabric.
+type Option func(*Fabric)
+
+// WithGate installs the environment gate; the default is PassGate.
+func WithGate(g Gate) Option {
+	return func(f *Fabric) {
+		if g != nil {
+			f.gate = g
+		}
+	}
+}
+
+// New creates a fabric over the given cluster.
+func New(c *cluster.Cluster, opts ...Option) *Fabric {
+	f := &Fabric{
+		cluster: c,
+		gate:    PassGate{},
+		held:    make(map[uint64]*heldOp),
+		dropped: make(map[uint64]*heldOp),
+		used:    make(map[types.ObjectID]struct{}),
+	}
+	for _, opt := range opts {
+		opt(f)
+	}
+	return f
+}
+
+// Cluster returns the underlying cluster.
+func (f *Fabric) Cluster() *cluster.Cluster { return f.cluster }
+
+// Trigger issues a low-level operation asynchronously and returns its call
+// handle. The call completes when (and if) the environment lets the
+// operation take effect and respond; operations on crashed servers remain
+// pending forever, exactly like the paper's faulty base objects.
+func (f *Fabric) Trigger(client types.ClientID, obj types.ObjectID, inv baseobj.Invocation) *Call {
+	server, err := f.cluster.Delta(obj)
+	if err != nil {
+		// Unknown object: a programming error, delivered as an error
+		// response so tests can catch it.
+		call := &Call{ev: TriggerEvent{Client: client, Object: obj, Inv: inv}}
+		call.complete(Outcome{Err: err})
+		return call
+	}
+
+	f.mu.Lock()
+	f.nextToken++
+	token := f.nextToken
+	f.triggers++
+	f.used[obj] = struct{}{}
+	f.mu.Unlock()
+
+	ev := TriggerEvent{Token: token, Client: client, Object: obj, Server: server, Inv: inv}
+	call := &Call{ev: ev}
+	f.emit(TraceTrigger, ev, server)
+
+	srv, err := f.cluster.Server(server)
+	if err != nil {
+		call.complete(Outcome{Err: err})
+		return call
+	}
+	if srv.Crashed() {
+		f.drop(&heldOp{ev: ev, phase: PhaseDropped, call: call})
+		return call
+	}
+
+	if f.gate.BeforeApply(ev) == Hold {
+		f.emit(TraceHoldApply, ev, server)
+		f.park(&heldOp{ev: ev, phase: PhaseApply, call: call})
+		return call
+	}
+	f.applyAndRespond(ev, call)
+	return call
+}
+
+// applyAndRespond linearizes the op and routes its response through the
+// gate. It is called without f.mu held.
+func (f *Fabric) applyAndRespond(ev TriggerEvent, call *Call) {
+	resp, err := f.cluster.Apply(ev.Object, ev.Client, ev.Inv)
+	if err != nil {
+		if errors.Is(err, cluster.ErrServerCrashed) {
+			// A crashed object never responds.
+			f.drop(&heldOp{ev: ev, phase: PhaseDropped, call: call})
+			return
+		}
+		call.complete(Outcome{Err: err})
+		return
+	}
+	f.emit(TraceApply, ev, ev.Server)
+	if f.gate.BeforeRespond(ev, resp) == Hold {
+		f.emit(TraceHoldRespond, ev, ev.Server)
+		f.park(&heldOp{ev: ev, phase: PhaseRespond, resp: resp, call: call})
+		return
+	}
+	f.emit(TraceRespond, ev, ev.Server)
+	call.complete(Outcome{Resp: resp})
+}
+
+// park records a held operation.
+func (f *Fabric) park(h *heldOp) {
+	f.mu.Lock()
+	f.held[h.ev.Token] = h
+	f.mu.Unlock()
+}
+
+// drop records an operation that will never respond.
+func (f *Fabric) drop(h *heldOp) {
+	h.phase = PhaseDropped
+	f.emit(TraceDrop, h.ev, h.ev.Server)
+	f.mu.Lock()
+	f.dropped[h.ev.Token] = h
+	f.mu.Unlock()
+}
+
+// Release lets a held operation proceed: a PhaseApply op takes effect now
+// (this is how a released covering write erases a newer value) and its
+// response is delivered; a PhaseRespond op just delivers its response. If
+// the op's server crashed in the meantime, the op is dropped instead.
+func (f *Fabric) Release(token uint64) error {
+	f.mu.Lock()
+	h, ok := f.held[token]
+	if ok {
+		delete(f.held, token)
+	}
+	f.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNotHeld, token)
+	}
+	srv, err := f.cluster.Server(h.ev.Server)
+	if err != nil {
+		return err
+	}
+	if srv.Crashed() {
+		f.drop(h)
+		return nil
+	}
+	f.emit(TraceRelease, h.ev, h.ev.Server)
+	switch h.phase {
+	case PhaseApply:
+		f.applyAndRespondReleased(h)
+	case PhaseRespond:
+		f.emit(TraceRespond, h.ev, h.ev.Server)
+		h.call.complete(Outcome{Resp: h.resp})
+	default:
+		return fmt.Errorf("fabric: cannot release op in phase %v", h.phase)
+	}
+	return nil
+}
+
+// applyAndRespondReleased applies a released PhaseApply op. The respond gate
+// is consulted again so the environment may keep delaying the response.
+func (f *Fabric) applyAndRespondReleased(h *heldOp) {
+	resp, err := f.cluster.Apply(h.ev.Object, h.ev.Client, h.ev.Inv)
+	if err != nil {
+		if errors.Is(err, cluster.ErrServerCrashed) {
+			f.drop(h)
+			return
+		}
+		h.call.complete(Outcome{Err: err})
+		return
+	}
+	f.emit(TraceApply, h.ev, h.ev.Server)
+	if f.gate.BeforeRespond(h.ev, resp) == Hold {
+		f.emit(TraceHoldRespond, h.ev, h.ev.Server)
+		f.park(&heldOp{ev: h.ev, phase: PhaseRespond, resp: resp, call: h.call})
+		return
+	}
+	f.emit(TraceRespond, h.ev, h.ev.Server)
+	h.call.complete(Outcome{Resp: resp})
+}
+
+// ReleaseWhere releases every held op matching pred and returns how many
+// were released.
+func (f *Fabric) ReleaseWhere(pred func(PendingOp) bool) int {
+	f.mu.Lock()
+	var tokens []uint64
+	for token, h := range f.held {
+		if pred(PendingOp{Event: h.ev, Phase: h.phase}) {
+			tokens = append(tokens, token)
+		}
+	}
+	f.mu.Unlock()
+	sort.Slice(tokens, func(i, j int) bool { return tokens[i] < tokens[j] })
+	released := 0
+	for _, token := range tokens {
+		if err := f.Release(token); err == nil {
+			released++
+		}
+	}
+	return released
+}
+
+// Crash crashes a server: the cluster marks it (and all of its objects)
+// crashed, and every held op on it is dropped — its clients will never hear
+// back, matching the paper's server-granularity failures.
+func (f *Fabric) Crash(server types.ServerID) error {
+	if err := f.cluster.Crash(server); err != nil {
+		return err
+	}
+	f.emit(TraceCrash, TriggerEvent{}, server)
+	f.mu.Lock()
+	for token, h := range f.held {
+		if h.ev.Server == server {
+			delete(f.held, token)
+			h.phase = PhaseDropped
+			f.dropped[token] = h
+		}
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+// Pending returns a snapshot of every pending (held or dropped) operation,
+// ordered by token. These are the paper's pending low-level ops.
+func (f *Fabric) Pending() []PendingOp {
+	f.mu.Lock()
+	ops := make([]PendingOp, 0, len(f.held)+len(f.dropped))
+	for _, h := range f.held {
+		ops = append(ops, PendingOp{Event: h.ev, Phase: h.phase})
+	}
+	for _, h := range f.dropped {
+		ops = append(ops, PendingOp{Event: h.ev, Phase: h.phase})
+	}
+	f.mu.Unlock()
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Event.Token < ops[j].Event.Token })
+	return ops
+}
+
+// CoveredObjects returns Cov(t): the set of base objects covered by a
+// pending low-level write, in ascending object order.
+func (f *Fabric) CoveredObjects() []types.ObjectID {
+	seen := make(map[types.ObjectID]struct{})
+	for _, op := range f.Pending() {
+		if op.Event.Inv.Op.IsWrite() {
+			seen[op.Event.Object] = struct{}{}
+		}
+	}
+	ids := make([]types.ObjectID, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Triggers returns the total number of low-level operations triggered.
+func (f *Fabric) Triggers() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.triggers
+}
+
+// UsedObjects returns the set of base objects that had at least one
+// operation triggered on them: the paper's resource consumption of the run.
+func (f *Fabric) UsedObjects() []types.ObjectID {
+	f.mu.Lock()
+	ids := make([]types.ObjectID, 0, len(f.used))
+	for id := range f.used {
+		ids = append(ids, id)
+	}
+	f.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Completion pairs a completed call with its outcome, for quorum waits.
+type Completion struct {
+	Call    *Call
+	Outcome Outcome
+}
+
+// AwaitN registers completion callbacks on every call and blocks until n of
+// them complete or ctx is done. The returned slice holds the first n
+// completions in completion order. AwaitN must be used with fresh calls: it
+// replaces any previously registered callback.
+func AwaitN(ctx context.Context, calls []*Call, n int) ([]Completion, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if n > len(calls) {
+		return nil, fmt.Errorf("fabric: await %d of %d calls", n, len(calls))
+	}
+	ch := make(chan Completion, len(calls))
+	for _, call := range calls {
+		call := call
+		call.OnComplete(func(o Outcome) {
+			ch <- Completion{Call: call, Outcome: o}
+		})
+	}
+	done := make([]Completion, 0, n)
+	for len(done) < n {
+		select {
+		case <-ctx.Done():
+			return done, fmt.Errorf("fabric: quorum wait (%d/%d): %w", len(done), n, ctx.Err())
+		case c := <-ch:
+			done = append(done, c)
+		}
+	}
+	return done, nil
+}

@@ -1,0 +1,96 @@
+package fabric
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/types"
+)
+
+// TraceKind enumerates the low-level lifecycle events a tracer observes.
+type TraceKind int
+
+const (
+	// TraceTrigger: a client triggered a low-level operation.
+	TraceTrigger TraceKind = iota + 1
+	// TraceApply: the operation took effect (linearized).
+	TraceApply
+	// TraceHoldApply: the environment held the op before it took effect.
+	TraceHoldApply
+	// TraceHoldRespond: the environment held the op's response.
+	TraceHoldRespond
+	// TraceRespond: the response was delivered to the client.
+	TraceRespond
+	// TraceRelease: a held op was released by the environment.
+	TraceRelease
+	// TraceDrop: the op was dropped (its server crashed); it will stay
+	// pending forever.
+	TraceDrop
+	// TraceCrash: a server crashed.
+	TraceCrash
+)
+
+// String implements fmt.Stringer.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceTrigger:
+		return "trigger"
+	case TraceApply:
+		return "apply"
+	case TraceHoldApply:
+		return "hold-apply"
+	case TraceHoldRespond:
+		return "hold-respond"
+	case TraceRespond:
+		return "respond"
+	case TraceRelease:
+		return "release"
+	case TraceDrop:
+		return "drop"
+	case TraceCrash:
+		return "crash"
+	default:
+		return fmt.Sprintf("trace(%d)", int(k))
+	}
+}
+
+// TraceEvent is one observed lifecycle event. For TraceCrash only Server is
+// meaningful.
+type TraceEvent struct {
+	// Seq is a global sequence number establishing total order.
+	Seq uint64
+	// Kind is the lifecycle stage.
+	Kind TraceKind
+	// Op is the low-level operation (zero for TraceCrash).
+	Op TriggerEvent
+	// Server is the crashed server for TraceCrash.
+	Server types.ServerID
+}
+
+// Tracer observes fabric events. Implementations must be safe for
+// concurrent use and non-blocking; they are called on client goroutines.
+type Tracer interface {
+	Trace(ev TraceEvent)
+}
+
+// WithTracer installs an event tracer on the fabric.
+func WithTracer(tr Tracer) Option {
+	return func(f *Fabric) { f.tracer = tr }
+}
+
+// traceSeq is the process-global trace sequence (monotone across fabrics,
+// which only ever makes interleaved traces easier to merge).
+var traceSeq atomic.Uint64
+
+// emit sends an event to the tracer, if any.
+func (f *Fabric) emit(kind TraceKind, op TriggerEvent, server types.ServerID) {
+	if f.tracer == nil {
+		return
+	}
+	f.tracer.Trace(TraceEvent{
+		Seq:    traceSeq.Add(1),
+		Kind:   kind,
+		Op:     op,
+		Server: server,
+	})
+}

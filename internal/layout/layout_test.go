@@ -1,0 +1,280 @@
+package layout
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseobj"
+	"repro/internal/bounds"
+	"repro/internal/cluster"
+	"repro/internal/types"
+)
+
+func mustPlan(t *testing.T, k, f, n int) *Plan {
+	t.Helper()
+	p, err := NewPlan(k, f, n)
+	if err != nil {
+		t.Fatalf("NewPlan(%d,%d,%d): %v", k, f, n, err)
+	}
+	return p
+}
+
+func TestFigure1Parameters(t *testing.T) {
+	// The paper's Figure 1: n=6, k=5, f=2 -> z=1, y=5, m=5, 25 registers.
+	p := mustPlan(t, 5, 2, 6)
+	if p.Z != 1 || p.Y != 5 || p.M != 5 {
+		t.Fatalf("z,y,m = %d,%d,%d; want 1,5,5", p.Z, p.Y, p.M)
+	}
+	if p.TotalRegisters() != 25 {
+		t.Fatalf("total = %d, want 25", p.TotalRegisters())
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	render := p.Render()
+	for _, want := range []string{"k=5", "R0", "R4", "s0", "s5"} {
+		if !strings.Contains(render, want) {
+			t.Errorf("Render missing %q:\n%s", want, render)
+		}
+	}
+}
+
+func TestOverflowSet(t *testing.T) {
+	// k=5, f=2, n=7: z=2, so two full sets of y=7 and an overflow set for
+	// the 1 remaining writer of size 1*2+3 = 5.
+	p := mustPlan(t, 5, 2, 7)
+	if p.Z != 2 || p.M != 3 {
+		t.Fatalf("z,m = %d,%d; want 2,3", p.Z, p.M)
+	}
+	if got := p.SetSizes[2]; got != 5 {
+		t.Fatalf("overflow set size = %d, want 5", got)
+	}
+	upper, err := bounds.RegisterUpper(5, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalRegisters() != upper {
+		t.Fatalf("total = %d, want %d", p.TotalRegisters(), upper)
+	}
+}
+
+func TestWriterMapping(t *testing.T) {
+	p := mustPlan(t, 5, 2, 7) // z = 2
+	wantSet := []int{0, 0, 1, 1, 2}
+	for w, want := range wantSet {
+		got, err := p.SetForWriter(w)
+		if err != nil {
+			t.Fatalf("SetForWriter(%d): %v", w, err)
+		}
+		if got != want {
+			t.Errorf("SetForWriter(%d) = %d, want %d", w, got, want)
+		}
+	}
+	if _, err := p.SetForWriter(5); !errors.Is(err, ErrNoSuchWriter) {
+		t.Errorf("out-of-range writer err = %v", err)
+	}
+	// WritersOfSet inverts SetForWriter.
+	for j := 0; j < p.M; j++ {
+		writers, err := p.WritersOfSet(j)
+		if err != nil {
+			t.Fatalf("WritersOfSet(%d): %v", j, err)
+		}
+		for _, w := range writers {
+			set, _ := p.SetForWriter(w)
+			if set != j {
+				t.Errorf("writer %d in set %d but maps to %d", w, j, set)
+			}
+		}
+	}
+	if _, err := p.WritersOfSet(99); !errors.Is(err, ErrNoSuchSet) {
+		t.Errorf("out-of-range set err = %v", err)
+	}
+}
+
+func TestTheorem6PerServerCounts(t *testing.T) {
+	// At n = 2f+1 every server hosts exactly k registers.
+	for _, tc := range []struct{ k, f int }{{1, 1}, {4, 1}, {3, 2}, {5, 3}} {
+		p := mustPlan(t, tc.k, tc.f, 2*tc.f+1)
+		for s, c := range p.PerServerCounts() {
+			if c != tc.k {
+				t.Errorf("k=%d f=%d: server %d hosts %d, want k=%d", tc.k, tc.f, s, c, tc.k)
+			}
+		}
+	}
+}
+
+func TestQuorumSizes(t *testing.T) {
+	p := mustPlan(t, 5, 2, 7)
+	for j := 0; j < p.M; j++ {
+		q, err := p.WriteQuorumSize(j)
+		if err != nil {
+			t.Fatalf("WriteQuorumSize(%d): %v", j, err)
+		}
+		if q != p.SetSizes[j]-p.F {
+			t.Errorf("write quorum of set %d = %d, want %d", j, q, p.SetSizes[j]-p.F)
+		}
+	}
+	if p.ReadQuorumServers() != p.N-p.F {
+		t.Errorf("read quorum = %d, want n-f = %d", p.ReadQuorumServers(), p.N-p.F)
+	}
+	if _, err := p.WriteQuorumSize(99); !errors.Is(err, ErrNoSuchSet) {
+		t.Errorf("quorum of missing set err = %v", err)
+	}
+}
+
+func TestServerForErrors(t *testing.T) {
+	p := mustPlan(t, 2, 1, 3)
+	if _, err := p.ServerFor(99, 0); !errors.Is(err, ErrNoSuchSet) {
+		t.Errorf("ServerFor bad set err = %v", err)
+	}
+	if _, err := p.ServerFor(0, 99); err == nil {
+		t.Error("ServerFor bad index succeeded")
+	}
+}
+
+func TestPlanPropertyInvariants(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(vs []reflect.Value, rng *rand.Rand) {
+			f := 1 + rng.Intn(4)
+			k := 1 + rng.Intn(12)
+			n := 2*f + 1 + rng.Intn(2*f+k)
+			vs[0], vs[1], vs[2] = reflect.ValueOf(k), reflect.ValueOf(f), reflect.ValueOf(n)
+		},
+	}
+	if err := quick.Check(func(k, f, n int) bool {
+		p, err := NewPlan(k, f, n)
+		if err != nil {
+			return false
+		}
+		if p.Verify() != nil {
+			return false
+		}
+		// Every writer has a set; every set has at most z writers.
+		for w := 0; w < k; w++ {
+			j, err := p.SetForWriter(w)
+			if err != nil || j < 0 || j >= p.M {
+				return false
+			}
+		}
+		for j := 0; j < p.M; j++ {
+			writers, err := p.WritersOfSet(j)
+			if err != nil || len(writers) == 0 || len(writers) > p.Z {
+				return false
+			}
+			// Theorem 3 set sizing: |R_j| = (#writers)*f + f + 1 for the
+			// overflow set, z*f + f + 1 otherwise.
+			want := len(writers)*f + f + 1
+			if j < p.M-1 {
+				want = p.Y
+			}
+			if p.SetSizes[j] != want {
+				return false
+			}
+		}
+		// Per-server counts sum to the total.
+		sum := 0
+		for _, c := range p.PerServerCounts() {
+			sum += c
+		}
+		return sum == p.TotalRegisters()
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaterialize(t *testing.T) {
+	const k, f, n = 5, 2, 7
+	p := mustPlan(t, k, f, n)
+	c, err := cluster.New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Materialize(c, p)
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	if got := c.ResourceComplexity(); got != p.TotalRegisters() {
+		t.Fatalf("cluster objects = %d, want %d", got, p.TotalRegisters())
+	}
+	// delta agrees with the plan.
+	for j, set := range pl.Sets {
+		for idx, obj := range set {
+			want, err := p.ServerFor(j, idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Delta(obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("set %d reg %d on server %d, want %d", j, idx, got, want)
+			}
+			if got != pl.ServerOf[obj] {
+				t.Errorf("ServerOf disagrees with delta for %d", obj)
+			}
+		}
+	}
+	// Writer-set enforcement: a writer of set 0 can write set 0 but not
+	// set 1, and a foreign client can write nothing.
+	set0, set1 := pl.Sets[0][0], pl.Sets[1][0]
+	okInv := baseobj.Invocation{Op: baseobj.OpWrite, Arg: types.TSValue{TS: 1}}
+	if _, err := c.Apply(set0, 0, okInv); err != nil {
+		t.Errorf("writer 0 on own set: %v", err)
+	}
+	if _, err := c.Apply(set1, 0, okInv); !errors.Is(err, baseobj.ErrUnauthorizedWriter) {
+		t.Errorf("writer 0 on foreign set err = %v, want ErrUnauthorizedWriter", err)
+	}
+	if _, err := c.Apply(set0, 1000, okInv); !errors.Is(err, baseobj.ErrUnauthorizedWriter) {
+		t.Errorf("foreign client err = %v, want ErrUnauthorizedWriter", err)
+	}
+	// AllObjects and ObjectsByServer agree on totals.
+	if got := len(pl.AllObjects()); got != p.TotalRegisters() {
+		t.Errorf("AllObjects = %d, want %d", got, p.TotalRegisters())
+	}
+	sum := 0
+	for _, objs := range pl.ObjectsByServer() {
+		sum += len(objs)
+	}
+	if sum != p.TotalRegisters() {
+		t.Errorf("ObjectsByServer total = %d, want %d", sum, p.TotalRegisters())
+	}
+	// SetOf returns a defensive copy.
+	s0, err := pl.SetOf(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0[0] = 9999
+	s0b, err := pl.SetOf(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s0b[0] == 9999 {
+		t.Error("SetOf returned shared backing storage")
+	}
+}
+
+func TestMaterializeClusterSizeMismatch(t *testing.T) {
+	p := mustPlan(t, 2, 1, 4)
+	c, err := cluster.New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Materialize(c, p); err == nil {
+		t.Fatal("Materialize with wrong cluster size succeeded")
+	}
+}
+
+func TestNewPlanValidation(t *testing.T) {
+	if _, err := NewPlan(0, 1, 3); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewPlan(1, 1, 2); !errors.Is(err, bounds.ErrTooFewServers) {
+		t.Errorf("n<2f+1 err = %v", err)
+	}
+}

@@ -1,0 +1,148 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/emulation"
+	"repro/internal/fabric"
+	"repro/internal/spec"
+	"repro/internal/types"
+)
+
+// AttackReport is the outcome of the stale-release attack (experiment E6),
+// the operational core of the Theorem 1 separation: the run of Lemma 4 /
+// Figure 2 in which a covering write, released after a newer write
+// completed, erases it on a plain register but not on a max-register or
+// CAS.
+type AttackReport struct {
+	Kind Kind
+	F, N int
+	// FirstValue/SecondValue are the two written values; ReadValue is
+	// what the post-attack read returned and WantValue what WS-Safety
+	// demands (the second value).
+	FirstValue  types.Value
+	SecondValue types.Value
+	ReadValue   types.Value
+	WantValue   types.Value
+	// ReleasedOps is how many held covering writes were released between
+	// the second write and the read.
+	ReleasedOps int
+	// SafetyViolation is the WS-Safety checker verdict: non-nil exactly
+	// when the construction is broken by the attack.
+	SafetyViolation error
+}
+
+// Violated reports whether the attack broke the construction.
+func (r *AttackReport) Violated() bool { return r.SafetyViolation != nil }
+
+// RunStaleReleaseAttack drives the adversarial schedule of Lemma 4 against
+// the chosen construction on n = 2f+1 servers with k = 2 writers:
+//
+//  1. Writer 0 writes v1; its mutating op on server 0 is held before taking
+//     effect. The write still completes from the other 2f servers.
+//  2. Writer 1 writes v2; its mutating ops on servers 1..f are held. The
+//     write completes from server 0 and servers f+1..2f (n-f responses).
+//  3. The environment releases writer 0's held op: on a plain register it
+//     NOW takes effect and erases v2 on server 0; on a max-register or CAS
+//     it is a no-op because a larger value is present.
+//  4. A reader runs; responses from servers f+1..2f (the only remaining
+//     holders of v2 for the naive construction) are delayed, so its quorum
+//     is servers 0..f.
+//
+// For KindNaive the read returns the stale v1 and WS-Safety is violated;
+// for KindABDMax and KindCASMax the identical schedule is harmless.
+func RunStaleReleaseAttack(ctx context.Context, kind Kind, f int) (*AttackReport, error) {
+	switch kind {
+	case KindNaive, KindABDMax, KindCASMax:
+	default:
+		return nil, fmt.Errorf("runner: stale-release attack targets per-server single-object constructions, not %q", kind)
+	}
+	n := 2*f + 1
+	script := adversary.NewScript()
+	env, err := NewEnv(n, script)
+	if err != nil {
+		return nil, err
+	}
+	reg, hist, err := Build(kind, env.Fabric, 2, f)
+	if err != nil {
+		return nil, err
+	}
+	w0, err := reg.Writer(0)
+	if err != nil {
+		return nil, err
+	}
+	w1, err := reg.Writer(1)
+	if err != nil {
+		return nil, err
+	}
+	const v1, v2 = types.Value(101), types.Value(202)
+
+	// Step 1: hold writer 0's mutating op on server 0 before it applies.
+	script.SetApplyRule(func(ev fabric.TriggerEvent) bool {
+		return ev.Client == 0 && ev.Server == 0 && adversary.IsMutating(ev.Inv)
+	})
+	if err := w0.Write(ctx, v1); err != nil {
+		return nil, ctxErr(ctx, "attack write 1", err)
+	}
+
+	// Step 2: hold writer 1's mutating ops on servers 1..f.
+	script.SetApplyRule(func(ev fabric.TriggerEvent) bool {
+		return ev.Client == 1 && int(ev.Server) >= 1 && int(ev.Server) <= f && adversary.IsMutating(ev.Inv)
+	})
+	if err := w1.Write(ctx, v2); err != nil {
+		return nil, ctxErr(ctx, "attack write 2", err)
+	}
+	script.SetApplyRule(nil)
+
+	// Step 3: release writer 0's covering write — it takes effect NOW.
+	released := env.Fabric.ReleaseWhere(func(op fabric.PendingOp) bool {
+		return op.Event.Client == 0 && op.Phase == fabric.PhaseApply
+	})
+
+	// Step 4: delay read responses from servers f+1..2f so the reader's
+	// quorum is exactly servers 0..f.
+	script.SetRespondRule(func(ev fabric.TriggerEvent) bool {
+		return ev.Client >= emulation.ReaderIDBase && int(ev.Server) > f
+	})
+	got, err := reg.NewReader().Read(ctx)
+	if err != nil {
+		return nil, ctxErr(ctx, "attack read", err)
+	}
+	script.SetRespondRule(nil)
+
+	return &AttackReport{
+		Kind:            kind,
+		F:               f,
+		N:               n,
+		FirstValue:      v1,
+		SecondValue:     v2,
+		ReadValue:       got,
+		WantValue:       v2,
+		ReleasedOps:     released,
+		SafetyViolation: spec.CheckWSSafety(hist.Snapshot(), types.InitialValue),
+	}, nil
+}
+
+// SeparationReport contrasts the attack outcome across constructions
+// (experiment E6): under the identical adversarial schedule, only the
+// under-provisioned register construction fails.
+type SeparationReport struct {
+	F       int
+	Reports []*AttackReport
+}
+
+// RunSeparation runs the stale-release attack against the naive register
+// baseline, the max-register construction, and the CAS construction.
+func RunSeparation(ctx context.Context, f int) (*SeparationReport, error) {
+	rep := &SeparationReport{F: f}
+	for _, kind := range []Kind{KindNaive, KindABDMax, KindCASMax} {
+		r, err := RunStaleReleaseAttack(ctx, kind, f)
+		if err != nil {
+			return nil, fmt.Errorf("runner: separation attack on %s: %w", kind, err)
+		}
+		rep.Reports = append(rep.Reports, r)
+	}
+	return rep, nil
+}

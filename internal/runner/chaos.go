@@ -1,0 +1,95 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/adversary"
+	"repro/internal/emulation"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+// ChaosConfig configures a randomized-environment run.
+type ChaosConfig struct {
+	Kind    Kind
+	K, F, N int
+	// Ops is the number of high-level operations (random writer writes
+	// interleaved with reads, one at a time so the run stays
+	// write-sequential).
+	Ops int
+	// Seed drives both the gate and the schedule.
+	Seed int64
+	// HoldProb is the per-op hold probability (default 0.5).
+	HoldProb float64
+	// ReleaseProb releases each held op with this probability between
+	// high-level ops (default 0.3), so stale covering writes land late.
+	ReleaseProb float64
+}
+
+// ChaosReport is the outcome of a chaos run.
+type ChaosReport struct {
+	Cfg      ChaosConfig
+	Writes   int
+	Reads    int
+	Holds    int
+	Releases int
+	Checks   CheckResult
+}
+
+// RunChaos executes a write-sequential schedule under the seeded chaos
+// environment: every mutating low-level op may be held (within the
+// liveness budget), and held ops are randomly released between high-level
+// operations — late stale writes included. Sound constructions must pass
+// both write-sequential checkers for every seed.
+func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
+	if cfg.Ops <= 0 {
+		return nil, fmt.Errorf("runner: chaos needs ops > 0")
+	}
+	holdProb := cfg.HoldProb
+	if holdProb == 0 {
+		holdProb = 0.5
+	}
+	releaseProb := cfg.ReleaseProb
+	if releaseProb == 0 {
+		releaseProb = 0.3
+	}
+	gate := adversary.NewChaos(cfg.Seed, holdProb, cfg.F)
+	env, err := NewEnv(cfg.N, gate)
+	if err != nil {
+		return nil, err
+	}
+	reg, hist, err := Build(cfg.Kind, env.Fabric, cfg.K, cfg.F)
+	if err != nil {
+		return nil, err
+	}
+
+	schedule := rand.New(rand.NewSource(cfg.Seed + 1))
+	values := workload.NewValueGen()
+	readers := []emulation.Reader{reg.NewReader(), reg.NewReader()}
+	rep := &ChaosReport{Cfg: cfg}
+	for op := 0; op < cfg.Ops; op++ {
+		if schedule.Float64() < 0.4 {
+			rd := readers[schedule.Intn(len(readers))]
+			if _, err := rd.Read(ctx); err != nil {
+				return nil, ctxErr(ctx, fmt.Sprintf("chaos op %d read", op), err)
+			}
+			rep.Reads++
+		} else {
+			i := schedule.Intn(cfg.K)
+			w, err := reg.Writer(i)
+			if err != nil {
+				return nil, err
+			}
+			if err := w.Write(ctx, values.Next(types.ClientID(i))); err != nil {
+				return nil, ctxErr(ctx, fmt.Sprintf("chaos op %d write by %d", op, i), err)
+			}
+			rep.Writes++
+		}
+		rep.Releases += gate.ReleaseSome(env.Fabric, releaseProb)
+	}
+	rep.Holds = gate.Holds()
+	rep.Checks = Check(hist)
+	return rep, nil
+}

@@ -1,0 +1,196 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/adversary"
+	"repro/internal/emulation"
+	"repro/internal/fabric"
+	"repro/internal/spec"
+	"repro/internal/types"
+)
+
+// This file implements a bounded exhaustive search over the f=1 adversary
+// class of Lemma 4: for a two-writer configuration it enumerates EVERY
+// schedule of the form
+//
+//	write(v1) by c0 with one covering hold on a chosen server (or none)
+//	write(v2) by c1 with one covering hold on a chosen server (or none)
+//	release any subset of the held covering writes, in either order
+//	read with responses from one chosen server delayed (or none)
+//
+// and checks WS-Safety on each resulting history. This is the complete
+// space of environment behaviours the paper's separation argument draws
+// from (up to symmetry), so "0 violations" is a bounded model-checking
+// result, not a sample: the construction defeats every schedule in the
+// class. The under-provisioned baseline must, conversely, have violating
+// schedules — the lower bound made exhaustive.
+
+// exhaustSchedule is one point of the schedule space.
+type exhaustSchedule struct {
+	// holdW0 / holdW1: server whose first mutating op by writer 0/1 is
+	// held pre-apply; -1 for none.
+	holdW0, holdW1 int
+	// releaseW0 / releaseW1: whether to release the corresponding held
+	// op after the second write.
+	releaseW0, releaseW1 bool
+	// releaseW1First flips the release order when both are released.
+	releaseW1First bool
+	// delayRead: server whose read responses to the reader are held;
+	// -1 for none.
+	delayRead int
+}
+
+// String implements fmt.Stringer for violation reports.
+func (s exhaustSchedule) String() string {
+	return fmt.Sprintf("hold0=s%d hold1=s%d rel0=%v rel1=%v rel1first=%v delayRead=s%d",
+		s.holdW0, s.holdW1, s.releaseW0, s.releaseW1, s.releaseW1First, s.delayRead)
+}
+
+// ExhaustReport is the outcome of the exhaustive search.
+type ExhaustReport struct {
+	Kind Kind
+	F, N int
+	// Schedules is the number of schedules executed.
+	Schedules int
+	// Violations is how many schedules broke WS-Safety.
+	Violations int
+	// FirstViolation describes one violating schedule, if any.
+	FirstViolation string
+}
+
+// RunExhaustive enumerates the full f=1 schedule class against the given
+// construction (two writers, n = 3 servers for the per-server-single-object
+// constructions and for Algorithm 2 alike) and reports the violation count.
+func RunExhaustive(ctx context.Context, kind Kind) (*ExhaustReport, error) {
+	const f, n = 1, 3
+	rep := &ExhaustReport{Kind: kind, F: f, N: n}
+	serverChoices := []int{-1, 0, 1, 2}
+	for _, holdW0 := range serverChoices {
+		for _, holdW1 := range serverChoices {
+			for _, releaseW0 := range []bool{false, true} {
+				for _, releaseW1 := range []bool{false, true} {
+					orders := []bool{false}
+					if releaseW0 && releaseW1 {
+						orders = []bool{false, true}
+					}
+					for _, releaseW1First := range orders {
+						for _, delayRead := range serverChoices {
+							s := exhaustSchedule{
+								holdW0: holdW0, holdW1: holdW1,
+								releaseW0: releaseW0, releaseW1: releaseW1,
+								releaseW1First: releaseW1First,
+								delayRead:      delayRead,
+							}
+							violated, err := runOneSchedule(ctx, kind, f, n, s)
+							if err != nil {
+								return nil, fmt.Errorf("runner: exhaustive %s schedule {%s}: %w", kind, s, err)
+							}
+							rep.Schedules++
+							if violated {
+								rep.Violations++
+								if rep.FirstViolation == "" {
+									rep.FirstViolation = s.String()
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// runOneSchedule executes a single schedule and reports whether WS-Safety
+// was violated.
+func runOneSchedule(ctx context.Context, kind Kind, f, n int, s exhaustSchedule) (bool, error) {
+	script := adversary.NewScript()
+	env, err := NewEnv(n, script)
+	if err != nil {
+		return false, err
+	}
+	reg, hist, err := Build(kind, env.Fabric, 2, f)
+	if err != nil {
+		return false, err
+	}
+	w0, err := reg.Writer(0)
+	if err != nil {
+		return false, err
+	}
+	w1, err := reg.Writer(1)
+	if err != nil {
+		return false, err
+	}
+
+	// Phase 0: write v1 with at most one covering hold.
+	consumed := [2]bool{}
+	var mu sync.Mutex
+	armHold := func(client types.ClientID, server, slot int) {
+		script.SetApplyRule(func(ev fabric.TriggerEvent) bool {
+			if ev.Client != client || int(ev.Server) != server || !adversary.IsMutating(ev.Inv) {
+				return false
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if consumed[slot] {
+				return false
+			}
+			consumed[slot] = true
+			return true
+		})
+	}
+	if s.holdW0 >= 0 {
+		armHold(0, s.holdW0, 0)
+	}
+	if err := w0.Write(ctx, 101); err != nil {
+		return false, fmt.Errorf("write 1: %w", err)
+	}
+	script.SetApplyRule(nil)
+
+	// Phase 1: write v2 with at most one covering hold.
+	if s.holdW1 >= 0 {
+		armHold(1, s.holdW1, 1)
+	}
+	if err := w1.Write(ctx, 202); err != nil {
+		return false, fmt.Errorf("write 2: %w", err)
+	}
+	script.SetApplyRule(nil)
+
+	// Phase 2: releases, in the chosen order.
+	release := func(client types.ClientID) {
+		env.Fabric.ReleaseWhere(func(op fabric.PendingOp) bool {
+			return op.Event.Client == client && op.Phase == fabric.PhaseApply
+		})
+	}
+	if s.releaseW1First {
+		if s.releaseW1 {
+			release(1)
+		}
+		if s.releaseW0 {
+			release(0)
+		}
+	} else {
+		if s.releaseW0 {
+			release(0)
+		}
+		if s.releaseW1 {
+			release(1)
+		}
+	}
+
+	// Phase 3: read with one server's responses to the reader delayed.
+	if s.delayRead >= 0 {
+		script.SetRespondRule(func(ev fabric.TriggerEvent) bool {
+			return ev.Client >= emulation.ReaderIDBase && int(ev.Server) == s.delayRead
+		})
+	}
+	if _, err := reg.NewReader().Read(ctx); err != nil {
+		return false, fmt.Errorf("read: %w", err)
+	}
+	script.SetRespondRule(nil)
+
+	return spec.CheckWSSafety(hist.Snapshot(), types.InitialValue) != nil, nil
+}

@@ -1,0 +1,44 @@
+package runner
+
+import "testing"
+
+// TestExhaustiveSoundConstructions model-checks the full f=1 two-writer
+// adversary class (holds, releases in both orders, read delays) against
+// every sound construction: zero schedules may violate WS-Safety.
+func TestExhaustiveSoundConstructions(t *testing.T) {
+	ctx := testCtx(t)
+	for _, kind := range []Kind{KindRegEmu, KindABDMax, KindCASMax, KindAACMax} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			rep, err := RunExhaustive(ctx, kind)
+			if err != nil {
+				t.Fatalf("RunExhaustive: %v", err)
+			}
+			// 4 holds x 4 holds x (4 release combos + 1 extra order
+			// when both release) x 4 read delays = 320.
+			if rep.Schedules != 320 {
+				t.Fatalf("explored %d schedules, want 320 — enumeration changed", rep.Schedules)
+			}
+			if rep.Violations != 0 {
+				t.Errorf("%d/%d schedules violated WS-Safety; first: %s",
+					rep.Violations, rep.Schedules, rep.FirstViolation)
+			}
+		})
+	}
+}
+
+// TestExhaustiveFindsNaiveViolation: the same enumeration must expose the
+// under-provisioned baseline — the lower bound says violating schedules
+// exist, and the search must find them.
+func TestExhaustiveFindsNaiveViolation(t *testing.T) {
+	ctx := testCtx(t)
+	rep, err := RunExhaustive(ctx, KindNaive)
+	if err != nil {
+		t.Fatalf("RunExhaustive: %v", err)
+	}
+	if rep.Violations == 0 {
+		t.Fatalf("no violating schedule found for the naive baseline in %d schedules", rep.Schedules)
+	}
+	t.Logf("naive baseline: %d/%d schedules violate WS-Safety; e.g. %s",
+		rep.Violations, rep.Schedules, rep.FirstViolation)
+}

@@ -1,0 +1,130 @@
+// Package runner assembles clusters, fabrics, gates, emulations, workloads,
+// and checkers into the paper's experiments. Every table and figure of the
+// paper has a driver here (see DESIGN.md's per-experiment index); cmd/sweep
+// and the benchmark harness call these drivers and format their reports.
+package runner
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/emulation"
+	"repro/internal/emulation/aacmax"
+	"repro/internal/emulation/abdmax"
+	"repro/internal/emulation/casmax"
+	"repro/internal/emulation/naiveabd"
+	"repro/internal/emulation/regemu"
+	"repro/internal/fabric"
+	"repro/internal/spec"
+)
+
+// Kind selects an emulation construction.
+type Kind string
+
+// The five constructions.
+const (
+	KindRegEmu Kind = "regemu"  // Algorithm 2 over plain registers
+	KindABDMax Kind = "abd-max" // ABD over per-server max-registers
+	KindCASMax Kind = "abd-cas" // ABD over per-server single-CAS max-registers
+	KindAACMax Kind = "aac-max" // ABD over per-server k-writer max-registers of k registers
+	KindNaive  Kind = "naive"   // under-provisioned baseline (1 register/server)
+)
+
+// Kinds lists every construction.
+func Kinds() []Kind {
+	return []Kind{KindRegEmu, KindABDMax, KindCASMax, KindAACMax, KindNaive}
+}
+
+// BaseObjectOf names the base-object type a construction consumes (the
+// "Base object" column of Table 1).
+func BaseObjectOf(kind Kind) string {
+	switch kind {
+	case KindRegEmu, KindAACMax, KindNaive:
+		return "register"
+	case KindABDMax:
+		return "max-register"
+	case KindCASMax:
+		return "cas"
+	default:
+		return "unknown"
+	}
+}
+
+// Env is one experiment environment: a fresh cluster and fabric.
+type Env struct {
+	Cluster *cluster.Cluster
+	Fabric  *fabric.Fabric
+}
+
+// NewEnv creates an n-server environment guarded by the given gate (nil for
+// the benign environment). Extra fabric options (e.g. a tracer) are applied
+// on top.
+func NewEnv(n int, gate fabric.Gate, extra ...fabric.Option) (*Env, error) {
+	c, err := cluster.New(n)
+	if err != nil {
+		return nil, err
+	}
+	var opts []fabric.Option
+	if gate != nil {
+		opts = append(opts, fabric.WithGate(gate))
+	}
+	opts = append(opts, extra...)
+	return &Env{Cluster: c, Fabric: fabric.New(c, opts...)}, nil
+}
+
+// Build constructs the chosen emulation on the environment's fabric, wiring
+// a shared history for checking. The casmax retry metrics are discarded
+// here; call casmax.New directly when they matter.
+func Build(kind Kind, fab *fabric.Fabric, k, f int) (emulation.Register, *spec.History, error) {
+	hist := &spec.History{}
+	switch kind {
+	case KindRegEmu:
+		reg, err := regemu.New(fab, k, f, regemu.Options{History: hist})
+		return reg, hist, err
+	case KindABDMax:
+		reg, err := abdmax.New(fab, k, f, abdmax.Options{History: hist})
+		return reg, hist, err
+	case KindCASMax:
+		reg, _, err := casmax.New(fab, k, f, casmax.Options{History: hist})
+		return reg, hist, err
+	case KindAACMax:
+		reg, err := aacmax.New(fab, k, f, aacmax.Options{History: hist})
+		return reg, hist, err
+	case KindNaive:
+		reg, err := naiveabd.New(fab, k, f, naiveabd.Options{History: hist})
+		return reg, hist, err
+	default:
+		return nil, nil, fmt.Errorf("runner: unknown emulation kind %q", kind)
+	}
+}
+
+// CheckResult carries the outcome of the consistency checks on a history.
+type CheckResult struct {
+	// WSSafety and WSRegularity are nil when the condition holds.
+	WSSafety     error
+	WSRegularity error
+}
+
+// OK reports whether both conditions held.
+func (c CheckResult) OK() bool { return c.WSSafety == nil && c.WSRegularity == nil }
+
+// Check runs the write-sequential checkers over a history snapshot.
+func Check(hist *spec.History) CheckResult {
+	ops := hist.Snapshot()
+	return CheckResult{
+		WSSafety:     spec.CheckWSSafety(ops, 0),
+		WSRegularity: spec.CheckWSRegularity(ops, 0),
+	}
+}
+
+// ctxErr wraps a driver error with experiment context.
+func ctxErr(ctx context.Context, stage string, err error) error {
+	if err == nil {
+		return nil
+	}
+	if ctx.Err() != nil {
+		return fmt.Errorf("runner: %s: %w (experiment context: %v)", stage, err, ctx.Err())
+	}
+	return fmt.Errorf("runner: %s: %w", stage, err)
+}

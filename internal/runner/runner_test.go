@@ -1,0 +1,127 @@
+package runner
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/bounds"
+)
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestRunCoveringRegEmu(t *testing.T) {
+	for _, tc := range []struct{ k, f, n int }{
+		{3, 1, 3}, {4, 1, 4}, {5, 2, 6}, {2, 2, 5}, {6, 2, 8},
+	} {
+		rep, err := RunCovering(testCtx(t), KindRegEmu, tc.k, tc.f, tc.n)
+		if err != nil {
+			t.Fatalf("RunCovering(regemu, %+v): %v", tc, err)
+		}
+		// Lemma 1(a): at least f newly covered registers per write, k*f total.
+		if rep.TotalCovered < rep.CoveringLowerBound {
+			t.Errorf("%+v: covered %d < k*f = %d", tc, rep.TotalCovered, rep.CoveringLowerBound)
+		}
+		for i, wc := range rep.PerWrite {
+			if wc.NewlyCovered < tc.f {
+				t.Errorf("%+v: write %d newly covered %d < f=%d", tc, i, wc.NewlyCovered, tc.f)
+			}
+		}
+		// Lemma 1(b): no covered register on the protected set F.
+		if rep.CoveredOnF != 0 {
+			t.Errorf("%+v: %d covered registers on F, want 0", tc, rep.CoveredOnF)
+		}
+		// The run must stay WS-Safe and WS-Regular despite the adversary.
+		if !rep.Checks.OK() {
+			t.Errorf("%+v: checks failed: safety=%v regularity=%v", tc, rep.Checks.WSSafety, rep.Checks.WSRegularity)
+		}
+		if rep.FinalRead != rep.LastWritten {
+			t.Errorf("%+v: final read %d != last written %d", tc, rep.FinalRead, rep.LastWritten)
+		}
+	}
+}
+
+func TestRunCoveringMaxRegisterSaturates(t *testing.T) {
+	// Max-register and CAS constructions do not accumulate covering with
+	// k: the adversary saturates once every off-F base object is covered
+	// (at most 2f of the 2f+1), and additional writers force nothing new.
+	// This is the Table 1 separation seen from the covering side.
+	const f, n = 2, 7
+	for _, kind := range []Kind{KindABDMax, KindCASMax} {
+		var prevCovered int
+		for i, k := range []int{3, 9} {
+			rep, err := RunCovering(testCtx(t), kind, k, f, n)
+			if err != nil {
+				t.Fatalf("RunCovering(%s, k=%d): %v", kind, k, err)
+			}
+			if rep.TotalCovered > 2*f {
+				t.Errorf("%s k=%d: covered %d > 2f=%d", kind, k, rep.TotalCovered, 2*f)
+			}
+			if i > 0 && rep.TotalCovered != prevCovered {
+				t.Errorf("%s: covered count depends on k (%d vs %d) — should saturate", kind, prevCovered, rep.TotalCovered)
+			}
+			prevCovered = rep.TotalCovered
+			if !rep.Checks.OK() {
+				t.Errorf("%s k=%d: checks failed: %+v", kind, k, rep.Checks)
+			}
+			if rep.Resources != bounds.MaxRegisterBound(f) {
+				t.Errorf("%s k=%d: resources %d, want %d", kind, k, rep.Resources, bounds.MaxRegisterBound(f))
+			}
+		}
+	}
+}
+
+func TestStaleReleaseSeparation(t *testing.T) {
+	for _, f := range []int{1, 2, 3} {
+		sep, err := RunSeparation(testCtx(t), f)
+		if err != nil {
+			t.Fatalf("RunSeparation(f=%d): %v", f, err)
+		}
+		for _, rep := range sep.Reports {
+			switch rep.Kind {
+			case KindNaive:
+				if !rep.Violated() {
+					t.Errorf("f=%d: naive baseline survived the attack (read %d, want stale)", f, rep.ReadValue)
+				}
+				if rep.ReadValue != rep.FirstValue {
+					t.Errorf("f=%d: naive read %d, want stale %d", f, rep.ReadValue, rep.FirstValue)
+				}
+			default:
+				if rep.Violated() {
+					t.Errorf("f=%d: %s violated safety under the attack: %v", f, rep.Kind, rep.SafetyViolation)
+				}
+				if rep.ReadValue != rep.WantValue {
+					t.Errorf("f=%d: %s read %d, want %d", f, rep.Kind, rep.ReadValue, rep.WantValue)
+				}
+			}
+		}
+	}
+}
+
+func TestMeasureTable1(t *testing.T) {
+	rows, err := MeasureTable1(testCtx(t), 4, 2, 6)
+	if err != nil {
+		t.Fatalf("MeasureTable1: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, row := range rows {
+		if !row.Safe {
+			t.Errorf("row %s not safe", row.BaseObject)
+		}
+		if row.Measured < row.LowerFormula || row.Measured > row.UpperFormula {
+			t.Errorf("row %s: measured %d outside [%d, %d]", row.BaseObject, row.Measured, row.LowerFormula, row.UpperFormula)
+		}
+	}
+	// The register row must strictly exceed the max-register row for k > 1:
+	// the separation of Table 1.
+	if rows[2].Measured <= rows[0].Measured {
+		t.Errorf("no separation: register row %d <= max-register row %d", rows[2].Measured, rows[0].Measured)
+	}
+}

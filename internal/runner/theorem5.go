@@ -1,0 +1,148 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/baseobj"
+	"repro/internal/emulation"
+	"repro/internal/fabric"
+	"repro/internal/spec"
+	"repro/internal/types"
+)
+
+// Theorem5Report is the outcome of the partitioning demonstration behind
+// Theorem 5 (|S| >= 2f+1): with only n = 2f servers, any protocol that
+// stays live despite f silent servers can be driven into a safety
+// violation, because a write quorum (n-f = f servers) and a read quorum
+// (f servers) need not intersect.
+type Theorem5Report struct {
+	F, N int
+	// WroteValue is the value the partitioned write stored.
+	WroteValue types.Value
+	// ReadValue is what the partitioned read returned (the initial value:
+	// it saw only the other half).
+	ReadValue types.Value
+	// SafetyViolation is the checker's verdict; it must be non-nil, i.e.
+	// the violation must materialize.
+	SafetyViolation error
+}
+
+// RunTheorem5 builds a minimal live protocol on n = 2f servers (one
+// register per server; operations wait for n-f = f responses, the most any
+// f-tolerant protocol may wait for) and drives the partition schedule: the
+// write's responses come from the first half, the read's from the second.
+func RunTheorem5(ctx context.Context, f int) (*Theorem5Report, error) {
+	if f <= 0 {
+		return nil, fmt.Errorf("runner: theorem5 needs f > 0")
+	}
+	n := 2 * f
+	script := newHalfGate(f)
+	env, err := NewEnv(n, script)
+	if err != nil {
+		return nil, err
+	}
+	objs := make([]types.ObjectID, n)
+	for s := 0; s < n; s++ {
+		obj, err := env.Cluster.PlaceRegister(types.ServerID(s))
+		if err != nil {
+			return nil, err
+		}
+		objs[s] = obj
+	}
+	hist := &spec.History{}
+
+	// The write: push to all, wait for n-f = f responses. The gate holds
+	// responses from the second half, so they come from the first half.
+	const v = types.Value(77)
+	pw := hist.BeginWrite(0, v)
+	calls := make([]*fabric.Call, 0, n)
+	for _, obj := range objs {
+		calls = append(calls, env.Fabric.Trigger(0, obj, baseobj.Invocation{
+			Op:  baseobj.OpWrite,
+			Arg: types.TSValue{TS: 1, Writer: 0, Val: v},
+		}))
+	}
+	if _, err := fabric.AwaitN(ctx, calls, n-f); err != nil {
+		return nil, ctxErr(ctx, "theorem5 write", err)
+	}
+	pw.End()
+
+	// The read: collect from all, wait for n-f = f responses. The gate
+	// now holds responses from the first half, so the read sees only the
+	// second half — which the write never reached.
+	script.flip()
+	pr := hist.BeginRead(emulation.ReaderIDBase)
+	reads := make([]*fabric.Call, 0, n)
+	for _, obj := range objs {
+		reads = append(reads, env.Fabric.Trigger(emulation.ReaderIDBase, obj, baseobj.Invocation{Op: baseobj.OpRead}))
+	}
+	done, err := fabric.AwaitN(ctx, reads, n-f)
+	if err != nil {
+		return nil, ctxErr(ctx, "theorem5 read", err)
+	}
+	max := types.ZeroTSValue
+	for _, c := range done {
+		max = types.MaxTSValue(max, c.Outcome.Resp.Val)
+	}
+	pr.End(max.Val)
+
+	return &Theorem5Report{
+		F:               f,
+		N:               n,
+		WroteValue:      v,
+		ReadValue:       max.Val,
+		SafetyViolation: spec.CheckWSSafety(hist.Snapshot(), types.InitialValue),
+	}, nil
+}
+
+// halfGate drives the partition: during the write phase the writer's
+// low-level writes on the upper half (servers f..2f-1) are held before
+// taking effect (those servers never learn the value); during the read
+// phase the reader's responses from the lower half are delayed, so its
+// quorum is exactly the uninformed upper half.
+type halfGate struct {
+	f    int
+	mode chan int // capacity 1, holds the current phase (0 write, 1 read)
+}
+
+// Compile-time interface compliance check.
+var _ fabric.Gate = (*halfGate)(nil)
+
+// newHalfGate starts in the write phase.
+func newHalfGate(f int) *halfGate {
+	g := &halfGate{f: f, mode: make(chan int, 1)}
+	g.mode <- 0
+	return g
+}
+
+// phase reads the current phase without consuming it.
+func (g *halfGate) phase() int {
+	m := <-g.mode
+	g.mode <- m
+	return m
+}
+
+// flip switches to the read phase.
+func (g *halfGate) flip() {
+	<-g.mode
+	g.mode <- 1
+}
+
+// BeforeApply implements fabric.Gate: in the write phase, writes on the
+// upper half never take effect.
+func (g *halfGate) BeforeApply(ev fabric.TriggerEvent) fabric.Decision {
+	if g.phase() == 0 && ev.Inv.Op.IsWrite() && int(ev.Server) >= g.f {
+		return fabric.Hold
+	}
+	return fabric.Pass
+}
+
+// BeforeRespond implements fabric.Gate: in the read phase, responses from
+// the lower half are delayed.
+func (g *halfGate) BeforeRespond(ev fabric.TriggerEvent, _ baseobj.Response) fabric.Decision {
+	if g.phase() == 1 && !ev.Inv.Op.IsWrite() && int(ev.Server) < g.f {
+		return fabric.Hold
+	}
+	return fabric.Pass
+}

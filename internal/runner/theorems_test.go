@@ -1,0 +1,130 @@
+package runner
+
+import (
+	"testing"
+
+	"repro/internal/bounds"
+)
+
+func TestRunTheorem2(t *testing.T) {
+	ctx := testCtx(t)
+	for _, tc := range []struct{ k, f int }{{2, 1}, {3, 2}} {
+		rep, err := RunTheorem2(ctx, tc.k, tc.f)
+		if err != nil {
+			t.Fatalf("RunTheorem2(%+v): %v", tc, err)
+		}
+		if !rep.Safe {
+			t.Errorf("%+v: not safe", tc)
+		}
+		if rep.Total != rep.TotalWant {
+			t.Errorf("%+v: total %d, want %d", tc, rep.Total, rep.TotalWant)
+		}
+		for s, c := range rep.PerServer {
+			if c != rep.PerServerWant {
+				t.Errorf("%+v: server %d hosts %d, want %d", tc, s, c, rep.PerServerWant)
+			}
+		}
+		// aacmax is register-based: covering accumulates like Lemma 1
+		// predicts, unlike the true max-register construction.
+		if rep.CoveredAtEnd < tc.k*tc.f {
+			t.Errorf("%+v: covered %d < k*f = %d", tc, rep.CoveredAtEnd, tc.k*tc.f)
+		}
+	}
+}
+
+func TestRunTheorem6(t *testing.T) {
+	for _, tc := range []struct{ k, f int }{{2, 1}, {5, 2}} {
+		rep, err := RunTheorem6(tc.k, tc.f)
+		if err != nil {
+			t.Fatalf("RunTheorem6(%+v): %v", tc, err)
+		}
+		if rep.N != 2*tc.f+1 {
+			t.Errorf("%+v: n = %d", tc, rep.N)
+		}
+		for s, c := range rep.PerServer {
+			if c < rep.Want {
+				t.Errorf("%+v: server %d hosts %d < k = %d", tc, s, c, rep.Want)
+			}
+		}
+	}
+}
+
+func TestRunTheorem7(t *testing.T) {
+	for _, tc := range []struct{ k, f, cap int }{{4, 1, 1}, {4, 1, 2}, {6, 2, 3}} {
+		rep, err := RunTheorem7(tc.k, tc.f, tc.cap)
+		if err != nil {
+			t.Fatalf("RunTheorem7(%+v): %v", tc, err)
+		}
+		if !rep.Feasible {
+			t.Fatalf("%+v: no feasible n found", tc)
+		}
+		want, err := bounds.ServersLowerWithCap(tc.k, tc.f, tc.cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.BoundN != want {
+			t.Errorf("%+v: bound %d, want %d", tc, rep.BoundN, want)
+		}
+		// The layout can never beat the lower bound.
+		if rep.MinFeasibleN < rep.BoundN {
+			t.Errorf("%+v: layout fits at n=%d below the bound %d", tc, rep.MinFeasibleN, rep.BoundN)
+		}
+	}
+}
+
+func TestRunTheorem8ConsumptionGrows(t *testing.T) {
+	ctx := testCtx(t)
+	points, err := RunTheorem8(ctx, 2, 6, []int{1, 3, 6})
+	if err != nil {
+		t.Fatalf("RunTheorem8: %v", err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d, want 3", len(points))
+	}
+	for i, p := range points {
+		if p.PointContention != 1 {
+			t.Errorf("point %d contention = %d, want 1", i, p.PointContention)
+		}
+		if i > 0 && p.UsedObjects <= points[i-1].UsedObjects {
+			t.Errorf("consumption did not grow: k=%d used %d vs k=%d used %d",
+				points[i-1].K, points[i-1].UsedObjects, p.K, p.UsedObjects)
+		}
+	}
+}
+
+func TestRunCoincidence(t *testing.T) {
+	for _, tc := range []struct{ k, f int }{{1, 1}, {4, 2}, {3, 3}} {
+		points, err := RunCoincidence(tc.k, tc.f)
+		if err != nil {
+			t.Fatalf("RunCoincidence(%+v): %v", tc, err)
+		}
+		for _, p := range points {
+			if !p.Coincide {
+				t.Errorf("%+v: bounds do not coincide at n=%d: lower=%d upper=%d want=%d",
+					tc, p.N, p.Lower, p.Upper, p.Want)
+			}
+		}
+	}
+}
+
+func TestRunTheorem5PartitionViolation(t *testing.T) {
+	ctx := testCtx(t)
+	for _, f := range []int{1, 2, 3} {
+		rep, err := RunTheorem5(ctx, f)
+		if err != nil {
+			t.Fatalf("RunTheorem5(f=%d): %v", f, err)
+		}
+		if rep.N != 2*f {
+			t.Errorf("f=%d: n = %d, want 2f", f, rep.N)
+		}
+		if rep.SafetyViolation == nil {
+			t.Errorf("f=%d: partition schedule did not violate safety (read %d)", f, rep.ReadValue)
+		}
+		if rep.ReadValue == rep.WroteValue {
+			t.Errorf("f=%d: read saw the write despite disjoint quorums", f)
+		}
+	}
+	if _, err := RunTheorem5(ctx, 0); err == nil {
+		t.Error("f=0 accepted")
+	}
+}

@@ -1,0 +1,201 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/emulation"
+	"repro/internal/emulation/abdmax"
+	"repro/internal/emulation/casmax"
+	"repro/internal/fabric"
+	"repro/internal/faults"
+	"repro/internal/spec"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+// BuildAtomic builds the max-register or CAS construction with read
+// write-back enabled, upgrading reads to the atomic (linearizable)
+// protocol. Other kinds do not support atomic reads (their readers cannot
+// write), mirroring the paper's focus on regularity.
+func BuildAtomic(kind Kind, fab *fabric.Fabric, k, f int) (emulation.Register, *spec.History, error) {
+	hist := &spec.History{}
+	switch kind {
+	case KindABDMax:
+		reg, err := abdmax.New(fab, k, f, abdmax.Options{History: hist, ReadWriteBack: true})
+		return reg, hist, err
+	case KindCASMax:
+		reg, _, err := casmax.New(fab, k, f, casmax.Options{History: hist, ReadWriteBack: true})
+		return reg, hist, err
+	default:
+		return nil, nil, fmt.Errorf("runner: %q has no atomic read mode (readers cannot write)", kind)
+	}
+}
+
+// WorkloadReport is the outcome of a scripted workload run.
+type WorkloadReport struct {
+	Kind    Kind
+	K, F, N int
+	Writes  int
+	Reads   int
+	Crashes int
+	Checks  CheckResult
+}
+
+// RunSequential executes a step schedule one operation at a time (so the
+// run is trivially write-sequential), injecting crashes from the optional
+// plan, and checks the history.
+func RunSequential(ctx context.Context, kind Kind, k, f, n int, steps []workload.Step, crashes *faults.Plan) (*WorkloadReport, error) {
+	env, err := NewEnv(n, nil)
+	if err != nil {
+		return nil, err
+	}
+	reg, hist, err := Build(kind, env.Fabric, k, f)
+	if err != nil {
+		return nil, err
+	}
+	if crashes != nil {
+		if err := crashes.Validate(f, n); err != nil {
+			return nil, err
+		}
+	}
+	values := workload.NewValueGen()
+	readers := make(map[int]emulation.Reader)
+	rep := &WorkloadReport{Kind: kind, K: k, F: f, N: n}
+	for i, step := range steps {
+		if crashes != nil {
+			if _, err := crashes.Step(env.Fabric, i); err != nil {
+				return nil, err
+			}
+		}
+		if step.IsRead {
+			rd, ok := readers[step.Client]
+			if !ok {
+				rd = reg.NewReader()
+				readers[step.Client] = rd
+			}
+			if _, err := rd.Read(ctx); err != nil {
+				return nil, ctxErr(ctx, fmt.Sprintf("sequential step %d read", i), err)
+			}
+			rep.Reads++
+		} else {
+			w, err := reg.Writer(step.Client)
+			if err != nil {
+				return nil, err
+			}
+			if err := w.Write(ctx, values.Next(types.ClientID(step.Client))); err != nil {
+				return nil, ctxErr(ctx, fmt.Sprintf("sequential step %d write", i), err)
+			}
+			rep.Writes++
+		}
+	}
+	rep.Crashes = env.Cluster.Crashes()
+	rep.Checks = Check(hist)
+	return rep, nil
+}
+
+// ConcurrentReport is the outcome of a concurrent stress run.
+type ConcurrentReport struct {
+	Kind    Kind
+	K, F, N int
+	Writes  int
+	Reads   int
+	// ReadValidity is nil when every read returned v0 or a written
+	// value (the sanity condition that holds for every construction even
+	// in write-concurrent runs).
+	ReadValidity error
+	// Linearizable is the atomicity verdict; it is only populated when
+	// requested (atomic constructions, small histories) and nil
+	// otherwise.
+	Linearizable error
+	// LinearizabilityChecked reports whether Linearizable is meaningful.
+	LinearizabilityChecked bool
+}
+
+// ConcurrentConfig configures a concurrent stress run.
+type ConcurrentConfig struct {
+	Kind            Kind
+	K, F, N         int
+	WritesPerWriter int
+	Readers         int
+	ReadsPerReader  int
+	// Atomic builds the construction with read write-back and checks
+	// linearizability (only KindABDMax / KindCASMax).
+	Atomic bool
+}
+
+// RunConcurrent runs every writer and reader in its own goroutine against a
+// benign environment and checks the resulting history.
+func RunConcurrent(ctx context.Context, cfg ConcurrentConfig) (*ConcurrentReport, error) {
+	env, err := NewEnv(cfg.N, nil)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		reg  emulation.Register
+		hist *spec.History
+	)
+	if cfg.Atomic {
+		reg, hist, err = BuildAtomic(cfg.Kind, env.Fabric, cfg.K, cfg.F)
+	} else {
+		reg, hist, err = Build(cfg.Kind, env.Fabric, cfg.K, cfg.F)
+	}
+	if err != nil {
+		return nil, err
+	}
+	values := workload.NewValueGen()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.K+cfg.Readers)
+	for i := 0; i < cfg.K; i++ {
+		w, err := reg.Writer(i)
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func(i int, w emulation.Writer) {
+			defer wg.Done()
+			for op := 0; op < cfg.WritesPerWriter; op++ {
+				if err := w.Write(ctx, values.Next(types.ClientID(i))); err != nil {
+					errs <- fmt.Errorf("writer %d op %d: %w", i, op, err)
+					return
+				}
+			}
+		}(i, w)
+	}
+	for r := 0; r < cfg.Readers; r++ {
+		rd := reg.NewReader()
+		wg.Add(1)
+		go func(r int, rd emulation.Reader) {
+			defer wg.Done()
+			for op := 0; op < cfg.ReadsPerReader; op++ {
+				if _, err := rd.Read(ctx); err != nil {
+					errs <- fmt.Errorf("reader %d op %d: %w", r, op, err)
+					return
+				}
+			}
+		}(r, rd)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return nil, ctxErr(ctx, "concurrent run", err)
+	}
+
+	ops := hist.Snapshot()
+	rep := &ConcurrentReport{
+		Kind:         cfg.Kind,
+		K:            cfg.K,
+		F:            cfg.F,
+		N:            cfg.N,
+		Writes:       cfg.K * cfg.WritesPerWriter,
+		Reads:        cfg.Readers * cfg.ReadsPerReader,
+		ReadValidity: spec.CheckReadValidity(ops, types.InitialValue),
+	}
+	if cfg.Atomic && len(ops) <= 64 {
+		rep.Linearizable = spec.CheckLinearizable(ops, types.InitialValue)
+		rep.LinearizabilityChecked = true
+	}
+	return rep, nil
+}

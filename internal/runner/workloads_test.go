@@ -1,0 +1,219 @@
+package runner
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/emulation"
+	"repro/internal/fabric"
+	"repro/internal/faults"
+	"repro/internal/spec"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+func TestRunSequentialAllKinds(t *testing.T) {
+	ctx := testCtx(t)
+	for _, kind := range Kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			k, f, n := 3, 1, 4
+			if kind == KindAACMax || kind == KindNaive || kind == KindABDMax || kind == KindCASMax {
+				n = 3 // the 2f+1 constructions default to servers 0..2f
+			}
+			steps := workload.Sequential(k, true)
+			rep, err := RunSequential(ctx, kind, k, f, n, steps, nil)
+			if err != nil {
+				t.Fatalf("RunSequential: %v", err)
+			}
+			if rep.Writes != k || rep.Reads != k {
+				t.Errorf("writes/reads = %d/%d, want %d/%d", rep.Writes, rep.Reads, k, k)
+			}
+			if !rep.Checks.OK() {
+				t.Errorf("checks failed: safety=%v regularity=%v", rep.Checks.WSSafety, rep.Checks.WSRegularity)
+			}
+		})
+	}
+}
+
+func TestRunSequentialWithCrashes(t *testing.T) {
+	ctx := testCtx(t)
+	steps := workload.RoundRobinWrites(3, 3)
+	// Interleave reads.
+	var all []workload.Step
+	for _, s := range steps {
+		all = append(all, s, workload.Step{Client: 0, IsRead: true})
+	}
+	plan := faults.NewPlan(faults.Crash{AfterOp: 4, Server: 0}, faults.Crash{AfterOp: 10, Server: 3})
+	rep, err := RunSequential(ctx, KindRegEmu, 3, 2, 6, all, plan)
+	if err != nil {
+		t.Fatalf("RunSequential with crashes: %v", err)
+	}
+	if rep.Crashes != 2 {
+		t.Errorf("crashes = %d, want 2", rep.Crashes)
+	}
+	if !rep.Checks.OK() {
+		t.Errorf("checks failed after crashes: %+v", rep.Checks)
+	}
+}
+
+func TestRunSequentialRejectsOverbudgetCrashPlan(t *testing.T) {
+	ctx := testCtx(t)
+	plan := faults.NewPlan(faults.Crash{AfterOp: 0, Server: 0}, faults.Crash{AfterOp: 1, Server: 1})
+	if _, err := RunSequential(ctx, KindRegEmu, 2, 1, 3, workload.Sequential(2, false), plan); err == nil {
+		t.Fatal("crash plan beyond f accepted")
+	}
+}
+
+func TestRunConcurrentAllKinds(t *testing.T) {
+	ctx := testCtx(t)
+	for _, kind := range Kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			n := 4
+			if kind != KindRegEmu {
+				n = 3
+			}
+			rep, err := RunConcurrent(ctx, ConcurrentConfig{
+				Kind: kind, K: 3, F: 1, N: n,
+				WritesPerWriter: 10, Readers: 2, ReadsPerReader: 10,
+			})
+			if err != nil {
+				t.Fatalf("RunConcurrent: %v", err)
+			}
+			if rep.ReadValidity != nil {
+				t.Errorf("read validity: %v", rep.ReadValidity)
+			}
+			if rep.Writes != 30 || rep.Reads != 20 {
+				t.Errorf("ops = %d/%d, want 30/20", rep.Writes, rep.Reads)
+			}
+		})
+	}
+}
+
+func TestRunConcurrentAtomicLinearizable(t *testing.T) {
+	ctx := testCtx(t)
+	for _, kind := range []Kind{KindABDMax, KindCASMax} {
+		rep, err := RunConcurrent(ctx, ConcurrentConfig{
+			Kind: kind, K: 2, F: 1, N: 3,
+			WritesPerWriter: 8, Readers: 2, ReadsPerReader: 8,
+			Atomic: true,
+		})
+		if err != nil {
+			t.Fatalf("RunConcurrent atomic %s: %v", kind, err)
+		}
+		if !rep.LinearizabilityChecked {
+			t.Fatalf("%s: linearizability not checked (history too large?)", kind)
+		}
+		if rep.Linearizable != nil {
+			t.Errorf("%s atomic run not linearizable: %v", kind, rep.Linearizable)
+		}
+	}
+}
+
+func TestBuildAtomicRejectsReadOnlyReaders(t *testing.T) {
+	env, err := NewEnv(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []Kind{KindRegEmu, KindAACMax, KindNaive} {
+		if _, _, err := BuildAtomic(kind, env.Fabric, 2, 1); err == nil {
+			t.Errorf("BuildAtomic(%s) succeeded; its readers cannot write", kind)
+		}
+	}
+}
+
+func TestBuildUnknownKind(t *testing.T) {
+	env, err := NewEnv(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Build(Kind("bogus"), env.Fabric, 1, 1); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestKindMetadata(t *testing.T) {
+	if len(Kinds()) != 5 {
+		t.Fatalf("Kinds = %v, want 5 entries", Kinds())
+	}
+	want := map[Kind]string{
+		KindRegEmu: "register",
+		KindABDMax: "max-register",
+		KindCASMax: "cas",
+		KindAACMax: "register",
+		KindNaive:  "register",
+	}
+	for kind, base := range want {
+		if got := BaseObjectOf(kind); got != base {
+			t.Errorf("BaseObjectOf(%s) = %q, want %q", kind, got, base)
+		}
+	}
+	if BaseObjectOf(Kind("bogus")) != "unknown" {
+		t.Error("unknown kind not reported")
+	}
+}
+
+// TestAllKindsUnderResponseLatency runs every construction concurrently
+// behind the yield gate (modeled response latency), exercising the truly
+// asynchronous interleavings the synchronous default hides.
+func TestAllKindsUnderResponseLatency(t *testing.T) {
+	ctx := testCtx(t)
+	for _, kind := range []Kind{KindRegEmu, KindABDMax, KindCASMax, KindAACMax} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			n := 6
+			if kind != KindRegEmu {
+				n = 5
+			}
+			env, err := NewEnv(n, &fabric.YieldGate{Yields: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			reg, hist, err := Build(kind, env.Fabric, 3, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			errs := make(chan error, 5)
+			values := workload.NewValueGen()
+			for i := 0; i < 3; i++ {
+				w, err := reg.Writer(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				go func(i int, w emulation.Writer) {
+					defer wg.Done()
+					for op := 0; op < 20; op++ {
+						if err := w.Write(ctx, values.Next(types.ClientID(i))); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(i, w)
+			}
+			for r := 0; r < 2; r++ {
+				rd := reg.NewReader()
+				wg.Add(1)
+				go func(rd emulation.Reader) {
+					defer wg.Done()
+					for op := 0; op < 20; op++ {
+						if _, err := rd.Read(ctx); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(rd)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatalf("op under latency: %v", err)
+			}
+			if err := spec.CheckReadValidity(hist.Snapshot(), types.InitialValue); err != nil {
+				t.Fatalf("read validity: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,150 @@
+package scenario
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// loadFile loads a scenario from testdata.
+func loadFile(t *testing.T, name string) *Scenario {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("open %s: %v", name, err)
+	}
+	defer f.Close()
+	s, err := Load(f)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", name, err)
+	}
+	return s
+}
+
+// TestTestdataScenarios runs every scenario in testdata; each encodes its
+// own expectations (read values, safety verdicts).
+func TestTestdataScenarios(t *testing.T) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 4 {
+		t.Fatalf("expected >= 4 testdata scenarios, found %d", len(entries))
+	}
+	for _, entry := range entries {
+		if !strings.HasSuffix(entry.Name(), ".json") {
+			continue
+		}
+		entry := entry
+		t.Run(entry.Name(), func(t *testing.T) {
+			s := loadFile(t, entry.Name())
+			res, err := s.Run(testCtx(t))
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if !res.ExpectationsMet {
+				t.Fatalf("expectations failed: %v", res.Failures)
+			}
+		})
+	}
+}
+
+func TestLoadValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"missing kind", `{"name":"x","k":1,"f":1,"n":3,"steps":[]}`},
+		{"bad params", `{"name":"x","kind":"regemu","k":0,"f":1,"n":3,"steps":[]}`},
+		{"empty step", `{"name":"x","kind":"regemu","k":1,"f":1,"n":3,"steps":[{}]}`},
+		{"two actions", `{"name":"x","kind":"regemu","k":1,"f":1,"n":3,"steps":[{"clear":{},"crash":{"server":0}}]}`},
+		{"bad phase", `{"name":"x","kind":"regemu","k":1,"f":1,"n":3,"steps":[{"hold":{"phase":"weird","class":"any"}}]}`},
+		{"bad class", `{"name":"x","kind":"regemu","k":1,"f":1,"n":3,"steps":[{"hold":{"phase":"apply","class":"weird"}}]}`},
+		{"unknown field", `{"name":"x","kind":"regemu","k":1,"f":1,"n":3,"bogus":true,"steps":[]}`},
+		{"syntax", `{`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Load(strings.NewReader(tc.json)); err == nil {
+				t.Fatalf("accepted: %s", tc.json)
+			}
+		})
+	}
+}
+
+func TestRunReportsUnexpectedViolation(t *testing.T) {
+	// A benign schedule that claims it violates safety: expectations must
+	// fail (but the run itself succeeds).
+	s := &Scenario{
+		Name: "wrong-expectation", Kind: "regemu", K: 1, F: 1, N: 3,
+		ExpectSafetyViolation: true,
+		Steps: []Step{
+			{Write: &WriteStep{Writer: 0, Value: 5}},
+			{Read: &ReadStep{Reader: 0}},
+		},
+	}
+	res, err := s.Run(testCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExpectationsMet {
+		t.Fatal("wrong expectation reported as met")
+	}
+	if res.WSSafety != nil {
+		t.Fatalf("benign run not safe: %v", res.WSSafety)
+	}
+}
+
+func TestRunReadExpectationFailure(t *testing.T) {
+	s := &Scenario{
+		Name: "wrong-read", Kind: "regemu", K: 1, F: 1, N: 3,
+		Steps: []Step{
+			{Write: &WriteStep{Writer: 0, Value: 5}},
+			{Read: &ReadStep{Reader: 0, Expect: ptr(int64(99))}},
+		},
+	}
+	res, err := s.Run(testCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExpectationsMet {
+		t.Fatal("wrong read expectation reported as met")
+	}
+	if len(res.Reads) != 1 || res.Reads[0] != 5 {
+		t.Fatalf("Reads = %v, want [5]", res.Reads)
+	}
+}
+
+func TestHoldCountBudget(t *testing.T) {
+	// A count-limited hold must stop holding after its budget: with
+	// count=1 against f=1, the write still completes and exactly one op
+	// stays pending.
+	s := &Scenario{
+		Name: "budget", Kind: "regemu", K: 1, F: 1, N: 3,
+		Steps: []Step{
+			{Hold: &HoldStep{Phase: "apply", Class: "mutating", Count: 1}},
+			{Write: &WriteStep{Writer: 0, Value: 5}},
+			{Clear: &ClearStep{}},
+			{Read: &ReadStep{Reader: 0, Expect: ptr(int64(5))}},
+		},
+	}
+	res, err := s.Run(testCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ExpectationsMet {
+		t.Fatalf("expectations failed: %v", res.Failures)
+	}
+}
+
+func ptr[T any](v T) *T { return &v }

@@ -1,0 +1,162 @@
+package spec
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Violation describes a consistency violation found by a checker.
+type Violation struct {
+	// Condition is the violated condition ("WS-Safety", "WS-Regularity",
+	// "Atomicity").
+	Condition string
+	// Read is the offending read, when the violation is read-specific.
+	Read *Op
+	// Detail explains the violation.
+	Detail string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	if v.Read != nil {
+		return fmt.Sprintf("spec: %s violated by %v: %s", v.Condition, *v.Read, v.Detail)
+	}
+	return fmt.Sprintf("spec: %s violated: %s", v.Condition, v.Detail)
+}
+
+// Errors reported by the checkers for malformed input.
+var (
+	// ErrNotWriteSequential is returned when a write-sequential checker
+	// receives a history with concurrent writes.
+	ErrNotWriteSequential = errors.New("spec: history is not write-sequential")
+	// ErrDuplicateValues is returned when written values are not unique.
+	ErrDuplicateValues = errors.New("spec: written values are not unique")
+	// ErrTooLarge is returned by the linearizability checker for
+	// histories beyond its search capacity.
+	ErrTooLarge = errors.New("spec: history too large for linearizability search")
+)
+
+// readCandidates computes the set of values a read may legally return in a
+// write-sequential history under WS-Regularity: the value of the last write
+// that completed before the read was invoked (or v0 if none), or the value
+// of any write concurrent with the read (including writes still pending at
+// the end of the run, which a linearization may include).
+//
+// Why this is exactly WS-Regularity: writes are sequential, so every
+// linearization of writes ∪ {rd} orders the writes by real time. All writes
+// that precede rd must come before rd, so rd cannot return a value older
+// than the last preceding write; and rd may be placed immediately after any
+// write concurrent with it.
+func readCandidates(rd Op, writes []Op, v0 types.Value) map[types.Value]struct{} {
+	candidates := make(map[types.Value]struct{})
+	lastPreceding := -1
+	for i, w := range writes {
+		if w.Precedes(rd) {
+			lastPreceding = i
+		}
+	}
+	if lastPreceding >= 0 {
+		candidates[writes[lastPreceding].Arg] = struct{}{}
+	} else {
+		candidates[v0] = struct{}{}
+	}
+	for _, w := range writes {
+		if rd.ConcurrentWith(w) {
+			// Neither precedes the other: a linearization may place
+			// rd immediately after w.
+			candidates[w.Arg] = struct{}{}
+		}
+	}
+	return candidates
+}
+
+// isReadWriteConcurrent reports whether rd overlaps any write.
+func isReadWriteConcurrent(rd Op, writes []Op) bool {
+	for _, w := range writes {
+		if rd.ConcurrentWith(w) {
+			return true
+		}
+	}
+	return false
+}
+
+// validateWS checks the common preconditions of the write-sequential
+// checkers.
+func validateWS(ops []Op) error {
+	if !IsWriteSequential(ops) {
+		return ErrNotWriteSequential
+	}
+	if !UniqueWriteValues(ops) {
+		return ErrDuplicateValues
+	}
+	return nil
+}
+
+// CheckWSSafety checks Write-Sequential Safety: every complete read that is
+// not concurrent with any write must return the value of the last write
+// that precedes it (or v0 if none). The input history must be
+// write-sequential with unique write values.
+func CheckWSSafety(ops []Op, v0 types.Value) error {
+	if err := validateWS(ops); err != nil {
+		return err
+	}
+	writes := Writes(ops)
+	for _, rd := range Reads(ops) {
+		if !rd.Complete || isReadWriteConcurrent(rd, writes) {
+			continue
+		}
+		want := v0
+		for _, w := range writes {
+			if w.Precedes(rd) {
+				want = w.Arg
+			}
+		}
+		if rd.Out != want {
+			r := rd
+			return &Violation{
+				Condition: "WS-Safety",
+				Read:      &r,
+				Detail:    fmt.Sprintf("returned %d, want %d", rd.Out, want),
+			}
+		}
+	}
+	return nil
+}
+
+// CheckWSRegularity checks Write-Sequential Regularity: every complete read
+// must have a linearization together with all writes, i.e. it returns
+// either the value of the last preceding write (or v0) or the value of a
+// concurrent write. The input history must be write-sequential with unique
+// write values.
+func CheckWSRegularity(ops []Op, v0 types.Value) error {
+	if err := validateWS(ops); err != nil {
+		return err
+	}
+	writes := Writes(ops)
+	for _, rd := range Reads(ops) {
+		if !rd.Complete {
+			continue
+		}
+		candidates := readCandidates(rd, writes, v0)
+		if _, ok := candidates[rd.Out]; !ok {
+			r := rd
+			return &Violation{
+				Condition: "WS-Regularity",
+				Read:      &r,
+				Detail:    fmt.Sprintf("returned %d, not a legal regular value %v", rd.Out, keysOf(candidates)),
+			}
+		}
+	}
+	return nil
+}
+
+// keysOf lists candidate values for error messages.
+func keysOf(m map[types.Value]struct{}) []types.Value {
+	out := make([]types.Value, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package spec
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// w builds a complete write op.
+func w(client types.ClientID, v types.Value, start, end int64) Op {
+	return Op{Client: client, Kind: KindWrite, Arg: v, Start: start, End: end, Complete: true}
+}
+
+// pw builds a pending write op.
+func pw(client types.ClientID, v types.Value, start int64) Op {
+	return Op{Client: client, Kind: KindWrite, Arg: v, Start: start}
+}
+
+// r builds a complete read op.
+func r(client types.ClientID, out types.Value, start, end int64) Op {
+	return Op{Client: client, Kind: KindRead, Out: out, Start: start, End: end, Complete: true}
+}
+
+func TestWSSafetyHappyPath(t *testing.T) {
+	ops := []Op{
+		w(0, 10, 1, 2),
+		r(9, 10, 3, 4),
+		w(1, 20, 5, 6),
+		r(9, 20, 7, 8),
+	}
+	if err := CheckWSSafety(ops, 0); err != nil {
+		t.Fatalf("CheckWSSafety: %v", err)
+	}
+	if err := CheckWSRegularity(ops, 0); err != nil {
+		t.Fatalf("CheckWSRegularity: %v", err)
+	}
+}
+
+func TestWSSafetyInitialValue(t *testing.T) {
+	ops := []Op{r(9, 0, 1, 2), w(0, 10, 3, 4)}
+	if err := CheckWSSafety(ops, 0); err != nil {
+		t.Fatalf("read of v0 before any write must pass: %v", err)
+	}
+	bad := []Op{r(9, 7, 1, 2), w(0, 7, 3, 4)}
+	if err := CheckWSSafety(bad, 0); err == nil {
+		t.Fatal("read returning a future value passed WS-Safety")
+	}
+}
+
+func TestWSSafetyStaleReadFails(t *testing.T) {
+	ops := []Op{
+		w(0, 10, 1, 2),
+		w(1, 20, 3, 4),
+		r(9, 10, 5, 6), // stale: 20 is the last preceding write
+	}
+	err := CheckWSSafety(ops, 0)
+	if err == nil {
+		t.Fatal("stale read passed WS-Safety")
+	}
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("error %T, want *Violation", err)
+	}
+	if v.Condition != "WS-Safety" || v.Read == nil {
+		t.Fatalf("violation = %+v", v)
+	}
+}
+
+func TestWSSafetyIgnoresConcurrentReads(t *testing.T) {
+	// A read concurrent with a write may return anything under WS-Safety.
+	ops := []Op{
+		w(0, 10, 1, 2),
+		w(1, 20, 3, 6),
+		r(9, 999, 4, 5), // concurrent with the second write; unchecked
+	}
+	if err := CheckWSSafety(ops, 0); err != nil {
+		t.Fatalf("concurrent read must be ignored by WS-Safety: %v", err)
+	}
+	// But WS-Regularity still constrains it.
+	if err := CheckWSRegularity(ops, 0); err == nil {
+		t.Fatal("impossible concurrent read passed WS-Regularity")
+	}
+}
+
+func TestWSRegularityConcurrentChoices(t *testing.T) {
+	base := []Op{
+		w(0, 10, 1, 2),
+		w(1, 20, 5, 9),
+	}
+	// A read overlapping the second write may return the last completed
+	// write or the concurrent one.
+	for _, val := range []types.Value{10, 20} {
+		ops := append(append([]Op{}, base...), r(9, val, 6, 7))
+		if err := CheckWSRegularity(ops, 0); err != nil {
+			t.Errorf("read of %d during concurrent write: %v", val, err)
+		}
+	}
+	// But not an already-overwritten older value... there is none older
+	// than 10 here except v0, which is illegal once write 10 completed.
+	ops := append(append([]Op{}, base...), r(9, 0, 6, 7))
+	if err := CheckWSRegularity(ops, 0); err == nil {
+		t.Error("read of v0 after completed write passed WS-Regularity")
+	}
+}
+
+func TestWSRegularityPendingWriteVisible(t *testing.T) {
+	// A pending write may be linearized before a read that overlaps it.
+	ops := []Op{
+		w(0, 10, 1, 2),
+		pw(1, 20, 3),
+		r(9, 20, 4, 5),
+	}
+	if err := CheckWSRegularity(ops, 0); err != nil {
+		t.Fatalf("read of pending write's value: %v", err)
+	}
+}
+
+func TestWSRegularityNewMinimumMonotonic(t *testing.T) {
+	// Once a newer write completed before the read began, older values
+	// are illegal even if their writes overlap nothing.
+	ops := []Op{
+		w(0, 10, 1, 2),
+		w(1, 20, 3, 4),
+		w(2, 30, 5, 6),
+		r(9, 10, 7, 8),
+	}
+	if err := CheckWSRegularity(ops, 0); err == nil {
+		t.Fatal("two-writes-stale read passed WS-Regularity")
+	}
+}
+
+func TestCheckersRejectMalformedInput(t *testing.T) {
+	concurrentWrites := []Op{
+		w(0, 10, 1, 5),
+		w(1, 20, 2, 6),
+	}
+	if err := CheckWSSafety(concurrentWrites, 0); !errors.Is(err, ErrNotWriteSequential) {
+		t.Errorf("safety on concurrent writes err = %v, want ErrNotWriteSequential", err)
+	}
+	if err := CheckWSRegularity(concurrentWrites, 0); !errors.Is(err, ErrNotWriteSequential) {
+		t.Errorf("regularity on concurrent writes err = %v, want ErrNotWriteSequential", err)
+	}
+	dupValues := []Op{
+		w(0, 10, 1, 2),
+		w(1, 10, 3, 4),
+	}
+	if err := CheckWSSafety(dupValues, 0); !errors.Is(err, ErrDuplicateValues) {
+		t.Errorf("safety on dup values err = %v, want ErrDuplicateValues", err)
+	}
+}
+
+func TestPendingReadsIgnored(t *testing.T) {
+	ops := []Op{
+		w(0, 10, 1, 2),
+		{Client: 9, Kind: KindRead, Start: 3}, // pending read
+	}
+	if err := CheckWSSafety(ops, 0); err != nil {
+		t.Fatalf("pending read must be ignored: %v", err)
+	}
+	if err := CheckWSRegularity(ops, 0); err != nil {
+		t.Fatalf("pending read must be ignored: %v", err)
+	}
+}
+
+func TestViolationErrorMessage(t *testing.T) {
+	rd := r(9, 1, 5, 6)
+	v := &Violation{Condition: "WS-Safety", Read: &rd, Detail: "boom"}
+	if v.Error() == "" {
+		t.Error("empty violation message")
+	}
+	global := &Violation{Condition: "Atomicity", Detail: "boom"}
+	if global.Error() == "" {
+		t.Error("empty global violation message")
+	}
+}

@@ -1,0 +1,94 @@
+package spec
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// TestRegularityAgreesWithLinearizabilityDefinition cross-validates the
+// fast WS-Regularity checker against the paper's definition: a
+// write-sequential history is WS-Regular iff for every complete read rd
+// there is a linearization of writes ∪ {rd}. The right-hand side is decided
+// by the independent Wing–Gong search, so agreement on random histories is
+// strong evidence both are correct.
+func TestRegularityAgreesWithLinearizabilityDefinition(t *testing.T) {
+	const trials = 300
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < trials; trial++ {
+		ops := randomWriteSequentialHistory(rng)
+		fastVerdict := CheckWSRegularity(ops, 0) == nil
+		defVerdict := regularByDefinition(t, ops)
+		if fastVerdict != defVerdict {
+			t.Fatalf("trial %d: checker says %v, definition says %v, history:\n%v",
+				trial, fastVerdict, defVerdict, ops)
+		}
+	}
+}
+
+// randomWriteSequentialHistory generates a small write-sequential history:
+// sequential writes (some pending), then reads placed at random positions
+// (possibly overlapping writes) returning random plausible-or-garbage
+// values.
+func randomWriteSequentialHistory(rng *rand.Rand) []Op {
+	var ops []Op
+	now := int64(1)
+	numWrites := 1 + rng.Intn(4)
+	var writeVals []types.Value
+	for i := 0; i < numWrites; i++ {
+		v := types.Value(i + 1)
+		writeVals = append(writeVals, v)
+		op := Op{Client: types.ClientID(i), Kind: KindWrite, Arg: v, Start: now}
+		now += 2
+		if rng.Intn(5) > 0 || i < numWrites-1 {
+			// Only the last write may stay pending (write-sequential).
+			op.End = op.Start + 1
+			op.Complete = true
+		}
+		ops = append(ops, op)
+	}
+	maxTime := now + 2
+	numReads := 1 + rng.Intn(3)
+	for r := 0; r < numReads; r++ {
+		start := 1 + rng.Int63n(maxTime)
+		end := start + 1 + rng.Int63n(4)
+		// Random return value: a written value, v0, or garbage.
+		var out types.Value
+		switch rng.Intn(4) {
+		case 0:
+			out = 0
+		case 1:
+			out = 99 // never written
+		default:
+			out = writeVals[rng.Intn(len(writeVals))]
+		}
+		ops = append(ops, Op{
+			Client: types.ClientID(100 + r), Kind: KindRead,
+			Out: out, Start: start, End: end, Complete: true,
+		})
+	}
+	return ops
+}
+
+// regularByDefinition decides WS-Regularity via the definition: every
+// complete read must linearize together with all the writes.
+func regularByDefinition(t *testing.T, ops []Op) bool {
+	t.Helper()
+	writes := Writes(ops)
+	for _, rd := range Reads(ops) {
+		if !rd.Complete {
+			continue
+		}
+		sub := make([]Op, 0, len(writes)+1)
+		sub = append(sub, writes...)
+		sub = append(sub, rd)
+		if err := CheckLinearizable(sub, 0); err != nil {
+			if _, ok := err.(*Violation); !ok {
+				t.Fatalf("linearizer failed structurally: %v", err)
+			}
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,154 @@
+package spec
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestRecordingOrderAndPrecedence(t *testing.T) {
+	h := &History{}
+	w := h.BeginWrite(0, 10)
+	w.End()
+	r := h.BeginRead(1)
+	r.End(10)
+
+	ops := h.Snapshot()
+	if len(ops) != 2 {
+		t.Fatalf("Snapshot len = %d, want 2", len(ops))
+	}
+	if h.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", h.Len())
+	}
+	write, read := ops[0], ops[1]
+	if write.Kind != KindWrite || write.Arg != 10 || !write.Complete {
+		t.Fatalf("write op = %+v", write)
+	}
+	if read.Kind != KindRead || read.Out != 10 || !read.Complete {
+		t.Fatalf("read op = %+v", read)
+	}
+	if !write.Precedes(read) {
+		t.Error("sequential write must precede read")
+	}
+	if read.Precedes(write) {
+		t.Error("read cannot precede earlier write")
+	}
+	if write.ConcurrentWith(read) {
+		t.Error("sequential ops must not be concurrent")
+	}
+}
+
+func TestConcurrencyDetection(t *testing.T) {
+	h := &History{}
+	w1 := h.BeginWrite(0, 10) // open
+	w2 := h.BeginWrite(1, 20) // open, overlapping w1
+	w1.End()
+	w2.End()
+
+	ops := h.Snapshot()
+	if !ops[0].ConcurrentWith(ops[1]) {
+		t.Error("overlapping writes must be concurrent")
+	}
+	if IsWriteSequential(ops) {
+		t.Error("history with overlapping writes reported write-sequential")
+	}
+}
+
+func TestPendingOps(t *testing.T) {
+	h := &History{}
+	h.BeginWrite(0, 10) // never ends
+	r := h.BeginRead(1)
+	r.End(0)
+
+	ops := h.Snapshot()
+	if ops[0].Complete {
+		t.Error("unfinished write marked complete")
+	}
+	if ops[0].Precedes(ops[1]) {
+		t.Error("pending op cannot precede anything")
+	}
+	if !ops[0].ConcurrentWith(ops[1]) {
+		t.Error("pending write overlaps the read")
+	}
+}
+
+func TestWritesReadsSplit(t *testing.T) {
+	h := &History{}
+	h.BeginWrite(0, 1).End()
+	h.BeginRead(9).End(1)
+	h.BeginWrite(1, 2).End()
+	ops := h.Snapshot()
+	ws, rs := Writes(ops), Reads(ops)
+	if len(ws) != 2 || len(rs) != 1 {
+		t.Fatalf("split = %d writes, %d reads; want 2, 1", len(ws), len(rs))
+	}
+	if ws[0].Arg != 1 || ws[1].Arg != 2 {
+		t.Errorf("writes not in invocation order: %v", ws)
+	}
+}
+
+func TestUniqueWriteValues(t *testing.T) {
+	h := &History{}
+	h.BeginWrite(0, 1).End()
+	h.BeginWrite(1, 2).End()
+	if !UniqueWriteValues(h.Snapshot()) {
+		t.Error("distinct values reported duplicate")
+	}
+	h.BeginWrite(2, 1).End()
+	if UniqueWriteValues(h.Snapshot()) {
+		t.Error("duplicate values reported unique")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	// History must be safe for concurrent use (run with -race).
+	h := &History{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if i%2 == 0 {
+					w := h.BeginWrite(types.ClientID(g), types.Value(g*1000+i))
+					w.End()
+				} else {
+					r := h.BeginRead(types.ClientID(g))
+					r.End(0)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	ops := h.Snapshot()
+	if len(ops) != 800 {
+		t.Fatalf("recorded %d ops, want 800", len(ops))
+	}
+	for i, op := range ops {
+		if op.ID != i {
+			t.Fatalf("op %d has ID %d", i, op.ID)
+		}
+		if !op.Complete {
+			t.Fatalf("op %d incomplete", i)
+		}
+		if op.End <= op.Start {
+			t.Fatalf("op %d has End %d <= Start %d", i, op.End, op.Start)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	h := &History{}
+	w := h.BeginWrite(0, 10)
+	pendingW := h.Snapshot()[0]
+	w.End()
+	r := h.BeginRead(1)
+	pendingR := h.Snapshot()[1]
+	r.End(10)
+	for _, op := range append(h.Snapshot(), pendingW, pendingR) {
+		if op.String() == "" {
+			t.Errorf("empty String for %+v", op)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// maxLinOps bounds the linearizability search; histories are encoded as
+// 64-bit masks.
+const maxLinOps = 64
+
+// CheckLinearizable checks atomicity (Appendix A.3): the history must have
+// a linearization with respect to the register's sequential specification.
+// Complete operations must all be linearized; pending operations may be
+// linearized (taking effect at some point after their invocation) or
+// dropped, exactly as in the paper's definition of linearization.
+//
+// The search is a Wing–Gong style exploration with memoization on
+// (consumed-ops bitmask, register value); unique write values keep the
+// state space small. Histories larger than 64 operations return ErrTooLarge.
+func CheckLinearizable(ops []Op, v0 types.Value) error {
+	if len(ops) > maxLinOps {
+		return fmt.Errorf("%w: %d ops (max %d)", ErrTooLarge, len(ops), maxLinOps)
+	}
+	var completeMask uint64
+	for i, op := range ops {
+		if op.Complete {
+			completeMask |= 1 << uint(i)
+		}
+	}
+	type state struct {
+		consumed uint64
+		val      types.Value
+	}
+	visited := make(map[state]struct{})
+
+	// candidate reports whether op i may be linearized next: no other
+	// unconsumed complete op strictly precedes it.
+	candidate := func(i int, consumed uint64) bool {
+		for j, other := range ops {
+			if j == i || consumed&(1<<uint(j)) != 0 {
+				continue
+			}
+			if other.Complete && other.End < ops[i].Start {
+				return false
+			}
+		}
+		return true
+	}
+
+	var dfs func(consumed uint64, val types.Value) bool
+	dfs = func(consumed uint64, val types.Value) bool {
+		if consumed&completeMask == completeMask {
+			return true
+		}
+		st := state{consumed: consumed, val: val}
+		if _, seen := visited[st]; seen {
+			return false
+		}
+		visited[st] = struct{}{}
+		for i, op := range ops {
+			bit := uint64(1) << uint(i)
+			if consumed&bit != 0 || !candidate(i, consumed) {
+				continue
+			}
+			switch op.Kind {
+			case KindWrite:
+				if dfs(consumed|bit, op.Arg) {
+					return true
+				}
+				if !op.Complete && dfs(consumed|bit, val) {
+					// A pending write may be dropped from the
+					// linearization.
+					return true
+				}
+			case KindRead:
+				if op.Complete {
+					if op.Out == val && dfs(consumed|bit, val) {
+						return true
+					}
+				} else if dfs(consumed|bit, val) {
+					// A pending read may be dropped.
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	if dfs(0, v0) {
+		return nil
+	}
+	return &Violation{
+		Condition: "Atomicity",
+		Detail:    fmt.Sprintf("no linearization exists for %d ops", len(ops)),
+	}
+}

@@ -1,0 +1,158 @@
+package spec
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func TestLinearizableSequential(t *testing.T) {
+	ops := []Op{
+		w(0, 10, 1, 2),
+		r(9, 10, 3, 4),
+		w(1, 20, 5, 6),
+		r(9, 20, 7, 8),
+	}
+	if err := CheckLinearizable(ops, 0); err != nil {
+		t.Fatalf("CheckLinearizable: %v", err)
+	}
+}
+
+func TestLinearizableEmptyAndInitial(t *testing.T) {
+	if err := CheckLinearizable(nil, 0); err != nil {
+		t.Fatalf("empty history: %v", err)
+	}
+	if err := CheckLinearizable([]Op{r(9, 0, 1, 2)}, 0); err != nil {
+		t.Fatalf("v0 read: %v", err)
+	}
+	if err := CheckLinearizable([]Op{r(9, 5, 1, 2)}, 0); err == nil {
+		t.Fatal("read of unwritten value linearized")
+	}
+}
+
+func TestLinearizableConcurrentWritesAnyOrder(t *testing.T) {
+	// Two concurrent writes can linearize in either order; a read after
+	// both may see either value.
+	for _, val := range []types.Value{10, 20} {
+		ops := []Op{
+			w(0, 10, 1, 5),
+			w(1, 20, 2, 6),
+			r(9, val, 7, 8),
+		}
+		if err := CheckLinearizable(ops, 0); err != nil {
+			t.Errorf("read %d after concurrent writes: %v", val, err)
+		}
+	}
+}
+
+func TestNotLinearizableNewOldNew(t *testing.T) {
+	// Read 20 then read 10 with both writes already complete: the second
+	// read goes back in time — not linearizable.
+	ops := []Op{
+		w(0, 10, 1, 2),
+		w(1, 20, 3, 4),
+		r(8, 20, 5, 6),
+		r(9, 10, 7, 8),
+	}
+	err := CheckLinearizable(ops, 0)
+	if err == nil {
+		t.Fatal("new-old read inversion linearized")
+	}
+	var v *Violation
+	if !errors.As(err, &v) || v.Condition != "Atomicity" {
+		t.Fatalf("error = %v, want Atomicity violation", err)
+	}
+}
+
+func TestLinearizablePendingWriteChoices(t *testing.T) {
+	// A pending write may take effect (read sees it) or not (read sees
+	// the previous value); both must linearize.
+	for _, val := range []types.Value{10, 20} {
+		ops := []Op{
+			w(0, 10, 1, 2),
+			pw(1, 20, 3),
+			r(9, val, 4, 5),
+		}
+		if err := CheckLinearizable(ops, 0); err != nil {
+			t.Errorf("pending-write read %d: %v", val, err)
+		}
+	}
+	// But a pending write cannot take effect before its invocation.
+	ops := []Op{
+		w(0, 10, 1, 2),
+		r(9, 20, 3, 4),
+		pw(1, 20, 5),
+	}
+	if err := CheckLinearizable(ops, 0); err == nil {
+		t.Error("read of not-yet-invoked pending write linearized")
+	}
+}
+
+func TestLinearizablePendingWriteMixedReads(t *testing.T) {
+	// One reader sees the pending write, a later reader must not go back.
+	ops := []Op{
+		w(0, 10, 1, 2),
+		pw(1, 20, 3),
+		r(8, 20, 4, 5),
+		r(9, 10, 6, 7),
+	}
+	if err := CheckLinearizable(ops, 0); err == nil {
+		t.Fatal("new-old inversion via pending write linearized")
+	}
+}
+
+func TestLinearizableTooLarge(t *testing.T) {
+	ops := make([]Op, 65)
+	for i := range ops {
+		ops[i] = w(types.ClientID(i), types.Value(i+1), int64(2*i+1), int64(2*i+2))
+	}
+	if err := CheckLinearizable(ops, 0); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+// TestLinearizableAgreesOnSequentialHistories cross-checks the linearizer
+// against the WS checkers on randomly generated write-sequential histories:
+// histories produced by simulating an atomic register must always pass, and
+// corrupting one read must always fail.
+func TestLinearizableAgreesOnSequentialHistories(t *testing.T) {
+	gen := func(seed int64) []Op {
+		rng := rand.New(rand.NewSource(seed))
+		var ops []Op
+		now := int64(1)
+		cur := types.Value(0)
+		nextVal := types.Value(1)
+		n := 3 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				ops = append(ops, w(types.ClientID(i), nextVal, now, now+1))
+				cur = nextVal
+				nextVal++
+			} else {
+				ops = append(ops, r(100, cur, now, now+1))
+			}
+			now += 2
+		}
+		return ops
+	}
+	err := quick.Check(func(seed int64) bool {
+		ops := gen(seed)
+		if CheckLinearizable(ops, 0) != nil {
+			return false
+		}
+		// Corrupt the last read, if any.
+		for i := len(ops) - 1; i >= 0; i-- {
+			if ops[i].Kind == KindRead {
+				ops[i].Out += 777777
+				return CheckLinearizable(ops, 0) != nil
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,40 @@
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// CheckReadValidity checks the weak sanity condition that holds for every
+// construction even in write-concurrent runs: a complete read returns v0 or
+// the value of some write that was invoked before the read returned. It is
+// the fallback check for concurrent stress runs, where the paper's
+// write-sequential conditions do not apply.
+func CheckReadValidity(ops []Op, v0 types.Value) error {
+	writes := Writes(ops)
+	for _, rd := range Reads(ops) {
+		if !rd.Complete {
+			continue
+		}
+		if rd.Out == v0 {
+			continue
+		}
+		valid := false
+		for _, w := range writes {
+			if w.Arg == rd.Out && !rd.Precedes(w) {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			r := rd
+			return &Violation{
+				Condition: "Read-Validity",
+				Read:      &r,
+				Detail:    fmt.Sprintf("returned %d, which no overlapping-or-earlier write wrote", rd.Out),
+			}
+		}
+	}
+	return nil
+}

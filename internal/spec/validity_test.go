@@ -1,0 +1,57 @@
+package spec
+
+import "testing"
+
+func TestReadValidityHappyPath(t *testing.T) {
+	ops := []Op{
+		w(0, 10, 1, 5),
+		w(1, 20, 2, 6),
+		r(9, 10, 3, 7),
+		r(9, 20, 8, 9),
+		r(9, 0, 10, 11), // v0 is always allowed
+	}
+	if err := CheckReadValidity(ops, 0); err != nil {
+		t.Fatalf("CheckReadValidity: %v", err)
+	}
+}
+
+func TestReadValidityUnwrittenValue(t *testing.T) {
+	ops := []Op{
+		w(0, 10, 1, 2),
+		r(9, 55, 3, 4),
+	}
+	if err := CheckReadValidity(ops, 0); err == nil {
+		t.Fatal("read of unwritten value passed validity")
+	}
+}
+
+func TestReadValidityFutureWrite(t *testing.T) {
+	// The write is invoked only after the read returned: even validity
+	// forbids reading it.
+	ops := []Op{
+		r(9, 10, 1, 2),
+		w(0, 10, 3, 4),
+	}
+	if err := CheckReadValidity(ops, 0); err == nil {
+		t.Fatal("read of a future write passed validity")
+	}
+}
+
+func TestReadValidityPendingWriteOK(t *testing.T) {
+	ops := []Op{
+		pw(0, 10, 1),
+		r(9, 10, 2, 3),
+	}
+	if err := CheckReadValidity(ops, 0); err != nil {
+		t.Fatalf("read of overlapping pending write: %v", err)
+	}
+}
+
+func TestReadValidityIgnoresPendingReads(t *testing.T) {
+	ops := []Op{
+		{Client: 9, Kind: KindRead, Start: 1, Out: 999},
+	}
+	if err := CheckReadValidity(ops, 0); err != nil {
+		t.Fatalf("pending read must be ignored: %v", err)
+	}
+}

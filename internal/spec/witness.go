@@ -1,0 +1,150 @@
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// FindLinearization returns a witness linearization for the history: the
+// indexes (into ops) of the linearized operations in linearization order.
+// Pending operations that the witness drops are absent from the result.
+// It returns an Atomicity violation if none exists, and ErrTooLarge beyond
+// the search capacity.
+//
+// The witness lets failure reports show the order that explains a history,
+// and lets tests verify the checker's positive verdicts independently (see
+// ReplayLinearization).
+func FindLinearization(ops []Op, v0 types.Value) ([]int, error) {
+	if len(ops) > maxLinOps {
+		return nil, fmt.Errorf("%w: %d ops (max %d)", ErrTooLarge, len(ops), maxLinOps)
+	}
+	var completeMask uint64
+	for i, op := range ops {
+		if op.Complete {
+			completeMask |= 1 << uint(i)
+		}
+	}
+
+	type state struct {
+		consumed uint64
+		val      types.Value
+	}
+	visited := make(map[state]struct{})
+
+	candidate := func(i int, consumed uint64) bool {
+		for j, other := range ops {
+			if j == i || consumed&(1<<uint(j)) != 0 {
+				continue
+			}
+			if other.Complete && other.End < ops[i].Start {
+				return false
+			}
+		}
+		return true
+	}
+
+	var order []int
+	var dfs func(consumed uint64, val types.Value) bool
+	dfs = func(consumed uint64, val types.Value) bool {
+		if consumed&completeMask == completeMask {
+			return true
+		}
+		st := state{consumed: consumed, val: val}
+		if _, seen := visited[st]; seen {
+			return false
+		}
+		visited[st] = struct{}{}
+		for i, op := range ops {
+			bit := uint64(1) << uint(i)
+			if consumed&bit != 0 || !candidate(i, consumed) {
+				continue
+			}
+			switch op.Kind {
+			case KindWrite:
+				order = append(order, i)
+				if dfs(consumed|bit, op.Arg) {
+					return true
+				}
+				order = order[:len(order)-1]
+				if !op.Complete && dfs(consumed|bit, val) {
+					return true
+				}
+			case KindRead:
+				if op.Complete {
+					if op.Out == val {
+						order = append(order, i)
+						if dfs(consumed|bit, val) {
+							return true
+						}
+						order = order[:len(order)-1]
+					}
+				} else if dfs(consumed|bit, val) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	if dfs(0, v0) {
+		out := make([]int, len(order))
+		copy(out, order)
+		return out, nil
+	}
+	return nil, &Violation{
+		Condition: "Atomicity",
+		Detail:    fmt.Sprintf("no linearization exists for %d ops", len(ops)),
+	}
+}
+
+// ReplayLinearization verifies a witness independently: the order must be a
+// sequence of distinct op indexes that (1) contains every complete op,
+// (2) respects the precedence relation, and (3) satisfies the register's
+// sequential specification starting from v0.
+func ReplayLinearization(ops []Op, order []int, v0 types.Value) error {
+	seen := make(map[int]struct{}, len(order))
+	for _, i := range order {
+		if i < 0 || i >= len(ops) {
+			return fmt.Errorf("spec: witness index %d out of range", i)
+		}
+		if _, dup := seen[i]; dup {
+			return fmt.Errorf("spec: witness repeats op %d", i)
+		}
+		seen[i] = struct{}{}
+	}
+	for i, op := range ops {
+		if !op.Complete {
+			continue
+		}
+		if _, ok := seen[i]; !ok {
+			return fmt.Errorf("spec: witness omits complete op %d (%v)", i, op)
+		}
+	}
+	// Precedence: if a precedes b in real time, a must come first.
+	pos := make(map[int]int, len(order))
+	for rank, i := range order {
+		pos[i] = rank
+	}
+	for _, a := range order {
+		for _, b := range order {
+			if ops[a].Precedes(ops[b]) && pos[a] > pos[b] {
+				return fmt.Errorf("spec: witness inverts %v before %v", ops[b], ops[a])
+			}
+		}
+	}
+	// Sequential specification.
+	val := v0
+	for _, i := range order {
+		op := ops[i]
+		switch op.Kind {
+		case KindWrite:
+			val = op.Arg
+		case KindRead:
+			if op.Complete && op.Out != val {
+				return fmt.Errorf("spec: witness read %v sees %d", op, val)
+			}
+		}
+	}
+	return nil
+}

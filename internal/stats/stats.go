@@ -1,0 +1,78 @@
+// Package stats provides the small summary-statistics helpers the benchmark
+// harness uses to report experiment series.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary condenses a sample of float64 observations.
+type Summary struct {
+	N    int
+	Min  float64
+	Max  float64
+	Mean float64
+	P50  float64
+	P95  float64
+}
+
+// Summarize computes a Summary. An empty sample yields the zero Summary.
+func Summarize(sample []float64) Summary {
+	if len(sample) == 0 {
+		return Summary{}
+	}
+	sorted := make([]float64, len(sample))
+	copy(sorted, sample)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	return Summary{
+		N:    len(sorted),
+		Min:  sorted[0],
+		Max:  sorted[len(sorted)-1],
+		Mean: sum / float64(len(sorted)),
+		P50:  Percentile(sorted, 0.50),
+		P95:  Percentile(sorted, 0.95),
+	}
+}
+
+// SummarizeInts converts and summarizes integer observations.
+func SummarizeInts(sample []int) Summary {
+	fs := make([]float64, len(sample))
+	for i, v := range sample {
+		fs[i] = float64(v)
+	}
+	return Summarize(fs)
+}
+
+// Percentile returns the p-quantile (p in [0,1]) of an ascending-sorted
+// sample using nearest-rank interpolation.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.2f mean=%.2f p50=%.2f p95=%.2f max=%.2f",
+		s.N, s.Min, s.Mean, s.P50, s.P95, s.Max)
+}

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnownSample(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Mean != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", s.Mean)
+	}
+	if s.P50 != 2.5 {
+		t.Errorf("P50 = %v, want 2.5", s.P50)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeInts(t *testing.T) {
+	s := SummarizeInts([]int{10, 20, 30})
+	if s.N != 3 || s.Min != 10 || s.Max != 30 || s.Mean != 20 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	if got := Percentile(sorted, 0); got != 1 {
+		t.Errorf("P0 = %v, want 1", got)
+	}
+	if got := Percentile(sorted, 1); got != 5 {
+		t.Errorf("P100 = %v, want 5", got)
+	}
+	if got := Percentile(sorted, 0.5); got != 3 {
+		t.Errorf("P50 = %v, want 3", got)
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+	// Interpolation between ranks.
+	if got := Percentile([]float64{0, 10}, 0.25); got != 2.5 {
+		t.Errorf("interpolated = %v, want 2.5", got)
+	}
+}
+
+func TestSummaryOrderingProperty(t *testing.T) {
+	cfg := &quick.Config{Values: func(vs []reflect.Value, rng *rand.Rand) {
+		n := 1 + rng.Intn(50)
+		sample := make([]float64, n)
+		for i := range sample {
+			sample[i] = rng.Float64() * 100
+		}
+		vs[0] = reflect.ValueOf(sample)
+	}}
+	if err := quick.Check(func(sample []float64) bool {
+		s := Summarize(sample)
+		if s.N != len(sample) {
+			return false
+		}
+		return s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	sample := []float64{3, 1, 2}
+	Summarize(sample)
+	if sort.Float64sAreSorted(sample) {
+		t.Error("Summarize sorted the caller's slice")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	if Summarize([]float64{1}).String() == "" {
+		t.Error("empty String")
+	}
+}

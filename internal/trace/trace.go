@@ -1,0 +1,157 @@
+// Package trace records and renders low-level run traces in the spirit of
+// the paper's Figure 2: per-register timelines showing triggers, holds,
+// late applies, and crashes, so adversarial runs can be read step by step.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/fabric"
+	"repro/internal/types"
+)
+
+// Recorder collects fabric trace events. The zero value is ready to use.
+type Recorder struct {
+	mu     sync.Mutex
+	events []fabric.TraceEvent
+	limit  int
+}
+
+// Compile-time interface compliance check.
+var _ fabric.Tracer = (*Recorder)(nil)
+
+// NewRecorder creates a recorder keeping at most limit events (0 means
+// unlimited).
+func NewRecorder(limit int) *Recorder {
+	return &Recorder{limit: limit}
+}
+
+// Trace implements fabric.Tracer.
+func (r *Recorder) Trace(ev fabric.TraceEvent) {
+	r.mu.Lock()
+	if r.limit == 0 || len(r.events) < r.limit {
+		r.events = append(r.events, ev)
+	}
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events in sequence order.
+func (r *Recorder) Events() []fabric.TraceEvent {
+	r.mu.Lock()
+	out := make([]fabric.TraceEvent, len(r.events))
+	copy(out, r.events)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Reset discards all recorded events.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.events = r.events[:0]
+	r.mu.Unlock()
+}
+
+// Filter returns the recorded events matching pred, in sequence order.
+func (r *Recorder) Filter(pred func(fabric.TraceEvent) bool) []fabric.TraceEvent {
+	var out []fabric.TraceEvent
+	for _, ev := range r.Events() {
+		if pred(ev) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// RenderLog renders the raw event log, one line per event.
+func (r *Recorder) RenderLog() string {
+	var b strings.Builder
+	for _, ev := range r.Events() {
+		if ev.Kind == fabric.TraceCrash {
+			fmt.Fprintf(&b, "%6d  CRASH server s%d\n", ev.Seq, ev.Server)
+			continue
+		}
+		fmt.Fprintf(&b, "%6d  %-12s c%-4d %-10s obj%-4d s%d\n",
+			ev.Seq, ev.Kind, ev.Op.Client, ev.Op.Inv.Op, ev.Op.Object, ev.Op.Server)
+	}
+	return b.String()
+}
+
+// RenderObjectTimelines renders a per-register timeline: for each object,
+// the sequence of lifecycle events it saw. Registers that stay covered end
+// with a hold and no respond — exactly how Figure 2 depicts pending
+// covering writes.
+func (r *Recorder) RenderObjectTimelines() string {
+	perObject := make(map[types.ObjectID][]fabric.TraceEvent)
+	for _, ev := range r.Events() {
+		if ev.Kind == fabric.TraceCrash {
+			continue
+		}
+		perObject[ev.Op.Object] = append(perObject[ev.Op.Object], ev)
+	}
+	ids := make([]types.ObjectID, 0, len(perObject))
+	for id := range perObject {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	var b strings.Builder
+	for _, id := range ids {
+		events := perObject[id]
+		fmt.Fprintf(&b, "obj%-4d (s%d):", id, events[0].Op.Server)
+		for _, ev := range events {
+			fmt.Fprintf(&b, " %s[c%d,%s]", shortKind(ev.Kind), ev.Op.Client, shortOp(ev))
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// shortKind abbreviates a trace kind for timeline rendering.
+func shortKind(k fabric.TraceKind) string {
+	switch k {
+	case fabric.TraceTrigger:
+		return "T"
+	case fabric.TraceApply:
+		return "A"
+	case fabric.TraceHoldApply:
+		return "H"
+	case fabric.TraceHoldRespond:
+		return "h"
+	case fabric.TraceRespond:
+		return "R"
+	case fabric.TraceRelease:
+		return "L"
+	case fabric.TraceDrop:
+		return "X"
+	default:
+		return "?"
+	}
+}
+
+// shortOp abbreviates the operation for timeline rendering.
+func shortOp(ev fabric.TraceEvent) string {
+	if ev.Op.Inv.Op.IsWrite() {
+		return fmt.Sprintf("w%d", ev.Op.Inv.Arg.TS)
+	}
+	return "r"
+}
+
+// Summary reports aggregate counts by kind.
+func (r *Recorder) Summary() map[fabric.TraceKind]int {
+	counts := make(map[fabric.TraceKind]int)
+	for _, ev := range r.Events() {
+		counts[ev.Kind]++
+	}
+	return counts
+}

@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/baseobj"
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+	"repro/internal/types"
+)
+
+// tracedEnv builds a 2-server, 2-register fabric with a recorder attached.
+func tracedEnv(t *testing.T, gate fabric.Gate) (*fabric.Fabric, *Recorder, []types.ObjectID) {
+	t.Helper()
+	c, err := cluster.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := make([]types.ObjectID, 2)
+	for s := 0; s < 2; s++ {
+		obj, err := c.PlaceRegister(types.ServerID(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs[s] = obj
+	}
+	rec := NewRecorder(0)
+	opts := []fabric.Option{fabric.WithTracer(rec)}
+	if gate != nil {
+		opts = append(opts, fabric.WithGate(gate))
+	}
+	return fabric.New(c, opts...), rec, objs
+}
+
+func TestRecordsLifecycle(t *testing.T) {
+	fab, rec, objs := tracedEnv(t, nil)
+	fab.Trigger(0, objs[0], baseobj.Invocation{Op: baseobj.OpWrite, Arg: types.TSValue{TS: 1}})
+	kinds := rec.Summary()
+	for _, want := range []fabric.TraceKind{fabric.TraceTrigger, fabric.TraceApply, fabric.TraceRespond} {
+		if kinds[want] != 1 {
+			t.Errorf("kind %v count = %d, want 1", want, kinds[want])
+		}
+	}
+	if rec.Len() != 3 {
+		t.Errorf("Len = %d, want 3", rec.Len())
+	}
+}
+
+func TestRecordsHoldReleaseAndCrash(t *testing.T) {
+	gate := fabric.GateFuncs{Apply: func(ev fabric.TriggerEvent) fabric.Decision {
+		if ev.Inv.Op.IsWrite() {
+			return fabric.Hold
+		}
+		return fabric.Pass
+	}}
+	fab, rec, objs := tracedEnv(t, gate)
+	held := fab.Trigger(0, objs[0], baseobj.Invocation{Op: baseobj.OpWrite, Arg: types.TSValue{TS: 1}})
+	if err := fab.Release(held.Token()); err != nil {
+		t.Fatal(err)
+	}
+	if err := fab.Crash(1); err != nil {
+		t.Fatal(err)
+	}
+	// A post-crash op is dropped.
+	fab.Trigger(0, objs[1], baseobj.Invocation{Op: baseobj.OpRead})
+
+	kinds := rec.Summary()
+	for _, want := range []fabric.TraceKind{
+		fabric.TraceHoldApply, fabric.TraceRelease, fabric.TraceApply,
+		fabric.TraceRespond, fabric.TraceCrash, fabric.TraceDrop,
+	} {
+		if kinds[want] == 0 {
+			t.Errorf("kind %v not recorded", want)
+		}
+	}
+
+	log := rec.RenderLog()
+	for _, want := range []string{"CRASH", "hold-apply", "release", "drop"} {
+		if !strings.Contains(log, want) {
+			t.Errorf("RenderLog missing %q:\n%s", want, log)
+		}
+	}
+	timelines := rec.RenderObjectTimelines()
+	for _, want := range []string{"obj", "H[", "L[", "A[", "R["} {
+		if !strings.Contains(timelines, want) {
+			t.Errorf("timelines missing %q:\n%s", want, timelines)
+		}
+	}
+}
+
+func TestEventsOrderedBySeq(t *testing.T) {
+	fab, rec, objs := tracedEnv(t, nil)
+	for i := 0; i < 5; i++ {
+		fab.Trigger(0, objs[i%2], baseobj.Invocation{Op: baseobj.OpRead})
+	}
+	events := rec.Events()
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+}
+
+func TestFilterAndReset(t *testing.T) {
+	fab, rec, objs := tracedEnv(t, nil)
+	fab.Trigger(0, objs[0], baseobj.Invocation{Op: baseobj.OpWrite, Arg: types.TSValue{TS: 1}})
+	fab.Trigger(1, objs[1], baseobj.Invocation{Op: baseobj.OpRead})
+	writes := rec.Filter(func(ev fabric.TraceEvent) bool {
+		return ev.Kind == fabric.TraceTrigger && ev.Op.Inv.Op.IsWrite()
+	})
+	if len(writes) != 1 || writes[0].Op.Client != 0 {
+		t.Fatalf("Filter = %+v, want 1 write trigger by c0", writes)
+	}
+	rec.Reset()
+	if rec.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", rec.Len())
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	c, err := cluster.New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := c.PlaceRegister(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(4)
+	fab := fabric.New(c, fabric.WithTracer(rec))
+	for i := 0; i < 10; i++ {
+		fab.Trigger(0, obj, baseobj.Invocation{Op: baseobj.OpRead})
+	}
+	if rec.Len() != 4 {
+		t.Fatalf("Len = %d, want limit 4", rec.Len())
+	}
+}
+
+func TestTraceKindStrings(t *testing.T) {
+	kinds := []fabric.TraceKind{
+		fabric.TraceTrigger, fabric.TraceApply, fabric.TraceHoldApply,
+		fabric.TraceHoldRespond, fabric.TraceRespond, fabric.TraceRelease,
+		fabric.TraceDrop, fabric.TraceCrash, fabric.TraceKind(99),
+	}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("TraceKind(%d).String() empty", int(k))
+		}
+	}
+}

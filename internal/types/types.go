@@ -1,0 +1,84 @@
+// Package types defines the identifier and value domains shared by every
+// component of the emulation: clients, servers, base objects, and the
+// timestamped values that emulation algorithms store in base objects.
+//
+// The domains mirror the paper's model (Section 2 / Appendix A): a set of
+// clients C, a set of servers S, a set of base objects B mapped onto servers
+// by a function delta, and a register value domain Vals with a distinguished
+// initial value v0.
+package types
+
+import "fmt"
+
+// ClientID identifies a client process (a reader or a writer of the emulated
+// register). Writers of a k-register are numbered 0..k-1.
+type ClientID int32
+
+// ServerID identifies a fault-prone server. A server crash takes down every
+// base object mapped to it.
+type ServerID int32
+
+// ObjectID identifies a base object. Object IDs are unique across the whole
+// cluster, not per server.
+type ObjectID int32
+
+// Value is the register value domain Vals. Experiments use unique values per
+// write so the consistency checkers are exact.
+type Value int64
+
+// InitialValue is v0, the value a freshly initialized emulated register
+// returns before any write completes.
+const InitialValue Value = 0
+
+// TSValue is a timestamped value, the paper's TSVal = N x V. Emulation
+// algorithms attach a timestamp to every stored value so that readers can
+// select the most recent one. Writer breaks ties so that the ordering is
+// total even when two clients pick the same sequence number (which cannot
+// happen in write-sequential runs, but keeps concurrent runs well-defined).
+type TSValue struct {
+	// TS is the primary timestamp (sequence number).
+	TS uint64
+	// Writer is the client that produced the value, used as a tie-break.
+	Writer ClientID
+	// Val is the stored register value.
+	Val Value
+}
+
+// ZeroTSValue is the initial content of every base object: timestamp 0,
+// writer 0, value v0.
+var ZeroTSValue = TSValue{TS: 0, Writer: 0, Val: InitialValue}
+
+// Less reports whether v is ordered strictly before o, comparing first by
+// timestamp and then by writer ID.
+func (v TSValue) Less(o TSValue) bool {
+	if v.TS != o.TS {
+		return v.TS < o.TS
+	}
+	return v.Writer < o.Writer
+}
+
+// Compare returns -1, 0, or +1 according to the total order on timestamped
+// values.
+func (v TSValue) Compare(o TSValue) int {
+	switch {
+	case v.Less(o):
+		return -1
+	case o.Less(v):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// MaxTSValue returns the larger of a and b under the total order.
+func MaxTSValue(a, b TSValue) TSValue {
+	if a.Less(b) {
+		return b
+	}
+	return a
+}
+
+// String implements fmt.Stringer.
+func (v TSValue) String() string {
+	return fmt.Sprintf("<ts=%d,w=%d,v=%d>", v.TS, v.Writer, v.Val)
+}

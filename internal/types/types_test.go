@@ -1,0 +1,142 @@
+package types
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// quickTSValue generates bounded TSValues so collisions (equal timestamps,
+// equal writers) actually occur under testing/quick.
+func quickTSValue(rng *rand.Rand) TSValue {
+	return TSValue{
+		TS:     uint64(rng.Intn(5)),
+		Writer: ClientID(rng.Intn(4)),
+		Val:    Value(rng.Intn(8)),
+	}
+}
+
+// tsValueGenerator adapts quickTSValue to quick.Config.
+func tsValueGenerator(values []reflect.Value, rng *rand.Rand) {
+	for i := range values {
+		values[i] = reflect.ValueOf(quickTSValue(rng))
+	}
+}
+
+func TestLessBasics(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b TSValue
+		want bool
+	}{
+		{"lower ts", TSValue{TS: 1, Writer: 9}, TSValue{TS: 2, Writer: 0}, true},
+		{"higher ts", TSValue{TS: 3}, TSValue{TS: 2}, false},
+		{"tie broken by writer", TSValue{TS: 2, Writer: 1}, TSValue{TS: 2, Writer: 2}, true},
+		{"equal", TSValue{TS: 2, Writer: 2}, TSValue{TS: 2, Writer: 2}, false},
+		{"value ignored", TSValue{TS: 2, Writer: 2, Val: 99}, TSValue{TS: 2, Writer: 2, Val: 1}, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.a.Less(tc.b); got != tc.want {
+				t.Errorf("(%v).Less(%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestLessIsStrictTotalOrder(t *testing.T) {
+	cfg := &quick.Config{Values: tsValueGenerator}
+	// Irreflexivity + antisymmetry.
+	if err := quick.Check(func(a, b TSValue) bool {
+		if a.Less(a) {
+			return false
+		}
+		if a.Less(b) && b.Less(a) {
+			return false
+		}
+		// Totality on distinct timestamps/writers.
+		sameKey := a.TS == b.TS && a.Writer == b.Writer
+		if !sameKey && !a.Less(b) && !b.Less(a) {
+			return false
+		}
+		return true
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Transitivity.
+	if err := quick.Check(func(a, b, c TSValue) bool {
+		if a.Less(b) && b.Less(c) {
+			return a.Less(c)
+		}
+		return true
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareConsistentWithLess(t *testing.T) {
+	cfg := &quick.Config{Values: tsValueGenerator}
+	if err := quick.Check(func(a, b TSValue) bool {
+		switch a.Compare(b) {
+		case -1:
+			return a.Less(b)
+		case 1:
+			return b.Less(a)
+		case 0:
+			return !a.Less(b) && !b.Less(a)
+		default:
+			return false
+		}
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxTSValue(t *testing.T) {
+	cfg := &quick.Config{Values: tsValueGenerator}
+	// Max returns one of its arguments and is an upper bound.
+	if err := quick.Check(func(a, b TSValue) bool {
+		m := MaxTSValue(a, b)
+		if m != a && m != b {
+			return false
+		}
+		return !m.Less(a) && !m.Less(b)
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Commutative up to order-equivalence.
+	if err := quick.Check(func(a, b TSValue) bool {
+		m1, m2 := MaxTSValue(a, b), MaxTSValue(b, a)
+		return m1.Compare(m2) == 0
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroTSValueIsMinimum(t *testing.T) {
+	cfg := &quick.Config{Values: tsValueGenerator}
+	if err := quick.Check(func(a TSValue) bool {
+		a.Writer = ClientID(int32(abs(int(a.Writer)))) // writers are non-negative in practice
+		return !a.Less(ZeroTSValue) || a == ZeroTSValue
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestString(t *testing.T) {
+	s := TSValue{TS: 7, Writer: 3, Val: 42}.String()
+	for _, want := range []string{"7", "3", "42"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, want it to contain %q", s, want)
+		}
+	}
+}

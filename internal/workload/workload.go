@@ -1,0 +1,119 @@
+// Package workload generates the operation schedules the experiments run:
+// unique write values (the checkers require them), write-sequential
+// schedules (the paper's lower-bound runs are write-sequential), and seeded
+// concurrent read/write mixes for stress tests.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// ValueGen hands out cluster-unique write values. Values encode the writer
+// in the high bits and a per-writer sequence number in the low bits, so two
+// clients can never collide.
+type ValueGen struct {
+	mu   sync.Mutex
+	next map[types.ClientID]int64
+}
+
+// NewValueGen creates a generator.
+func NewValueGen() *ValueGen {
+	return &ValueGen{next: make(map[types.ClientID]int64)}
+}
+
+// Next returns a fresh unique value for the given client.
+func (g *ValueGen) Next(client types.ClientID) types.Value {
+	g.mu.Lock()
+	g.next[client]++
+	seq := g.next[client]
+	g.mu.Unlock()
+	return types.Value((int64(client)+1)<<32 | seq)
+}
+
+// Step is one scheduled high-level operation.
+type Step struct {
+	// Client performs the op: a writer index for writes, a reader index
+	// for reads.
+	Client int
+	// IsRead selects read vs write.
+	IsRead bool
+}
+
+// Sequential returns the canonical lower-bound schedule: k writes, one per
+// writer, in writer order, each followed by a read when interleaveReads is
+// set.
+func Sequential(k int, interleaveReads bool) []Step {
+	var steps []Step
+	for i := 0; i < k; i++ {
+		steps = append(steps, Step{Client: i})
+		if interleaveReads {
+			steps = append(steps, Step{Client: 0, IsRead: true})
+		}
+	}
+	return steps
+}
+
+// Mix describes a randomized workload.
+type Mix struct {
+	// Writers and Readers are the client pools.
+	Writers int
+	Readers int
+	// Ops is the total number of operations.
+	Ops int
+	// ReadFraction in [0, 1] is the probability of a read.
+	ReadFraction float64
+	// Seed makes the schedule reproducible.
+	Seed int64
+}
+
+// Validate checks the mix parameters.
+func (m Mix) Validate() error {
+	if m.Writers <= 0 && m.ReadFraction < 1 {
+		return fmt.Errorf("workload: mix needs writers (writers=%d, readFraction=%v)", m.Writers, m.ReadFraction)
+	}
+	if m.Readers <= 0 && m.ReadFraction > 0 {
+		return fmt.Errorf("workload: mix needs readers (readers=%d, readFraction=%v)", m.Readers, m.ReadFraction)
+	}
+	if m.Ops < 0 {
+		return fmt.Errorf("workload: negative op count %d", m.Ops)
+	}
+	if m.ReadFraction < 0 || m.ReadFraction > 1 {
+		return fmt.Errorf("workload: read fraction %v outside [0,1]", m.ReadFraction)
+	}
+	return nil
+}
+
+// Schedule materializes the mix into a deterministic step sequence.
+func (m Mix) Schedule() ([]Step, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(m.Seed))
+	steps := make([]Step, 0, m.Ops)
+	for i := 0; i < m.Ops; i++ {
+		if rng.Float64() < m.ReadFraction {
+			steps = append(steps, Step{Client: rng.Intn(m.Readers), IsRead: true})
+		} else {
+			steps = append(steps, Step{Client: rng.Intn(m.Writers)})
+		}
+	}
+	return steps, nil
+}
+
+// RoundRobinWrites returns rounds*k writes cycling through the k writers:
+// writer order 0..k-1 repeated. Every writer performs `rounds` writes, so
+// the cover-set logic of Algorithm 2 (re-triggering on registers freed by
+// old pending writes) is exercised.
+func RoundRobinWrites(k, rounds int) []Step {
+	steps := make([]Step, 0, k*rounds)
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < k; i++ {
+			steps = append(steps, Step{Client: i})
+		}
+	}
+	return steps
+}

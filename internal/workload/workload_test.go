@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func TestValueGenUnique(t *testing.T) {
+	g := NewValueGen()
+	seen := make(map[types.Value]bool)
+	for c := 0; c < 5; c++ {
+		for i := 0; i < 100; i++ {
+			v := g.Next(types.ClientID(c))
+			if seen[v] {
+				t.Fatalf("duplicate value %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestValueGenUniqueProperty(t *testing.T) {
+	// Values from different clients never collide, regardless of call
+	// interleaving.
+	err := quick.Check(func(calls []uint8) bool {
+		g := NewValueGen()
+		seen := make(map[types.Value]bool)
+		for _, c := range calls {
+			v := g.Next(types.ClientID(c % 16))
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialSchedule(t *testing.T) {
+	steps := Sequential(3, false)
+	if len(steps) != 3 {
+		t.Fatalf("len = %d, want 3", len(steps))
+	}
+	for i, s := range steps {
+		if s.IsRead || s.Client != i {
+			t.Errorf("step %d = %+v", i, s)
+		}
+	}
+	withReads := Sequential(3, true)
+	if len(withReads) != 6 {
+		t.Fatalf("len = %d, want 6", len(withReads))
+	}
+	for i := 1; i < len(withReads); i += 2 {
+		if !withReads[i].IsRead {
+			t.Errorf("step %d should be a read", i)
+		}
+	}
+}
+
+func TestRoundRobinWrites(t *testing.T) {
+	steps := RoundRobinWrites(3, 2)
+	if len(steps) != 6 {
+		t.Fatalf("len = %d, want 6", len(steps))
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i, s := range steps {
+		if s.Client != want[i] || s.IsRead {
+			t.Errorf("step %d = %+v, want writer %d", i, s, want[i])
+		}
+	}
+}
+
+func TestMixValidation(t *testing.T) {
+	bad := []Mix{
+		{Writers: 0, Readers: 1, Ops: 5, ReadFraction: 0.5},
+		{Writers: 1, Readers: 0, Ops: 5, ReadFraction: 0.5},
+		{Writers: 1, Readers: 1, Ops: -1, ReadFraction: 0.5},
+		{Writers: 1, Readers: 1, Ops: 5, ReadFraction: 1.5},
+		{Writers: 1, Readers: 1, Ops: 5, ReadFraction: -0.1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("mix %d accepted: %+v", i, m)
+		}
+	}
+	good := Mix{Writers: 2, Readers: 3, Ops: 10, ReadFraction: 0.3, Seed: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good mix rejected: %v", err)
+	}
+}
+
+func TestMixScheduleDeterministic(t *testing.T) {
+	m := Mix{Writers: 3, Readers: 2, Ops: 50, ReadFraction: 0.4, Seed: 42}
+	s1, err := m.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := m.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1) != 50 || len(s2) != 50 {
+		t.Fatalf("lens = %d, %d; want 50", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("schedules diverge at %d: %+v vs %+v", i, s1[i], s2[i])
+		}
+	}
+	// Clients stay in their pools.
+	for _, s := range s1 {
+		if s.IsRead && (s.Client < 0 || s.Client >= 2) {
+			t.Errorf("reader %d out of pool", s.Client)
+		}
+		if !s.IsRead && (s.Client < 0 || s.Client >= 3) {
+			t.Errorf("writer %d out of pool", s.Client)
+		}
+	}
+}
+
+func TestMixScheduleSeedMatters(t *testing.T) {
+	m1 := Mix{Writers: 3, Readers: 2, Ops: 50, ReadFraction: 0.5, Seed: 1}
+	m2 := Mix{Writers: 3, Readers: 2, Ops: 50, ReadFraction: 0.5, Seed: 2}
+	s1, _ := m1.Schedule()
+	s2, _ := m2.Schedule()
+	same := true
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical schedules")
+	}
+}
