@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build vet test race bench bench-smoke fabric-bench
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark suite (space metrics + latency + fabric throughput).
+bench:
+	$(GO) test -run xxx -bench . -benchmem ./...
+
+# One-iteration smoke run, as in CI.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# The fabric dispatch throughput number tracked in the perf trajectory.
+fabric-bench:
+	$(GO) test -run xxx -bench BenchmarkFabricParallelTrigger -benchtime 2s .

@@ -12,8 +12,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
+	"repro/internal/baseobj"
 	"repro/internal/bounds"
 	"repro/internal/cluster"
 	"repro/internal/emulation/casmax"
@@ -351,6 +353,53 @@ func BenchmarkCheckers(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(hist.Len()), "history_ops")
+}
+
+// BenchmarkFabricParallelTrigger measures raw fabric dispatch throughput —
+// triggers/sec through the benign gate with concurrent clients spread
+// across per-server objects. This is the hot path the per-server dispatch
+// lanes shard; the goroutines=8 case is the PR acceptance number (≥2x over
+// the single-global-mutex fabric).
+func BenchmarkFabricParallelTrigger(b *testing.B) {
+	const servers = 8
+	for _, par := range []int{1, 8, 32} {
+		par := par
+		b.Run(fmt.Sprintf("goroutines=%dxGOMAXPROCS", par), func(b *testing.B) {
+			c, err := cluster.New(servers)
+			if err != nil {
+				b.Fatalf("cluster: %v", err)
+			}
+			objs := make([]types.ObjectID, servers)
+			for s := 0; s < servers; s++ {
+				obj, err := c.PlaceRegister(types.ServerID(s))
+				if err != nil {
+					b.Fatalf("place: %v", err)
+				}
+				objs[s] = obj
+			}
+			fab := fabric.New(c)
+			var nextClient atomic.Int64
+			b.SetParallelism(par)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				client := types.ClientID(nextClient.Add(1))
+				obj := objs[int(client)%len(objs)]
+				i := 0
+				for pb.Next() {
+					i++
+					call := fab.Trigger(client, obj, baseobj.Invocation{
+						Op:  baseobj.OpWrite,
+						Arg: types.TSValue{TS: uint64(i), Writer: client},
+					})
+					if o, ok := call.Outcome(); !ok || o.Err != nil {
+						b.Fatalf("trigger outcome = %+v ok=%v", o, ok)
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "triggers/sec")
+		})
+	}
 }
 
 // BenchmarkBoundsFormulas measures the closed-form calculator (sanity: it

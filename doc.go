@@ -5,9 +5,38 @@
 // together with the covering adversary behind the paper's lower bounds and
 // a benchmark harness regenerating every table and figure.
 //
-// See DESIGN.md for the system inventory, EXPERIMENTS.md for the measured
-// paper-vs-reproduction results, and README.md for a tour. The root package
-// only anchors the module documentation and the repository-level benchmark
-// suite (bench_test.go); the implementation lives under internal/ and the
-// runnable entry points under cmd/ and examples/.
+// # Architecture
+//
+// The system is layered along the paper's model, and sharded along its
+// fault boundary — servers:
+//
+//   - internal/baseobj: the base-object types (register, max-register, CAS
+//     cell) with their sequential specifications.
+//   - internal/cluster: the server set S and the delta: B -> S placement
+//     mapping. Every server guards its own object table; cluster-wide
+//     lookups are read-mostly and never contend with Apply traffic.
+//   - internal/fabric: the asynchronous trigger/respond fabric between
+//     clients and base objects, sharded into per-server dispatch lanes.
+//     Token allocation is lock-free, object routing is served from a
+//     lock-free route cache, each lane owns its held-op and crash-drop
+//     state, and TriggerBatch scatters a whole quorum round in one call.
+//     The environment plugs in as a Gate (hold/release/crash), which is
+//     how the covering adversary of Lemma 1 is realized.
+//   - internal/emulation/rounds: the shared quorum round engine — scatter
+//     a round over the lanes, await a quorum of responses (count-based,
+//     or Algorithm 2's complete-per-server scans), adaptive to crashes.
+//   - internal/emulation/...: the five constructions of Table 1 (abdmax,
+//     casmax, aacmax, regemu, and the under-provisioned naiveabd
+//     baseline), all built on the round engine; a new construction is the
+//     store layer plus ~50 lines of wiring.
+//   - internal/spec: the consistency checkers (WS-Safety, WS-Regularity,
+//     linearizability) that validate every experiment's history.
+//   - internal/adversary, internal/scenario, internal/runner: the paper's
+//     experiments — covering runs, the stale-release separation attack,
+//     exhaustive f=1 schedule search, chaos runs — plus data-driven JSON
+//     scenarios (internal/scenario/testdata).
+//
+// The root package anchors the module documentation and the
+// repository-level benchmark suite (bench_test.go); runnable entry points
+// live under cmd/ and examples/.
 package repro

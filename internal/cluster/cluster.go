@@ -6,6 +6,13 @@
 // crashes every base object mapped to it. The cluster also implements the
 // paper's resource-complexity accounting: the number of base objects
 // |delta^-1(S)| and the per-server object counts |delta^-1({s})|.
+//
+// Servers are independent fault domains, and the locking mirrors that:
+// every server guards its own object table, the cluster-wide delta mapping
+// is read-mostly (placement writes, everything else reads), and crash flags
+// are lock-free atomics. Read-path lookups (Delta, Object, Route, Crashed)
+// therefore never contend with Apply traffic on other servers — the
+// property package fabric's per-server dispatch lanes build on.
 package cluster
 
 import (
@@ -13,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/baseobj"
 	"repro/internal/types"
@@ -31,10 +39,10 @@ var (
 
 // Server is a fault-prone server hosting base objects.
 type Server struct {
-	id types.ServerID
+	id      types.ServerID
+	crashed atomic.Bool
 
-	mu      sync.Mutex
-	crashed bool
+	mu      sync.RWMutex
 	objects map[types.ObjectID]baseobj.Object
 }
 
@@ -42,25 +50,14 @@ type Server struct {
 func (s *Server) ID() types.ServerID { return s.id }
 
 // Crashed reports whether the server has crashed.
-func (s *Server) Crashed() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.crashed
-}
+func (s *Server) Crashed() bool { return s.crashed.Load() }
 
 // NumObjects returns |delta^-1({s})|, the number of base objects stored on
 // the server.
 func (s *Server) NumObjects() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.objects)
-}
-
-// crash marks the server (and hence all its objects) as crashed.
-func (s *Server) crash() {
-	s.mu.Lock()
-	s.crashed = true
-	s.mu.Unlock()
 }
 
 // place registers an object on the server.
@@ -73,32 +70,39 @@ func (s *Server) place(obj baseobj.Object) {
 	s.mu.Unlock()
 }
 
+// object returns the hosted object, if any.
+func (s *Server) object(obj types.ObjectID) (baseobj.Object, bool) {
+	s.mu.RLock()
+	o, ok := s.objects[obj]
+	s.mu.RUnlock()
+	return o, ok
+}
+
 // apply applies inv to the hosted object, or fails if the server crashed.
 func (s *Server) apply(obj types.ObjectID, client types.ClientID, inv baseobj.Invocation) (baseobj.Response, error) {
-	s.mu.Lock()
-	if s.crashed {
-		s.mu.Unlock()
+	if s.crashed.Load() {
 		return baseobj.Response{}, fmt.Errorf("%w: server %d", ErrServerCrashed, s.id)
 	}
-	o, ok := s.objects[obj]
-	s.mu.Unlock()
+	o, ok := s.object(obj)
 	if !ok {
 		return baseobj.Response{}, fmt.Errorf("%w: object %d on server %d", ErrNoSuchObject, obj, s.id)
 	}
-	// The object's own mutex is the linearization point; holding the
-	// server lock across Apply would serialize unrelated objects.
+	// The object's own mutex is the linearization point; holding a
+	// server-wide lock across Apply would serialize unrelated objects.
 	return o.Apply(client, inv)
 }
 
 // Cluster is the set of servers plus the delta mapping.
 type Cluster struct {
 	servers []*Server
+	crashes atomic.Int32
 
-	mu      sync.Mutex
+	// mu guards the delta and object tables. Placement is rare (setup
+	// time) and every hot-path access is a read, hence the RWMutex.
+	mu      sync.RWMutex
 	delta   map[types.ObjectID]types.ServerID
 	objects map[types.ObjectID]baseobj.Object
 	nextID  types.ObjectID
-	crashes int
 }
 
 // New creates a cluster of n servers with IDs 0..n-1 and no objects.
@@ -181,8 +185,8 @@ func (c *Cluster) PlaceCASCell(server types.ServerID) (types.ObjectID, error) {
 
 // Delta returns delta(obj), the server storing the object.
 func (c *Cluster) Delta(obj types.ObjectID) (types.ServerID, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	s, ok := c.delta[obj]
 	if !ok {
 		return 0, fmt.Errorf("%w: %d", ErrNoSuchObject, obj)
@@ -192,8 +196,8 @@ func (c *Cluster) Delta(obj types.ObjectID) (types.ServerID, error) {
 
 // Object returns the base object with the given ID.
 func (c *Cluster) Object(obj types.ObjectID) (baseobj.Object, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	o, ok := c.objects[obj]
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrNoSuchObject, obj)
@@ -201,8 +205,25 @@ func (c *Cluster) Object(obj types.ObjectID) (baseobj.Object, error) {
 	return o, nil
 }
 
+// Route resolves an object to its hosting server and the object itself in
+// one read-locked lookup. Package fabric caches routes so repeated
+// operations on an object never touch the cluster-wide tables again.
+func (c *Cluster) Route(obj types.ObjectID) (*Server, baseobj.Object, error) {
+	c.mu.RLock()
+	server, ok := c.delta[obj]
+	o := c.objects[obj]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %d", ErrNoSuchObject, obj)
+	}
+	return c.servers[server], o, nil
+}
+
 // Apply routes a low-level invocation to the server hosting the object and
-// applies it atomically. Package fabric is the only intended caller.
+// applies it atomically. It is a direct testing/tooling entry point: the
+// fabric resolves a Route once and applies through it instead, and (unlike
+// this method, which returns ErrServerCrashed) silently drops operations on
+// crashed servers so they stay pending forever.
 func (c *Cluster) Apply(obj types.ObjectID, client types.ClientID, inv baseobj.Invocation) (baseobj.Response, error) {
 	server, err := c.Delta(obj)
 	if err != nil {
@@ -217,31 +238,20 @@ func (c *Cluster) Crash(server types.ServerID) error {
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
-	already := s.crashed
-	s.mu.Unlock()
-	if already {
-		return nil
+	if s.crashed.CompareAndSwap(false, true) {
+		c.crashes.Add(1)
 	}
-	s.crash()
-	c.mu.Lock()
-	c.crashes++
-	c.mu.Unlock()
 	return nil
 }
 
 // Crashes returns the number of crashed servers.
-func (c *Cluster) Crashes() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.crashes
-}
+func (c *Cluster) Crashes() int { return int(c.crashes.Load()) }
 
 // ResourceComplexity returns |delta^-1(S)|: the total number of base
 // objects placed in the cluster. This is the paper's space measure.
 func (c *Cluster) ResourceComplexity() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return len(c.objects)
 }
 
@@ -258,8 +268,8 @@ func (c *Cluster) PerServerCounts() []int {
 // ObjectsOn returns the IDs of all objects mapped to the given server, in
 // ascending order.
 func (c *Cluster) ObjectsOn(server types.ServerID) []types.ObjectID {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var ids []types.ObjectID
 	for obj, s := range c.delta {
 		if s == server {
@@ -272,8 +282,8 @@ func (c *Cluster) ObjectsOn(server types.ServerID) []types.ObjectID {
 
 // AllObjects returns the IDs of every placed object in ascending order.
 func (c *Cluster) AllObjects() []types.ObjectID {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	ids := make([]types.ObjectID, 0, len(c.objects))
 	for obj := range c.objects {
 		ids = append(ids, obj)

@@ -21,6 +21,7 @@ import (
 	"repro/internal/baseobj"
 	"repro/internal/emulation/abdcore"
 	"repro/internal/emulation/quorumreg"
+	"repro/internal/emulation/rounds"
 	"repro/internal/fabric"
 	"repro/internal/spec"
 	"repro/internal/types"
@@ -31,6 +32,7 @@ type store struct {
 	fab    *fabric.Fabric
 	server types.ServerID
 	regs   []types.ObjectID // regs[i] is writable only by writer i
+	scan   []rounds.Target  // read targets for all k registers, precomputed
 
 	mu   sync.Mutex
 	last map[types.ClientID]types.TSValue // client-side write-max floor
@@ -63,50 +65,13 @@ func (s *store) StartWriteMax(client types.ClientID, v types.TSValue, report fun
 	call.OnComplete(func(o fabric.Outcome) { report(o.Resp.Val, o.Err) })
 }
 
-// StartReadMax implements abdcore.MaxStore: read all k registers of the
-// server and report their maximum once all have responded.
+// StartReadMax implements abdcore.MaxStore: scatter a read over all k
+// registers of the server in one batch and report their maximum once all
+// have responded. The registers live on the same server, so they crash
+// together: the fold either completes in full or stalls like any faulty
+// base object.
 func (s *store) StartReadMax(client types.ClientID, report func(types.TSValue, error)) {
-	join := &readJoin{remaining: len(s.regs), report: report}
-	for _, obj := range s.regs {
-		call := s.fab.Trigger(client, obj, baseobj.Invocation{Op: baseobj.OpRead})
-		call.OnComplete(func(o fabric.Outcome) { join.complete(o.Resp.Val, o.Err) })
-	}
-}
-
-// readJoin folds k base reads into one read-max completion.
-type readJoin struct {
-	mu        sync.Mutex
-	remaining int
-	max       types.TSValue
-	done      bool
-	report    func(types.TSValue, error)
-}
-
-// complete accumulates one base-read response.
-func (j *readJoin) complete(v types.TSValue, err error) {
-	j.mu.Lock()
-	if j.done {
-		j.mu.Unlock()
-		return
-	}
-	if err != nil {
-		j.done = true
-		r := j.report
-		j.mu.Unlock()
-		r(types.ZeroTSValue, err)
-		return
-	}
-	j.max = types.MaxTSValue(j.max, v)
-	j.remaining--
-	if j.remaining > 0 {
-		j.mu.Unlock()
-		return
-	}
-	j.done = true
-	r := j.report
-	max := j.max
-	j.mu.Unlock()
-	r(max, nil)
+	rounds.ScatterFold(s.fab, client, s.scan, len(s.scan), report)
 }
 
 // Options configure the construction.
@@ -153,6 +118,7 @@ func New(fab *fabric.Fabric, k, f int, opts Options) (*quorumreg.Register, error
 				return nil, fmt.Errorf("aacmax: placing register: %w", err)
 			}
 			st.regs = append(st.regs, obj)
+			st.scan = append(st.scan, rounds.Target{Object: obj, Inv: baseobj.Invocation{Op: baseobj.OpRead}})
 			total++
 		}
 		stores = append(stores, st)
@@ -162,6 +128,7 @@ func New(fab *fabric.Fabric, k, f int, opts Options) (*quorumreg.Register, error
 		K:         k,
 		F:         f,
 		Stores:    stores,
+		Fabric:    fab,
 		Resources: total,
 		History:   opts.History,
 	})

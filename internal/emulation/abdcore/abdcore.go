@@ -1,9 +1,9 @@
-// Package abdcore implements the quorum engine shared by the max-register,
-// CAS, and baseline emulations: the multi-writer ABD pattern [Attiya,
-// Bar-Noy, Dolev 1995; Gilbert, Lynch, Shvartsman 2010] in which a write
-// first collects the highest timestamp from a quorum, picks a larger one,
-// and then pushes the timestamped value to a quorum; a read collects from a
-// quorum and returns the value with the highest timestamp.
+// Package abdcore implements the quorum protocol shared by the
+// max-register, CAS, and baseline emulations: the multi-writer ABD pattern
+// [Attiya, Bar-Noy, Dolev 1995; Gilbert, Lynch, Shvartsman 2010] in which a
+// write first collects the highest timestamp from a quorum, picks a larger
+// one, and then pushes the timestamped value to a quorum; a read collects
+// from a quorum and returns the value with the highest timestamp.
 //
 // The paper observes (Section 1, "Results") that the per-server code of
 // multi-writer ABD is exactly the write-max / read-max interface of a
@@ -11,6 +11,13 @@
 // one store per server, with asynchronous start/report semantics matching
 // the fabric's trigger/respond model. Plugging in different stores yields
 // the different rows of Table 1.
+//
+// The round mechanics (scatter, quorum gather, crash adaptivity) live in
+// the shared internal/emulation/rounds engine. Stores whose operations are
+// single low-level ops additionally implement rounds.DirectReader /
+// rounds.DirectWriter, and the engine then scatters whole quorum rounds
+// through fabric.TriggerBatch in one call instead of starting each store
+// individually.
 package abdcore
 
 import (
@@ -18,6 +25,8 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/emulation/rounds"
+	"repro/internal/fabric"
 	"repro/internal/types"
 )
 
@@ -47,6 +56,14 @@ type Engine struct {
 	stores        []MaxStore
 	f             int
 	readWriteBack bool
+
+	// fab enables the batch-scatter fast path; readTargets is non-nil
+	// when every store is a rounds.DirectReader (the per-store read-max
+	// invocations, precomputed — they are constant), and directWriters is
+	// non-nil when every store is a rounds.DirectWriter.
+	fab           *fabric.Fabric
+	readTargets   []rounds.Target
+	directWriters []rounds.DirectWriter
 }
 
 // Option configures an Engine.
@@ -61,6 +78,13 @@ func WithReadWriteBack() Option {
 	return func(e *Engine) { e.readWriteBack = true }
 }
 
+// WithFabric tells the engine which fabric its stores trigger on, enabling
+// whole-round TriggerBatch scatters for direct stores. Without it the
+// engine falls back to starting each store individually.
+func WithFabric(fab *fabric.Fabric) Option {
+	return func(e *Engine) { e.fab = fab }
+}
+
 // New creates an engine over the given stores with failure threshold f.
 func New(stores []MaxStore, f int, opts ...Option) (*Engine, error) {
 	if f <= 0 {
@@ -73,6 +97,24 @@ func New(stores []MaxStore, f int, opts ...Option) (*Engine, error) {
 	for _, opt := range opts {
 		opt(e)
 	}
+	if e.fab != nil {
+		readTargets := make([]rounds.Target, 0, len(stores))
+		writers := make([]rounds.DirectWriter, 0, len(stores))
+		for _, s := range stores {
+			if dr, ok := s.(rounds.DirectReader); ok {
+				readTargets = append(readTargets, dr.ReadTarget())
+			}
+			if dw, ok := s.(rounds.DirectWriter); ok {
+				writers = append(writers, dw)
+			}
+		}
+		if len(readTargets) == len(stores) {
+			e.readTargets = readTargets
+		}
+		if len(writers) == len(stores) {
+			e.directWriters = writers
+		}
+	}
 	return e, nil
 }
 
@@ -80,57 +122,52 @@ func New(stores []MaxStore, f int, opts ...Option) (*Engine, error) {
 // len(stores) - f, a majority when len(stores) = 2f+1.
 func (e *Engine) Quorum() int { return len(e.stores) - e.f }
 
-// report is a store completion.
-type report struct {
-	val types.TSValue
-	err error
-}
-
 // Collect reads the highest timestamped value from a quorum of stores.
 func (e *Engine) Collect(ctx context.Context, client types.ClientID) (types.TSValue, error) {
-	ch := make(chan report, len(e.stores))
-	for _, s := range e.stores {
+	if e.readTargets != nil {
+		v, err := rounds.Scatter(e.fab, client, e.readTargets).AwaitMax(ctx, e.Quorum())
+		if err != nil {
+			return v, fmt.Errorf("abdcore: %w", err)
+		}
+		return v, nil
+	}
+	ch := make(chan rounds.Report, len(e.stores))
+	for i, s := range e.stores {
+		i := i
 		s.StartReadMax(client, func(v types.TSValue, err error) {
-			ch <- report{val: v, err: err}
+			ch <- rounds.Report{Index: i, Val: v, Err: err}
 		})
 	}
-	return e.await(ctx, ch)
+	v, err := rounds.Gather(ctx, ch, e.Quorum())
+	if err != nil {
+		return v, fmt.Errorf("abdcore: %w", err)
+	}
+	return v, nil
 }
 
 // WriteMax pushes v to a quorum of stores.
 func (e *Engine) WriteMax(ctx context.Context, client types.ClientID, v types.TSValue) error {
-	ch := make(chan report, len(e.stores))
-	for _, s := range e.stores {
+	if e.directWriters != nil {
+		targets := make([]rounds.Target, len(e.directWriters))
+		for i, dw := range e.directWriters {
+			targets[i] = dw.WriteTarget(v)
+		}
+		if _, err := rounds.Scatter(e.fab, client, targets).AwaitMax(ctx, e.Quorum()); err != nil {
+			return fmt.Errorf("abdcore: %w", err)
+		}
+		return nil
+	}
+	ch := make(chan rounds.Report, len(e.stores))
+	for i, s := range e.stores {
+		i := i
 		s.StartWriteMax(client, v, func(got types.TSValue, err error) {
-			ch <- report{val: got, err: err}
+			ch <- rounds.Report{Index: i, Val: got, Err: err}
 		})
 	}
-	_, err := e.await(ctx, ch)
-	return err
-}
-
-// await gathers quorum-many reports, folding values with max.
-func (e *Engine) await(ctx context.Context, ch <-chan report) (types.TSValue, error) {
-	max := types.ZeroTSValue
-	for got := 0; got < e.Quorum(); got++ {
-		// A done context fails deterministically even when reports are
-		// already buffered (select picks ready cases at random).
-		if err := ctx.Err(); err != nil {
-			return max, fmt.Errorf("abdcore: quorum wait (%d/%d): %w", got, e.Quorum(), err)
-		}
-		select {
-		case <-ctx.Done():
-			return max, fmt.Errorf("abdcore: quorum wait (%d/%d): %w", got, e.Quorum(), ctx.Err())
-		case r := <-ch:
-			if r.err != nil {
-				// Store errors are protocol violations (wrong op,
-				// unauthorized writer), not crash failures; fail fast.
-				return max, fmt.Errorf("abdcore: store error: %w", r.err)
-			}
-			max = types.MaxTSValue(max, r.val)
-		}
+	if _, err := rounds.Gather(ctx, ch, e.Quorum()); err != nil {
+		return fmt.Errorf("abdcore: %w", err)
 	}
-	return max, nil
+	return nil
 }
 
 // Write performs the high-level write: collect, bump the timestamp, push.

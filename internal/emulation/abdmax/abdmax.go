@@ -16,23 +16,40 @@ import (
 	"repro/internal/baseobj"
 	"repro/internal/emulation/abdcore"
 	"repro/internal/emulation/quorumreg"
+	"repro/internal/emulation/rounds"
 	"repro/internal/fabric"
 	"repro/internal/spec"
 	"repro/internal/types"
 )
 
-// store is a single max-register base object on one server.
+// store is a single max-register base object on one server. Both of its
+// operations are single low-level ops, so it is a direct store: the quorum
+// engine scatters whole rounds over all stores in one TriggerBatch.
 type store struct {
 	fab    *fabric.Fabric
 	obj    types.ObjectID
 	server types.ServerID
 }
 
-// Compile-time interface compliance check.
-var _ abdcore.MaxStore = (*store)(nil)
+// Compile-time interface compliance checks.
+var (
+	_ abdcore.MaxStore    = (*store)(nil)
+	_ rounds.DirectReader = (*store)(nil)
+	_ rounds.DirectWriter = (*store)(nil)
+)
 
 // Server implements abdcore.MaxStore.
 func (s *store) Server() types.ServerID { return s.server }
+
+// ReadTarget implements rounds.DirectReader.
+func (s *store) ReadTarget() rounds.Target {
+	return rounds.Target{Object: s.obj, Inv: baseobj.Invocation{Op: baseobj.OpReadMax}}
+}
+
+// WriteTarget implements rounds.DirectWriter.
+func (s *store) WriteTarget(v types.TSValue) rounds.Target {
+	return rounds.Target{Object: s.obj, Inv: baseobj.Invocation{Op: baseobj.OpWriteMax, Arg: v}}
+}
 
 // StartWriteMax implements abdcore.MaxStore with a single write-max trigger.
 func (s *store) StartWriteMax(client types.ClientID, v types.TSValue, report func(types.TSValue, error)) {
@@ -91,6 +108,7 @@ func New(fab *fabric.Fabric, k, f int, opts Options) (*quorumreg.Register, error
 		K:          k,
 		F:          f,
 		Stores:     stores,
+		Fabric:     fab,
 		Resources:  len(stores),
 		History:    opts.History,
 		EngineOpts: engineOpts,

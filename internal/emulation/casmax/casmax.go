@@ -23,6 +23,7 @@ import (
 	"repro/internal/baseobj"
 	"repro/internal/emulation/abdcore"
 	"repro/internal/emulation/quorumreg"
+	"repro/internal/emulation/rounds"
 	"repro/internal/fabric"
 	"repro/internal/spec"
 	"repro/internal/types"
@@ -50,6 +51,10 @@ func (m *Metrics) Retries() int64 {
 // store emulates one max-register from a single CAS cell. Operations run as
 // callback chains on the fabric: if any low-level CAS never responds (held
 // or crashed), the chain silently stalls — precisely a pending op.
+//
+// read-max is a single no-op CAS, so the store is a direct reader and read
+// rounds batch-scatter; write-max is Algorithm 1's retry loop and keeps the
+// per-store start/report path.
 type store struct {
 	fab     *fabric.Fabric
 	obj     types.ObjectID
@@ -57,8 +62,11 @@ type store struct {
 	metrics *Metrics
 }
 
-// Compile-time interface compliance check.
-var _ abdcore.MaxStore = (*store)(nil)
+// Compile-time interface compliance checks.
+var (
+	_ abdcore.MaxStore    = (*store)(nil)
+	_ rounds.DirectReader = (*store)(nil)
+)
 
 // Server implements abdcore.MaxStore.
 func (s *store) Server() types.ServerID { return s.server }
@@ -66,6 +74,11 @@ func (s *store) Server() types.ServerID { return s.server }
 // readInv is the no-op CAS(v0, v0) used as a read (Algorithm 1, lines 3/8).
 func readInv() baseobj.Invocation {
 	return baseobj.Invocation{Op: baseobj.OpCAS, Exp: types.ZeroTSValue, New: types.ZeroTSValue}
+}
+
+// ReadTarget implements rounds.DirectReader.
+func (s *store) ReadTarget() rounds.Target {
+	return rounds.Target{Object: s.obj, Inv: readInv()}
 }
 
 // StartReadMax implements abdcore.MaxStore: read-max is one no-op CAS whose
@@ -155,6 +168,7 @@ func New(fab *fabric.Fabric, k, f int, opts Options) (*quorumreg.Register, *Metr
 		K:          k,
 		F:          f,
 		Stores:     stores,
+		Fabric:     fab,
 		Resources:  len(stores),
 		History:    opts.History,
 		EngineOpts: engineOpts,

@@ -19,24 +19,41 @@ import (
 	"repro/internal/baseobj"
 	"repro/internal/emulation/abdcore"
 	"repro/internal/emulation/quorumreg"
+	"repro/internal/emulation/rounds"
 	"repro/internal/fabric"
 	"repro/internal/spec"
 	"repro/internal/types"
 )
 
 // store exposes a plain register through the max-store interface: write-max
-// becomes a lossy overwrite — the flaw under adversarial asynchrony.
+// becomes a lossy overwrite — the flaw under adversarial asynchrony. Both
+// operations are single low-level ops, so the store is direct and the
+// engine batch-scatters its rounds.
 type store struct {
 	fab    *fabric.Fabric
 	obj    types.ObjectID
 	server types.ServerID
 }
 
-// Compile-time interface compliance check.
-var _ abdcore.MaxStore = (*store)(nil)
+// Compile-time interface compliance checks.
+var (
+	_ abdcore.MaxStore    = (*store)(nil)
+	_ rounds.DirectReader = (*store)(nil)
+	_ rounds.DirectWriter = (*store)(nil)
+)
 
 // Server implements abdcore.MaxStore.
 func (s *store) Server() types.ServerID { return s.server }
+
+// ReadTarget implements rounds.DirectReader.
+func (s *store) ReadTarget() rounds.Target {
+	return rounds.Target{Object: s.obj, Inv: baseobj.Invocation{Op: baseobj.OpRead}}
+}
+
+// WriteTarget implements rounds.DirectWriter: the unconditional overwrite.
+func (s *store) WriteTarget(v types.TSValue) rounds.Target {
+	return rounds.Target{Object: s.obj, Inv: baseobj.Invocation{Op: baseobj.OpWrite, Arg: v}}
+}
 
 // StartWriteMax implements abdcore.MaxStore with an unconditional write.
 func (s *store) StartWriteMax(client types.ClientID, v types.TSValue, report func(types.TSValue, error)) {
@@ -87,6 +104,7 @@ func New(fab *fabric.Fabric, k, f int, opts Options) (*quorumreg.Register, error
 		K:         k,
 		F:         f,
 		Stores:    stores,
+		Fabric:    fab,
 		Resources: len(stores),
 		History:   opts.History,
 	})

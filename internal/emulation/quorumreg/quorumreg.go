@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/emulation"
 	"repro/internal/emulation/abdcore"
+	"repro/internal/fabric"
 	"repro/internal/spec"
 	"repro/internal/types"
 )
@@ -24,6 +25,9 @@ type Config struct {
 	K, F int
 	// Stores are the per-server max-stores, at least 2f+1 of them.
 	Stores []abdcore.MaxStore
+	// Fabric is the fabric the stores trigger on; when set, the engine
+	// batch-scatters whole quorum rounds for direct (single-op) stores.
+	Fabric *fabric.Fabric
 	// Resources is the number of base objects the construction placed.
 	Resources int
 	// History receives the high-level operations; a fresh history is
@@ -51,7 +55,11 @@ func New(cfg Config) (*Register, error) {
 	if cfg.K <= 0 {
 		return nil, fmt.Errorf("quorumreg: k must be positive, got %d", cfg.K)
 	}
-	engine, err := abdcore.New(cfg.Stores, cfg.F, cfg.EngineOpts...)
+	opts := cfg.EngineOpts
+	if cfg.Fabric != nil {
+		opts = append(opts[:len(opts):len(opts)], abdcore.WithFabric(cfg.Fabric))
+	}
+	engine, err := abdcore.New(cfg.Stores, cfg.F, opts...)
 	if err != nil {
 		return nil, err
 	}

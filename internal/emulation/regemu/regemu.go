@@ -25,10 +25,12 @@ package regemu
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync/atomic"
 
 	"repro/internal/baseobj"
 	"repro/internal/emulation"
+	"repro/internal/emulation/rounds"
 	"repro/internal/fabric"
 	"repro/internal/layout"
 	"repro/internal/spec"
@@ -41,7 +43,7 @@ type Emulation struct {
 	placement *layout.Placement
 	hist      *spec.History
 	k, f, n   int
-	byServer  map[types.ServerID][]types.ObjectID
+	scan      []rounds.Target // reads on every register, server-major order
 	writers   []*Writer
 	readers   atomic.Int64
 }
@@ -81,7 +83,20 @@ func New(fab *fabric.Fabric, k, f int, opts Options) (*Emulation, error) {
 		k:         k,
 		f:         f,
 		n:         c.N(),
-		byServer:  placement.ObjectsByServer(),
+	}
+	// Precompute the collect scan — a read on every register, in
+	// deterministic server-major order — once; every collect scatters it
+	// as a single batch.
+	byServer := placement.ObjectsByServer()
+	servers := make([]types.ServerID, 0, len(byServer))
+	for server := range byServer {
+		servers = append(servers, server)
+	}
+	sort.Slice(servers, func(i, j int) bool { return servers[i] < servers[j] })
+	for _, server := range servers {
+		for _, obj := range byServer[server] {
+			e.scan = append(e.scan, rounds.Target{Object: obj, Inv: baseobj.Invocation{Op: baseobj.OpRead}})
+		}
 	}
 	e.writers = make([]*Writer, k)
 	for w := 0; w < k; w++ {
@@ -144,55 +159,14 @@ func (e *Emulation) NewReader() emulation.Reader {
 	return &Reader{em: e, client: id}
 }
 
-// scanEvent is one base-register read completion during a collect.
-type scanEvent struct {
-	server types.ServerID
-	val    types.TSValue
-	err    error
-}
-
-// collect implements lines 13–26 of Algorithm 2: trigger a read on every
-// register of every server and wait until, for n-f servers, every register
-// of the server has responded (n-f complete scans). It returns the highest
-// timestamped value observed.
+// collect implements lines 13–26 of Algorithm 2: scatter a read on every
+// register of every server as one batch and wait until, for n-f servers,
+// every register of the server has responded (n-f complete scans). It
+// returns the highest timestamped value observed.
 func (e *Emulation) collect(ctx context.Context, client types.ClientID) (types.TSValue, error) {
-	total := 0
-	for _, objs := range e.byServer {
-		total += len(objs)
-	}
-	ch := make(chan scanEvent, total)
-	remaining := make(map[types.ServerID]int, len(e.byServer))
-	for server, objs := range e.byServer {
-		remaining[server] = len(objs)
-		for _, obj := range objs {
-			server := server
-			call := e.fab.Trigger(client, obj, baseobj.Invocation{Op: baseobj.OpRead})
-			call.OnComplete(func(o fabric.Outcome) {
-				ch <- scanEvent{server: server, val: o.Resp.Val, err: o.Err}
-			})
-		}
-	}
-	need := e.n - e.f
-	max := types.ZeroTSValue
-	for scans := 0; scans < need; {
-		// A done context fails deterministically even when events are
-		// already buffered (select picks ready cases at random).
-		if err := ctx.Err(); err != nil {
-			return max, fmt.Errorf("regemu: collect (%d/%d scans): %w", scans, need, err)
-		}
-		select {
-		case <-ctx.Done():
-			return max, fmt.Errorf("regemu: collect (%d/%d scans): %w", scans, need, ctx.Err())
-		case ev := <-ch:
-			if ev.err != nil {
-				return max, fmt.Errorf("regemu: collect: %w", ev.err)
-			}
-			max = types.MaxTSValue(max, ev.val)
-			remaining[ev.server]--
-			if remaining[ev.server] == 0 {
-				scans++
-			}
-		}
+	max, err := rounds.Scatter(e.fab, client, e.scan).AwaitServers(ctx, e.n-e.f)
+	if err != nil {
+		return max, fmt.Errorf("regemu: collect: %w", err)
 	}
 	return max, nil
 }
@@ -235,6 +209,22 @@ func (w *Writer) trigger(b types.ObjectID, ts types.TSValue) {
 	})
 }
 
+// scatter batch-triggers a write of ts on every given register, marking
+// them pending; completions land in the writer's event channel.
+func (w *Writer) scatter(objs []types.ObjectID, ts types.TSValue) {
+	batch := make([]fabric.BatchOp, len(objs))
+	for i, b := range objs {
+		w.pending[b] = true
+		batch[i] = fabric.BatchOp{Object: b, Inv: baseobj.Invocation{Op: baseobj.OpWrite, Arg: ts}}
+	}
+	for i, call := range w.em.fab.TriggerBatch(w.client, batch) {
+		b := objs[i]
+		call.OnComplete(func(o fabric.Outcome) {
+			w.events <- writeEvent{obj: b, ts: ts, err: o.Err}
+		})
+	}
+}
+
 // Write implements emulation.Writer: collect, pick a higher timestamp,
 // push to the writer's register set avoiding self-covered registers, and
 // return after |R_j| - f acknowledgements.
@@ -246,14 +236,16 @@ func (w *Writer) Write(ctx context.Context, v types.Value) error {
 	}
 	ts := types.TSValue{TS: cur.TS + 1, Writer: w.client, Val: v}
 
-	// Lines 6–10: trigger on every register of R_j that we do not
-	// currently cover. (Self-covered registers are re-armed as their old
-	// writes respond, below.)
+	// Lines 6–10: scatter one batch over every register of R_j that we do
+	// not currently cover. (Self-covered registers are re-armed as their
+	// old writes respond, below.)
+	fresh := make([]types.ObjectID, 0, len(w.set))
 	for _, b := range w.set {
 		if !w.pending[b] {
-			w.trigger(b, ts)
+			fresh = append(fresh, b)
 		}
 	}
+	w.scatter(fresh, ts)
 
 	// Line 11 + lines 29–34: drain completions until |R_j|-f registers
 	// acknowledged the *current* timestamp. A response for an older

@@ -1,0 +1,231 @@
+// Package rounds is the shared quorum round engine underneath every
+// emulation: scatter a round of low-level operations across the fabric's
+// per-server dispatch lanes in one TriggerBatch call, then gather responses
+// until a quorum condition holds. The paper's constructions differ in what
+// they scatter (max-register ops, CAS chains, per-server register scans)
+// and in the quorum condition (n-f responses, n-f complete server scans),
+// but the round mechanics — trigger everything, fold the highest
+// timestamped value, stay correct when servers crash or the environment
+// holds responses forever — are identical, so they live here once.
+//
+// Three gather modes cover the five constructions:
+//
+//   - Round.AwaitMax: block until `need` responses arrived (the ABD
+//     collect/push phases of abdmax, casmax, aacmax, naiveabd).
+//   - Round.AwaitServers: block until every operation of `need` distinct
+//     servers responded (Algorithm 2's complete per-server scans in regemu).
+//   - ScatterFold: non-blocking; invoke a report callback when `need`
+//     responses arrived (per-server multi-register stores such as aacmax's
+//     read-max, which must not block inside an asynchronous store start).
+//
+// Crash adaptivity is inherited from the fabric's semantics: operations on
+// crashed servers never respond, so gathers simply keep waiting for other
+// servers; a quorum assumption of at most f faulty servers makes the
+// condition eventually reachable, and the caller's context bounds the wait
+// otherwise.
+//
+// Gather (the channel-level primitive) is exported for stores whose
+// operations are multi-step callback chains (casmax's Algorithm 1 loop)
+// rather than single low-level ops.
+package rounds
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/baseobj"
+	"repro/internal/fabric"
+	"repro/internal/types"
+)
+
+// Target is one low-level operation of a round: an invocation on a base
+// object.
+type Target struct {
+	// Object is the target base object.
+	Object types.ObjectID
+	// Inv is the invocation.
+	Inv baseobj.Invocation
+}
+
+// Report is one completed operation of a round.
+type Report struct {
+	// Index is the operation's position in the scattered target slice
+	// (or the store index for channel-level gathers).
+	Index int
+	// Object and Server identify where the operation executed.
+	Object types.ObjectID
+	Server types.ServerID
+	// Val is the response value.
+	Val types.TSValue
+	// Err is a protocol error (wrong op, unauthorized writer) — crash
+	// failures never produce a report at all.
+	Err error
+}
+
+// DirectReader is implemented by stores whose read-max is a single
+// low-level operation; the engine batch-scatters such rounds through the
+// fabric instead of starting each store individually.
+type DirectReader interface {
+	// ReadTarget returns the read-max invocation target.
+	ReadTarget() Target
+}
+
+// DirectWriter is the write-side analogue of DirectReader.
+type DirectWriter interface {
+	// WriteTarget returns the write-max(v) invocation target.
+	WriteTarget(v types.TSValue) Target
+}
+
+// Round is one in-flight scatter: the triggered calls plus their response
+// stream.
+type Round struct {
+	calls []*fabric.Call
+	ch    chan Report
+}
+
+// Scatter triggers every target in one TriggerBatch and wires completions
+// into the round's report stream. It never blocks: completions arrive on
+// fabric goroutines (or immediately, for synchronous passes).
+func Scatter(fab *fabric.Fabric, client types.ClientID, targets []Target) *Round {
+	batch := make([]fabric.BatchOp, len(targets))
+	for i, t := range targets {
+		batch[i] = fabric.BatchOp{Object: t.Object, Inv: t.Inv}
+	}
+	r := &Round{ch: make(chan Report, len(targets))}
+	r.calls = fab.TriggerBatch(client, batch)
+	for i, call := range r.calls {
+		i, call := i, call
+		ev := call.Event()
+		call.OnComplete(func(o fabric.Outcome) {
+			r.ch <- Report{Index: i, Object: ev.Object, Server: ev.Server, Val: o.Resp.Val, Err: o.Err}
+		})
+	}
+	return r
+}
+
+// Calls returns the round's call handles in target order.
+func (r *Round) Calls() []*fabric.Call { return r.calls }
+
+// Size returns the number of scattered operations.
+func (r *Round) Size() int { return len(r.calls) }
+
+// AwaitMax blocks until need responses arrived (folding the maximum
+// timestamped value) or ctx is done.
+func (r *Round) AwaitMax(ctx context.Context, need int) (types.TSValue, error) {
+	return Gather(ctx, r.ch, need)
+}
+
+// AwaitServers blocks until, for need distinct servers, every operation of
+// the round targeting that server has responded — Algorithm 2's "n-f
+// complete scans" condition — folding the maximum timestamped value.
+func (r *Round) AwaitServers(ctx context.Context, need int) (types.TSValue, error) {
+	remaining := make(map[types.ServerID]int, need)
+	for _, call := range r.calls {
+		remaining[call.Event().Server]++
+	}
+	max := types.ZeroTSValue
+	for scans := 0; scans < need; {
+		// A done context fails deterministically even when reports are
+		// already buffered (select picks ready cases at random).
+		if err := ctx.Err(); err != nil {
+			return max, fmt.Errorf("rounds: scan gather (%d/%d servers): %w", scans, need, err)
+		}
+		select {
+		case <-ctx.Done():
+			return max, fmt.Errorf("rounds: scan gather (%d/%d servers): %w", scans, need, ctx.Err())
+		case rep := <-r.ch:
+			if rep.Err != nil {
+				return max, fmt.Errorf("rounds: scan gather: %w", rep.Err)
+			}
+			max = types.MaxTSValue(max, rep.Val)
+			remaining[rep.Server]--
+			if remaining[rep.Server] == 0 {
+				scans++
+			}
+		}
+	}
+	return max, nil
+}
+
+// Gather folds need reports from ch with MaxTSValue, failing fast on
+// report errors (protocol violations, not crash failures) and failing
+// deterministically when ctx is done.
+func Gather(ctx context.Context, ch <-chan Report, need int) (types.TSValue, error) {
+	max := types.ZeroTSValue
+	for got := 0; got < need; got++ {
+		// A done context fails deterministically even when reports are
+		// already buffered (select picks ready cases at random).
+		if err := ctx.Err(); err != nil {
+			return max, fmt.Errorf("rounds: quorum gather (%d/%d): %w", got, need, err)
+		}
+		select {
+		case <-ctx.Done():
+			return max, fmt.Errorf("rounds: quorum gather (%d/%d): %w", got, need, ctx.Err())
+		case rep := <-ch:
+			if rep.Err != nil {
+				return max, fmt.Errorf("rounds: store error: %w", rep.Err)
+			}
+			max = types.MaxTSValue(max, rep.Val)
+		}
+	}
+	return max, nil
+}
+
+// fold accumulates responses for ScatterFold.
+type fold struct {
+	mu        sync.Mutex
+	remaining int
+	max       types.TSValue
+	done      bool
+	report    func(types.TSValue, error)
+}
+
+// complete accumulates one response, firing the report on the need'th
+// response or the first error.
+func (j *fold) complete(v types.TSValue, err error) {
+	j.mu.Lock()
+	if j.done {
+		j.mu.Unlock()
+		return
+	}
+	if err != nil {
+		j.done = true
+		r := j.report
+		j.mu.Unlock()
+		r(types.ZeroTSValue, err)
+		return
+	}
+	j.max = types.MaxTSValue(j.max, v)
+	j.remaining--
+	if j.remaining > 0 {
+		j.mu.Unlock()
+		return
+	}
+	j.done = true
+	r := j.report
+	max := j.max
+	j.mu.Unlock()
+	r(max, nil)
+}
+
+// ScatterFold triggers every target and invokes report exactly once: when
+// need responses arrived (with their folded maximum) or on the first
+// error. It never blocks — completions run on fabric goroutines — which
+// makes it the right shape inside asynchronous store starts: if any
+// operation never responds (held or crashed), the report simply never
+// fires, exactly like any pending op.
+func ScatterFold(fab *fabric.Fabric, client types.ClientID, targets []Target, need int, report func(types.TSValue, error)) {
+	if need <= 0 || need > len(targets) {
+		report(types.ZeroTSValue, fmt.Errorf("rounds: fold needs %d of %d targets", need, len(targets)))
+		return
+	}
+	j := &fold{remaining: need, report: report}
+	batch := make([]fabric.BatchOp, len(targets))
+	for i, t := range targets {
+		batch[i] = fabric.BatchOp{Object: t.Object, Inv: t.Inv}
+	}
+	for _, call := range fab.TriggerBatch(client, batch) {
+		call.OnComplete(func(o fabric.Outcome) { j.complete(o.Resp.Val, o.Err) })
+	}
+}

@@ -1,0 +1,209 @@
+package rounds
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/baseobj"
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+	"repro/internal/types"
+)
+
+// testEnv builds an n-server cluster with one max-register per server.
+func testEnv(t *testing.T, n int, gate fabric.Gate) (*fabric.Fabric, []types.ObjectID) {
+	t.Helper()
+	c, err := cluster.New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := make([]types.ObjectID, n)
+	for s := 0; s < n; s++ {
+		obj, err := c.PlaceMaxRegister(types.ServerID(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs[s] = obj
+	}
+	var opts []fabric.Option
+	if gate != nil {
+		opts = append(opts, fabric.WithGate(gate))
+	}
+	return fabric.New(c, opts...), objs
+}
+
+func readTargets(objs []types.ObjectID) []Target {
+	ts := make([]Target, len(objs))
+	for i, obj := range objs {
+		ts[i] = Target{Object: obj, Inv: baseobj.Invocation{Op: baseobj.OpReadMax}}
+	}
+	return ts
+}
+
+func writeTargets(objs []types.ObjectID, v types.TSValue) []Target {
+	ts := make([]Target, len(objs))
+	for i, obj := range objs {
+		ts[i] = Target{Object: obj, Inv: baseobj.Invocation{Op: baseobj.OpWriteMax, Arg: v}}
+	}
+	return ts
+}
+
+func shortCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestScatterAwaitMax(t *testing.T) {
+	fab, objs := testEnv(t, 3, nil)
+	v := types.TSValue{TS: 7, Writer: 1, Val: 42}
+	if _, err := Scatter(fab, 1, writeTargets(objs, v)).AwaitMax(context.Background(), 3); err != nil {
+		t.Fatalf("write round: %v", err)
+	}
+	got, err := Scatter(fab, 2, readTargets(objs)).AwaitMax(context.Background(), 2)
+	if err != nil {
+		t.Fatalf("read round: %v", err)
+	}
+	if got != v {
+		t.Fatalf("AwaitMax = %v, want %v", got, v)
+	}
+}
+
+func TestAwaitMaxAdaptsToCrash(t *testing.T) {
+	fab, objs := testEnv(t, 3, nil)
+	if err := fab.Crash(0); err != nil {
+		t.Fatal(err)
+	}
+	// n-f = 2 responses still arrive from the two live servers.
+	if _, err := Scatter(fab, 1, readTargets(objs)).AwaitMax(context.Background(), 2); err != nil {
+		t.Fatalf("quorum round with crash: %v", err)
+	}
+	// All 3 can never respond: the gather must fail via ctx, not hang.
+	if _, err := Scatter(fab, 1, readTargets(objs)).AwaitMax(shortCtx(t), 3); err == nil {
+		t.Fatal("full round over a crashed server succeeded")
+	}
+}
+
+func TestAwaitMaxHeldResponses(t *testing.T) {
+	gate := fabric.GateFuncs{Respond: func(ev fabric.TriggerEvent, _ baseobj.Response) fabric.Decision {
+		if ev.Server == 2 {
+			return fabric.Hold
+		}
+		return fabric.Pass
+	}}
+	fab, objs := testEnv(t, 3, gate)
+	if _, err := Scatter(fab, 1, readTargets(objs)).AwaitMax(context.Background(), 2); err != nil {
+		t.Fatalf("quorum with one held response: %v", err)
+	}
+	if _, err := Scatter(fab, 1, readTargets(objs)).AwaitMax(shortCtx(t), 3); err == nil {
+		t.Fatal("await of a held response succeeded")
+	}
+}
+
+func TestGatherFailsFastOnStoreError(t *testing.T) {
+	ch := make(chan Report, 2)
+	ch <- Report{Err: context.DeadlineExceeded}
+	if _, err := Gather(context.Background(), ch, 2); err == nil {
+		t.Fatal("Gather swallowed a store error")
+	}
+}
+
+// TestAwaitServers exercises the Algorithm 2 scan condition: a server
+// counts only when every one of its operations responded.
+func TestAwaitServers(t *testing.T) {
+	c, err := cluster.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two registers per server.
+	var objs []types.ObjectID
+	for s := 0; s < 2; s++ {
+		for i := 0; i < 2; i++ {
+			obj, err := c.PlaceRegister(types.ServerID(s))
+			if err != nil {
+				t.Fatal(err)
+			}
+			objs = append(objs, obj)
+		}
+	}
+	// Hold the response of one register of server 1: server 1 never
+	// completes a scan, server 0 does.
+	heldObj := objs[3]
+	gate := fabric.GateFuncs{Respond: func(ev fabric.TriggerEvent, _ baseobj.Response) fabric.Decision {
+		if ev.Object == heldObj {
+			return fabric.Hold
+		}
+		return fabric.Pass
+	}}
+	fab := fabric.New(c, fabric.WithGate(gate))
+
+	targets := make([]Target, len(objs))
+	for i, obj := range objs {
+		targets[i] = Target{Object: obj, Inv: baseobj.Invocation{Op: baseobj.OpRead}}
+	}
+	if _, err := Scatter(fab, 1, targets).AwaitServers(context.Background(), 1); err != nil {
+		t.Fatalf("one full scan: %v", err)
+	}
+	if _, err := Scatter(fab, 1, targets).AwaitServers(shortCtx(t), 2); err == nil {
+		t.Fatal("two full scans succeeded with a held register response")
+	}
+}
+
+func TestScatterFold(t *testing.T) {
+	fab, objs := testEnv(t, 3, nil)
+	v := types.TSValue{TS: 3, Writer: 0, Val: 9}
+	if _, err := Scatter(fab, 0, writeTargets(objs, v)).AwaitMax(context.Background(), 3); err != nil {
+		t.Fatal(err)
+	}
+
+	fired := 0
+	var got types.TSValue
+	ScatterFold(fab, 1, readTargets(objs), len(objs), func(max types.TSValue, err error) {
+		if err != nil {
+			t.Fatalf("fold: %v", err)
+		}
+		fired++
+		got = max
+	})
+	if fired != 1 || got != v {
+		t.Fatalf("fold fired=%d max=%v, want 1 fire of %v", fired, got, v)
+	}
+
+	// Degenerate need reports an error instead of never firing.
+	errFired := false
+	ScatterFold(fab, 1, readTargets(objs), len(objs)+1, func(_ types.TSValue, err error) {
+		if err == nil {
+			t.Fatal("fold with need > targets reported no error")
+		}
+		errFired = true
+	})
+	if !errFired {
+		t.Fatal("degenerate fold never reported")
+	}
+}
+
+func TestScatterFoldReportsProtocolError(t *testing.T) {
+	c, err := cluster.New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single-writer register: client 5 is not authorized.
+	obj, err := c.PlaceRegister(0, baseobj.WithWriters([]types.ClientID{0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab := fabric.New(c)
+	fired := false
+	ScatterFold(fab, 5, []Target{{Object: obj, Inv: baseobj.Invocation{Op: baseobj.OpWrite, Arg: types.TSValue{TS: 1, Writer: 5}}}}, 1,
+		func(_ types.TSValue, err error) {
+			if err == nil {
+				t.Fatal("unauthorized write folded without error")
+			}
+			fired = true
+		})
+	if !fired {
+		t.Fatal("fold never reported")
+	}
+}

@@ -9,7 +9,8 @@
 // fabric realizes both powers:
 //
 //   - Trigger returns a *Call immediately; the response arrives later (or
-//     never) through Call.OnComplete.
+//     never) through Call.OnComplete. TriggerBatch scatters a whole quorum
+//     round in one dispatch pass.
 //   - A Gate — the environment — may Hold any operation either before it
 //     takes effect (phase apply: the op has NOT linearized; releasing it
 //     later applies it then, possibly erasing a newer value) or before its
@@ -17,6 +18,19 @@
 //     client does not know).
 //   - Crashing a server silently drops every pending and future operation
 //     on its objects: they remain pending forever.
+//
+// # Architecture: per-server dispatch lanes
+//
+// Servers are independent fault domains, and the fabric is sharded along
+// exactly that boundary. There is no global fabric lock. Each server gets a
+// dispatch lane owning the server's held-op index, crash-drop set, and
+// used-object accounting; token allocation and the trigger counter are
+// lock-free atomics; and object-to-server routing is resolved once per
+// object and then served from a lock-free route cache. Operations on
+// different servers therefore never contend inside the fabric — throughput
+// scales with the number of servers, not with the number of clients.
+// Aggregate views (Pending, CoveredObjects, UsedObjects) are merge-over-lane
+// reads; the global token order makes the merged snapshots deterministic.
 //
 // Pending write operations are exactly the paper's covering writes; the
 // fabric exposes them via Pending and CoveredObjects for the covering
@@ -29,6 +43,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/baseobj"
 	"repro/internal/cluster"
@@ -75,7 +90,9 @@ func (p Phase) String() string {
 // TriggerEvent describes a triggered low-level operation. Gates receive it
 // to make identity-based (deterministic) decisions.
 type TriggerEvent struct {
-	// Token uniquely identifies the low-level operation.
+	// Token uniquely identifies the low-level operation. Tokens are
+	// allocated from one global monotone counter, so they totally order
+	// triggers across all lanes.
 	Token uint64
 	// Client is the triggering client.
 	Client types.ClientID
@@ -140,13 +157,26 @@ type Outcome struct {
 	Err  error
 }
 
-// Call is the client-side handle of a triggered low-level operation.
-type Call struct {
-	ev TriggerEvent
+// Call completion states.
+const (
+	callPending uint32 = iota
+	callWriting        // a completer won the race and is writing the outcome
+	callDone
+)
 
-	mu   sync.Mutex
-	out  *Outcome
-	done func(Outcome)
+// consumedCallback marks a call's callback slot as closed: the call
+// completed and any armed callback has fired.
+var consumedCallback = new(func(Outcome))
+
+// Call is the client-side handle of a triggered low-level operation. It is
+// lock-free: completion and callback hand-off are a small atomic state
+// machine, so completing calls never serializes concurrent quorum rounds.
+type Call struct {
+	ev  TriggerEvent
+	out Outcome // written once by the completer, published by state
+
+	state atomic.Uint32
+	done  atomic.Pointer[func(Outcome)]
 }
 
 // Event returns the call's trigger event.
@@ -157,44 +187,49 @@ func (c *Call) Token() uint64 { return c.ev.Token }
 
 // Outcome returns the call's outcome, if it has completed.
 func (c *Call) Outcome() (Outcome, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.out == nil {
+	if c.state.Load() != callDone {
 		return Outcome{}, false
 	}
-	return *c.out, true
+	return c.out, true
 }
 
 // OnComplete registers fn to run exactly once when the call completes; if
 // the call already completed, fn runs immediately in the caller's
-// goroutine. At most one callback may be registered per call; a second
-// registration replaces the first if the call is still pending. Callbacks
+// goroutine. Exactly one callback may be registered per pending call:
+// registering a second callback while the first is still armed panics,
+// because the first caller's completion would be silently lost. Callbacks
 // must be non-blocking (typically a send into a buffered channel).
 func (c *Call) OnComplete(fn func(Outcome)) {
-	c.mu.Lock()
-	if c.out != nil {
-		o := *c.out
-		c.mu.Unlock()
-		fn(o)
-		return
+	p := &fn
+	for {
+		cur := c.done.Load()
+		switch cur {
+		case nil:
+			if c.done.CompareAndSwap(nil, p) {
+				// The completer's swap (which runs after the state is
+				// published) will observe p and fire it.
+				return
+			}
+		case consumedCallback:
+			// Already completed and the slot is closed: the done load
+			// ordered after the completer's swap, so out is visible.
+			fn(c.out)
+			return
+		default:
+			panic(fmt.Sprintf("fabric: OnComplete registered twice on pending call %d", c.ev.Token))
+		}
 	}
-	c.done = fn
-	c.mu.Unlock()
 }
 
 // complete delivers the outcome, firing the callback at most once.
 func (c *Call) complete(o Outcome) {
-	c.mu.Lock()
-	if c.out != nil {
-		c.mu.Unlock()
+	if !c.state.CompareAndSwap(callPending, callWriting) {
 		return
 	}
-	c.out = &o
-	fn := c.done
-	c.done = nil
-	c.mu.Unlock()
-	if fn != nil {
-		fn(o)
+	c.out = o
+	c.state.Store(callDone)
+	if fn := c.done.Swap(consumedCallback); fn != nil && fn != consumedCallback {
+		(*fn)(o)
 	}
 }
 
@@ -209,6 +244,7 @@ type PendingOp struct {
 // heldOp is the fabric-internal record of a parked operation.
 type heldOp struct {
 	ev    TriggerEvent
+	rt    *route
 	phase Phase
 	resp  baseobj.Response // valid when phase == PhaseRespond
 	call  *Call
@@ -221,6 +257,81 @@ var (
 	ErrNotHeld = errors.New("fabric: token not held")
 )
 
+// route is a resolved object: its server, lane, and the object itself.
+// Routes are immutable once cached — objects never move between servers —
+// except for the used flag, which latches to true on the first trigger.
+type route struct {
+	server types.ServerID
+	srv    *cluster.Server
+	lane   *lane
+	obj    baseobj.Object
+	used   atomic.Bool // had at least one operation triggered
+}
+
+// markUsed latches the route's used flag (idempotent, lock-free on the
+// overwhelmingly common already-marked path).
+func (r *route) markUsed() {
+	if !r.used.Load() {
+		r.used.Store(true)
+	}
+}
+
+// lane is one server's dispatch shard. It owns every piece of mutable
+// fabric state attributable to that server, so operations on different
+// servers never contend.
+type lane struct {
+	server types.ServerID
+
+	mu      sync.Mutex
+	held    map[uint64]*heldOp
+	dropped map[uint64]*heldOp
+}
+
+// routeTable is a lock-free object-indexed route cache. Object IDs are
+// small dense integers (the cluster allocates them sequentially), so the
+// table is a grow-only slice published atomically; reads are a bounds
+// check and an index.
+type routeTable struct {
+	p  atomic.Pointer[[]*route]
+	mu sync.Mutex // serializes growth only
+}
+
+// get returns the cached route, or nil.
+func (t *routeTable) get(obj types.ObjectID) *route {
+	tab := t.p.Load()
+	if tab == nil || int(obj) < 0 || int(obj) >= len(*tab) {
+		return nil
+	}
+	return (*tab)[obj]
+}
+
+// put caches a route copy-on-write: a published table is never mutated, so
+// readers stay lock-free. Resolution happens once per object, so the copy
+// cost is setup-time only.
+func (t *routeTable) put(obj types.ObjectID, rt *route) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var cur []*route
+	if p := t.p.Load(); p != nil {
+		cur = *p
+	}
+	if int(obj) < len(cur) && cur[obj] != nil {
+		return // lost a benign race with another resolver
+	}
+	grown := make([]*route, max(int(obj)+1, len(cur)))
+	copy(grown, cur)
+	grown[obj] = rt
+	t.p.Store(&grown)
+}
+
+// snapshot returns the current table (nil entries for unresolved objects).
+func (t *routeTable) snapshot() []*route {
+	if p := t.p.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
 // Fabric routes low-level operations from clients to base objects through
 // the gate.
 type Fabric struct {
@@ -228,12 +339,17 @@ type Fabric struct {
 	gate    Gate
 	tracer  Tracer
 
-	mu        sync.Mutex
-	nextToken uint64
-	held      map[uint64]*heldOp
-	dropped   map[uint64]*heldOp
-	triggers  uint64
-	used      map[types.ObjectID]struct{}
+	// benign short-circuits gate consultation when the gate is the
+	// default PassGate: the benign environment never holds, so the hot
+	// path skips two interface calls (and two event copies) per op.
+	benign bool
+
+	// nextToken allocates operation tokens; it doubles as the trigger
+	// counter, since every routed trigger allocates exactly one token.
+	nextToken atomic.Uint64
+
+	lanes  []*lane // one dispatch lane per server, indexed by ServerID
+	routes routeTable
 }
 
 // Option configures a Fabric.
@@ -248,30 +364,53 @@ func WithGate(g Gate) Option {
 	}
 }
 
-// New creates a fabric over the given cluster.
+// New creates a fabric over the given cluster, with one dispatch lane per
+// server.
 func New(c *cluster.Cluster, opts ...Option) *Fabric {
 	f := &Fabric{
 		cluster: c,
 		gate:    PassGate{},
-		held:    make(map[uint64]*heldOp),
-		dropped: make(map[uint64]*heldOp),
-		used:    make(map[types.ObjectID]struct{}),
+		lanes:   make([]*lane, c.N()),
+	}
+	for i := range f.lanes {
+		f.lanes[i] = &lane{
+			server:  types.ServerID(i),
+			held:    make(map[uint64]*heldOp),
+			dropped: make(map[uint64]*heldOp),
+		}
 	}
 	for _, opt := range opts {
 		opt(f)
 	}
+	_, f.benign = f.gate.(PassGate)
 	return f
 }
 
 // Cluster returns the underlying cluster.
 func (f *Fabric) Cluster() *cluster.Cluster { return f.cluster }
 
+// route resolves an object to its lane, caching the result: after the
+// first operation on an object, triggering never touches the cluster-wide
+// tables again.
+func (f *Fabric) route(obj types.ObjectID) (*route, error) {
+	if rt := f.routes.get(obj); rt != nil {
+		return rt, nil
+	}
+	srv, o, err := f.cluster.Route(obj)
+	if err != nil {
+		return nil, err
+	}
+	rt := &route{server: srv.ID(), srv: srv, lane: f.lanes[srv.ID()], obj: o}
+	f.routes.put(obj, rt)
+	return rt, nil
+}
+
 // Trigger issues a low-level operation asynchronously and returns its call
 // handle. The call completes when (and if) the environment lets the
 // operation take effect and respond; operations on crashed servers remain
 // pending forever, exactly like the paper's faulty base objects.
 func (f *Fabric) Trigger(client types.ClientID, obj types.ObjectID, inv baseobj.Invocation) *Call {
-	server, err := f.cluster.Delta(obj)
+	rt, err := f.route(obj)
 	if err != nil {
 		// Unknown object: a programming error, delivered as an error
 		// response so tests can catch it.
@@ -279,74 +418,110 @@ func (f *Fabric) Trigger(client types.ClientID, obj types.ObjectID, inv baseobj.
 		call.complete(Outcome{Err: err})
 		return call
 	}
+	return f.trigger(client, obj, inv, rt)
+}
 
-	f.mu.Lock()
-	f.nextToken++
-	token := f.nextToken
-	f.triggers++
-	f.used[obj] = struct{}{}
-	f.mu.Unlock()
+// BatchOp is one operation of a TriggerBatch scatter.
+type BatchOp struct {
+	// Object is the target base object.
+	Object types.ObjectID
+	// Inv is the invocation.
+	Inv baseobj.Invocation
+}
 
-	ev := TriggerEvent{Token: token, Client: client, Object: obj, Server: server, Inv: inv}
-	call := &Call{ev: ev}
-	f.emit(TraceTrigger, ev, server)
+// TriggerBatch scatters a whole round of low-level operations in one
+// dispatch pass and returns the calls in input order. It is semantically
+// identical to calling Trigger once per op — each op gets its own token,
+// gate decisions, and lifecycle — but lets emulations hand a full quorum
+// round to the fabric at once, which is how the round engine
+// (internal/emulation/rounds) drives it.
+func (f *Fabric) TriggerBatch(client types.ClientID, ops []BatchOp) []*Call {
+	calls := make([]*Call, len(ops))
+	for i, op := range ops {
+		calls[i] = f.Trigger(client, op.Object, op.Inv)
+	}
+	return calls
+}
 
-	srv, err := f.cluster.Server(server)
-	if err != nil {
-		call.complete(Outcome{Err: err})
+// trigger dispatches one routed operation.
+func (f *Fabric) trigger(client types.ClientID, obj types.ObjectID, inv baseobj.Invocation, rt *route) *Call {
+	token := f.nextToken.Add(1)
+	rt.markUsed()
+
+	call := &Call{ev: TriggerEvent{Token: token, Client: client, Object: obj, Server: rt.server, Inv: inv}}
+	f.emit(TraceTrigger, &call.ev, rt.server)
+
+	if rt.srv.Crashed() {
+		f.drop(&heldOp{ev: call.ev, rt: rt, phase: PhaseDropped, call: call})
 		return call
 	}
-	if srv.Crashed() {
-		f.drop(&heldOp{ev: ev, phase: PhaseDropped, call: call})
-		return call
-	}
 
-	if f.gate.BeforeApply(ev) == Hold {
-		f.emit(TraceHoldApply, ev, server)
-		f.park(&heldOp{ev: ev, phase: PhaseApply, call: call})
+	if !f.benign && f.gate.BeforeApply(call.ev) == Hold {
+		f.emit(TraceHoldApply, &call.ev, rt.server)
+		f.park(&heldOp{ev: call.ev, rt: rt, phase: PhaseApply, call: call})
 		return call
 	}
-	f.applyAndRespond(ev, call)
+	f.applyAndRespond(rt, call)
 	return call
 }
 
 // applyAndRespond linearizes the op and routes its response through the
-// gate. It is called without f.mu held.
-func (f *Fabric) applyAndRespond(ev TriggerEvent, call *Call) {
-	resp, err := f.cluster.Apply(ev.Object, ev.Client, ev.Inv)
+// gate. The object's own mutex is the linearization point.
+func (f *Fabric) applyAndRespond(rt *route, call *Call) {
+	if rt.srv.Crashed() {
+		// A crashed object never responds.
+		f.drop(&heldOp{ev: call.ev, rt: rt, phase: PhaseDropped, call: call})
+		return
+	}
+	resp, err := rt.obj.Apply(call.ev.Client, call.ev.Inv)
 	if err != nil {
-		if errors.Is(err, cluster.ErrServerCrashed) {
-			// A crashed object never responds.
-			f.drop(&heldOp{ev: ev, phase: PhaseDropped, call: call})
-			return
-		}
 		call.complete(Outcome{Err: err})
 		return
 	}
-	f.emit(TraceApply, ev, ev.Server)
-	if f.gate.BeforeRespond(ev, resp) == Hold {
-		f.emit(TraceHoldRespond, ev, ev.Server)
-		f.park(&heldOp{ev: ev, phase: PhaseRespond, resp: resp, call: call})
+	f.emit(TraceApply, &call.ev, call.ev.Server)
+	if !f.benign && f.gate.BeforeRespond(call.ev, resp) == Hold {
+		f.emit(TraceHoldRespond, &call.ev, call.ev.Server)
+		f.park(&heldOp{ev: call.ev, rt: rt, phase: PhaseRespond, resp: resp, call: call})
 		return
 	}
-	f.emit(TraceRespond, ev, ev.Server)
+	f.emit(TraceRespond, &call.ev, call.ev.Server)
 	call.complete(Outcome{Resp: resp})
 }
 
-// park records a held operation.
+// park records a held operation in its server's lane.
 func (f *Fabric) park(h *heldOp) {
-	f.mu.Lock()
-	f.held[h.ev.Token] = h
-	f.mu.Unlock()
+	l := h.rt.lane
+	l.mu.Lock()
+	l.held[h.ev.Token] = h
+	l.mu.Unlock()
 }
 
 // drop records an operation that will never respond.
 func (f *Fabric) drop(h *heldOp) {
 	h.phase = PhaseDropped
-	f.emit(TraceDrop, h.ev, h.ev.Server)
-	f.mu.Lock()
-	f.dropped[h.ev.Token] = h
-	f.mu.Unlock()
+	f.emit(TraceDrop, &h.ev, h.ev.Server)
+	l := h.rt.lane
+	l.mu.Lock()
+	l.dropped[h.ev.Token] = h
+	l.mu.Unlock()
+}
+
+// take removes and returns the held op with the given token, if any lane
+// holds it. Tokens do not encode their lane, so this scans the (small,
+// fixed) lane set; Release is an adversary-path operation, never a hot one.
+func (f *Fabric) take(token uint64) (*heldOp, bool) {
+	for _, l := range f.lanes {
+		l.mu.Lock()
+		h, ok := l.held[token]
+		if ok {
+			delete(l.held, token)
+		}
+		l.mu.Unlock()
+		if ok {
+			return h, true
+		}
+	}
+	return nil, false
 }
 
 // Release lets a held operation proceed: a PhaseApply op takes effect now
@@ -354,29 +529,25 @@ func (f *Fabric) drop(h *heldOp) {
 // response is delivered; a PhaseRespond op just delivers its response. If
 // the op's server crashed in the meantime, the op is dropped instead.
 func (f *Fabric) Release(token uint64) error {
-	f.mu.Lock()
-	h, ok := f.held[token]
-	if ok {
-		delete(f.held, token)
-	}
-	f.mu.Unlock()
+	h, ok := f.take(token)
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNotHeld, token)
 	}
-	srv, err := f.cluster.Server(h.ev.Server)
-	if err != nil {
-		return err
-	}
-	if srv.Crashed() {
+	return f.release(h)
+}
+
+// release lets a taken held op proceed.
+func (f *Fabric) release(h *heldOp) error {
+	if h.rt.srv.Crashed() {
 		f.drop(h)
 		return nil
 	}
-	f.emit(TraceRelease, h.ev, h.ev.Server)
+	f.emit(TraceRelease, &h.ev, h.ev.Server)
 	switch h.phase {
 	case PhaseApply:
 		f.applyAndRespondReleased(h)
 	case PhaseRespond:
-		f.emit(TraceRespond, h.ev, h.ev.Server)
+		f.emit(TraceRespond, &h.ev, h.ev.Server)
 		h.call.complete(Outcome{Resp: h.resp})
 	default:
 		return fmt.Errorf("fabric: cannot release op in phase %v", h.phase)
@@ -384,39 +555,38 @@ func (f *Fabric) Release(token uint64) error {
 	return nil
 }
 
-// applyAndRespondReleased applies a released PhaseApply op. The respond gate
+// applyAndRespondReleased applies a released PhaseApply op; the caller
+// (release) has already handled the crashed-server case. The respond gate
 // is consulted again so the environment may keep delaying the response.
 func (f *Fabric) applyAndRespondReleased(h *heldOp) {
-	resp, err := f.cluster.Apply(h.ev.Object, h.ev.Client, h.ev.Inv)
+	resp, err := h.rt.obj.Apply(h.ev.Client, h.ev.Inv)
 	if err != nil {
-		if errors.Is(err, cluster.ErrServerCrashed) {
-			f.drop(h)
-			return
-		}
 		h.call.complete(Outcome{Err: err})
 		return
 	}
-	f.emit(TraceApply, h.ev, h.ev.Server)
+	f.emit(TraceApply, &h.ev, h.ev.Server)
 	if f.gate.BeforeRespond(h.ev, resp) == Hold {
-		f.emit(TraceHoldRespond, h.ev, h.ev.Server)
-		f.park(&heldOp{ev: h.ev, phase: PhaseRespond, resp: resp, call: h.call})
+		f.emit(TraceHoldRespond, &h.ev, h.ev.Server)
+		f.park(&heldOp{ev: h.ev, rt: h.rt, phase: PhaseRespond, resp: resp, call: h.call})
 		return
 	}
-	f.emit(TraceRespond, h.ev, h.ev.Server)
+	f.emit(TraceRespond, &h.ev, h.ev.Server)
 	h.call.complete(Outcome{Resp: resp})
 }
 
-// ReleaseWhere releases every held op matching pred and returns how many
-// were released.
+// ReleaseWhere releases every held op matching pred, in ascending token
+// order, and returns how many were released.
 func (f *Fabric) ReleaseWhere(pred func(PendingOp) bool) int {
-	f.mu.Lock()
 	var tokens []uint64
-	for token, h := range f.held {
-		if pred(PendingOp{Event: h.ev, Phase: h.phase}) {
-			tokens = append(tokens, token)
+	for _, l := range f.lanes {
+		l.mu.Lock()
+		for token, h := range l.held {
+			if pred(PendingOp{Event: h.ev, Phase: h.phase}) {
+				tokens = append(tokens, token)
+			}
 		}
+		l.mu.Unlock()
 	}
-	f.mu.Unlock()
 	sort.Slice(tokens, func(i, j int) bool { return tokens[i] < tokens[j] })
 	released := 0
 	for _, token := range tokens {
@@ -428,37 +598,39 @@ func (f *Fabric) ReleaseWhere(pred func(PendingOp) bool) int {
 }
 
 // Crash crashes a server: the cluster marks it (and all of its objects)
-// crashed, and every held op on it is dropped — its clients will never hear
-// back, matching the paper's server-granularity failures.
+// crashed, and every held op on its lane is dropped — its clients will
+// never hear back, matching the paper's server-granularity failures.
 func (f *Fabric) Crash(server types.ServerID) error {
 	if err := f.cluster.Crash(server); err != nil {
 		return err
 	}
-	f.emit(TraceCrash, TriggerEvent{}, server)
-	f.mu.Lock()
-	for token, h := range f.held {
-		if h.ev.Server == server {
-			delete(f.held, token)
-			h.phase = PhaseDropped
-			f.dropped[token] = h
-		}
+	f.emit(TraceCrash, &TriggerEvent{}, server)
+	l := f.lanes[server]
+	l.mu.Lock()
+	for token, h := range l.held {
+		delete(l.held, token)
+		h.phase = PhaseDropped
+		l.dropped[token] = h
 	}
-	f.mu.Unlock()
+	l.mu.Unlock()
 	return nil
 }
 
 // Pending returns a snapshot of every pending (held or dropped) operation,
-// ordered by token. These are the paper's pending low-level ops.
+// merged over all lanes and ordered by token. These are the paper's
+// pending low-level ops.
 func (f *Fabric) Pending() []PendingOp {
-	f.mu.Lock()
-	ops := make([]PendingOp, 0, len(f.held)+len(f.dropped))
-	for _, h := range f.held {
-		ops = append(ops, PendingOp{Event: h.ev, Phase: h.phase})
+	var ops []PendingOp
+	for _, l := range f.lanes {
+		l.mu.Lock()
+		for _, h := range l.held {
+			ops = append(ops, PendingOp{Event: h.ev, Phase: h.phase})
+		}
+		for _, h := range l.dropped {
+			ops = append(ops, PendingOp{Event: h.ev, Phase: h.phase})
+		}
+		l.mu.Unlock()
 	}
-	for _, h := range f.dropped {
-		ops = append(ops, PendingOp{Event: h.ev, Phase: h.phase})
-	}
-	f.mu.Unlock()
 	sort.Slice(ops, func(i, j int) bool { return ops[i].Event.Token < ops[j].Event.Token })
 	return ops
 }
@@ -481,22 +653,19 @@ func (f *Fabric) CoveredObjects() []types.ObjectID {
 }
 
 // Triggers returns the total number of low-level operations triggered.
-func (f *Fabric) Triggers() uint64 {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.triggers
-}
+func (f *Fabric) Triggers() uint64 { return f.nextToken.Load() }
 
 // UsedObjects returns the set of base objects that had at least one
-// operation triggered on them: the paper's resource consumption of the run.
+// operation triggered on them — the paper's resource consumption of the
+// run — in ascending object order. The route table is object-indexed, so
+// the scan is already ordered.
 func (f *Fabric) UsedObjects() []types.ObjectID {
-	f.mu.Lock()
-	ids := make([]types.ObjectID, 0, len(f.used))
-	for id := range f.used {
-		ids = append(ids, id)
+	var ids []types.ObjectID
+	for obj, rt := range f.routes.snapshot() {
+		if rt != nil && rt.used.Load() {
+			ids = append(ids, types.ObjectID(obj))
+		}
 	}
-	f.mu.Unlock()
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
@@ -508,8 +677,9 @@ type Completion struct {
 
 // AwaitN registers completion callbacks on every call and blocks until n of
 // them complete or ctx is done. The returned slice holds the first n
-// completions in completion order. AwaitN must be used with fresh calls: it
-// replaces any previously registered callback.
+// completions in completion order. AwaitN must be used with fresh calls
+// that have no callback registered yet: Call.OnComplete enforces single
+// registration.
 func AwaitN(ctx context.Context, calls []*Call, n int) ([]Completion, error) {
 	if n <= 0 {
 		return nil, nil

@@ -269,19 +269,53 @@ func TestAwaitN(t *testing.T) {
 		t.Fatalf("got %d completions, want 2", len(done))
 	}
 
-	// Waiting for the held third call must time out.
+	// Waiting for a fresh held call must time out. (calls[2] already has
+	// AwaitN's callback armed, and OnComplete enforces single
+	// registration, so a fresh held call is needed here.)
+	held := fab.Trigger(0, objs[2], writeInv(2, 11))
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
-	if _, err := AwaitN(ctx, calls[2:], 1); err == nil {
+	if _, err := AwaitN(ctx, []*Call{held}, 1); err == nil {
 		t.Fatal("AwaitN on held call succeeded, want ctx error")
 	}
 
-	// Degenerate arguments.
+	// Degenerate arguments. Completed calls re-fire immediately, so using
+	// calls[:2] again is legal.
 	if _, err := AwaitN(context.Background(), calls, 0); err != nil {
 		t.Errorf("AwaitN(0): %v", err)
 	}
-	if _, err := AwaitN(context.Background(), calls, 4); err == nil {
-		t.Error("AwaitN(4 of 3) succeeded, want error")
+	if _, err := AwaitN(context.Background(), calls[:2], 3); err == nil {
+		t.Error("AwaitN(3 of 2) succeeded, want error")
+	}
+}
+
+func TestOnCompleteDoubleRegistrationPanics(t *testing.T) {
+	gate := GateFuncs{Apply: func(ev TriggerEvent) Decision {
+		if ev.Inv.Op.IsWrite() {
+			return Hold
+		}
+		return Pass
+	}}
+	fab, objs := testEnv(t, gate)
+	held := fab.Trigger(0, objs[0], writeInv(1, 10))
+	held.OnComplete(func(Outcome) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second OnComplete on a pending call did not panic")
+		}
+	}()
+	held.OnComplete(func(Outcome) {})
+}
+
+func TestOnCompleteAfterCompletionMayReRegister(t *testing.T) {
+	fab, objs := testEnv(t, nil)
+	call := fab.Trigger(0, objs[0], writeInv(1, 10))
+	for i := 0; i < 2; i++ {
+		fired := false
+		call.OnComplete(func(Outcome) { fired = true })
+		if !fired {
+			t.Fatalf("OnComplete registration %d on completed call did not fire", i)
+		}
 	}
 }
 

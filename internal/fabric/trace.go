@@ -82,15 +82,16 @@ func WithTracer(tr Tracer) Option {
 // which only ever makes interleaved traces easier to merge).
 var traceSeq atomic.Uint64
 
-// emit sends an event to the tracer, if any.
-func (f *Fabric) emit(kind TraceKind, op TriggerEvent, server types.ServerID) {
+// emit sends an event to the tracer, if any. The event is passed by
+// pointer so the benign no-tracer path never copies it.
+func (f *Fabric) emit(kind TraceKind, op *TriggerEvent, server types.ServerID) {
 	if f.tracer == nil {
 		return
 	}
 	f.tracer.Trace(TraceEvent{
 		Seq:    traceSeq.Add(1),
 		Kind:   kind,
-		Op:     op,
+		Op:     *op,
 		Server: server,
 	})
 }
