@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke fabric-bench
+.PHONY: all build vet test race bench bench-smoke bench-json fabric-bench
 
 all: vet build test
 
@@ -23,6 +23,11 @@ bench:
 # One-iteration smoke run, as in CI.
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# Perf trajectory snapshot: triggers/sec, sweep wall-clock, checker ns/op
+# recorded as BENCH_<date>.json so future PRs have a baseline.
+bench-json:
+	$(GO) run ./cmd/benchjson -benchtime 100ms
 
 # The fabric dispatch throughput number tracked in the perf trajectory.
 fabric-bench:

@@ -22,6 +22,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/layout"
 	"repro/internal/runner"
+	"repro/internal/spec"
 	"repro/internal/types"
 )
 
@@ -169,7 +170,12 @@ func BenchmarkCASMaxRetries(b *testing.B) {
 			}
 			b.ResetTimer()
 			var wg sync.WaitGroup
-			perWriter := b.N
+			// Split b.N across the writers so total work stays ~b.N and
+			// per-op numbers are comparable across the writers axis.
+			perWriter := b.N / writers
+			if perWriter == 0 {
+				perWriter = 1
+			}
 			for w := 0; w < writers; w++ {
 				wr, err := reg.Writer(w)
 				if err != nil {
@@ -272,20 +278,66 @@ func BenchmarkReadLatency(b *testing.B) {
 	}
 }
 
-// BenchmarkExhaustiveSearch measures the bounded model-checking sweep
-// (experiment E13): all 320 f=1 adversary schedules against Algorithm 2.
+// BenchmarkExhaustiveSearch measures the sequential bounded model-checking
+// sweep (experiment E13): all 208 f=1 adversary schedules against
+// Algorithm 2 on one worker — the baseline the parallel engine is measured
+// against.
 func BenchmarkExhaustiveSearch(b *testing.B) {
 	ctx := context.Background()
+	var schedules int
 	for i := 0; i < b.N; i++ {
-		rep, err := runner.RunExhaustive(ctx, runner.KindRegEmu)
+		rep, err := runner.RunExhaustiveOpts(ctx, runner.KindRegEmu, runner.ExhaustOptions{F: 1, Workers: 1})
 		if err != nil {
-			b.Fatalf("RunExhaustive: %v", err)
+			b.Fatalf("RunExhaustiveOpts: %v", err)
 		}
 		if rep.Violations != 0 {
 			b.Fatalf("violations: %d", rep.Violations)
 		}
+		schedules = rep.Schedules
 	}
-	b.ReportMetric(320, "schedules")
+	b.ReportMetric(float64(schedules), "schedules")
+}
+
+// BenchmarkExhaustiveParallel measures the sweep engine fanning the f=1
+// class across the worker pool (experiment E13). The workers=8 case is the
+// PR acceptance number: >= 4x wall-clock over workers=1 on multi-core
+// hardware. schedules/sec is the throughput the pool sustains.
+func BenchmarkExhaustiveParallel(b *testing.B) {
+	ctx := context.Background()
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var schedules int
+			for i := 0; i < b.N; i++ {
+				rep, err := runner.RunExhaustiveOpts(ctx, runner.KindRegEmu, runner.ExhaustOptions{F: 1, Workers: workers})
+				if err != nil {
+					b.Fatalf("RunExhaustiveOpts: %v", err)
+				}
+				if rep.Violations != 0 {
+					b.Fatalf("violations: %d", rep.Violations)
+				}
+				schedules = rep.Schedules
+			}
+			b.ReportMetric(float64(schedules)*float64(b.N)/b.Elapsed().Seconds(), "schedules/sec")
+		})
+	}
+}
+
+// BenchmarkExhaustiveF2 measures one pooled pass over the full f=2 class
+// (48256 schedules, n=5) — the sweep the parallel engine grew the search
+// to.
+func BenchmarkExhaustiveF2(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		rep, err := runner.RunExhaustiveOpts(ctx, runner.KindRegEmu, runner.ExhaustOptions{F: 2})
+		if err != nil {
+			b.Fatalf("RunExhaustiveOpts: %v", err)
+		}
+		if rep.Violations != 0 {
+			b.Fatalf("violations: %d", rep.Violations)
+		}
+		b.ReportMetric(float64(rep.Schedules)/rep.Elapsed.Seconds(), "schedules/sec")
+	}
 }
 
 // BenchmarkChaosRun measures one seeded chaos run (experiment E15).
@@ -353,6 +405,49 @@ func BenchmarkCheckers(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(hist.Len()), "history_ops")
+}
+
+// BenchmarkCheckLinearizable measures the atomicity checker alone on
+// generated histories of growing size: the Wing–Gong search with
+// precomputed precedence masks and a pooled memo map. Every sweep schedule
+// pays one checker pass, so this is the per-schedule cost floor.
+func BenchmarkCheckLinearizable(b *testing.B) {
+	for _, rounds := range []int{2, 5, 10} {
+		rounds := rounds
+		b.Run(fmt.Sprintf("rounds=%d", rounds), func(b *testing.B) {
+			env, err := runner.NewEnv(6, nil)
+			if err != nil {
+				b.Fatalf("env: %v", err)
+			}
+			reg, hist, err := runner.Build(runner.KindRegEmu, env.Fabric, 2, 2)
+			if err != nil {
+				b.Fatalf("build: %v", err)
+			}
+			ctx := context.Background()
+			for round := 0; round < rounds; round++ {
+				for i := 0; i < 2; i++ {
+					w, err := reg.Writer(i)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := w.Write(ctx, types.Value(round*10+i+1)); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := reg.NewReader().Read(ctx); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			ops := hist.Snapshot()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := spec.CheckLinearizable(ops, types.InitialValue); err != nil {
+					b.Fatalf("not linearizable: %v", err)
+				}
+			}
+			b.ReportMetric(float64(len(ops)), "history_ops")
+		})
+	}
 }
 
 // BenchmarkFabricParallelTrigger measures raw fabric dispatch throughput —

@@ -1,0 +1,128 @@
+// Command benchjson records the repository's perf trajectory: it runs the
+// benchmark families that gate performance work (fabric dispatch
+// throughput, exhaustive-sweep wall-clock, checker cost), parses the
+// standard `go test -bench` output, and writes the numbers as a dated JSON
+// snapshot (BENCH_<yyyy-mm-dd>.json by default) so future PRs have a
+// baseline to compare against. See EXPERIMENTS.md for the recorded
+// history.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson                       # trajectory set, 1x each
+//	go run ./cmd/benchjson -bench '.' -benchtime 100ms -out perf.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// trajectoryBenches is the default benchmark set: the three numbers the
+// ROADMAP tracks PR over PR.
+const trajectoryBenches = "BenchmarkFabricParallelTrigger|BenchmarkExhaustiveParallel|BenchmarkExhaustiveSearch|BenchmarkCheckers|BenchmarkCheckLinearizable"
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// Metrics maps unit to value: "ns/op", "triggers/sec",
+	// "schedules/sec", ...
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the file layout of BENCH_<date>.json.
+type Snapshot struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Bench      string   `json:"bench"`
+	Benchtime  string   `json:"benchtime"`
+	Results    []Result `json:"results"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	bench := flag.String("bench", trajectoryBenches, "benchmark regexp passed to go test -bench")
+	benchtime := flag.String("benchtime", "1x", "benchtime passed to go test")
+	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "xxx", "-bench", *bench,
+		"-benchtime", *benchtime, "-count", "1", ".")
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go test -bench: %w", err)
+	}
+	results, err := parseBenchOutput(string(raw))
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines matched %q", *bench)
+	}
+	snap := Snapshot{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Bench:      *bench,
+		Benchtime:  *benchtime,
+		Results:    results,
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", snap.Date)
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(results))
+	return nil
+}
+
+// parseBenchOutput extracts benchmark result lines from `go test -bench`
+// output. A line has the shape
+//
+//	BenchmarkName/sub-8   100   123456 ns/op   4.2 metric/unit   ...
+//
+// i.e. a name, an iteration count, then (value, unit) pairs.
+func parseBenchOutput(out string) ([]Result, error) {
+	var results []Result
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // not a result line (e.g. "BenchmarkX ... FAIL")
+		}
+		res := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q: bad metric value %q", line, fields[i])
+			}
+			res.Metrics[fields[i+1]] = val
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}

@@ -5,13 +5,15 @@
 //
 // Usage:
 //
-//	sweep                  # run every experiment
-//	sweep -exp table1      # one experiment
+//	sweep                               # run every experiment
+//	sweep -exp table1                   # one experiment
 //	sweep -exp figure2 -k 6 -f 2 -n 8
+//	sweep -exp exhaustive -f 2 -workers 8 -json   # pooled f=2 model check
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,10 +34,28 @@ func main() {
 func run() error {
 	exp := flag.String("exp", "all", "experiment: table1 | figure1 | figure2 | separation | theorem2 | theorem6 | theorem7 | theorem8 | coincidence | all")
 	k := flag.Int("k", 5, "number of writers (single-experiment runs)")
-	f := flag.Int("f", 2, "failure threshold")
+	f := flag.Int("f", 2, "failure threshold (exhaustive sweeps support 1 or 2)")
 	n := flag.Int("n", 6, "number of servers")
+	workers := flag.Int("workers", 0, "sweep pool size for exhaustive/chaos (0 = one per CPU)")
+	jsonOut := flag.Bool("json", false, "emit exhaustive/chaos reports as JSON instead of tables")
 	timeout := flag.Duration("timeout", 5*time.Minute, "total timeout")
 	flag.Parse()
+
+	// The shared -f default (2, chosen for figure2) would silently grow
+	// the exhaustive sweep ~230x; exhaustive stays at its historical f=1
+	// unless -f was set explicitly.
+	exhaustF := 1
+	flag.Visit(func(fl *flag.Flag) {
+		if fl.Name == "f" {
+			exhaustF = *f
+		}
+	})
+	if *exp == "all" && (exhaustF < 1 || exhaustF > 2) {
+		// In all-mode, -f values beyond the exhaustive class (e.g. -f 3
+		// for the table1/figure2 regimes) fall back to the f=1 sweep
+		// instead of aborting the run at the exhaustive step.
+		exhaustF = 1
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
@@ -51,8 +71,8 @@ func run() error {
 		"theorem7":    func(context.Context) error { return expTheorem7() },
 		"theorem8":    func(ctx context.Context) error { return expTheorem8(ctx) },
 		"coincidence": func(context.Context) error { return expCoincidence() },
-		"exhaustive":  func(ctx context.Context) error { return expExhaustive(ctx) },
-		"chaos":       func(ctx context.Context) error { return expChaos(ctx) },
+		"exhaustive":  func(ctx context.Context) error { return expExhaustive(ctx, exhaustF, *workers, *jsonOut) },
+		"chaos":       func(ctx context.Context) error { return expChaos(ctx, *workers, *jsonOut) },
 	}
 	if *exp != "all" {
 		fn, ok := experiments[*exp]
@@ -234,52 +254,72 @@ func expTheorem5(ctx context.Context) error {
 	return w.Flush()
 }
 
-// expExhaustive model-checks the full f=1 adversary class against every
-// construction (experiment E13).
-func expExhaustive(ctx context.Context) error {
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "construction\tschedules\tviolations\texample")
+// expExhaustive model-checks the full f-bounded adversary class (f=1 or
+// f=2) against every construction (experiment E13), fanned across the
+// sweep pool.
+func expExhaustive(ctx context.Context, f, workers int, jsonOut bool) error {
+	if f < 1 || f > 2 {
+		return fmt.Errorf("exhaustive sweep supports -f 1 or -f 2, got %d", f)
+	}
+	var reports []*runner.ExhaustReport
 	for _, kind := range runner.Kinds() {
-		rep, err := runner.RunExhaustive(ctx, kind)
+		rep, err := runner.RunExhaustiveOpts(ctx, kind, runner.ExhaustOptions{F: f, Workers: workers})
 		if err != nil {
 			return err
 		}
+		reports = append(reports, rep)
+	}
+	if jsonOut {
+		return emitJSON(reports)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "construction\tf\tschedules\tworkers\twall-clock\tviolations\texample")
+	for _, rep := range reports {
 		example := "-"
 		if rep.FirstViolation != "" {
 			example = rep.FirstViolation
 		}
-		fmt.Fprintf(w, "%s\t%d\t%d\t%s\n", rep.Kind, rep.Schedules, rep.Violations, example)
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%s\t%d\t%s\n",
+			rep.Kind, rep.F, rep.Schedules, rep.Workers, rep.Elapsed.Round(time.Millisecond), rep.Violations, example)
 	}
 	return w.Flush()
 }
 
-// expChaos sweeps randomized environments across constructions.
-func expChaos(ctx context.Context) error {
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "construction\tseeds\tviolating seeds\tholds\treleases")
+// expChaos sweeps randomized environments across constructions on the
+// sweep pool.
+func expChaos(ctx context.Context, workers int, jsonOut bool) error {
+	var reports []*runner.ChaosSweepReport
 	for _, kind := range runner.Kinds() {
 		n := 7
 		if kind != runner.KindRegEmu {
 			n = 5
 		}
-		violating, holds, releases := 0, 0, 0
-		const seeds = 10
-		for seed := int64(0); seed < seeds; seed++ {
-			rep, err := runner.RunChaos(ctx, runner.ChaosConfig{
-				Kind: kind, K: 3, F: 2, N: n, Ops: 25, Seed: seed,
-			})
-			if err != nil {
-				return err
-			}
-			if !rep.Checks.OK() {
-				violating++
-			}
-			holds += rep.Holds
-			releases += rep.Releases
+		rep, err := runner.RunChaosSweep(ctx, runner.ChaosConfig{
+			Kind: kind, K: 3, F: 2, N: n, Ops: 25,
+		}, 10, workers)
+		if err != nil {
+			return err
 		}
-		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\n", kind, seeds, violating, holds, releases)
+		reports = append(reports, rep)
+	}
+	if jsonOut {
+		return emitJSON(reports)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "construction\tseeds\tviolating seeds\tholds\treleases\twall-clock")
+	for _, rep := range reports {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%s\n",
+			rep.Kind, rep.Seeds, rep.Violating, rep.Holds, rep.Releases, rep.Elapsed.Round(time.Millisecond))
 	}
 	return w.Flush()
+}
+
+// emitJSON renders sweep reports as indented JSON on stdout for scripted
+// consumers.
+func emitJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }
 
 // expCoincidence verifies the bound coincidence regimes (experiment E12).

@@ -30,11 +30,29 @@
 //     baseline), all built on the round engine; a new construction is the
 //     store layer plus ~50 lines of wiring.
 //   - internal/spec: the consistency checkers (WS-Safety, WS-Regularity,
-//     linearizability) that validate every experiment's history.
+//     linearizability) that validate every experiment's history. The
+//     write-sequential checkers answer per-read questions from a sorted
+//     write index, and the linearizability search precomputes the
+//     precedence relation as per-op bitmasks with a pooled memo map, so
+//     checking does not cap sweep throughput.
 //   - internal/adversary, internal/scenario, internal/runner: the paper's
 //     experiments — covering runs, the stale-release separation attack,
-//     exhaustive f=1 schedule search, chaos runs — plus data-driven JSON
+//     exhaustive schedule search, chaos runs — plus data-driven JSON
 //     scenarios (internal/scenario/testdata).
+//
+// # Sweep engine
+//
+// The bounded model-checking experiments run on a parallel sweep engine
+// (internal/runner Sweep): a worker pool fans independent jobs — one per
+// adversary schedule, or one per chaos seed — across GOMAXPROCS
+// goroutines, each job building its own cluster, fabric, gate, and
+// emulation, with no shared state beyond the job counter and a pre-sized
+// result slice. RunExhaustive covers the complete f-bounded two-writer
+// schedule class (f=1: 208 schedules on 3 servers; f=2: 48256 schedules
+// on 5 servers, reduced by release-commutation symmetry), so "0
+// violations" is a complete-class result; RunChaosSweep fans seeded chaos
+// runs the same way. cmd/sweep exposes the engine via -f, -workers, and
+// -json; cmd/benchjson records the perf trajectory (EXPERIMENTS.md).
 //
 // The root package anchors the module documentation and the
 // repository-level benchmark suite (bench_test.go); runnable entry points

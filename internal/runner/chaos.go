@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/adversary"
 	"repro/internal/emulation"
@@ -91,5 +92,59 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 	}
 	rep.Holds = gate.Holds()
 	rep.Checks = Check(hist)
+	return rep, nil
+}
+
+// ChaosSweepReport aggregates a chaos sweep across consecutive seeds.
+type ChaosSweepReport struct {
+	Kind Kind
+	// Seeds is the number of seeds run, starting at the config's Seed.
+	Seeds int
+	// Workers is the pool size the sweep ran with.
+	Workers int
+	// Violating counts seeds whose run failed a write-sequential check.
+	Violating int
+	// FirstViolatingSeed is the lowest violating seed, or -1 when none.
+	FirstViolatingSeed int64
+	// Writes, Reads, Holds, and Releases are summed across all seeds.
+	Writes, Reads, Holds, Releases int
+	// Elapsed is the sweep wall-clock time.
+	Elapsed time.Duration
+}
+
+// RunChaosSweep fans RunChaos over seeds cfg.Seed .. cfg.Seed+seeds-1 on
+// the Sweep engine: every seed is an independent job with its own
+// environment, so the sweep is deterministic per seed and scales with the
+// pool size.
+func RunChaosSweep(ctx context.Context, cfg ChaosConfig, seeds, workers int) (*ChaosSweepReport, error) {
+	if seeds < 0 {
+		return nil, fmt.Errorf("runner: chaos sweep needs seeds >= 0, got %d", seeds)
+	}
+	workers = min(DefaultWorkers(workers), seeds)
+	reports, elapsed, err := Sweep(ctx, workers, seeds,
+		func(ctx context.Context, _, job int) (*ChaosReport, error) {
+			c := cfg
+			c.Seed = cfg.Seed + int64(job)
+			return RunChaos(ctx, c)
+		})
+	if err != nil {
+		return nil, err
+	}
+	rep := &ChaosSweepReport{
+		Kind: cfg.Kind, Seeds: seeds, Workers: workers,
+		FirstViolatingSeed: -1, Elapsed: elapsed,
+	}
+	for _, r := range reports {
+		rep.Writes += r.Writes
+		rep.Reads += r.Reads
+		rep.Holds += r.Holds
+		rep.Releases += r.Releases
+		if !r.Checks.OK() {
+			rep.Violating++
+			if rep.FirstViolatingSeed == -1 {
+				rep.FirstViolatingSeed = r.Cfg.Seed
+			}
+		}
+	}
 	return rep, nil
 }

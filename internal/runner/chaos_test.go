@@ -86,6 +86,43 @@ func TestChaosNaiveBaselineReported(t *testing.T) {
 	t.Logf("naive baseline violated WS conditions in %d/8 chaos seeds", violations)
 }
 
+// TestChaosSweepMatchesSerialRuns: the pooled seed sweep must aggregate
+// exactly what a serial loop over the same seeds observes — chaos runs are
+// deterministic per seed, and the pool must not change that.
+func TestChaosSweepMatchesSerialRuns(t *testing.T) {
+	ctx := testCtx(t)
+	cfg := ChaosConfig{Kind: KindRegEmu, K: 3, F: 2, N: 7, Ops: 20, Seed: 40}
+	const seeds = 6
+	wantWrites, wantReads, wantHolds, wantReleases := 0, 0, 0, 0
+	for s := int64(0); s < seeds; s++ {
+		c := cfg
+		c.Seed = cfg.Seed + s
+		rep, err := RunChaos(ctx, c)
+		if err != nil {
+			t.Fatalf("seed %d: %v", c.Seed, err)
+		}
+		wantWrites += rep.Writes
+		wantReads += rep.Reads
+		wantHolds += rep.Holds
+		wantReleases += rep.Releases
+	}
+	sweep, err := RunChaosSweep(ctx, cfg, seeds, 4)
+	if err != nil {
+		t.Fatalf("RunChaosSweep: %v", err)
+	}
+	got := fmt.Sprintf("%d/%d/%d/%d", sweep.Writes, sweep.Reads, sweep.Holds, sweep.Releases)
+	want := fmt.Sprintf("%d/%d/%d/%d", wantWrites, wantReads, wantHolds, wantReleases)
+	if got != want {
+		t.Fatalf("sweep aggregates %s, serial runs %s", got, want)
+	}
+	if sweep.Violating != 0 || sweep.FirstViolatingSeed != -1 {
+		t.Fatalf("sound construction reported violating seeds: %+v", sweep)
+	}
+	if sweep.Seeds != seeds || sweep.Workers != 4 {
+		t.Fatalf("sweep bookkeeping off: %+v", sweep)
+	}
+}
+
 // TestChaosValidatesConfig covers the config error path.
 func TestChaosValidatesConfig(t *testing.T) {
 	ctx := testCtx(t)

@@ -3,7 +3,11 @@ package runner
 import (
 	"context"
 	"fmt"
+	"math/bits"
+	"slices"
+	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/adversary"
 	"repro/internal/emulation"
@@ -12,14 +16,14 @@ import (
 	"repro/internal/types"
 )
 
-// This file implements a bounded exhaustive search over the f=1 adversary
-// class of Lemma 4: for a two-writer configuration it enumerates EVERY
-// schedule of the form
+// This file implements a bounded exhaustive search over the f-bounded
+// adversary class of Lemma 4: for a two-writer configuration on n = 2f+1
+// servers it enumerates EVERY schedule of the form
 //
-//	write(v1) by c0 with one covering hold on a chosen server (or none)
-//	write(v2) by c1 with one covering hold on a chosen server (or none)
-//	release any subset of the held covering writes, in either order
-//	read with responses from one chosen server delayed (or none)
+//	write(v1) by c0 with up to f covering holds, one per chosen server
+//	write(v2) by c1 with up to f covering holds, one per chosen server
+//	release any subset of each writer's held covering writes
+//	read with responses from up to f chosen servers delayed
 //
 // and checks WS-Safety on each resulting history. This is the complete
 // space of environment behaviours the paper's separation argument draws
@@ -27,78 +31,199 @@ import (
 // result, not a sample: the construction defeats every schedule in the
 // class. The under-provisioned baseline must, conversely, have violating
 // schedules — the lower bound made exhaustive.
+//
+// Symmetry reduction keeps the space tractable: all releases happen after
+// both writes and before the read, so only the final per-object state they
+// leave matters. Two releases commute unless they target the same base
+// object, which (across all five constructions) can only happen for
+// releases by *different* writers landing on the *same* server. The
+// enumerator therefore fixes a canonical server order for releases and
+// explores both orders only at those collision points (the w1First set),
+// instead of all release permutations. At f=1 this yields 208 schedules
+// covering the same class the previous 320-point enumeration sampled with
+// redundancy (no-op releases of never-held ops, order flips on disjoint
+// objects).
 
-// exhaustSchedule is one point of the schedule space.
+// exhaustSchedule is one point of the schedule space. Server sets are
+// ascending slices.
 type exhaustSchedule struct {
-	// holdW0 / holdW1: server whose first mutating op by writer 0/1 is
-	// held pre-apply; -1 for none.
-	holdW0, holdW1 int
-	// releaseW0 / releaseW1: whether to release the corresponding held
-	// op after the second write.
-	releaseW0, releaseW1 bool
-	// releaseW1First flips the release order when both are released.
-	releaseW1First bool
-	// delayRead: server whose read responses to the reader are held;
-	// -1 for none.
-	delayRead int
+	// holds[i] lists the servers on which writer i's first mutating op is
+	// held pre-apply (at most f servers, one held op each).
+	holds [2][]int
+	// releases[i] is the subset of holds[i] whose held ops are released
+	// after the second write completes.
+	releases [2][]int
+	// w1First lists the servers in releases[0] ∩ releases[1] where writer
+	// 1's stale release is applied before writer 0's; elsewhere writer 0's
+	// goes first.
+	w1First []int
+	// delayRead lists the servers whose read responses to the reader are
+	// held (at most f).
+	delayRead []int
 }
 
 // String implements fmt.Stringer for violation reports.
 func (s exhaustSchedule) String() string {
-	return fmt.Sprintf("hold0=s%d hold1=s%d rel0=%v rel1=%v rel1first=%v delayRead=s%d",
-		s.holdW0, s.holdW1, s.releaseW0, s.releaseW1, s.releaseW1First, s.delayRead)
+	return fmt.Sprintf("hold0=%s hold1=%s rel0=%s rel1=%s w1first=%s delayRead=%s",
+		fmtServers(s.holds[0]), fmtServers(s.holds[1]),
+		fmtServers(s.releases[0]), fmtServers(s.releases[1]),
+		fmtServers(s.w1First), fmtServers(s.delayRead))
+}
+
+// fmtServers renders a server set as "s0+s2", or "-" when empty.
+func fmtServers(set []int) string {
+	if len(set) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(set))
+	for i, s := range set {
+		parts[i] = fmt.Sprintf("s%d", s)
+	}
+	return strings.Join(parts, "+")
+}
+
+// serversOf expands a bitmask over n servers into an ascending slice.
+func serversOf(mask int) []int {
+	if mask == 0 {
+		return nil
+	}
+	set := make([]int, 0, bits.OnesCount(uint(mask)))
+	for s := 0; mask != 0; s, mask = s+1, mask>>1 {
+		if mask&1 != 0 {
+			set = append(set, s)
+		}
+	}
+	return set
+}
+
+// capMasks lists every bitmask over n servers with at most f bits set —
+// the legal hold sets and read-delay sets of the f-bounded adversary.
+func capMasks(n, f int) []int {
+	var out []int
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		if bits.OnesCount(uint(mask)) <= f {
+			out = append(out, mask)
+		}
+	}
+	return out
+}
+
+// enumerateExhaust materializes the complete f-bounded schedule class over
+// n servers, reduced by release-commutation symmetry as described in the
+// file comment. The enumeration order is deterministic, so schedule
+// indices are stable across runs and worker counts.
+func enumerateExhaust(f, n int) []exhaustSchedule {
+	caps := capMasks(n, f)
+	var out []exhaustSchedule
+	for _, h0 := range caps {
+		for _, h1 := range caps {
+			// Iterate every submask r of h (including 0 and h itself).
+			for r0 := h0; ; r0 = (r0 - 1) & h0 {
+				for r1 := h1; ; r1 = (r1 - 1) & h1 {
+					shared := r0 & r1
+					for w1f := shared; ; w1f = (w1f - 1) & shared {
+						for _, d := range caps {
+							out = append(out, exhaustSchedule{
+								holds:     [2][]int{serversOf(h0), serversOf(h1)},
+								releases:  [2][]int{serversOf(r0), serversOf(r1)},
+								w1First:   serversOf(w1f),
+								delayRead: serversOf(d),
+							})
+						}
+						if w1f == 0 {
+							break
+						}
+					}
+					if r1 == 0 {
+						break
+					}
+				}
+				if r0 == 0 {
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ExhaustOptions configures the exhaustive sweep.
+type ExhaustOptions struct {
+	// F is the adversary budget: covering holds per write and delayed
+	// servers during the read. Supported: 1 (default) and 2; the cluster
+	// has n = 2f+1 servers.
+	F int
+	// Workers is the sweep pool size; <= 0 means one per CPU.
+	Workers int
 }
 
 // ExhaustReport is the outcome of the exhaustive search.
 type ExhaustReport struct {
 	Kind Kind
 	F, N int
+	// Workers is the pool size the sweep ran with.
+	Workers int
 	// Schedules is the number of schedules executed.
 	Schedules int
 	// Violations is how many schedules broke WS-Safety.
 	Violations int
-	// FirstViolation describes one violating schedule, if any.
+	// FirstViolation describes the violating schedule with the lowest
+	// enumeration index, if any.
 	FirstViolation string
+	// ViolationIndices lists the enumeration indices of all violating
+	// schedules, ascending. Deterministic across worker counts, so a
+	// parallel sweep can be checked against a sequential one.
+	ViolationIndices []int `json:",omitempty"`
+	// Elapsed is the sweep wall-clock time.
+	Elapsed time.Duration
 }
 
 // RunExhaustive enumerates the full f=1 schedule class against the given
-// construction (two writers, n = 3 servers for the per-server-single-object
-// constructions and for Algorithm 2 alike) and reports the violation count.
+// construction (two writers, n = 3 servers) with one sweep worker per CPU
+// and reports the violation count.
 func RunExhaustive(ctx context.Context, kind Kind) (*ExhaustReport, error) {
-	const f, n = 1, 3
-	rep := &ExhaustReport{Kind: kind, F: f, N: n}
-	serverChoices := []int{-1, 0, 1, 2}
-	for _, holdW0 := range serverChoices {
-		for _, holdW1 := range serverChoices {
-			for _, releaseW0 := range []bool{false, true} {
-				for _, releaseW1 := range []bool{false, true} {
-					orders := []bool{false}
-					if releaseW0 && releaseW1 {
-						orders = []bool{false, true}
-					}
-					for _, releaseW1First := range orders {
-						for _, delayRead := range serverChoices {
-							s := exhaustSchedule{
-								holdW0: holdW0, holdW1: holdW1,
-								releaseW0: releaseW0, releaseW1: releaseW1,
-								releaseW1First: releaseW1First,
-								delayRead:      delayRead,
-							}
-							violated, err := runOneSchedule(ctx, kind, f, n, s)
-							if err != nil {
-								return nil, fmt.Errorf("runner: exhaustive %s schedule {%s}: %w", kind, s, err)
-							}
-							rep.Schedules++
-							if violated {
-								rep.Violations++
-								if rep.FirstViolation == "" {
-									rep.FirstViolation = s.String()
-								}
-							}
-						}
-					}
-				}
+	return RunExhaustiveOpts(ctx, kind, ExhaustOptions{})
+}
+
+// RunExhaustiveOpts runs the exhaustive sweep with explicit adversary
+// budget and pool size: every schedule is an independent job on the Sweep
+// engine, each with its own cluster, fabric, gate, and emulation.
+func RunExhaustiveOpts(ctx context.Context, kind Kind, opts ExhaustOptions) (*ExhaustReport, error) {
+	f := opts.F
+	if f == 0 {
+		f = 1
+	}
+	if f < 1 || f > 2 {
+		return nil, fmt.Errorf("runner: exhaustive sweep supports f=1 or f=2, got f=%d", f)
+	}
+	n := 2*f + 1
+	schedules := enumerateExhaust(f, n)
+	workers := min(DefaultWorkers(opts.Workers), len(schedules))
+	violated, elapsed, err := Sweep(ctx, workers, len(schedules),
+		func(ctx context.Context, _, job int) (bool, error) {
+			v, err := runOneSchedule(ctx, kind, f, n, schedules[job])
+			if err != nil {
+				return false, fmt.Errorf("runner: exhaustive %s schedule {%s}: %w", kind, schedules[job], err)
 			}
+			return v, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	rep := &ExhaustReport{
+		Kind: kind, F: f, N: n,
+		Workers:   workers,
+		Schedules: len(schedules),
+		Elapsed:   elapsed,
+	}
+	for i, v := range violated {
+		if !v {
+			continue
+		}
+		rep.Violations++
+		rep.ViolationIndices = append(rep.ViolationIndices, i)
+		if rep.FirstViolation == "" {
+			rep.FirstViolation = schedules[i].String()
 		}
 	}
 	return rep, nil
@@ -125,66 +250,84 @@ func runOneSchedule(ctx context.Context, kind Kind, f, n int, s exhaustSchedule)
 		return false, err
 	}
 
-	// Phase 0: write v1 with at most one covering hold.
-	consumed := [2]bool{}
-	var mu sync.Mutex
-	armHold := func(client types.ClientID, server, slot int) {
+	// armHolds installs the covering rule for one writer: hold the first
+	// mutating op on each scheduled server (Lemma 1 covers each register
+	// at most once, so subsequent ops on a held server pass).
+	armHolds := func(client types.ClientID, servers []int) {
+		if len(servers) == 0 {
+			return
+		}
+		want := make(map[int]bool, len(servers))
+		for _, srv := range servers {
+			want[srv] = true
+		}
+		var mu sync.Mutex
+		held := make(map[int]bool, len(servers))
 		script.SetApplyRule(func(ev fabric.TriggerEvent) bool {
-			if ev.Client != client || int(ev.Server) != server || !adversary.IsMutating(ev.Inv) {
+			if ev.Client != client || !want[int(ev.Server)] || !adversary.IsMutating(ev.Inv) {
 				return false
 			}
 			mu.Lock()
 			defer mu.Unlock()
-			if consumed[slot] {
+			if held[int(ev.Server)] {
 				return false
 			}
-			consumed[slot] = true
+			held[int(ev.Server)] = true
 			return true
 		})
 	}
-	if s.holdW0 >= 0 {
-		armHold(0, s.holdW0, 0)
-	}
+
+	// Phases 0-1: the two writes, each under its covering holds.
+	armHolds(0, s.holds[0])
 	if err := w0.Write(ctx, 101); err != nil {
 		return false, fmt.Errorf("write 1: %w", err)
 	}
 	script.SetApplyRule(nil)
-
-	// Phase 1: write v2 with at most one covering hold.
-	if s.holdW1 >= 0 {
-		armHold(1, s.holdW1, 1)
-	}
+	armHolds(1, s.holds[1])
 	if err := w1.Write(ctx, 202); err != nil {
 		return false, fmt.Errorf("write 2: %w", err)
 	}
 	script.SetApplyRule(nil)
 
-	// Phase 2: releases, in the chosen order.
-	release := func(client types.ClientID) {
+	// Phase 2: releases. Releases on distinct objects commute, so a fixed
+	// server order loses nothing; on servers where both writers release,
+	// w1First picks which stale write lands first.
+	release := func(client types.ClientID, server int) {
 		env.Fabric.ReleaseWhere(func(op fabric.PendingOp) bool {
-			return op.Event.Client == client && op.Phase == fabric.PhaseApply
+			return op.Event.Client == client && int(op.Event.Server) == server && op.Phase == fabric.PhaseApply
 		})
 	}
-	if s.releaseW1First {
-		if s.releaseW1 {
-			release(1)
-		}
-		if s.releaseW0 {
-			release(0)
-		}
-	} else {
-		if s.releaseW0 {
-			release(0)
-		}
-		if s.releaseW1 {
-			release(1)
+	w1First := make(map[int]bool, len(s.w1First))
+	for _, srv := range s.w1First {
+		w1First[srv] = true
+	}
+	for srv := 0; srv < n; srv++ {
+		in0 := slices.Contains(s.releases[0], srv)
+		in1 := slices.Contains(s.releases[1], srv)
+		switch {
+		case in0 && in1:
+			if w1First[srv] {
+				release(1, srv)
+				release(0, srv)
+			} else {
+				release(0, srv)
+				release(1, srv)
+			}
+		case in0:
+			release(0, srv)
+		case in1:
+			release(1, srv)
 		}
 	}
 
-	// Phase 3: read with one server's responses to the reader delayed.
-	if s.delayRead >= 0 {
+	// Phase 3: read with up to f servers' responses to the reader delayed.
+	if len(s.delayRead) > 0 {
+		delayed := make(map[int]bool, len(s.delayRead))
+		for _, srv := range s.delayRead {
+			delayed[srv] = true
+		}
 		script.SetRespondRule(func(ev fabric.TriggerEvent) bool {
-			return ev.Client >= emulation.ReaderIDBase && int(ev.Server) == s.delayRead
+			return ev.Client >= emulation.ReaderIDBase && delayed[int(ev.Server)]
 		})
 	}
 	if _, err := reg.NewReader().Read(ctx); err != nil {

@@ -1,0 +1,85 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements the parallel experiment engine: a worker pool that
+// fans independent experiment jobs (exhaustive-search schedules, chaos
+// seeds) across goroutines. PR 1 made fabrics cheap to build, so a bounded
+// model-checking sweep is embarrassingly parallel: every job constructs its
+// own cluster+fabric+emulation environment, and the only shared state is
+// the job counter and the pre-sized result slice each worker writes at
+// disjoint indices.
+
+// DefaultWorkers resolves a worker-count option: values <= 0 mean one
+// worker per available CPU.
+func DefaultWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// Sweep runs jobs 0..jobs-1 across a pool of workers goroutines and
+// returns the per-job results indexed by job, plus the wall-clock time of
+// the whole sweep. Each worker claims job indices off a shared atomic
+// counter; run is called with the worker index (for per-worker state, if
+// the caller wants any) and the job index, and must not retain shared
+// mutable state across jobs — determinism of the sweep rests on jobs being
+// independent. The first job error cancels the remaining jobs and is
+// returned; results are only valid when the error is nil.
+func Sweep[R any](ctx context.Context, workers, jobs int, run func(ctx context.Context, worker, job int) (R, error)) ([]R, time.Duration, error) {
+	if jobs < 0 {
+		return nil, 0, fmt.Errorf("runner: sweep needs jobs >= 0, got %d", jobs)
+	}
+	start := time.Now()
+	workers = DefaultWorkers(workers)
+	if workers > jobs {
+		workers = jobs
+	}
+	results := make([]R, jobs)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				job := int(next.Add(1)) - 1
+				if job >= jobs || ctx.Err() != nil {
+					return
+				}
+				res, err := run(ctx, worker, job)
+				if err != nil {
+					fail(err)
+					return
+				}
+				results[job] = res
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr == nil && ctx.Err() != nil {
+		firstErr = ctx.Err()
+	}
+	return results, time.Since(start), firstErr
+}

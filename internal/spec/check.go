@@ -3,6 +3,8 @@ package spec
 import (
 	"errors"
 	"fmt"
+	"math"
+	"sort"
 
 	"repro/internal/types"
 )
@@ -38,6 +40,62 @@ var (
 	ErrTooLarge = errors.New("spec: history too large for linearizability search")
 )
 
+// wsIndex is the per-history precomputation shared by the write-sequential
+// checkers. In a write-sequential history the complete writes have pairwise
+// disjoint intervals, so sorting them by End also sorts them by Start, and
+// "the last write preceding a read" becomes a binary search instead of the
+// O(writes) rescan each read otherwise pays. Pending writes (held forever
+// by a covering adversary) are few and kept aside.
+type wsIndex struct {
+	// complete holds the complete writes in ascending End (equivalently
+	// Start) order.
+	complete []Op
+	// pending holds the incomplete writes.
+	pending []Op
+	// minPendingStart is the earliest pending-write invocation time
+	// (math.MaxInt64 when there are none): a complete read is concurrent
+	// with some pending write iff its End reaches that far.
+	minPendingStart int64
+}
+
+// indexWrites builds the index from a history snapshot. The input must be
+// write-sequential (checked by validateWS before any checker uses this).
+func indexWrites(ops []Op) wsIndex {
+	idx := wsIndex{minPendingStart: math.MaxInt64}
+	for _, w := range Writes(ops) {
+		if w.Complete {
+			idx.complete = append(idx.complete, w)
+		} else {
+			idx.pending = append(idx.pending, w)
+			if w.Start < idx.minPendingStart {
+				idx.minPendingStart = w.Start
+			}
+		}
+	}
+	// Writes() sorts by Start; disjoint complete intervals make that the
+	// End order too.
+	return idx
+}
+
+// lastPreceding returns the index into idx.complete of the last write that
+// ends before start, or -1 if none does.
+func (idx wsIndex) lastPreceding(start int64) int {
+	return sort.Search(len(idx.complete), func(i int) bool {
+		return idx.complete[i].End >= start
+	}) - 1
+}
+
+// concurrentWithAnyWrite reports whether the complete read rd overlaps any
+// write, given p = idx.lastPreceding(rd.Start). Complete writes after p all
+// end at or after rd starts, so the first of them overlaps rd iff it starts
+// before rd ends; later ones start later still.
+func (idx wsIndex) concurrentWithAnyWrite(rd Op, p int) bool {
+	if p+1 < len(idx.complete) && idx.complete[p+1].Start <= rd.End {
+		return true
+	}
+	return idx.minPendingStart <= rd.End
+}
+
 // readCandidates computes the set of values a read may legally return in a
 // write-sequential history under WS-Regularity: the value of the last write
 // that completed before the read was invoked (or v0 if none), or the value
@@ -72,16 +130,6 @@ func readCandidates(rd Op, writes []Op, v0 types.Value) map[types.Value]struct{}
 	return candidates
 }
 
-// isReadWriteConcurrent reports whether rd overlaps any write.
-func isReadWriteConcurrent(rd Op, writes []Op) bool {
-	for _, w := range writes {
-		if rd.ConcurrentWith(w) {
-			return true
-		}
-	}
-	return false
-}
-
 // validateWS checks the common preconditions of the write-sequential
 // checkers.
 func validateWS(ops []Op) error {
@@ -102,16 +150,18 @@ func CheckWSSafety(ops []Op, v0 types.Value) error {
 	if err := validateWS(ops); err != nil {
 		return err
 	}
-	writes := Writes(ops)
+	idx := indexWrites(ops)
 	for _, rd := range Reads(ops) {
-		if !rd.Complete || isReadWriteConcurrent(rd, writes) {
+		if !rd.Complete {
+			continue
+		}
+		p := idx.lastPreceding(rd.Start)
+		if idx.concurrentWithAnyWrite(rd, p) {
 			continue
 		}
 		want := v0
-		for _, w := range writes {
-			if w.Precedes(rd) {
-				want = w.Arg
-			}
+		if p >= 0 {
+			want = idx.complete[p].Arg
 		}
 		if rd.Out != want {
 			r := rd
@@ -134,22 +184,51 @@ func CheckWSRegularity(ops []Op, v0 types.Value) error {
 	if err := validateWS(ops); err != nil {
 		return err
 	}
-	writes := Writes(ops)
+	idx := indexWrites(ops)
 	for _, rd := range Reads(ops) {
 		if !rd.Complete {
 			continue
 		}
-		candidates := readCandidates(rd, writes, v0)
-		if _, ok := candidates[rd.Out]; !ok {
-			r := rd
-			return &Violation{
-				Condition: "WS-Regularity",
-				Read:      &r,
-				Detail:    fmt.Sprintf("returned %d, not a legal regular value %v", rd.Out, keysOf(candidates)),
-			}
+		if idx.regularValue(rd, v0) {
+			continue
+		}
+		// Violation: rebuild the full candidate set for the message.
+		candidates := readCandidates(rd, Writes(ops), v0)
+		r := rd
+		return &Violation{
+			Condition: "WS-Regularity",
+			Read:      &r,
+			Detail:    fmt.Sprintf("returned %d, not a legal regular value %v", rd.Out, keysOf(candidates)),
 		}
 	}
 	return nil
+}
+
+// regularValue reports whether rd.Out is a legal WS-Regular return: the
+// value of the last preceding complete write (or v0), or the value of any
+// write concurrent with rd. Concurrent complete writes form the contiguous
+// run just after the last preceding one, so no candidate set is
+// materialized on the happy path.
+func (idx wsIndex) regularValue(rd Op, v0 types.Value) bool {
+	p := idx.lastPreceding(rd.Start)
+	want := v0
+	if p >= 0 {
+		want = idx.complete[p].Arg
+	}
+	if rd.Out == want {
+		return true
+	}
+	for q := p + 1; q < len(idx.complete) && idx.complete[q].Start <= rd.End; q++ {
+		if idx.complete[q].Arg == rd.Out {
+			return true
+		}
+	}
+	for _, w := range idx.pending {
+		if w.Start <= rd.End && w.Arg == rd.Out {
+			return true
+		}
+	}
+	return false
 }
 
 // keysOf lists candidate values for error messages.

@@ -1,0 +1,101 @@
+package spec
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// referenceWSSafety is the pre-index O(reads×writes) checker kept as a test
+// oracle: the binary-searched wsIndex fast path must agree with it verdict
+// for verdict.
+func referenceWSSafety(ops []Op, v0 types.Value) error {
+	if err := validateWS(ops); err != nil {
+		return err
+	}
+	writes := Writes(ops)
+	for _, rd := range Reads(ops) {
+		if !rd.Complete {
+			continue
+		}
+		concurrent := false
+		for _, w := range writes {
+			if rd.ConcurrentWith(w) {
+				concurrent = true
+				break
+			}
+		}
+		if concurrent {
+			continue
+		}
+		want := v0
+		for _, w := range writes {
+			if w.Precedes(rd) {
+				want = w.Arg
+			}
+		}
+		if rd.Out != want {
+			r := rd
+			return &Violation{Condition: "WS-Safety", Read: &r}
+		}
+	}
+	return nil
+}
+
+// referenceWSRegularity is the candidate-set checker kept as a test oracle
+// for the allocation-free regularValue fast path.
+func referenceWSRegularity(ops []Op, v0 types.Value) error {
+	if err := validateWS(ops); err != nil {
+		return err
+	}
+	writes := Writes(ops)
+	for _, rd := range Reads(ops) {
+		if !rd.Complete {
+			continue
+		}
+		if _, ok := readCandidates(rd, writes, v0)[rd.Out]; !ok {
+			r := rd
+			return &Violation{Condition: "WS-Regularity", Read: &r}
+		}
+	}
+	return nil
+}
+
+// TestIndexedCheckersAgreeWithReference fuzzes the indexed write-sequential
+// checkers against the reference implementations on random histories,
+// including ones with pending writes and garbage read values.
+func TestIndexedCheckersAgreeWithReference(t *testing.T) {
+	const trials = 2000
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < trials; trial++ {
+		ops := randomWriteSequentialHistory(rng)
+		if got, want := CheckWSSafety(ops, 0) == nil, referenceWSSafety(ops, 0) == nil; got != want {
+			t.Fatalf("trial %d: WS-Safety fast path %v, reference %v, history:\n%v", trial, got, want, ops)
+		}
+		if got, want := CheckWSRegularity(ops, 0) == nil, referenceWSRegularity(ops, 0) == nil; got != want {
+			t.Fatalf("trial %d: WS-Regularity fast path %v, reference %v, history:\n%v", trial, got, want, ops)
+		}
+	}
+}
+
+// TestPrecedenceMasksMatchDefinition: the precomputed masks must encode
+// exactly the Precedes relation the linearization search consumed one scan
+// at a time before.
+func TestPrecedenceMasksMatchDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 500; trial++ {
+		ops := randomWriteSequentialHistory(rng)
+		masks := make([]uint64, len(ops))
+		precedenceMasks(ops, masks)
+		for i := range ops {
+			for j, other := range ops {
+				want := other.Complete && other.End < ops[i].Start
+				got := masks[i]&(1<<uint(j)) != 0
+				if got != want {
+					t.Fatalf("trial %d: mask[%d] bit %d = %v, Precedes = %v\n%v", trial, i, j, got, want, ops)
+				}
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package spec
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/types"
 )
@@ -9,6 +10,58 @@ import (
 // maxLinOps bounds the linearizability search; histories are encoded as
 // 64-bit masks.
 const maxLinOps = 64
+
+// linState is the memo key of the linearization search: which ops have been
+// consumed and what the register holds.
+type linState struct {
+	consumed uint64
+	val      types.Value
+}
+
+// linMemoPool recycles the memo maps across CheckLinearizable calls. The
+// checker runs once per schedule in the exhaustive sweeps, so growing a
+// fresh map to steady-state size on every call is a measurable share of
+// the per-schedule cost; pooling keeps the buckets warm. Maps start small
+// and retain the capacity of the largest history they served.
+var linMemoPool = sync.Pool{
+	New: func() any { return make(map[linState]struct{}) },
+}
+
+// precedenceMasks computes, for each op i, the bitmask of complete ops that
+// strictly precede it (End < Start). Histories are capped at maxLinOps, so
+// the direct allocation-free pass over end times sorted into a running
+// index is bounded and cheap — and the search then tests "may op i be
+// linearized next" with a single AND instead of rescanning the history on
+// every expansion.
+func precedenceMasks(ops []Op, masks []uint64) {
+	// byEnd collects complete ops in ascending End order via insertion
+	// sort on a stack array (histories are nearly sorted already: ops are
+	// recorded in invocation order).
+	var byEnd [maxLinOps]int
+	ends := 0
+	for i, op := range ops {
+		if !op.Complete {
+			continue
+		}
+		j := ends
+		for j > 0 && ops[byEnd[j-1]].End > op.End {
+			byEnd[j] = byEnd[j-1]
+			j--
+		}
+		byEnd[j] = i
+		ends++
+	}
+	for i, op := range ops {
+		var mask uint64
+		for _, j := range byEnd[:ends] {
+			if ops[j].End >= op.Start {
+				break
+			}
+			mask |= 1 << uint(j)
+		}
+		masks[i] = mask
+	}
+}
 
 // CheckLinearizable checks atomicity (Appendix A.3): the history must have
 // a linearization with respect to the register's sequential specification.
@@ -18,7 +71,11 @@ const maxLinOps = 64
 //
 // The search is a Wing–Gong style exploration with memoization on
 // (consumed-ops bitmask, register value); unique write values keep the
-// state space small. Histories larger than 64 operations return ErrTooLarge.
+// state space small. The precedence relation is precomputed once as
+// per-op bitmasks, so testing whether an op may be linearized next is a
+// single AND instead of a rescan of the history, and the memo map is
+// pooled across calls. Histories larger than 64 operations return
+// ErrTooLarge.
 func CheckLinearizable(ops []Op, v0 types.Value) error {
 	if len(ops) > maxLinOps {
 		return fmt.Errorf("%w: %d ops (max %d)", ErrTooLarge, len(ops), maxLinOps)
@@ -29,39 +86,28 @@ func CheckLinearizable(ops []Op, v0 types.Value) error {
 			completeMask |= 1 << uint(i)
 		}
 	}
-	type state struct {
-		consumed uint64
-		val      types.Value
-	}
-	visited := make(map[state]struct{})
+	var precMask [maxLinOps]uint64
+	precedenceMasks(ops, precMask[:len(ops)])
 
-	// candidate reports whether op i may be linearized next: no other
-	// unconsumed complete op strictly precedes it.
-	candidate := func(i int, consumed uint64) bool {
-		for j, other := range ops {
-			if j == i || consumed&(1<<uint(j)) != 0 {
-				continue
-			}
-			if other.Complete && other.End < ops[i].Start {
-				return false
-			}
-		}
-		return true
-	}
+	visited := linMemoPool.Get().(map[linState]struct{})
+	clear(visited)
+	defer linMemoPool.Put(visited)
 
 	var dfs func(consumed uint64, val types.Value) bool
 	dfs = func(consumed uint64, val types.Value) bool {
 		if consumed&completeMask == completeMask {
 			return true
 		}
-		st := state{consumed: consumed, val: val}
+		st := linState{consumed: consumed, val: val}
 		if _, seen := visited[st]; seen {
 			return false
 		}
 		visited[st] = struct{}{}
 		for i, op := range ops {
 			bit := uint64(1) << uint(i)
-			if consumed&bit != 0 || !candidate(i, consumed) {
+			// Op i may be linearized next iff it is unconsumed and no
+			// unconsumed complete op strictly precedes it.
+			if consumed&bit != 0 || precMask[i]&^consumed != 0 {
 				continue
 			}
 			switch op.Kind {
