@@ -24,11 +24,18 @@ bench:
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
-# Perf trajectory snapshot: triggers/sec, sweep wall-clock, checker ns/op
-# recorded as BENCH_<date>.json so future PRs have a baseline.
+# Perf trajectory snapshot: triggers/sec (in-process and latency lanes,
+# side by side), sweep wall-clock, checker ns/op recorded as
+# BENCH_<date>.json so future PRs have a baseline.
 bench-json:
 	$(GO) run ./cmd/benchjson -benchtime 100ms
 
 # The fabric dispatch throughput number tracked in the perf trajectory.
 fabric-bench:
 	$(GO) test -run xxx -bench BenchmarkFabricParallelTrigger -benchtime 2s .
+
+# Lane-backend suite under the race detector: latency lanes, the TCP
+# protocol/node/client, and the chaos suites over both (the TCP chaos
+# suite spawns real cmd/lanenode processes).
+race-lanes:
+	$(GO) test -race -count 1 -run 'TestLatencyLane|TestCustomLaneBackend|TestProto|TestNetworkLane|TestDisconnectIsCrash|TestCrashDuringRemoteScan|TestChaosLatencyLaneSweep|TestTCPLane' ./internal/fabric ./internal/lanenet ./internal/runner

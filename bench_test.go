@@ -14,6 +14,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/baseobj"
 	"repro/internal/bounds"
@@ -490,6 +491,68 @@ func BenchmarkFabricParallelTrigger(b *testing.B) {
 						b.Fatalf("trigger outcome = %+v ok=%v", o, ok)
 					}
 				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "triggers/sec")
+		})
+	}
+}
+
+// BenchmarkFabricLaneTrigger measures trigger-to-completion throughput on
+// the in-process lane vs the latency lane, side by side: the price of real
+// asynchrony (timer dispatch, cross-goroutine completion) relative to the
+// synchronous hot path. Completions are awaited in batches so the latency
+// lane's in-flight population stays bounded.
+func BenchmarkFabricLaneTrigger(b *testing.B) {
+	const servers = 8
+	lanes := []struct {
+		name  string
+		maker fabric.LaneMaker
+	}{
+		{"inproc", nil},
+		{"latency", fabric.LatencyLanes(1, fabric.LatencyProfile{Jitter: 20 * time.Microsecond})},
+	}
+	for _, lane := range lanes {
+		lane := lane
+		b.Run("lane="+lane.name, func(b *testing.B) {
+			c, err := cluster.New(servers)
+			if err != nil {
+				b.Fatalf("cluster: %v", err)
+			}
+			objs := make([]types.ObjectID, servers)
+			for s := 0; s < servers; s++ {
+				obj, err := c.PlaceRegister(types.ServerID(s))
+				if err != nil {
+					b.Fatalf("place: %v", err)
+				}
+				objs[s] = obj
+			}
+			var opts []fabric.Option
+			if lane.maker != nil {
+				opts = append(opts, fabric.WithLanes(lane.maker))
+			}
+			fab := fabric.New(c, opts...)
+			defer fab.Close()
+			var nextClient atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				client := types.ClientID(nextClient.Add(1))
+				obj := objs[int(client)%len(objs)]
+				var wg sync.WaitGroup
+				i := 0
+				for pb.Next() {
+					i++
+					wg.Add(1)
+					call := fab.Trigger(client, obj, baseobj.Invocation{
+						Op:  baseobj.OpWrite,
+						Arg: types.TSValue{TS: uint64(i), Writer: client},
+					})
+					call.OnComplete(func(fabric.Outcome) { wg.Done() })
+					if i%256 == 0 {
+						wg.Wait()
+					}
+				}
+				wg.Wait()
 			})
 			b.StopTimer()
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "triggers/sec")

@@ -24,9 +24,11 @@ import (
 	"time"
 )
 
-// trajectoryBenches is the default benchmark set: the three numbers the
-// ROADMAP tracks PR over PR.
-const trajectoryBenches = "BenchmarkFabricParallelTrigger|BenchmarkExhaustiveParallel|BenchmarkExhaustiveSearch|BenchmarkCheckers|BenchmarkCheckLinearizable"
+// trajectoryBenches is the default benchmark set: the numbers the ROADMAP
+// tracks PR over PR. BenchmarkFabricLaneTrigger records in-process vs
+// latency-lane trigger-to-completion throughput side by side, so the cost
+// of real asynchrony is part of every snapshot.
+const trajectoryBenches = "BenchmarkFabricParallelTrigger|BenchmarkFabricLaneTrigger|BenchmarkExhaustiveParallel|BenchmarkExhaustiveSearch|BenchmarkCheckers|BenchmarkCheckLinearizable"
 
 // Result is one parsed benchmark line.
 type Result struct {

@@ -1,0 +1,41 @@
+// Command lanenode runs one server's storage node: the remote half of a
+// network-backed fabric dispatch lane (internal/lanenet). Run one process
+// per server; killing a process is the paper's server crash, and the
+// fabric maps the broken connections onto PhaseDropped via its
+// reconnect-as-crash semantics.
+//
+// Usage:
+//
+//	lanenode -listen 127.0.0.1:0
+//
+// The first stdout line reports the bound address ("listening <addr>"),
+// which is how test harnesses discover ephemeral ports.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"repro/internal/lanenet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lanenode:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	listen := flag.String("listen", "127.0.0.1:0", "TCP address to listen on (port 0 picks an ephemeral port)")
+	flag.Parse()
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("listening %s\n", l.Addr())
+	return lanenet.NewNode().Serve(l)
+}

@@ -37,6 +37,7 @@ func run() error {
 	f := flag.Int("f", 2, "failure threshold (exhaustive sweeps support 1 or 2)")
 	n := flag.Int("n", 6, "number of servers")
 	workers := flag.Int("workers", 0, "sweep pool size for exhaustive/chaos (0 = one per CPU)")
+	lane := flag.String("lane", "both", "chaos dispatch lane: inproc | latency | both")
 	jsonOut := flag.Bool("json", false, "emit exhaustive/chaos reports as JSON instead of tables")
 	timeout := flag.Duration("timeout", 5*time.Minute, "total timeout")
 	flag.Parse()
@@ -72,7 +73,7 @@ func run() error {
 		"theorem8":    func(ctx context.Context) error { return expTheorem8(ctx) },
 		"coincidence": func(context.Context) error { return expCoincidence() },
 		"exhaustive":  func(ctx context.Context) error { return expExhaustive(ctx, exhaustF, *workers, *jsonOut) },
-		"chaos":       func(ctx context.Context) error { return expChaos(ctx, *workers, *jsonOut) },
+		"chaos":       func(ctx context.Context) error { return expChaos(ctx, *workers, *lane, *jsonOut) },
 	}
 	if *exp != "all" {
 		fn, ok := experiments[*exp]
@@ -286,30 +287,41 @@ func expExhaustive(ctx context.Context, f, workers int, jsonOut bool) error {
 }
 
 // expChaos sweeps randomized environments across constructions on the
-// sweep pool.
-func expChaos(ctx context.Context, workers int, jsonOut bool) error {
+// sweep pool, on the selected dispatch lane(s): the in-process lane keeps
+// the historical deterministic sweep, the latency lane adds seeded
+// delivery delay, reordering, and stragglers on every dispatch.
+func expChaos(ctx context.Context, workers int, lane string, jsonOut bool) error {
+	var lanes []runner.Lane
+	switch lane {
+	case "inproc":
+		lanes = []runner.Lane{runner.LaneInProc}
+	case "latency":
+		lanes = []runner.Lane{runner.LaneLatency}
+	case "both":
+		lanes = []runner.Lane{runner.LaneInProc, runner.LaneLatency}
+	default:
+		return fmt.Errorf("unknown lane %q (inproc | latency | both)", lane)
+	}
 	var reports []*runner.ChaosSweepReport
-	for _, kind := range runner.Kinds() {
-		n := 7
-		if kind != runner.KindRegEmu {
-			n = 5
+	for _, ln := range lanes {
+		for _, kind := range runner.Kinds() {
+			rep, err := runner.RunChaosSweep(ctx, runner.ChaosConfig{
+				Kind: kind, K: 3, F: 2, N: runner.ChaosServers(kind), Ops: 25, Lane: ln,
+			}, 10, workers)
+			if err != nil {
+				return err
+			}
+			reports = append(reports, rep)
 		}
-		rep, err := runner.RunChaosSweep(ctx, runner.ChaosConfig{
-			Kind: kind, K: 3, F: 2, N: n, Ops: 25,
-		}, 10, workers)
-		if err != nil {
-			return err
-		}
-		reports = append(reports, rep)
 	}
 	if jsonOut {
 		return emitJSON(reports)
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "construction\tseeds\tviolating seeds\tholds\treleases\twall-clock")
+	fmt.Fprintln(w, "construction\tlane\tseeds\tviolating seeds\tholds\treleases\twall-clock")
 	for _, rep := range reports {
-		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%s\n",
-			rep.Kind, rep.Seeds, rep.Violating, rep.Holds, rep.Releases, rep.Elapsed.Round(time.Millisecond))
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%d\t%s\n",
+			rep.Kind, rep.Lane, rep.Seeds, rep.Violating, rep.Holds, rep.Releases, rep.Elapsed.Round(time.Millisecond))
 	}
 	return w.Flush()
 }

@@ -18,10 +18,22 @@
 //   - internal/fabric: the asynchronous trigger/respond fabric between
 //     clients and base objects, sharded into per-server dispatch lanes.
 //     Token allocation is lock-free, object routing is served from a
-//     lock-free route cache, each lane owns its held-op and crash-drop
-//     state, and TriggerBatch scatters a whole quorum round in one call.
-//     The environment plugs in as a Gate (hold/release/crash), which is
-//     how the covering adversary of Lemma 1 is realized.
+//     lock-free route cache, each lane owns its held-op, in-flight, and
+//     crash-drop state, and TriggerBatch scatters a whole quorum round in
+//     one call. The environment plugs in as a Gate (hold/release/crash),
+//     which is how the covering adversary of Lemma 1 is realized. Each
+//     lane's transport is a pluggable backend (the Lane interface): the
+//     in-process lane (default, synchronous, zero-regression hot path),
+//     the latency lane (seeded per-op delay/jitter/straggler delivery),
+//     and the network lane below.
+//   - internal/lanenet + cmd/lanenode: the network lane backend — a
+//     length-prefixed TCP protocol between a lane and a per-server storage
+//     node process holding the authoritative base objects. Placement is
+//     mirrored on first route resolution, responses are matched by request
+//     id, and a broken connection crashes the lane's server
+//     (reconnect-as-crash), so killing a node process is exactly the
+//     paper's server crash: in-flight and future ops become pending
+//     forever and quorums over surviving nodes keep completing.
 //   - internal/emulation/rounds: the shared quorum round engine — scatter
 //     a round over the lanes, await a quorum of responses (count-based,
 //     or Algorithm 2's complete-per-server scans), adaptive to crashes.
@@ -51,8 +63,12 @@
 // schedule class (f=1: 208 schedules on 3 servers; f=2: 48256 schedules
 // on 5 servers, reduced by release-commutation symmetry), so "0
 // violations" is a complete-class result; RunChaosSweep fans seeded chaos
-// runs the same way. cmd/sweep exposes the engine via -f, -workers, and
-// -json; cmd/benchjson records the perf trajectory (EXPERIMENTS.md).
+// runs the same way, on the in-process lane (deterministic per seed) or
+// the latency lane (the same gate adversary composed with real timing),
+// with every per-run generator derived as an independent splitmix
+// sub-stream of the seed (internal/seed). cmd/sweep exposes the engine via
+// -f, -workers, -lane, and -json; cmd/benchjson records the perf
+// trajectory (EXPERIMENTS.md).
 //
 // The root package anchors the module documentation and the
 // repository-level benchmark suite (bench_test.go); runnable entry points

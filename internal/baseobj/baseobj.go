@@ -16,6 +16,7 @@ package baseobj
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/types"
@@ -193,6 +194,21 @@ func (r *Register) Kind() Kind { return KindRegister }
 // WriterBound returns the size of the register's writer set, or 0 if the
 // register is unbounded.
 func (r *Register) WriterBound() int { return len(r.writers) }
+
+// Writers returns the register's declared writer set in ascending order,
+// or nil for an unbounded register. External-store lane backends use it to
+// replicate z-writer placement, so remote registers enforce the same bound.
+func (r *Register) Writers() []types.ClientID {
+	if r.writers == nil {
+		return nil
+	}
+	ws := make([]types.ClientID, 0, len(r.writers))
+	for w := range r.writers {
+		ws = append(ws, w)
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+	return ws
+}
 
 // Apply implements Object. Writes overwrite unconditionally (last write
 // wins): this is precisely the weakness the lower bound exploits, because a

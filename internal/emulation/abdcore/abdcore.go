@@ -131,11 +131,14 @@ func (e *Engine) Collect(ctx context.Context, client types.ClientID) (types.TSVa
 		}
 		return v, nil
 	}
+	// The channel is sized for one report per store; Deliver keeps a
+	// misbehaving store (or a late report after this gather was abandoned
+	// on ctx cancellation) from ever blocking a fabric goroutine.
 	ch := make(chan rounds.Report, len(e.stores))
 	for i, s := range e.stores {
 		i := i
 		s.StartReadMax(client, func(v types.TSValue, err error) {
-			ch <- rounds.Report{Index: i, Val: v, Err: err}
+			rounds.Deliver(ch, rounds.Report{Index: i, Val: v, Err: err})
 		})
 	}
 	v, err := rounds.Gather(ctx, ch, e.Quorum())
@@ -157,11 +160,14 @@ func (e *Engine) WriteMax(ctx context.Context, client types.ClientID, v types.TS
 		}
 		return nil
 	}
+	// One report per store fits the buffer even if this gather is
+	// abandoned: casmax's multi-step Algorithm 1 chains keep running on
+	// fabric goroutines after a ctx cancellation and report here late.
 	ch := make(chan rounds.Report, len(e.stores))
 	for i, s := range e.stores {
 		i := i
 		s.StartWriteMax(client, v, func(got types.TSValue, err error) {
-			ch <- rounds.Report{Index: i, Val: got, Err: err}
+			rounds.Deliver(ch, rounds.Report{Index: i, Val: got, Err: err})
 		})
 	}
 	if _, err := rounds.Gather(ctx, ch, e.Quorum()); err != nil {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/adversary"
+	"repro/internal/baseobj"
 	"repro/internal/cluster"
 	"repro/internal/emulation/quorumreg"
 	"repro/internal/fabric"
@@ -198,5 +199,72 @@ func TestMetricsRetriesNeverNegative(t *testing.T) {
 	m.CASAttempts.Add(7)
 	if m.Retries() != 2 {
 		t.Fatalf("Retries = %d, want 2", m.Retries())
+	}
+}
+
+// TestWriteCancelledMidChainThenReleaseRecovers is the completion-leak
+// regression test for the Algorithm 1 callback chains: every store's
+// write-max is a multi-step read/CAS chain reporting into one shared
+// quorum-gather channel, and a Write abandoned by ctx cancellation leaves
+// those chains running on fabric goroutines. Releasing every held op must
+// let each chain finish and report late — into a channel nobody drains —
+// without blocking the releasing goroutine, and the register must keep
+// working afterwards. Run under -race in CI.
+func TestWriteCancelledMidChainThenReleaseRecovers(t *testing.T) {
+	// Hold every CAS response: chains stall mid-step.
+	gate := fabric.GateFuncs{Respond: func(ev fabric.TriggerEvent, _ baseobj.Response) fabric.Decision {
+		return fabric.Hold
+	}}
+	reg, _, fab := newReg(t, 2, 1, 3, gate, Options{})
+	w, err := reg.Writer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		if err := w.Write(ctx, types.Value(10+round)); err == nil {
+			t.Fatalf("round %d: fully-held write succeeded", round)
+		}
+		cancel()
+		// Release everything repeatedly: each release advances the
+		// abandoned chains one step (read -> CAS -> re-read ...), and
+		// every chain's final report lands in an abandoned buffer.
+		for i := 0; i < 20; i++ {
+			if fab.ReleaseWhere(func(fabric.PendingOp) bool { return true }) == 0 {
+				break
+			}
+		}
+	}
+	// Recovery: drive a write to completion by releasing from this
+	// goroutine until it lands, then read it back.
+	done := make(chan error, 1)
+	go func() { done <- w.Write(testCtx(t), 99) }()
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("recovery write: %v", err)
+			}
+			rdDone := make(chan error, 1)
+			var got types.Value
+			go func() {
+				v, err := reg.NewReader().Read(testCtx(t))
+				got = v
+				rdDone <- err
+			}()
+			for {
+				select {
+				case err := <-rdDone:
+					if err != nil || got != 99 {
+						t.Fatalf("read = %d, %v; want 99", got, err)
+					}
+					return
+				case <-time.After(time.Millisecond):
+					fab.ReleaseWhere(func(fabric.PendingOp) bool { return true })
+				}
+			}
+		case <-time.After(time.Millisecond):
+			fab.ReleaseWhere(func(fabric.PendingOp) bool { return true })
+		}
 	}
 }

@@ -199,13 +199,29 @@ var _ emulation.Writer = (*Writer)(nil)
 // Client implements emulation.Writer.
 func (w *Writer) Client() types.ClientID { return w.client }
 
+// deliver lands a completion in the writer's event channel without ever
+// blocking the completing (possibly fabric) goroutine. The buffer holds
+// 2·|R_j| events while the cover-set discipline admits at most one
+// outstanding write per register (pending[b] gates re-triggering until b's
+// previous event was consumed), so even a Write abandoned mid-drain by ctx
+// cancellation leaves room for every late completion; an overflow means
+// that invariant broke and is surfaced loudly instead of leaking a blocked
+// goroutine.
+func (w *Writer) deliver(ev writeEvent) {
+	select {
+	case w.events <- ev:
+	default:
+		panic(fmt.Sprintf("regemu: writer %d event overflow (cap %d): register %d", w.client, cap(w.events), ev.obj))
+	}
+}
+
 // trigger issues a low-level write of ts on register b and marks it
 // pending; the completion lands in the writer's event channel.
 func (w *Writer) trigger(b types.ObjectID, ts types.TSValue) {
 	w.pending[b] = true
 	call := w.em.fab.Trigger(w.client, b, baseobj.Invocation{Op: baseobj.OpWrite, Arg: ts})
 	call.OnComplete(func(o fabric.Outcome) {
-		w.events <- writeEvent{obj: b, ts: ts, err: o.Err}
+		w.deliver(writeEvent{obj: b, ts: ts, err: o.Err})
 	})
 }
 
@@ -220,7 +236,7 @@ func (w *Writer) scatter(objs []types.ObjectID, ts types.TSValue) {
 	for i, call := range w.em.fab.TriggerBatch(w.client, batch) {
 		b := objs[i]
 		call.OnComplete(func(o fabric.Outcome) {
-			w.events <- writeEvent{obj: b, ts: ts, err: o.Err}
+			w.deliver(writeEvent{obj: b, ts: ts, err: o.Err})
 		})
 	}
 }

@@ -31,6 +31,7 @@ package rounds
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -38,6 +39,40 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/types"
 )
+
+// Errors reported by the round engine.
+var (
+	// ErrOverDelivery is returned by AwaitServers when a server produces
+	// more reports than the round scattered to it: a duplicated or retried
+	// completion. Without the guard the per-server countdown would pass
+	// through zero and silently double-count complete scans, so the engine
+	// treats over-delivery as a protocol violation instead.
+	ErrOverDelivery = errors.New("rounds: server delivered more reports than its scattered operations")
+
+	// ErrReportOverflow reports a send into a report channel whose buffer
+	// is exhausted. Every report channel is sized for the maximum number
+	// of sends its producers can make (one per scattered call, one per
+	// store), which is what lets completion closures run on fabric
+	// goroutines without ever blocking; an overflow means a producer
+	// violated its at-most-once contract.
+	ErrReportOverflow = errors.New("rounds: report channel overflow")
+)
+
+// Deliver sends a report without ever blocking: report channels are sized
+// so that every producer's at-most-once send fits the buffer, even when
+// the gather abandoned the channel early (ctx cancellation) and nothing
+// will ever drain it. A full buffer therefore cannot mean "consumer is
+// slow" — it means a producer sent more than it was sized for — and
+// Deliver turns that from a fabric goroutine blocked forever (a silent
+// leak that eventually deadlocks the whole dispatch path) into a loud
+// panic at the violation site.
+func Deliver(ch chan<- Report, rep Report) {
+	select {
+	case ch <- rep:
+	default:
+		panic(fmt.Errorf("%w (cap %d): dropping %+v", ErrReportOverflow, cap(ch), rep))
+	}
+}
 
 // Target is one low-level operation of a round: an invocation on a base
 // object.
@@ -86,7 +121,11 @@ type Round struct {
 
 // Scatter triggers every target in one TriggerBatch and wires completions
 // into the round's report stream. It never blocks: completions arrive on
-// fabric goroutines (or immediately, for synchronous passes).
+// fabric goroutines (or immediately, for synchronous passes). The report
+// channel's capacity equals the number of scattered calls and each call
+// completes at most once, so the completion closures can never block —
+// not even when the round was abandoned by a cancelled gather and late
+// releases complete the remaining calls with nobody left to drain them.
 func Scatter(fab *fabric.Fabric, client types.ClientID, targets []Target) *Round {
 	batch := make([]fabric.BatchOp, len(targets))
 	for i, t := range targets {
@@ -98,7 +137,7 @@ func Scatter(fab *fabric.Fabric, client types.ClientID, targets []Target) *Round
 		i, call := i, call
 		ev := call.Event()
 		call.OnComplete(func(o fabric.Outcome) {
-			r.ch <- Report{Index: i, Object: ev.Object, Server: ev.Server, Val: o.Resp.Val, Err: o.Err}
+			Deliver(r.ch, Report{Index: i, Object: ev.Object, Server: ev.Server, Val: o.Resp.Val, Err: o.Err})
 		})
 	}
 	return r
@@ -124,6 +163,17 @@ func (r *Round) AwaitServers(ctx context.Context, need int) (types.TSValue, erro
 	for _, call := range r.calls {
 		remaining[call.Event().Server]++
 	}
+	return awaitServers(ctx, r.ch, remaining, need)
+}
+
+// awaitServers is AwaitServers on an explicit report stream and per-server
+// countdown (split out so the duplicate-report accounting is testable in
+// isolation). A server's scan counts exactly when its countdown reaches
+// zero; a report arriving for a server whose countdown is already exhausted
+// — a duplicated or retried completion — is a protocol violation: letting
+// the countdown go negative would both miscount and, on a later pass
+// through zero, double-count the server's scan.
+func awaitServers(ctx context.Context, ch <-chan Report, remaining map[types.ServerID]int, need int) (types.TSValue, error) {
 	max := types.ZeroTSValue
 	for scans := 0; scans < need; {
 		// A done context fails deterministically even when reports are
@@ -134,13 +184,17 @@ func (r *Round) AwaitServers(ctx context.Context, need int) (types.TSValue, erro
 		select {
 		case <-ctx.Done():
 			return max, fmt.Errorf("rounds: scan gather (%d/%d servers): %w", scans, need, ctx.Err())
-		case rep := <-r.ch:
+		case rep := <-ch:
 			if rep.Err != nil {
 				return max, fmt.Errorf("rounds: scan gather: %w", rep.Err)
 			}
+			left := remaining[rep.Server]
+			if left <= 0 {
+				return max, fmt.Errorf("%w: server %d at %d/%d scans", ErrOverDelivery, rep.Server, scans, need)
+			}
 			max = types.MaxTSValue(max, rep.Val)
-			remaining[rep.Server]--
-			if remaining[rep.Server] == 0 {
+			remaining[rep.Server] = left - 1
+			if left == 1 {
 				scans++
 			}
 		}

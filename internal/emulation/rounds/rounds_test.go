@@ -2,6 +2,7 @@ package rounds
 
 import (
 	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -148,6 +149,95 @@ func TestAwaitServers(t *testing.T) {
 	}
 	if _, err := Scatter(fab, 1, targets).AwaitServers(shortCtx(t), 2); err == nil {
 		t.Fatal("two full scans succeeded with a held register response")
+	}
+}
+
+// TestAwaitServersOverDeliveryIsAProtocolError forges the duplicate-report
+// scenario the countdown must survive: a server that produces more reports
+// than the round scattered to it. Before the guard, the countdown passed
+// through zero (0 -> -1 -> ...) and a server whose count re-reached zero
+// was counted as a second complete scan; now any report beyond a server's
+// scattered quota fails the gather with ErrOverDelivery.
+func TestAwaitServersOverDeliveryIsAProtocolError(t *testing.T) {
+	ch := make(chan Report, 4)
+	// Server 0 scattered one op but reports twice; server 1 never reports.
+	ch <- Report{Server: 0, Val: types.TSValue{TS: 1}}
+	ch <- Report{Server: 0, Val: types.TSValue{TS: 2}}
+	remaining := map[types.ServerID]int{0: 1, 1: 1}
+	_, err := awaitServers(context.Background(), ch, remaining, 2)
+	if !errors.Is(err, ErrOverDelivery) {
+		t.Fatalf("err = %v, want ErrOverDelivery", err)
+	}
+
+	// A report from a server the round never scattered to is equally
+	// over-delivered (zero quota).
+	ch = make(chan Report, 4)
+	ch <- Report{Server: 7, Val: types.TSValue{TS: 1}}
+	_, err = awaitServers(context.Background(), ch, map[types.ServerID]int{0: 1}, 1)
+	if !errors.Is(err, ErrOverDelivery) {
+		t.Fatalf("unknown-server err = %v, want ErrOverDelivery", err)
+	}
+}
+
+// TestAwaitServersExactDeliveryStillCompletes pins the guard against
+// false positives: a server delivering exactly its quota completes.
+func TestAwaitServersExactDeliveryStillCompletes(t *testing.T) {
+	ch := make(chan Report, 4)
+	ch <- Report{Server: 0, Val: types.TSValue{TS: 1}}
+	ch <- Report{Server: 0, Val: types.TSValue{TS: 3}}
+	ch <- Report{Server: 1, Val: types.TSValue{TS: 2}}
+	max, err := awaitServers(context.Background(), ch, map[types.ServerID]int{0: 2, 1: 1}, 2)
+	if err != nil {
+		t.Fatalf("awaitServers: %v", err)
+	}
+	if max.TS != 3 {
+		t.Fatalf("max = %v, want ts 3", max)
+	}
+}
+
+// TestDeliverNeverBlocks pins the guaranteed-capacity discipline: a send
+// within capacity succeeds, a send beyond it panics loudly instead of
+// blocking the (would-be fabric) goroutine forever.
+func TestDeliverNeverBlocks(t *testing.T) {
+	ch := make(chan Report, 1)
+	Deliver(ch, Report{Index: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-capacity Deliver did not panic")
+		}
+	}()
+	Deliver(ch, Report{Index: 2})
+}
+
+// TestAbandonedRoundReleaseCannotBlock is the cancellation-leak regression
+// test: a gather abandoned by ctx cancellation leaves held ops behind;
+// when the environment later releases every one of them, the late
+// completions land in the abandoned round's buffer on the releasing
+// goroutine. The capacity invariant (one slot per scattered call) means
+// none of those sends can block — the release loop below would deadlock
+// (and -race/timeout would catch it) if they could.
+func TestAbandonedRoundReleaseCannotBlock(t *testing.T) {
+	gate := fabric.GateFuncs{Respond: func(fabric.TriggerEvent, baseobj.Response) fabric.Decision {
+		return fabric.Hold // hold every response
+	}}
+	fab, objs := testEnv(t, 3, gate)
+	for round := 0; round < 4; round++ {
+		r := Scatter(fab, 1, readTargets(objs))
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel() // abandon the gather before any response arrives
+		if _, err := r.AwaitMax(ctx, len(objs)); err == nil {
+			t.Fatal("cancelled gather succeeded")
+		}
+		// Release everything: each completion sends into the abandoned
+		// round's channel, inline on this goroutine.
+		if released := fab.ReleaseWhere(func(fabric.PendingOp) bool { return true }); released != len(objs) {
+			t.Fatalf("round %d: released %d, want %d", round, released, len(objs))
+		}
+		for i, call := range r.Calls() {
+			if _, ok := call.Outcome(); !ok {
+				t.Fatalf("round %d: call %d did not complete after release", round, i)
+			}
+		}
 	}
 }
 

@@ -19,18 +19,29 @@
 //   - Crashing a server silently drops every pending and future operation
 //     on its objects: they remain pending forever.
 //
-// # Architecture: per-server dispatch lanes
+// # Architecture: per-server dispatch lanes, pluggable backends
 //
 // Servers are independent fault domains, and the fabric is sharded along
 // exactly that boundary. There is no global fabric lock. Each server gets a
-// dispatch lane owning the server's held-op index, crash-drop set, and
-// used-object accounting; token allocation and the trigger counter are
-// lock-free atomics; and object-to-server routing is resolved once per
-// object and then served from a lock-free route cache. Operations on
-// different servers therefore never contend inside the fabric — throughput
-// scales with the number of servers, not with the number of clients.
-// Aggregate views (Pending, CoveredObjects, UsedObjects) are merge-over-lane
-// reads; the global token order makes the merged snapshots deterministic.
+// dispatch lane owning the server's held-op, in-flight, and crash-drop
+// indexes; token allocation and the trigger counter are lock-free atomics;
+// and object-to-server routing is resolved once per object and then served
+// from a lock-free route cache. Operations on different servers therefore
+// never contend inside the fabric — throughput scales with the number of
+// servers, not with the number of clients. Aggregate views (Pending,
+// CoveredObjects, UsedObjects) are merge-over-lane reads; the global token
+// order makes the merged snapshots deterministic.
+//
+// The lane is also the transport seam: each lane delegates the actual
+// carriage of an operation to a Lane backend (WithLanes). InProcLane (the
+// default) applies synchronously and keeps the zero-overhead hot path;
+// LatencyLane injects seeded per-op delay/jitter/straggler distributions,
+// so quorum protocols face genuinely reordered asynchrony; and the network
+// lane (internal/lanenet) speaks a length-prefixed protocol to a
+// per-server TCP storage node, with transport failure mapped onto the
+// fail-stop model via CrashReporter (reconnect-as-crash). The Gate
+// adversary, held/release/drop accounting, and everything above the fabric
+// compose with any backend.
 //
 // Pending write operations are exactly the paper's covering writes; the
 // fabric exposes them via Pending and CoveredObjects for the covering
@@ -71,6 +82,12 @@ const (
 	PhaseRespond
 	// PhaseDropped means the op's server crashed: it will never respond.
 	PhaseDropped
+	// PhaseInFlight means the op was handed to an asynchronous lane
+	// backend (latency or network) and its response has not arrived. The
+	// op has been triggered but has not linearized from the client's point
+	// of view; a pending in-flight write covers its register like any
+	// other pending write.
+	PhaseInFlight
 )
 
 // String implements fmt.Stringer.
@@ -82,6 +99,8 @@ func (p Phase) String() string {
 		return "held-respond"
 	case PhaseDropped:
 		return "dropped"
+	case PhaseInFlight:
+		return "in-flight"
 	default:
 		return fmt.Sprintf("phase(%d)", int(p))
 	}
@@ -257,6 +276,11 @@ var (
 	ErrNotHeld = errors.New("fabric: token not held")
 )
 
+// errCrashedDrop is the internal sentinel an ApplyFunc returns when the
+// op's server crashed before delivery: the fabric maps it to the dropped
+// (pending forever) state instead of completing the call with an error.
+var errCrashedDrop = errors.New("fabric: server crashed before delivery")
+
 // route is a resolved object: its server, lane, and the object itself.
 // Routes are immutable once cached — objects never move between servers —
 // except for the used flag, which latches to true on the first trigger.
@@ -274,17 +298,6 @@ func (r *route) markUsed() {
 	if !r.used.Load() {
 		r.used.Store(true)
 	}
-}
-
-// lane is one server's dispatch shard. It owns every piece of mutable
-// fabric state attributable to that server, so operations on different
-// servers never contend.
-type lane struct {
-	server types.ServerID
-
-	mu      sync.Mutex
-	held    map[uint64]*heldOp
-	dropped map[uint64]*heldOp
 }
 
 // routeTable is a lock-free object-indexed route cache. Object IDs are
@@ -348,8 +361,9 @@ type Fabric struct {
 	// counter, since every routed trigger allocates exactly one token.
 	nextToken atomic.Uint64
 
-	lanes  []*lane // one dispatch lane per server, indexed by ServerID
-	routes routeTable
+	laneMaker LaneMaker
+	lanes     []*lane // one dispatch lane per server, indexed by ServerID
+	routes    routeTable
 }
 
 // Option configures a Fabric.
@@ -365,25 +379,49 @@ func WithGate(g Gate) Option {
 }
 
 // New creates a fabric over the given cluster, with one dispatch lane per
-// server.
+// server. The lane backend defaults to InProcLane; WithLanes swaps in a
+// latency-injecting or network backend per server.
 func New(c *cluster.Cluster, opts ...Option) *Fabric {
 	f := &Fabric{
-		cluster: c,
-		gate:    PassGate{},
-		lanes:   make([]*lane, c.N()),
-	}
-	for i := range f.lanes {
-		f.lanes[i] = &lane{
-			server:  types.ServerID(i),
-			held:    make(map[uint64]*heldOp),
-			dropped: make(map[uint64]*heldOp),
-		}
+		cluster:   c,
+		gate:      PassGate{},
+		laneMaker: func(types.ServerID) Lane { return InProcLane{} },
 	}
 	for _, opt := range opts {
 		opt(f)
 	}
 	_, f.benign = f.gate.(PassGate)
+	f.lanes = make([]*lane, c.N())
+	for i := range f.lanes {
+		server := types.ServerID(i)
+		backend := f.laneMaker(server)
+		_, inproc := backend.(InProcLane)
+		f.lanes[i] = &lane{
+			server:   server,
+			backend:  backend,
+			inproc:   inproc,
+			held:     make(map[uint64]*heldOp),
+			inflight: make(map[uint64]*heldOp),
+			dropped:  make(map[uint64]*heldOp),
+		}
+		if cr, ok := backend.(CrashReporter); ok {
+			// A failed transport is a crashed server: reconnect-as-crash.
+			cr.SetCrashHook(func() { _ = f.Crash(server) })
+		}
+	}
 	return f
+}
+
+// Close closes every lane backend. The in-process and latency lanes have no
+// resources; network lanes close their connections.
+func (f *Fabric) Close() error {
+	var first error
+	for _, l := range f.lanes {
+		if err := l.backend.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Cluster returns the underlying cluster.
@@ -401,6 +439,14 @@ func (f *Fabric) route(obj types.ObjectID) (*route, error) {
 		return nil, err
 	}
 	rt := &route{server: srv.ID(), srv: srv, lane: f.lanes[srv.ID()], obj: o}
+	if m, ok := rt.lane.backend.(ObjectMirror); ok {
+		// Let external-store backends host a matching object before any
+		// operation on it is delivered. Mirroring happens before the route
+		// is published, so every dispatch uses an already-mirrored route;
+		// the benign double-mirror race with a concurrent resolver is
+		// absorbed by idempotent placement on the store side.
+		m.MirrorObject(o)
+	}
 	f.routes.put(obj, rt)
 	return rt, nil
 }
@@ -461,19 +507,60 @@ func (f *Fabric) trigger(client types.ClientID, obj types.ObjectID, inv baseobj.
 		f.park(&heldOp{ev: call.ev, rt: rt, phase: PhaseApply, call: call})
 		return call
 	}
-	f.applyAndRespond(rt, call)
+	f.deliver(rt, call)
 	return call
 }
 
-// applyAndRespond linearizes the op and routes its response through the
-// gate. The object's own mutex is the linearization point.
-func (f *Fabric) applyAndRespond(rt *route, call *Call) {
+// deliver hands a gate-passed op to its server's lane backend and routes
+// the response through the respond gate. The in-process backend completes
+// inline (the object's own mutex is the linearization point, exactly the
+// pre-lane-interface hot path); asynchronous backends get the op recorded
+// in-flight first, so a crash while the op is on the wire moves it to the
+// dropped state instead of racing its completion.
+func (f *Fabric) deliver(rt *route, call *Call) {
 	if rt.srv.Crashed() {
 		// A crashed object never responds.
 		f.drop(&heldOp{ev: call.ev, rt: rt, phase: PhaseDropped, call: call})
 		return
 	}
-	resp, err := rt.obj.Apply(call.ev.Client, call.ev.Inv)
+	l := rt.lane
+	if l.inproc {
+		resp, err := rt.obj.Apply(call.ev.Client, call.ev.Inv)
+		f.respond(rt, call, resp, err)
+		return
+	}
+	h := &heldOp{ev: call.ev, rt: rt, phase: PhaseInFlight, call: call}
+	l.putInflight(h)
+	if rt.srv.Crashed() {
+		// The server crashed between the check above and the in-flight
+		// insert; the crash drain may already have run past this token.
+		if l.takeInflight(h.ev.Token) {
+			f.drop(h)
+		}
+		return
+	}
+	ev := call.ev
+	apply := func() (baseobj.Response, error) {
+		if rt.srv.Crashed() {
+			return baseobj.Response{}, errCrashedDrop
+		}
+		return rt.obj.Apply(ev.Client, ev.Inv)
+	}
+	l.backend.Deliver(ev, apply, func(resp baseobj.Response, err error) {
+		if !l.takeInflight(ev.Token) {
+			return // a crash drain claimed the op: it is dropped
+		}
+		if errors.Is(err, errCrashedDrop) || rt.srv.Crashed() {
+			f.drop(h)
+			return
+		}
+		f.respond(rt, call, resp, err)
+	})
+}
+
+// respond routes a delivered response through the respond gate and
+// completes the call.
+func (f *Fabric) respond(rt *route, call *Call, resp baseobj.Response, err error) {
 	if err != nil {
 		call.complete(Outcome{Err: err})
 		return
@@ -545,7 +632,11 @@ func (f *Fabric) release(h *heldOp) error {
 	f.emit(TraceRelease, &h.ev, h.ev.Server)
 	switch h.phase {
 	case PhaseApply:
-		f.applyAndRespondReleased(h)
+		// The apply gate already held (and now released) the op, so it
+		// re-enters the delivery path past the gate: the lane backend
+		// carries it to the server, and the respond gate is consulted
+		// again so the environment may keep delaying the response.
+		f.deliver(h.rt, h.call)
 	case PhaseRespond:
 		f.emit(TraceRespond, &h.ev, h.ev.Server)
 		h.call.complete(Outcome{Resp: h.resp})
@@ -553,25 +644,6 @@ func (f *Fabric) release(h *heldOp) error {
 		return fmt.Errorf("fabric: cannot release op in phase %v", h.phase)
 	}
 	return nil
-}
-
-// applyAndRespondReleased applies a released PhaseApply op; the caller
-// (release) has already handled the crashed-server case. The respond gate
-// is consulted again so the environment may keep delaying the response.
-func (f *Fabric) applyAndRespondReleased(h *heldOp) {
-	resp, err := h.rt.obj.Apply(h.ev.Client, h.ev.Inv)
-	if err != nil {
-		h.call.complete(Outcome{Err: err})
-		return
-	}
-	f.emit(TraceApply, &h.ev, h.ev.Server)
-	if f.gate.BeforeRespond(h.ev, resp) == Hold {
-		f.emit(TraceHoldRespond, &h.ev, h.ev.Server)
-		f.park(&heldOp{ev: h.ev, rt: h.rt, phase: PhaseRespond, resp: resp, call: h.call})
-		return
-	}
-	f.emit(TraceRespond, &h.ev, h.ev.Server)
-	h.call.complete(Outcome{Resp: resp})
 }
 
 // ReleaseWhere releases every held op matching pred, in ascending token
@@ -612,6 +684,14 @@ func (f *Fabric) Crash(server types.ServerID) error {
 		h.phase = PhaseDropped
 		l.dropped[token] = h
 	}
+	// In-flight ops (on the wire of an asynchronous lane) are dropped too:
+	// removing them from the in-flight index makes any late completion a
+	// no-op, so the op stays pending forever like every crashed-server op.
+	for token, h := range l.inflight {
+		delete(l.inflight, token)
+		h.phase = PhaseDropped
+		l.dropped[token] = h
+	}
 	l.mu.Unlock()
 	return nil
 }
@@ -624,6 +704,9 @@ func (f *Fabric) Pending() []PendingOp {
 	for _, l := range f.lanes {
 		l.mu.Lock()
 		for _, h := range l.held {
+			ops = append(ops, PendingOp{Event: h.ev, Phase: h.phase})
+		}
+		for _, h := range l.inflight {
 			ops = append(ops, PendingOp{Event: h.ev, Phase: h.phase})
 		}
 		for _, h := range l.dropped {

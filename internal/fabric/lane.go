@@ -1,0 +1,136 @@
+package fabric
+
+import (
+	"sync"
+
+	"repro/internal/baseobj"
+	"repro/internal/types"
+)
+
+// Lane is the backend of one server's dispatch shard: the transport that
+// carries a gate-passed low-level operation to the server's base object and
+// its response back. The paper's model only requires that the medium be
+// asynchronous — an operation's effect and response may each be delayed
+// arbitrarily — so a lane backend is free to be a synchronous function call
+// (InProcLane), a delay distribution (LatencyLane), or a real network
+// connection to a storage node (internal/lanenet).
+//
+// Everything above the lane is backend-agnostic: the Gate adversary, the
+// held-op and crash-drop accounting, the quorum round engine, and the five
+// constructions all compose with any backend. The fabric keeps the paper's
+// fault model intact by wrapping every delivery: operations for crashed
+// servers are dropped (never delivered, never responded), whichever side of
+// the transport the crash is observed on.
+type Lane interface {
+	// Deliver carries one operation to the server and invokes complete
+	// exactly once with its response — either by calling apply at the
+	// moment the operation reaches the server (local-state backends: that
+	// call is the linearization point) or by obtaining the response
+	// elsewhere (network backends apply remotely and relay it). Deliver
+	// must not block; asynchronous backends invoke complete from their own
+	// goroutines. A backend whose transport has failed never invokes
+	// complete: the operation stays pending forever, exactly like an
+	// operation on a crashed server.
+	Deliver(ev TriggerEvent, apply ApplyFunc, complete CompleteFunc)
+	// Close releases backend resources (connections, timers). The fabric
+	// closes every lane on Fabric.Close.
+	Close() error
+}
+
+// ApplyFunc linearizes an operation against the server's local base object.
+// The fabric builds it with the crash check folded in: applying an op whose
+// server has crashed returns errCrashedDrop, and the fabric maps that to
+// the dropped (pending forever) state rather than an error response.
+type ApplyFunc func() (baseobj.Response, error)
+
+// CompleteFunc delivers an operation's response back into the fabric, which
+// routes it through the respond gate. It must be invoked at most once.
+type CompleteFunc func(resp baseobj.Response, err error)
+
+// LaneMaker builds the dispatch backend for one server. The fabric calls it
+// once per server at construction time.
+type LaneMaker func(server types.ServerID) Lane
+
+// CrashReporter is implemented by lane backends whose transport can fail on
+// its own (a lost connection, a dead storage node). The fabric installs a
+// hook that crashes the lane's server, mapping transport failure onto the
+// paper's fail-stop server model: every in-flight and future operation on
+// the lane becomes PhaseDropped.
+type CrashReporter interface {
+	// SetCrashHook installs the transport-failure callback. The backend
+	// must invoke it at most once, from any goroutine, and must stop
+	// delivering (and completing) operations from that point on.
+	SetCrashHook(fn func())
+}
+
+// ObjectMirror is implemented by lane backends that replicate object
+// placement to an external store (the network lane). The fabric calls
+// MirrorObject before the first operation on an object is delivered through
+// the lane, so the remote store can host a matching object.
+type ObjectMirror interface {
+	MirrorObject(obj baseobj.Object)
+}
+
+// WithLanes selects the lane backend per server; the default is the
+// in-process lane. The maker runs once per server during New.
+func WithLanes(maker LaneMaker) Option {
+	return func(f *Fabric) {
+		if maker != nil {
+			f.laneMaker = maker
+		}
+	}
+}
+
+// InProcLane is the default backend: the operation reaches the base object
+// by a function call, synchronously inside Trigger. It is the
+// zero-overhead, zero-regression backend the exhaustive sweeps and the
+// dispatch-throughput benchmarks run on; the fabric short-circuits its
+// in-flight bookkeeping for this backend, so the hot path is identical to
+// a direct Apply.
+type InProcLane struct{}
+
+// Deliver implements Lane.
+func (InProcLane) Deliver(_ TriggerEvent, apply ApplyFunc, complete CompleteFunc) {
+	complete(apply())
+}
+
+// Close implements Lane.
+func (InProcLane) Close() error { return nil }
+
+// lane is one server's dispatch shard: the backend plus every piece of
+// mutable fabric state attributable to that server — held, in-flight, and
+// dropped operations — so operations on different servers never contend.
+type lane struct {
+	server  types.ServerID
+	backend Lane
+	// inproc short-circuits the generic delivery path for the default
+	// backend: InProcLane completes inline, so no in-flight bookkeeping
+	// (one map insert + delete per op) is needed.
+	inproc bool
+
+	mu       sync.Mutex
+	held     map[uint64]*heldOp
+	inflight map[uint64]*heldOp
+	dropped  map[uint64]*heldOp
+}
+
+// putInflight records an op handed to an asynchronous backend.
+func (l *lane) putInflight(h *heldOp) {
+	l.mu.Lock()
+	l.inflight[h.ev.Token] = h
+	l.mu.Unlock()
+}
+
+// takeInflight claims the in-flight op with the given token. It returns
+// false when the op is gone — a crash drain already moved it to dropped —
+// in which case the caller must discard the completion: the claim is what
+// makes completion and crash-drop mutually exclusive.
+func (l *lane) takeInflight(token uint64) bool {
+	l.mu.Lock()
+	_, ok := l.inflight[token]
+	if ok {
+		delete(l.inflight, token)
+	}
+	l.mu.Unlock()
+	return ok
+}

@@ -1,0 +1,92 @@
+package fabric
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/seed"
+	"repro/internal/types"
+)
+
+// LatencyProfile is the per-operation delay distribution of a LatencyLane.
+// Delivery delay is Base plus a uniform draw from [0, Jitter), plus Spike
+// with probability SpikeProb. Because each operation draws independently,
+// jitter alone already reorders operations relative to their trigger order
+// — a later op with a small draw overtakes an earlier op with a large one —
+// and spikes produce the long-tail stragglers that force quorum gathers to
+// complete without their slowest servers.
+type LatencyProfile struct {
+	// Base is the minimum delivery delay.
+	Base time.Duration
+	// Jitter is the width of the uniform extra delay.
+	Jitter time.Duration
+	// SpikeProb is the probability of adding Spike on top.
+	SpikeProb float64
+	// Spike is the straggler delay.
+	Spike time.Duration
+}
+
+// LatencyLane is a delay-injecting backend: operations reach the (local)
+// base object after a seeded pseudo-random delay, modelling an asynchronous
+// lossless link. It composes with the Gate adversary — gate decisions
+// happen at trigger and respond time as always; the lane only decides when
+// a passed operation reaches the server — so chaos runs on a latency lane
+// exercise held, released, *and* genuinely late operations at once.
+type LatencyLane struct {
+	profile LatencyProfile
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Compile-time interface compliance checks.
+var (
+	_ Lane = (*LatencyLane)(nil)
+	_ Lane = InProcLane{}
+)
+
+// NewLatencyLane creates a latency lane with its own seeded generator.
+func NewLatencyLane(laneSeed int64, p LatencyProfile) *LatencyLane {
+	return &LatencyLane{profile: p, rng: rand.New(rand.NewSource(laneSeed))}
+}
+
+// LatencyLanes returns a maker that equips every server with a latency lane
+// whose generator is an independent sub-stream of the given seed, so the
+// whole fabric's delay schedule replays from one number.
+func LatencyLanes(laneSeed int64, p LatencyProfile) LaneMaker {
+	return func(server types.ServerID) Lane {
+		return NewLatencyLane(seed.Sub(laneSeed, uint64(server)), p)
+	}
+}
+
+// delay draws the next delivery delay.
+func (l *LatencyLane) delay() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	d := l.profile.Base
+	if l.profile.Jitter > 0 {
+		d += time.Duration(l.rng.Int63n(int64(l.profile.Jitter)))
+	}
+	if l.profile.SpikeProb > 0 && l.rng.Float64() < l.profile.SpikeProb {
+		d += l.profile.Spike
+	}
+	return d
+}
+
+// Deliver implements Lane: the operation linearizes when the timer fires.
+// A zero delay completes inline, which makes the zero profile behave
+// exactly like the in-process lane.
+func (l *LatencyLane) Deliver(_ TriggerEvent, apply ApplyFunc, complete CompleteFunc) {
+	d := l.delay()
+	if d <= 0 {
+		complete(apply())
+		return
+	}
+	time.AfterFunc(d, func() { complete(apply()) })
+}
+
+// Close implements Lane. Outstanding timers are left to fire: their applies
+// go through the fabric's crash checks, and completions for drained ops are
+// discarded by the in-flight claim.
+func (l *LatencyLane) Close() error { return nil }

@@ -1,0 +1,208 @@
+package lanenet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/baseobj"
+	"repro/internal/fabric"
+	"repro/internal/types"
+)
+
+// Client is the fabric side of a network lane: one TCP connection to one
+// server's storage node. It implements fabric.Lane (asynchronous delivery),
+// fabric.ObjectMirror (placement replication), and fabric.CrashReporter
+// (reconnect-as-crash: a broken connection crashes the lane's server and
+// the lane never delivers again).
+type Client struct {
+	conn net.Conn
+
+	// wmu serializes frame writes; responses are matched by request id, so
+	// write order only matters for the place-before-apply guarantee.
+	wmu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]fabric.CompleteFunc
+	hook    func() // crash hook installed by the fabric
+
+	nextReq atomic.Uint64
+	crashed atomic.Bool
+	closing atomic.Bool
+}
+
+// Compile-time interface compliance checks.
+var (
+	_ fabric.Lane          = (*Client)(nil)
+	_ fabric.CrashReporter = (*Client)(nil)
+	_ fabric.ObjectMirror  = (*Client)(nil)
+)
+
+// Dial connects to one storage node.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("lanenet: dialing %s: %w", addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true) // quorum rounds are latency-bound, tiny frames
+	}
+	c := &Client{conn: conn, pending: make(map[uint64]fabric.CompleteFunc)}
+	go c.readLoop()
+	return c, nil
+}
+
+// Lanes dials one node per server and returns the fabric lane maker plus
+// the dialed clients (for tests that sever individual connections). addrs
+// is indexed by server id.
+func Lanes(addrs []string, timeout time.Duration) (fabric.LaneMaker, []*Client, error) {
+	clients := make([]*Client, len(addrs))
+	for i, addr := range addrs {
+		c, err := Dial(addr, timeout)
+		if err != nil {
+			for _, prev := range clients[:i] {
+				_ = prev.Close()
+			}
+			return nil, nil, err
+		}
+		clients[i] = c
+	}
+	maker := func(server types.ServerID) fabric.Lane {
+		if int(server) >= len(clients) {
+			// More servers than nodes is a wiring error; a nil-conn
+			// client would panic, so fail loudly at construction.
+			panic(fmt.Sprintf("lanenet: no node address for server %d (have %d)", server, len(clients)))
+		}
+		return clients[server]
+	}
+	return maker, clients, nil
+}
+
+// SetCrashHook implements fabric.CrashReporter. If the transport already
+// failed — the node died between Dial and the fabric wiring its lanes —
+// the hook fires immediately: the crash must reach the fabric no matter
+// which side of the installation the failure landed on.
+func (c *Client) SetCrashHook(fn func()) {
+	c.mu.Lock()
+	c.hook = fn
+	crashed := c.crashed.Load()
+	c.mu.Unlock()
+	if crashed && !c.closing.Load() && fn != nil {
+		fn()
+	}
+}
+
+// MirrorObject implements fabric.ObjectMirror: it replicates the object's
+// kind (and, for registers, the declared writer set) to the node before
+// any operation on the object is delivered.
+func (c *Client) MirrorObject(obj baseobj.Object) {
+	p := placeReq{obj: obj.ID(), kind: obj.Kind()}
+	if reg, ok := obj.(*baseobj.Register); ok {
+		p.writers = reg.Writers()
+	}
+	c.send(encodePlace(p))
+}
+
+// Deliver implements fabric.Lane. A crashed lane never delivers and never
+// completes: the op stays pending forever, exactly like an op triggered on
+// a crashed server. The local apply closure is unused — the authoritative
+// object state lives in the node.
+func (c *Client) Deliver(ev fabric.TriggerEvent, _ fabric.ApplyFunc, complete fabric.CompleteFunc) {
+	if c.crashed.Load() {
+		return
+	}
+	req := c.nextReq.Add(1)
+	c.mu.Lock()
+	c.pending[req] = complete
+	c.mu.Unlock()
+	c.send(encodeApply(applyReq{req: req, obj: ev.Object, client: ev.Client, inv: ev.Inv}))
+}
+
+// send writes one frame, mapping a transport failure onto crash.
+func (c *Client) send(payload []byte) {
+	c.wmu.Lock()
+	err := writeFrame(c.conn, payload)
+	c.wmu.Unlock()
+	if err != nil {
+		c.fail()
+	}
+}
+
+// readLoop matches responses to pending deliveries until the connection
+// breaks.
+func (c *Client) readLoop() {
+	for {
+		payload, err := readFrame(c.conn)
+		if err != nil {
+			c.fail()
+			return
+		}
+		if len(payload) == 0 || payload[0] != msgResp {
+			c.fail()
+			return
+		}
+		r, err := decodeResp(payload[1:])
+		if err != nil {
+			c.fail()
+			return
+		}
+		c.mu.Lock()
+		complete, ok := c.pending[r.req]
+		delete(c.pending, r.req)
+		c.mu.Unlock()
+		if !ok {
+			continue // response to an op a crash already discarded
+		}
+		complete(r.resp, respError(r))
+	}
+}
+
+// respError rehydrates the canonical sentinel errors so errors.Is works
+// across the wire.
+func respError(r applyResp) error {
+	switch r.status {
+	case statusOK:
+		return nil
+	case statusWrongOp:
+		return fmt.Errorf("%w: %s", baseobj.ErrWrongOp, r.msg)
+	case statusUnauthorizedWriter:
+		return fmt.Errorf("%w: %s", baseobj.ErrUnauthorizedWriter, r.msg)
+	case statusUnknownObject:
+		return fmt.Errorf("lanenet: %s", r.msg)
+	default:
+		return fmt.Errorf("lanenet: node error: %s", r.msg)
+	}
+}
+
+// fail maps transport failure onto the fail-stop model: the lane stops
+// delivering, discards every pending completion (those ops stay pending
+// forever), and fires the crash hook so the fabric crashes the server. A
+// deliberate Close skips the hook — tearing an environment down is not a
+// crash.
+func (c *Client) fail() {
+	if !c.crashed.CompareAndSwap(false, true) {
+		return
+	}
+	_ = c.conn.Close()
+	c.mu.Lock()
+	c.pending = make(map[uint64]fabric.CompleteFunc)
+	hook := c.hook
+	c.mu.Unlock()
+	if hook != nil && !c.closing.Load() {
+		hook()
+	}
+}
+
+// Crashed reports whether the lane's transport has failed.
+func (c *Client) Crashed() bool { return c.crashed.Load() }
+
+// Close implements fabric.Lane.
+func (c *Client) Close() error {
+	c.closing.Store(true)
+	return c.conn.Close()
+}

@@ -1,0 +1,288 @@
+package lanenet
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/baseobj"
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+	"repro/internal/types"
+)
+
+// startNodes starts n in-process storage nodes on ephemeral ports and
+// returns their addresses. The protocol and node code are identical to
+// cmd/lanenode; the process-level path is covered by the runner's TCP
+// chaos suite.
+func startNodes(t *testing.T, n int) ([]string, []*Node) {
+	t.Helper()
+	addrs := make([]string, n)
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		node := NewNode()
+		go node.Serve(l)
+		addrs[i] = l.Addr().String()
+		nodes[i] = node
+	}
+	return addrs, nodes
+}
+
+// netEnv builds an n-server cluster with one register per server and a
+// fabric whose lanes speak TCP to the started nodes.
+func netEnv(t *testing.T, n int) (*fabric.Fabric, []types.ObjectID, []*Client, []*Node) {
+	t.Helper()
+	addrs, nodes := startNodes(t, n)
+	maker, clients, err := Lanes(addrs, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cluster.New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := make([]types.ObjectID, n)
+	for s := 0; s < n; s++ {
+		obj, err := c.PlaceRegister(types.ServerID(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs[s] = obj
+	}
+	fab := fabric.New(c, fabric.WithLanes(maker))
+	t.Cleanup(func() { fab.Close() })
+	return fab, objs, clients, nodes
+}
+
+// await blocks until the call completes or times out.
+func await(t *testing.T, call *fabric.Call) fabric.Outcome {
+	t.Helper()
+	done := make(chan fabric.Outcome, 1)
+	call.OnComplete(func(o fabric.Outcome) { done <- o })
+	select {
+	case o := <-done:
+		return o
+	case <-time.After(5 * time.Second):
+		t.Fatalf("call %d never completed over the network lane", call.Token())
+		return fabric.Outcome{}
+	}
+}
+
+// TestProtoRoundTrip pins the wire encoding of every message type.
+func TestProtoRoundTrip(t *testing.T) {
+	p := placeReq{obj: 7, kind: baseobj.KindRegister, writers: []types.ClientID{0, 3}}
+	pd, err := decodePlace(encodePlace(p)[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd.obj != p.obj || pd.kind != p.kind || len(pd.writers) != 2 || pd.writers[1] != 3 {
+		t.Fatalf("place round trip = %+v, want %+v", pd, p)
+	}
+
+	a := applyReq{
+		req: 42, obj: 7, client: 3,
+		inv: baseobj.Invocation{
+			Op:  baseobj.OpCAS,
+			Arg: types.TSValue{TS: 1, Writer: 2, Val: 3},
+			Exp: types.TSValue{TS: 4, Writer: -1, Val: -9},
+			New: types.TSValue{TS: 5, Writer: 0, Val: 11},
+		},
+	}
+	ad, err := decodeApply(encodeApply(a)[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad != a {
+		t.Fatalf("apply round trip = %+v, want %+v", ad, a)
+	}
+
+	r := applyResp{req: 42, status: statusOther, resp: baseobj.Response{Op: baseobj.OpCAS, Val: a.inv.Exp}, msg: "boom"}
+	rd, err := decodeResp(encodeResp(r)[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd != r {
+		t.Fatalf("resp round trip = %+v, want %+v", rd, r)
+	}
+}
+
+// TestNetworkLaneReadYourWrite drives real read/write traffic through TCP
+// lanes: state lives in the nodes, not the local cluster objects.
+func TestNetworkLaneReadYourWrite(t *testing.T) {
+	fab, objs, _, nodes := netEnv(t, 3)
+	w := fab.Trigger(0, objs[1], baseobj.Invocation{Op: baseobj.OpWrite, Arg: types.TSValue{TS: 1, Writer: 0, Val: 10}})
+	if o := await(t, w); o.Err != nil {
+		t.Fatalf("write: %v", o.Err)
+	}
+	r := fab.Trigger(1, objs[1], baseobj.Invocation{Op: baseobj.OpRead})
+	if o := await(t, r); o.Err != nil || o.Resp.Val.Val != 10 {
+		t.Fatalf("read = %+v, want 10", o)
+	}
+	// The authoritative object lives remotely: exactly one object was
+	// mirrored to node 1, none elsewhere.
+	if nodes[1].NumObjects() != 1 || nodes[0].NumObjects() != 0 {
+		t.Fatalf("node objects = [%d %d %d], want [0 1 0]",
+			nodes[0].NumObjects(), nodes[1].NumObjects(), nodes[2].NumObjects())
+	}
+	// And the local mirror object was never applied to.
+	obj, err := fab.Cluster().Object(objs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := obj.Peek(); got != types.ZeroTSValue {
+		t.Fatalf("local mirror mutated: %v (state must live in the node)", got)
+	}
+}
+
+// TestNetworkLaneProtocolErrorsRoundTrip: canonical base-object errors
+// must survive the wire so errors.Is keeps working.
+func TestNetworkLaneProtocolErrorsRoundTrip(t *testing.T) {
+	addrs, _ := startNodes(t, 1)
+	maker, _, err := Lanes(addrs, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cluster.New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := c.PlaceRegister(0, baseobj.WithWriters([]types.ClientID{0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab := fabric.New(c, fabric.WithLanes(maker))
+	t.Cleanup(func() { fab.Close() })
+
+	// Client 5 is not in the writer set: the remote register must enforce
+	// the mirrored bound.
+	o := await(t, fab.Trigger(5, obj, baseobj.Invocation{Op: baseobj.OpWrite, Arg: types.TSValue{TS: 1, Writer: 5}}))
+	if !errors.Is(o.Err, baseobj.ErrUnauthorizedWriter) {
+		t.Fatalf("unauthorized write err = %v, want ErrUnauthorizedWriter", o.Err)
+	}
+	// Wrong op kind round-trips too.
+	o = await(t, fab.Trigger(0, obj, baseobj.Invocation{Op: baseobj.OpCAS}))
+	if !errors.Is(o.Err, baseobj.ErrWrongOp) {
+		t.Fatalf("wrong-op err = %v, want ErrWrongOp", o.Err)
+	}
+}
+
+// TestDisconnectIsCrash is the reconnect-as-crash test: severing a node's
+// connection mid-run must crash that server on the fabric — in-flight ops
+// become PhaseDropped and stay pending forever — while quorums over the
+// surviving servers keep completing.
+func TestDisconnectIsCrash(t *testing.T) {
+	fab, objs, clients, _ := netEnv(t, 3)
+	// Warm every route (mirrors objects) with one read per server.
+	for _, obj := range objs {
+		if o := await(t, fab.Trigger(0, obj, baseobj.Invocation{Op: baseobj.OpRead})); o.Err != nil {
+			t.Fatal(o.Err)
+		}
+	}
+
+	// Sever server 2's connection, then trigger on it.
+	if err := clients[2].conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	late := fab.Trigger(0, objs[2], baseobj.Invocation{Op: baseobj.OpWrite, Arg: types.TSValue{TS: 1, Writer: 0, Val: 5}})
+
+	// The crash hook fires from the read loop; wait for the fabric to
+	// observe it.
+	deadline := time.Now().Add(5 * time.Second)
+	for fab.Cluster().Crashes() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("disconnect never crashed the server")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !clients[2].Crashed() {
+		t.Fatal("client lane not marked crashed")
+	}
+
+	// The late op must never complete (dropped or never delivered), and
+	// must be visible as pending.
+	time.Sleep(10 * time.Millisecond)
+	if _, ok := late.Outcome(); ok {
+		t.Fatal("op on disconnected lane completed")
+	}
+
+	// The other servers still serve a quorum.
+	for _, obj := range objs[:2] {
+		if o := await(t, fab.Trigger(1, obj, baseobj.Invocation{Op: baseobj.OpRead})); o.Err != nil {
+			t.Fatalf("surviving server read: %v", o.Err)
+		}
+	}
+}
+
+// TestNodeDeathBeforeHookInstallStillCrashes covers the wiring race: the
+// node dies after Dial but before the fabric installs the crash hook. The
+// late-installed hook must still fire, so the fabric observes the crash
+// instead of treating a dead node as a live server with ops in flight.
+func TestNodeDeathBeforeHookInstallStillCrashes(t *testing.T) {
+	addrs, _ := startNodes(t, 1)
+	maker, clients, err := Lanes(addrs, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sever the transport and wait until the read loop marks the lane
+	// crashed — all before any fabric exists.
+	clients[0].conn.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for !clients[0].Crashed() {
+		if time.Now().After(deadline) {
+			t.Fatal("lane never observed the severed transport")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c, err := cluster.New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab := fabric.New(c, fabric.WithLanes(maker))
+	t.Cleanup(func() { fab.Close() })
+	if got := fab.Cluster().Crashes(); got != 1 {
+		t.Fatalf("crashes after wiring a dead lane = %d, want 1", got)
+	}
+}
+
+// TestCrashDuringRemoteScan mirrors the regemu crash-during-scan semantics
+// onto the network lane: ops in flight to a node when its connection dies
+// are dropped, so a gather can never count them.
+func TestCrashDuringRemoteScan(t *testing.T) {
+	fab, objs, clients, _ := netEnv(t, 3)
+	for _, obj := range objs {
+		if o := await(t, fab.Trigger(0, obj, baseobj.Invocation{Op: baseobj.OpRead})); o.Err != nil {
+			t.Fatal(o.Err)
+		}
+	}
+	// Kill server 0's transport and immediately scatter reads everywhere:
+	// server 0's reads must stay pending, others must respond.
+	clients[0].conn.Close()
+	calls := fab.TriggerBatch(1, []fabric.BatchOp{
+		{Object: objs[0], Inv: baseobj.Invocation{Op: baseobj.OpRead}},
+		{Object: objs[1], Inv: baseobj.Invocation{Op: baseobj.OpRead}},
+		{Object: objs[2], Inv: baseobj.Invocation{Op: baseobj.OpRead}},
+	})
+	if o := await(t, calls[1]); o.Err != nil {
+		t.Fatal(o.Err)
+	}
+	if o := await(t, calls[2]); o.Err != nil {
+		t.Fatal(o.Err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for fab.Cluster().Crashes() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("disconnect never crashed the server")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if _, ok := calls[0].Outcome(); ok {
+		t.Fatal("scan op on dead server completed")
+	}
+}

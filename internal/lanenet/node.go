@@ -1,0 +1,126 @@
+package lanenet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/baseobj"
+	"repro/internal/types"
+)
+
+// Node is one server's storage: it hosts base objects keyed by their
+// cluster-wide id and applies invocations atomically. A node is the remote
+// half of exactly one fault domain — run one node process per server, so
+// killing a process is the paper's server crash.
+type Node struct {
+	mu      sync.RWMutex
+	objects map[types.ObjectID]baseobj.Object
+}
+
+// NewNode creates an empty storage node.
+func NewNode() *Node {
+	return &Node{objects: make(map[types.ObjectID]baseobj.Object)}
+}
+
+// NumObjects returns the number of hosted objects.
+func (n *Node) NumObjects() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.objects)
+}
+
+// Serve accepts connections until the listener is closed. Each connection
+// is served on its own goroutine; all connections share the node's object
+// table, so a client that reconnects (a *new* fabric — the lane itself
+// never reconnects) sees the surviving state.
+func (n *Node) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go n.ServeConn(conn)
+	}
+}
+
+// ServeConn serves one connection until EOF or error, processing frames in
+// arrival order: a placement is therefore always applied before any
+// invocation the client sent after it.
+func (n *Node) ServeConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		payload, err := readFrame(conn)
+		if err != nil {
+			return // EOF or broken pipe: the client is gone
+		}
+		if len(payload) == 0 {
+			return
+		}
+		switch payload[0] {
+		case msgPlace:
+			p, err := decodePlace(payload[1:])
+			if err != nil {
+				return
+			}
+			n.place(p)
+		case msgApply:
+			a, err := decodeApply(payload[1:])
+			if err != nil {
+				return
+			}
+			if err := writeFrame(conn, encodeResp(n.apply(a))); err != nil {
+				return
+			}
+		default:
+			return // protocol violation: drop the connection
+		}
+	}
+}
+
+// place hosts an object. Placement is idempotent: the fabric may mirror an
+// object twice when two clients race to resolve its route.
+func (n *Node) place(p placeReq) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.objects[p.obj]; ok {
+		return
+	}
+	switch p.kind {
+	case baseobj.KindRegister:
+		var opts []baseobj.RegisterOption
+		if len(p.writers) > 0 {
+			opts = append(opts, baseobj.WithWriters(p.writers))
+		}
+		n.objects[p.obj] = baseobj.NewRegister(p.obj, opts...)
+	case baseobj.KindMaxRegister:
+		n.objects[p.obj] = baseobj.NewMaxRegister(p.obj)
+	case baseobj.KindCAS:
+		n.objects[p.obj] = baseobj.NewCASCell(p.obj)
+	}
+}
+
+// apply runs one invocation and maps its outcome onto the wire statuses.
+func (n *Node) apply(a applyReq) applyResp {
+	n.mu.RLock()
+	obj, ok := n.objects[a.obj]
+	n.mu.RUnlock()
+	if !ok {
+		return applyResp{req: a.req, status: statusUnknownObject, msg: fmt.Sprintf("object %d not hosted", a.obj)}
+	}
+	resp, err := obj.Apply(a.client, a.inv)
+	switch {
+	case err == nil:
+		return applyResp{req: a.req, status: statusOK, resp: resp}
+	case errors.Is(err, baseobj.ErrWrongOp):
+		return applyResp{req: a.req, status: statusWrongOp, msg: err.Error()}
+	case errors.Is(err, baseobj.ErrUnauthorizedWriter):
+		return applyResp{req: a.req, status: statusUnauthorizedWriter, msg: err.Error()}
+	default:
+		return applyResp{req: a.req, status: statusOther, msg: err.Error()}
+	}
+}

@@ -1,0 +1,240 @@
+// Package lanenet is the network lane backend: a small length-prefixed TCP
+// protocol between a fabric's per-server dispatch lanes and per-server
+// storage nodes (cmd/lanenode), plus the node itself.
+//
+// The fabric side (Client) implements fabric.Lane: object placement is
+// mirrored to the node on first route resolution (fabric.ObjectMirror),
+// low-level invocations are framed requests matched to responses by a
+// request id, and a broken connection is mapped onto the paper's fail-stop
+// model through fabric.CrashReporter — the lane's server crashes, every
+// in-flight and future operation on it becomes PhaseDropped, and nothing
+// reconnects (reconnect-as-crash). That keeps the emulation-level quorum
+// arguments exactly as strong over real sockets as over function calls: a
+// construction tolerating f crashed servers tolerates f dead nodes.
+//
+// The node side (Node) is deliberately dumb storage: it hosts base objects
+// keyed by cluster-wide object id and applies invocations atomically, in
+// arrival order per connection. All adversarial behaviour (holds, releases,
+// crashes) stays on the fabric side, where the Gate lives; the network
+// contributes only genuine asynchrony.
+package lanenet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/baseobj"
+	"repro/internal/types"
+)
+
+// Message types.
+const (
+	// msgPlace mirrors an object placement (client -> node, no reply).
+	msgPlace byte = 1
+	// msgApply requests one invocation (client -> node).
+	msgApply byte = 2
+	// msgResp answers one msgApply (node -> client).
+	msgResp byte = 3
+)
+
+// Response statuses. Canonical base-object errors travel as codes so the
+// client can rehydrate the sentinel errors tests match with errors.Is.
+const (
+	statusOK byte = iota
+	statusWrongOp
+	statusUnauthorizedWriter
+	statusUnknownObject
+	statusOther
+)
+
+// maxFrame bounds a frame so a corrupt length prefix cannot allocate
+// unboundedly. Frames are tiny (placements are the largest: 8 bytes per
+// declared writer).
+const maxFrame = 1 << 16
+
+// placeReq is the decoded form of msgPlace.
+type placeReq struct {
+	obj     types.ObjectID
+	kind    baseobj.Kind
+	writers []types.ClientID
+}
+
+// applyReq is the decoded form of msgApply.
+type applyReq struct {
+	req    uint64
+	obj    types.ObjectID
+	client types.ClientID
+	inv    baseobj.Invocation
+}
+
+// applyResp is the decoded form of msgResp.
+type applyResp struct {
+	req    uint64
+	status byte
+	resp   baseobj.Response
+	msg    string
+}
+
+// writeFrame writes one length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("lanenet: frame too large (%d bytes)", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("lanenet: oversized frame (%d bytes)", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// appendTSValue encodes a timestamped value (20 bytes).
+func appendTSValue(b []byte, v types.TSValue) []byte {
+	b = binary.BigEndian.AppendUint64(b, v.TS)
+	b = binary.BigEndian.AppendUint32(b, uint32(v.Writer))
+	b = binary.BigEndian.AppendUint64(b, uint64(v.Val))
+	return b
+}
+
+// tsValueAt decodes a timestamped value at offset off.
+func tsValueAt(b []byte, off int) (types.TSValue, int, error) {
+	if len(b) < off+20 {
+		return types.TSValue{}, 0, fmt.Errorf("lanenet: truncated ts-value")
+	}
+	v := types.TSValue{
+		TS:     binary.BigEndian.Uint64(b[off:]),
+		Writer: types.ClientID(int32(binary.BigEndian.Uint32(b[off+8:]))),
+		Val:    types.Value(binary.BigEndian.Uint64(b[off+12:])),
+	}
+	return v, off + 20, nil
+}
+
+// encodePlace encodes a msgPlace payload.
+func encodePlace(p placeReq) []byte {
+	b := make([]byte, 0, 8+4*len(p.writers))
+	b = append(b, msgPlace)
+	b = binary.BigEndian.AppendUint32(b, uint32(p.obj))
+	b = append(b, byte(p.kind))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(p.writers)))
+	for _, w := range p.writers {
+		b = binary.BigEndian.AppendUint32(b, uint32(w))
+	}
+	return b
+}
+
+// decodePlace decodes a msgPlace payload (after the type byte).
+func decodePlace(b []byte) (placeReq, error) {
+	if len(b) < 7 {
+		return placeReq{}, fmt.Errorf("lanenet: truncated place")
+	}
+	p := placeReq{
+		obj:  types.ObjectID(int32(binary.BigEndian.Uint32(b))),
+		kind: baseobj.Kind(b[4]),
+	}
+	n := int(binary.BigEndian.Uint16(b[5:]))
+	if len(b) < 7+4*n {
+		return placeReq{}, fmt.Errorf("lanenet: truncated place writer set")
+	}
+	for i := 0; i < n; i++ {
+		p.writers = append(p.writers, types.ClientID(int32(binary.BigEndian.Uint32(b[7+4*i:]))))
+	}
+	return p, nil
+}
+
+// encodeApply encodes a msgApply payload.
+func encodeApply(a applyReq) []byte {
+	b := make([]byte, 0, 1+8+4+4+1+3*20)
+	b = append(b, msgApply)
+	b = binary.BigEndian.AppendUint64(b, a.req)
+	b = binary.BigEndian.AppendUint32(b, uint32(a.obj))
+	b = binary.BigEndian.AppendUint32(b, uint32(a.client))
+	b = append(b, byte(a.inv.Op))
+	b = appendTSValue(b, a.inv.Arg)
+	b = appendTSValue(b, a.inv.Exp)
+	b = appendTSValue(b, a.inv.New)
+	return b
+}
+
+// decodeApply decodes a msgApply payload (after the type byte).
+func decodeApply(b []byte) (applyReq, error) {
+	if len(b) < 8+4+4+1+3*20 {
+		return applyReq{}, fmt.Errorf("lanenet: truncated apply")
+	}
+	a := applyReq{
+		req:    binary.BigEndian.Uint64(b),
+		obj:    types.ObjectID(int32(binary.BigEndian.Uint32(b[8:]))),
+		client: types.ClientID(int32(binary.BigEndian.Uint32(b[12:]))),
+	}
+	a.inv.Op = baseobj.OpCode(b[16])
+	var err error
+	off := 17
+	if a.inv.Arg, off, err = tsValueAt(b, off); err != nil {
+		return applyReq{}, err
+	}
+	if a.inv.Exp, off, err = tsValueAt(b, off); err != nil {
+		return applyReq{}, err
+	}
+	if a.inv.New, _, err = tsValueAt(b, off); err != nil {
+		return applyReq{}, err
+	}
+	return a, nil
+}
+
+// encodeResp encodes a msgResp payload. Error text is diagnostic only and
+// is clipped so a pathological message cannot blow the frame bound.
+func encodeResp(r applyResp) []byte {
+	if len(r.msg) > 1024 {
+		r.msg = r.msg[:1024]
+	}
+	msg := []byte(r.msg)
+	b := make([]byte, 0, 1+8+1+1+20+2+len(msg))
+	b = append(b, msgResp)
+	b = binary.BigEndian.AppendUint64(b, r.req)
+	b = append(b, r.status, byte(r.resp.Op))
+	b = appendTSValue(b, r.resp.Val)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(msg)))
+	b = append(b, msg...)
+	return b
+}
+
+// decodeResp decodes a msgResp payload (after the type byte).
+func decodeResp(b []byte) (applyResp, error) {
+	if len(b) < 8+1+1+20+2 {
+		return applyResp{}, fmt.Errorf("lanenet: truncated response")
+	}
+	r := applyResp{
+		req:    binary.BigEndian.Uint64(b),
+		status: b[8],
+	}
+	r.resp.Op = baseobj.OpCode(b[9])
+	var err error
+	off := 10
+	if r.resp.Val, off, err = tsValueAt(b, off); err != nil {
+		return applyResp{}, err
+	}
+	n := int(binary.BigEndian.Uint16(b[off:]))
+	if len(b) < off+2+n {
+		return applyResp{}, fmt.Errorf("lanenet: truncated response message")
+	}
+	r.msg = string(b[off+2 : off+2+n])
+	return r, nil
+}

@@ -8,9 +8,58 @@ import (
 
 	"repro/internal/adversary"
 	"repro/internal/emulation"
+	"repro/internal/fabric"
+	"repro/internal/seed"
+	"repro/internal/spec"
 	"repro/internal/types"
 	"repro/internal/workload"
 )
+
+// Lane selects the fabric dispatch backend of a chaos run.
+type Lane string
+
+// The chaos-capable lane backends. The TCP lane is exercised through
+// ChaosConfig.LaneMaker (the caller dials the storage nodes and hands the
+// lanes in), not through a Lane constant, because it needs endpoints.
+const (
+	// LaneInProc is the default synchronous in-process lane.
+	LaneInProc Lane = "inproc"
+	// LaneLatency injects seeded per-op delay/jitter/straggler delivery
+	// on every lane, composing real asynchrony with the chaos gate's
+	// holds and releases.
+	LaneLatency Lane = "latency"
+)
+
+// chaosLatencyProfile is the delay distribution of latency-lane chaos
+// runs: enough jitter to reorder ops within a quorum round and an
+// occasional straggler spike, small enough that a sweep stays fast.
+var chaosLatencyProfile = fabric.LatencyProfile{
+	Jitter:    150 * time.Microsecond,
+	SpikeProb: 0.05,
+	Spike:     500 * time.Microsecond,
+}
+
+// Sub-stream indexes of a chaos run's seed. Every generator derives its
+// seed as seed.Sub(cfg.Seed, stream): deriving them as Seed, Seed+1, ...
+// made adjacent sweep seeds share entire streams (seed s's schedule
+// generator was seed s+1's gate generator), so neighbouring sweep jobs
+// explored correlated behaviour.
+const (
+	chaosStreamGate = iota
+	chaosStreamSchedule
+	chaosStreamLane
+)
+
+// ChaosServers returns the server count the chaos experiments provision
+// for a construction: Algorithm 2 spreads registers over n > 2f servers
+// (7 gives it headroom at f=2), while the 2f+1 constructions place on
+// servers 0..2f exactly.
+func ChaosServers(kind Kind) int {
+	if kind == KindRegEmu {
+		return 7
+	}
+	return 5
+}
 
 // ChaosConfig configures a randomized-environment run.
 type ChaosConfig struct {
@@ -20,13 +69,36 @@ type ChaosConfig struct {
 	// interleaved with reads, one at a time so the run stays
 	// write-sequential).
 	Ops int
-	// Seed drives both the gate and the schedule.
+	// Seed drives the gate, the schedule, and (for the latency lane) the
+	// delay distributions, through independent sub-streams.
 	Seed int64
 	// HoldProb is the per-op hold probability (default 0.5).
 	HoldProb float64
 	// ReleaseProb releases each held op with this probability between
 	// high-level ops (default 0.3), so stale covering writes land late.
 	ReleaseProb float64
+	// Lane selects the dispatch backend (default LaneInProc).
+	Lane Lane
+	// LaneMaker, when set, overrides Lane with caller-built backends —
+	// the TCP chaos suite dials real storage nodes and hands their lanes
+	// in here.
+	LaneMaker fabric.LaneMaker `json:"-"`
+}
+
+// laneOptions resolves the config's lane selection into fabric options.
+func (cfg ChaosConfig) laneOptions() ([]fabric.Option, error) {
+	if cfg.LaneMaker != nil {
+		return []fabric.Option{fabric.WithLanes(cfg.LaneMaker)}, nil
+	}
+	switch cfg.Lane {
+	case "", LaneInProc:
+		return nil, nil
+	case LaneLatency:
+		maker := fabric.LatencyLanes(seed.Sub(cfg.Seed, chaosStreamLane), chaosLatencyProfile)
+		return []fabric.Option{fabric.WithLanes(maker)}, nil
+	default:
+		return nil, fmt.Errorf("runner: unknown chaos lane %q", cfg.Lane)
+	}
 }
 
 // ChaosReport is the outcome of a chaos run.
@@ -37,13 +109,21 @@ type ChaosReport struct {
 	Holds    int
 	Releases int
 	Checks   CheckResult
+	// History is the recorded high-level history, for checks beyond the
+	// write-sequential pair (the TCP chaos suite also runs the
+	// linearizability checker over it).
+	History *spec.History `json:"-"`
 }
 
 // RunChaos executes a write-sequential schedule under the seeded chaos
 // environment: every mutating low-level op may be held (within the
 // liveness budget), and held ops are randomly released between high-level
-// operations — late stale writes included. Sound constructions must pass
-// both write-sequential checkers for every seed.
+// operations — late stale writes included. On the latency lane the same
+// schedule additionally faces seeded delivery delay, reordering, and
+// stragglers. Sound constructions must pass both write-sequential checkers
+// for every seed. The gate, schedule, and lane generators are independent
+// sub-streams of cfg.Seed (see seed.Sub), so a sweep over adjacent seeds
+// explores uncorrelated environments.
 func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 	if cfg.Ops <= 0 {
 		return nil, fmt.Errorf("runner: chaos needs ops > 0")
@@ -56,17 +136,22 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 	if releaseProb == 0 {
 		releaseProb = 0.3
 	}
-	gate := adversary.NewChaos(cfg.Seed, holdProb, cfg.F)
-	env, err := NewEnv(cfg.N, gate)
+	laneOpts, err := cfg.laneOptions()
 	if err != nil {
 		return nil, err
 	}
+	gate := adversary.NewChaos(seed.Sub(cfg.Seed, chaosStreamGate), holdProb, cfg.F)
+	env, err := NewEnv(cfg.N, gate, laneOpts...)
+	if err != nil {
+		return nil, err
+	}
+	defer env.Fabric.Close()
 	reg, hist, err := Build(cfg.Kind, env.Fabric, cfg.K, cfg.F)
 	if err != nil {
 		return nil, err
 	}
 
-	schedule := rand.New(rand.NewSource(cfg.Seed + 1))
+	schedule := rand.New(rand.NewSource(seed.Sub(cfg.Seed, chaosStreamSchedule)))
 	values := workload.NewValueGen()
 	readers := []emulation.Reader{reg.NewReader(), reg.NewReader()}
 	rep := &ChaosReport{Cfg: cfg}
@@ -92,12 +177,15 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 	}
 	rep.Holds = gate.Holds()
 	rep.Checks = Check(hist)
+	rep.History = hist
 	return rep, nil
 }
 
 // ChaosSweepReport aggregates a chaos sweep across consecutive seeds.
 type ChaosSweepReport struct {
 	Kind Kind
+	// Lane is the dispatch backend the sweep ran on.
+	Lane Lane
 	// Seeds is the number of seeds run, starting at the config's Seed.
 	Seeds int
 	// Workers is the pool size the sweep ran with.
@@ -130,8 +218,12 @@ func RunChaosSweep(ctx context.Context, cfg ChaosConfig, seeds, workers int) (*C
 	if err != nil {
 		return nil, err
 	}
+	lane := cfg.Lane
+	if lane == "" {
+		lane = LaneInProc
+	}
 	rep := &ChaosSweepReport{
-		Kind: cfg.Kind, Seeds: seeds, Workers: workers,
+		Kind: cfg.Kind, Lane: lane, Seeds: seeds, Workers: workers,
 		FirstViolatingSeed: -1, Elapsed: elapsed,
 	}
 	for _, r := range reports {
