@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-json fabric-bench
+.PHONY: all build vet test race bench bench-smoke bench-json fabric-bench loadgen-smoke
 
 all: vet build test
 
@@ -25,10 +25,20 @@ bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
 # Perf trajectory snapshot: triggers/sec (in-process and latency lanes,
-# side by side), sweep wall-clock, checker ns/op recorded as
-# BENCH_<date>.json so future PRs have a baseline.
+# side by side), sweep wall-clock, checker ns/op, and the end-to-end
+# loadgen numbers (high-level ops/sec + latency percentiles through the
+# async client engine on both lanes), recorded as BENCH_<date>.json so
+# future PRs have a baseline.
 bench-json:
 	$(GO) run ./cmd/benchjson -benchtime 100ms
+
+# End-to-end smoke: a short closed-loop run on the latency lane through
+# the async client engine — 1000 logical clients on one engine goroutine,
+# peak in-flight gated at >= 1000, read validity + sampled linearizability
+# checked (the command fails on any violation).
+loadgen-smoke:
+	$(GO) run ./cmd/loadgen -kind abd-max -atomic -clients 1000 -read-frac 0.5 \
+		-lane latency -duration 2s -maxops 100000 -min-inflight 1000
 
 # The fabric dispatch throughput number tracked in the perf trajectory.
 fabric-bench:

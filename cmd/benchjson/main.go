@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -22,6 +23,9 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/runner"
 )
 
 // trajectoryBenches is the default benchmark set: the numbers the ROADMAP
@@ -47,6 +51,11 @@ type Snapshot struct {
 	Bench      string   `json:"bench"`
 	Benchtime  string   `json:"benchtime"`
 	Results    []Result `json:"results"`
+	// Loadgen records the end-to-end numbers: high-level ops/sec and
+	// latency percentiles through the async client engine, one entry per
+	// lane backend, correctness-gated (a run with violations fails the
+	// snapshot).
+	Loadgen []*loadgen.Result `json:"loadgen,omitempty"`
 }
 
 func main() {
@@ -59,6 +68,8 @@ func main() {
 func run() error {
 	bench := flag.String("bench", trajectoryBenches, "benchmark regexp passed to go test -bench")
 	benchtime := flag.String("benchtime", "1x", "benchtime passed to go test")
+	withLoadgen := flag.Bool("loadgen", true, "include end-to-end loadgen runs (in-process and latency lanes)")
+	loadgenDur := flag.Duration("loadgen-duration", 2*time.Second, "measured duration of each loadgen run")
 	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
 	flag.Parse()
 
@@ -83,6 +94,13 @@ func run() error {
 		Bench:      *bench,
 		Benchtime:  *benchtime,
 		Results:    results,
+	}
+	if *withLoadgen {
+		lg, err := runLoadgen(*loadgenDur)
+		if err != nil {
+			return err
+		}
+		snap.Loadgen = lg
 	}
 	path := *out
 	if path == "" {
@@ -127,4 +145,38 @@ func parseBenchOutput(out string) ([]Result, error) {
 		results = append(results, res)
 	}
 	return results, nil
+}
+
+// runLoadgen records the end-to-end trajectory: a closed-loop run on each
+// lane backend through the async client engine. Both runs are atomic
+// builds with the linearizability gate on; a violation fails the snapshot
+// rather than recording a tainted number.
+func runLoadgen(dur time.Duration) ([]*loadgen.Result, error) {
+	ctx := context.Background()
+	configs := []loadgen.Config{
+		// In-process lane: the engine-loop-bound serial ceiling.
+		{Kind: runner.KindABDMax, Atomic: true, Clients: 256, ReadFraction: 0.5,
+			Duration: dur, MaxOps: 500_000, Seed: 1},
+		// Latency lane: realistic asynchrony, 1000 clients in flight.
+		{Kind: runner.KindABDMax, Atomic: true, Clients: 1000, ReadFraction: 0.5,
+			Lane: runner.LaneLatency, Duration: dur, MaxOps: 500_000, Seed: 1},
+	}
+	var out []*loadgen.Result
+	for _, cfg := range configs {
+		res, err := loadgen.Run(ctx, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen (%s lane): %w", cfg.Lane, err)
+		}
+		if len(res.Violations) > 0 {
+			return nil, fmt.Errorf("loadgen (%s lane): %d consistency violations", res.Lane, len(res.Violations))
+		}
+		if res.Failed > 0 {
+			return nil, fmt.Errorf("loadgen (%s lane): %d operations failed", res.Lane, res.Failed)
+		}
+		fmt.Printf("loadgen %s lane: %.0f ops/sec, p50=%v p99=%v (in-flight peak %d)\n",
+			res.Lane, res.OpsPerSec,
+			time.Duration(res.Latency.P50), time.Duration(res.Latency.P99), res.MaxInFlight)
+		out = append(out, res)
+	}
+	return out, nil
 }

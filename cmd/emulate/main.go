@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/loadgen"
 	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/workload"
@@ -40,6 +41,7 @@ func run() error {
 	ops := flag.Int("ops", 20, "ops per client (concurrent mode)")
 	readers := flag.Int("readers", 2, "reader clients (concurrent mode)")
 	atomic := flag.Bool("atomic", false, "enable read write-back (abd-max/abd-cas only)")
+	async := flag.Bool("async", false, "drive the workload through the completion-based async engine (one goroutine, all clients in flight)")
 	scenarioPath := flag.String("scenario", "", "run a JSON scenario file instead of a generated workload")
 	timeout := flag.Duration("timeout", 60*time.Second, "run timeout")
 	flag.Parse()
@@ -50,10 +52,50 @@ func run() error {
 	if *scenarioPath != "" {
 		return runScenario(ctx, *scenarioPath)
 	}
+	if *async {
+		return runAsync(ctx, runner.Kind(*kind), *k, *f, *n, *ops, *readers, *atomic)
+	}
 	if *concurrent {
 		return runConcurrent(ctx, runner.Kind(*kind), *k, *f, *n, *ops, *readers, *atomic)
 	}
 	return runSequential(ctx, runner.Kind(*kind), *k, *f, *n, *rounds, *crashes)
+}
+
+// runAsync drives the same concurrent mix as -concurrent, but through the
+// async client engine: k writers + the readers stay in flight together on
+// one engine goroutine, and the run is capped at ops per client.
+func runAsync(ctx context.Context, kind runner.Kind, k, f, n, ops, readers int, atomic bool) error {
+	res, err := loadgen.Run(ctx, loadgen.Config{
+		Kind:         kind,
+		F:            f,
+		N:            n,
+		Atomic:       atomic,
+		Clients:      k + readers,
+		ReadFraction: float64(readers) / float64(k+readers),
+		Duration:     time.Hour, // ops-capped, not time-capped
+		MaxOps:       int64(ops * (k + readers)),
+		Seed:         1,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("async run: %s k=%d f=%d n=%d clients=%d (w=%d r=%d)\n",
+		res.Kind, res.K, res.F, res.N, res.Clients, res.Writers, res.Readers)
+	fmt.Printf("ops=%d (%.0f ops/sec) peak-in-flight=%d p50=%v p99=%v\n",
+		res.Ops, res.OpsPerSec, res.MaxInFlight,
+		time.Duration(res.Latency.P50), time.Duration(res.Latency.P99))
+	if len(res.Violations) > 0 {
+		for _, v := range res.Violations {
+			fmt.Println("VIOLATION:", v)
+		}
+		return fmt.Errorf("%d consistency violations", len(res.Violations))
+	}
+	verdictLabel := "read validity"
+	if res.Atomic {
+		verdictLabel = "read validity + sampled linearizability"
+	}
+	fmt.Printf("%s: PASS (history=%d ops, sampled=%d)\n", verdictLabel, res.HistoryOps, res.SampledOps)
+	return nil
 }
 
 // runSequential executes round-robin writes with interleaved reads and a

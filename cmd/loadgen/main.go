@@ -1,0 +1,132 @@
+// Command loadgen drives end-to-end load through an emulated register
+// construction via the completion-based async client engine and reports
+// high-level ops/sec and latency percentiles. Runs are correctness-gated:
+// read validity always, sampled linearizability on atomic builds; any
+// violation makes the command fail.
+//
+// Usage:
+//
+//	loadgen -kind abd-max -atomic -clients 1000 -read-frac 0.5 \
+//	        -lane latency -duration 2s -min-inflight 1000
+//	loadgen -kind regemu -clients 200 -registers 8 -mode open -rate 50000 -json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/runner"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	kind := flag.String("kind", string(runner.KindABDMax), "construction: regemu | abd-max | abd-cas | aac-max | naive")
+	atomic := flag.Bool("atomic", false, "read write-back build (abd-max/abd-cas): enables the linearizability gate")
+	f := flag.Int("f", 1, "failure threshold")
+	n := flag.Int("n", 0, "servers (0 = construction default)")
+	clients := flag.Int("clients", 100, "logical client population")
+	readFrac := flag.Float64("read-frac", 0.5, "fraction of clients that read")
+	registers := flag.Int("registers", 1, "independent registers (key-space)")
+	mode := flag.String("mode", string(loadgen.ModeClosed), "closed | open")
+	rate := flag.Float64("rate", 0, "aggregate ops/sec (open mode)")
+	duration := flag.Duration("duration", 2*time.Second, "measured duration")
+	maxOps := flag.Int64("maxops", 0, "stop after this many ops (0 = duration only)")
+	lane := flag.String("lane", string(runner.LaneInProc), "dispatch backend: inproc | latency")
+	seed := flag.Int64("seed", 1, "seed for lane delays and the open-loop mix")
+	noHistory := flag.Bool("nohistory", false, "skip history recording and checks (pure throughput)")
+	checks := flag.Int("checks", 4, "linearizability samples per register (atomic builds)")
+	minInFlight := flag.Int64("min-inflight", 0, "fail unless peak in-flight concurrency reaches this")
+	asJSON := flag.Bool("json", false, "print the result as JSON")
+	out := flag.String("out", "", "also write the JSON result to this file")
+	timeout := flag.Duration("timeout", 5*time.Minute, "hard run timeout")
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	res, err := loadgen.Run(ctx, loadgen.Config{
+		Kind:         runner.Kind(*kind),
+		F:            *f,
+		N:            *n,
+		Atomic:       *atomic,
+		Clients:      *clients,
+		ReadFraction: *readFrac,
+		Registers:    *registers,
+		Mode:         loadgen.Mode(*mode),
+		Rate:         *rate,
+		Duration:     *duration,
+		MaxOps:       *maxOps,
+		Lane:         runner.Lane(*lane),
+		Seed:         *seed,
+		NoHistory:    *noHistory,
+		SampleChecks: *checks,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+	} else {
+		printHuman(res)
+	}
+
+	if len(res.Violations) > 0 {
+		return fmt.Errorf("%d consistency violations", len(res.Violations))
+	}
+	if res.Failed > 0 {
+		return fmt.Errorf("%d operations failed", res.Failed)
+	}
+	if *minInFlight > 0 && res.MaxInFlight < *minInFlight {
+		return fmt.Errorf("peak in-flight %d below required %d", res.MaxInFlight, *minInFlight)
+	}
+	return nil
+}
+
+func printHuman(res *loadgen.Result) {
+	fmt.Printf("loadgen: %s lane=%s mode=%s atomic=%v k=%d f=%d n=%d\n",
+		res.Kind, res.Lane, res.Mode, res.Atomic, res.K, res.F, res.N)
+	fmt.Printf("clients=%d (w=%d r=%d) registers=%d duration=%.2fs\n",
+		res.Clients, res.Writers, res.Readers, res.Registers, res.DurationSec)
+	fmt.Printf("ops=%d (%.0f ops/sec) failed=%d peak-in-flight=%d\n",
+		res.Ops, res.OpsPerSec, res.Failed, res.MaxInFlight)
+	fmt.Printf("latency: p50=%v p90=%v p99=%v max=%v\n",
+		time.Duration(res.Latency.P50), time.Duration(res.Latency.P90),
+		time.Duration(res.Latency.P99), time.Duration(res.Latency.Max))
+	fmt.Printf("write latency: p50=%v p99=%v   read latency: p50=%v p99=%v\n",
+		time.Duration(res.WriteLatency.P50), time.Duration(res.WriteLatency.P99),
+		time.Duration(res.ReadLatency.P50), time.Duration(res.ReadLatency.P99))
+	if res.Checked {
+		fmt.Printf("checks: history=%d ops, sampled=%d, violations=%d\n",
+			res.HistoryOps, res.SampledOps, len(res.Violations))
+		for _, v := range res.Violations {
+			fmt.Println("VIOLATION:", v)
+		}
+	} else {
+		fmt.Println("checks: skipped (no history)")
+	}
+}

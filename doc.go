@@ -40,13 +40,32 @@
 //   - internal/emulation/...: the five constructions of Table 1 (abdmax,
 //     casmax, aacmax, regemu, and the under-provisioned naiveabd
 //     baseline), all built on the round engine; a new construction is the
-//     store layer plus ~50 lines of wiring.
+//     store layer plus ~50 lines of wiring. Every construction offers the
+//     blocking Writer/Reader handles and completion-based
+//     StartWrite/StartRead handles (emulation.AsyncWriter/AsyncReader):
+//     high-level operations run as callback chains over the non-blocking
+//     rounds.ScatterFold* gathers, so an in-flight op costs no goroutine.
+//   - internal/emulation/async: the completion-based client engine — a
+//     single event-loop goroutine (mailbox, freestore-style) multiplexing
+//     thousands of logical clients over one construction, with per-client
+//     op serialization (the paper's well-formed histories), queueing, and
+//     close/cancellation propagation onto every in-flight op.
+//   - internal/loadgen + cmd/loadgen: the end-to-end workload driver on
+//     top of the async engine — closed-loop (one op in flight per client)
+//     or open-loop (fixed arrival rate, queue-honest latency) populations
+//     over a key-space of registers, on any lane backend, recording
+//     high-level ops/sec and log-linear latency histograms
+//     (internal/stats.Histogram). Runs are correctness-gated: read
+//     validity always, and sampled linearizability (spec.SampleLinearizable,
+//     sound read-source projections) on atomic builds.
 //   - internal/spec: the consistency checkers (WS-Safety, WS-Regularity,
 //     linearizability) that validate every experiment's history. The
 //     write-sequential checkers answer per-read questions from a sorted
-//     write index, and the linearizability search precomputes the
-//     precedence relation as per-op bitmasks with a pooled memo map, so
-//     checking does not cap sweep throughput.
+//     write index. CheckLinearizable decides unique-value histories (every
+//     run in this repository) with a polynomial write-order constraint
+//     graph (atomicity.go) — wide-concurrency load histories included —
+//     and falls back to the Wing–Gong search (per-op precedence bitmasks,
+//     pooled memo) for general histories up to 64 ops.
 //   - internal/adversary, internal/scenario, internal/runner: the paper's
 //     experiments — covering runs, the stale-release separation attack,
 //     exhaustive schedule search, chaos runs — plus data-driven JSON

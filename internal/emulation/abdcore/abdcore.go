@@ -176,6 +176,81 @@ func (e *Engine) WriteMax(ctx context.Context, client types.ClientID, v types.TS
 	return nil
 }
 
+// startCollect is the non-blocking Collect: report fires exactly once, on
+// the quorum'th response or the first error, possibly inline. If fewer
+// than a quorum of stores ever respond, report never fires — a pending op.
+func (e *Engine) startCollect(client types.ClientID, report func(types.TSValue, error)) {
+	if e.readTargets != nil {
+		rounds.ScatterFold(e.fab, client, e.readTargets, e.Quorum(), report)
+		return
+	}
+	j := rounds.NewFold(e.Quorum(), report)
+	for _, s := range e.stores {
+		s.StartReadMax(client, j.Complete)
+	}
+}
+
+// startPush is the non-blocking WriteMax.
+func (e *Engine) startPush(client types.ClientID, v types.TSValue, report func(types.TSValue, error)) {
+	if e.directWriters != nil {
+		targets := make([]rounds.Target, len(e.directWriters))
+		for i, dw := range e.directWriters {
+			targets[i] = dw.WriteTarget(v)
+		}
+		rounds.ScatterFold(e.fab, client, targets, e.Quorum(), report)
+		return
+	}
+	j := rounds.NewFold(e.Quorum(), report)
+	for _, s := range e.stores {
+		s.StartWriteMax(client, v, j.Complete)
+	}
+}
+
+// StartWrite is the completion-based high-level write: the collect and push
+// phases run as a callback chain on whatever goroutines complete the
+// low-level operations, so nothing ever blocks — one caller goroutine can
+// keep thousands of writes in flight. done fires exactly once, when the
+// push quorum acknowledged (or on the first protocol error); it never
+// fires if the failure assumption is violated, like any pending op.
+func (e *Engine) StartWrite(client types.ClientID, v types.Value, done func(error)) {
+	e.startCollect(client, func(cur types.TSValue, err error) {
+		if err != nil {
+			done(fmt.Errorf("abdcore: write collect: %w", err))
+			return
+		}
+		next := types.TSValue{TS: cur.TS + 1, Writer: client, Val: v}
+		e.startPush(client, next, func(_ types.TSValue, err error) {
+			if err != nil {
+				done(fmt.Errorf("abdcore: write push: %w", err))
+				return
+			}
+			done(nil)
+		})
+	})
+}
+
+// StartRead is the completion-based high-level read; with WithReadWriteBack
+// the write-back phase chains in before done fires.
+func (e *Engine) StartRead(client types.ClientID, done func(types.Value, error)) {
+	e.startCollect(client, func(cur types.TSValue, err error) {
+		if err != nil {
+			done(types.InitialValue, fmt.Errorf("abdcore: read collect: %w", err))
+			return
+		}
+		if !e.readWriteBack {
+			done(cur.Val, nil)
+			return
+		}
+		e.startPush(client, cur, func(_ types.TSValue, err error) {
+			if err != nil {
+				done(types.InitialValue, fmt.Errorf("abdcore: read write-back: %w", err))
+				return
+			}
+			done(cur.Val, nil)
+		})
+	})
+}
+
 // Write performs the high-level write: collect, bump the timestamp, push.
 func (e *Engine) Write(ctx context.Context, client types.ClientID, v types.Value) error {
 	cur, err := e.Collect(ctx, client)

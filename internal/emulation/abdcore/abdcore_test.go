@@ -244,3 +244,80 @@ func TestCollectReturnsMaximum(t *testing.T) {
 		t.Fatalf("Collect ts = %d, want 7", got.TS)
 	}
 }
+
+// TestStartWriteStartRead drives the completion-based chain over fake
+// stores: on synchronous stores the whole collect/push chain completes
+// inline, so done must have fired by the time StartWrite returns.
+func TestStartWriteStartRead(t *testing.T) {
+	_, stores := newFakes(3)
+	e, err := New(stores, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrote := make(chan error, 1)
+	e.StartWrite(1, 42, func(err error) { wrote <- err })
+	select {
+	case err := <-wrote:
+		if err != nil {
+			t.Fatalf("StartWrite: %v", err)
+		}
+	default:
+		t.Fatal("StartWrite chain did not complete inline on synchronous stores")
+	}
+	read := make(chan types.Value, 1)
+	e.StartRead(2, func(v types.Value, err error) {
+		if err != nil {
+			t.Errorf("StartRead: %v", err)
+		}
+		read <- v
+	})
+	select {
+	case v := <-read:
+		if v != 42 {
+			t.Fatalf("StartRead = %d, want 42", v)
+		}
+	default:
+		t.Fatal("StartRead chain did not complete inline")
+	}
+}
+
+// TestStartWritePendingBeyondF checks the pending-op semantics of the async
+// chain: with f+1 silent stores the done callback must never fire.
+func TestStartWritePendingBeyondF(t *testing.T) {
+	fakes, stores := newFakes(3)
+	fakes[0].silent = true
+	fakes[1].silent = true
+	e, err := New(stores, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	e.StartWrite(1, 7, func(err error) { done <- err })
+	select {
+	case err := <-done:
+		t.Fatalf("write with f+1 silent stores completed (%v), want pending forever", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+// TestStartReadStoreErrorFailsFast mirrors TestStoreErrorFailsFast on the
+// async chain.
+func TestStartReadStoreErrorFailsFast(t *testing.T) {
+	fakes, stores := newFakes(3)
+	boom := errors.New("boom")
+	fakes[0].failErr = boom
+	e, err := New(stores, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	e.StartRead(1, func(_ types.Value, err error) { done <- err })
+	select {
+	case err := <-done:
+		if !errors.Is(err, boom) {
+			t.Fatalf("StartRead error = %v, want %v", err, boom)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("StartRead did not report the store error")
+	}
+}

@@ -1,0 +1,489 @@
+// Package async is the completion-based client engine: it drives any
+// emulation.Register construction through StartWrite/StartRead handles so
+// that a single goroutine can keep thousands of high-level operations in
+// flight at once.
+//
+// The paper's clients are deterministic state machines — an operation is an
+// invocation, a stretch of low-level triggers and responses, and a return —
+// and nothing in the model ties one client to one OS thread. The blocking
+// Writer/Reader handles do exactly that, though: every in-flight high-level
+// op parks a goroutine in a quorum gather. This engine removes the
+// goroutine: constructions expose their operations as callback chains
+// (emulation.AsyncWriter / emulation.AsyncReader, built on the non-blocking
+// rounds.ScatterFold* gathers), and the engine multiplexes any number of
+// logical clients over one event loop, freestore-style.
+//
+// # Event loop and mailbox
+//
+// All engine state is owned by a single loop goroutine. Client calls
+// (Client.StartWrite / Client.StartRead) and construction completions post
+// events into an unbounded mutex-guarded mailbox and never block — the same
+// discipline as rounds.Deliver, extended to producers whose event volume is
+// not statically bounded. The loop drains the mailbox, starts operations on
+// the underlying construction, and fires user completion callbacks.
+// Callbacks run on the loop goroutine and may immediately start the
+// client's next operation (the closed-loop pattern), which enqueues rather
+// than recurses.
+//
+// # Per-client serialization
+//
+// The paper's histories are well-formed: a client invokes its next
+// operation only after the previous one returned. The engine enforces this
+// per logical client — a second StartWrite/StartRead on a busy client is
+// queued and started only after the previous operation's completion fired —
+// so histories produced through the engine stay checkable by internal/spec
+// no matter how the caller issues work.
+//
+// # Cancellation and crashes
+//
+// An operation whose quorum can never complete (more than f servers
+// crashed, or responses held forever) simply never completes, exactly like
+// the paper's pending ops. The engine's context bounds that wait: Close —
+// or the context's own cancellation — fails every queued and in-flight
+// operation with ErrClosed, fires their callbacks, and stops the loop.
+// Construction chains cannot be recalled (their low-level ops stay pending
+// in the fabric), but their late completions are dropped at the mailbox, so
+// nothing ever blocks or fires twice.
+package async
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/emulation"
+	"repro/internal/types"
+)
+
+// ErrClosed is reported by every operation that the engine abandoned
+// because it was closed (explicitly or by its context).
+var ErrClosed = errors.New("async: engine closed")
+
+// Engine multiplexes completion-based clients of one emulated register
+// over a single event-loop goroutine.
+type Engine struct {
+	reg    emulation.Register
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu          sync.Mutex
+	inbox       []event
+	closed      bool
+	outstanding int64
+	waiters     []chan struct{}
+	clients     []*Client
+	writers     map[int]*Client
+
+	notify   chan struct{}
+	loopDone chan struct{}
+
+	// Stats counters; written by the loop, read from anywhere.
+	started     atomic.Int64
+	completed   atomic.Int64
+	failed      atomic.Int64
+	inFlight    atomic.Int64
+	maxInFlight atomic.Int64
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithContext bounds the engine's lifetime: when ctx is cancelled the
+// engine closes, failing all queued and in-flight operations.
+func WithContext(ctx context.Context) Option {
+	return func(e *Engine) { e.ctx = ctx }
+}
+
+// New creates an engine over the construction and starts its event loop.
+func New(reg emulation.Register, opts ...Option) *Engine {
+	e := &Engine{
+		reg:      reg,
+		ctx:      context.Background(),
+		writers:  make(map[int]*Client),
+		notify:   make(chan struct{}, 1),
+		loopDone: make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	e.ctx, e.cancel = context.WithCancel(e.ctx)
+	go e.loop()
+	return e
+}
+
+// Register returns the wrapped construction.
+func (e *Engine) Register() emulation.Register { return e.reg }
+
+// Stats is a snapshot of the engine's operation counters.
+type Stats struct {
+	// Started counts operations handed to the construction; Completed and
+	// Failed partition the ones whose completion fired.
+	Started, Completed, Failed int64
+	// InFlight is the number of started-but-uncompleted operations now;
+	// MaxInFlight is the highest concurrency the engine reached.
+	InFlight, MaxInFlight int64
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Started:     e.started.Load(),
+		Completed:   e.completed.Load(),
+		Failed:      e.failed.Load(),
+		InFlight:    e.inFlight.Load(),
+		MaxInFlight: e.maxInFlight.Load(),
+	}
+}
+
+// op is one queued or in-flight high-level operation.
+type op struct {
+	c       *Client
+	write   bool
+	v       types.Value
+	onWrite func(error)
+	onRead  func(types.Value, error)
+}
+
+// fail fires the op's callback with err.
+func (o *op) fail(err error) {
+	if o.write {
+		o.onWrite(err)
+	} else {
+		o.onRead(types.InitialValue, err)
+	}
+}
+
+// event is one mailbox entry.
+type event struct {
+	op  *op
+	val types.Value
+	err error
+	// done distinguishes a completion from a start request.
+	done bool
+}
+
+// Client is one logical client: a writer or reader of the underlying
+// register, driven through the engine. Operations on one client are
+// serialized (queued) in invocation order; operations on different clients
+// interleave freely. Start methods are safe from any goroutine, including
+// from completion callbacks.
+type Client struct {
+	eng *Engine
+	id  types.ClientID
+	aw  emulation.AsyncWriter
+	ar  emulation.AsyncReader
+
+	// queue and active are owned by the engine loop.
+	queue  []*op
+	active *op
+}
+
+// Client returns the logical client's ID.
+func (c *Client) Client() types.ClientID { return c.id }
+
+// goWriter adapts a blocking-only writer handle: the compatibility path
+// for constructions outside this repository, at the classic cost of one
+// goroutine per in-flight op.
+type goWriter struct {
+	w   emulation.Writer
+	ctx context.Context
+}
+
+func (g goWriter) StartWrite(v types.Value, done func(error)) {
+	go func() { done(g.w.Write(g.ctx, v)) }()
+}
+
+// goReader is the read-side analogue of goWriter.
+type goReader struct {
+	r   emulation.Reader
+	ctx context.Context
+}
+
+func (g goReader) StartRead(done func(types.Value, error)) {
+	go func() { done(g.r.Read(g.ctx)) }()
+}
+
+// Writer returns the engine client for writer i. Repeated calls return the
+// same client: the underlying per-writer state admits one driver.
+func (e *Engine) Writer(i int) (*Client, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if c, ok := e.writers[i]; ok {
+		return c, nil
+	}
+	w, err := e.reg.Writer(i)
+	if err != nil {
+		return nil, err
+	}
+	aw, ok := w.(emulation.AsyncWriter)
+	if !ok {
+		aw = goWriter{w: w, ctx: e.ctx}
+	}
+	c := &Client{eng: e, id: w.Client(), aw: aw}
+	e.writers[i] = c
+	e.clients = append(e.clients, c)
+	return c, nil
+}
+
+// NewReader returns a fresh reader client. Safe from any goroutine,
+// including engine callbacks.
+func (e *Engine) NewReader() *Client {
+	r := e.reg.NewReader()
+	ar, ok := r.(emulation.AsyncReader)
+	if !ok {
+		ar = goReader{r: r, ctx: e.ctx}
+	}
+	c := &Client{eng: e, id: r.Client(), ar: ar}
+	e.mu.Lock()
+	e.clients = append(e.clients, c)
+	e.mu.Unlock()
+	return c
+}
+
+// StartWrite enqueues a high-level write for this client; done fires
+// exactly once, on the engine loop, when the write completes or the engine
+// closes. done must not block; it may start the client's next operation.
+func (c *Client) StartWrite(v types.Value, done func(error)) {
+	if c.aw == nil {
+		done(fmt.Errorf("async: client %d is a reader", c.id))
+		return
+	}
+	c.eng.post(&op{c: c, write: true, v: v, onWrite: done})
+}
+
+// StartRead enqueues a high-level read; the same contract as StartWrite.
+func (c *Client) StartRead(done func(types.Value, error)) {
+	if c.ar == nil {
+		done(types.InitialValue, fmt.Errorf("async: client %d is a writer", c.id))
+		return
+	}
+	c.eng.post(&op{c: c, onRead: done})
+}
+
+// post enqueues a start request, failing it immediately when the engine is
+// closed. It never blocks.
+func (e *Engine) post(o *op) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		o.fail(ErrClosed)
+		return
+	}
+	e.outstanding++
+	e.inbox = append(e.inbox, event{op: o})
+	e.mu.Unlock()
+	e.wake()
+}
+
+// postDone enqueues a completion; late completions after close are
+// dropped (their op was already failed by the shutdown sweep).
+func (e *Engine) postDone(o *op, v types.Value, err error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.inbox = append(e.inbox, event{op: o, val: v, err: err, done: true})
+	e.mu.Unlock()
+	e.wake()
+}
+
+// wake nudges the loop; the 1-buffered notify coalesces bursts.
+func (e *Engine) wake() {
+	select {
+	case e.notify <- struct{}{}:
+	default:
+	}
+}
+
+// takeInbox claims the mailbox contents.
+func (e *Engine) takeInbox() []event {
+	e.mu.Lock()
+	evs := e.inbox
+	e.inbox = nil
+	e.mu.Unlock()
+	return evs
+}
+
+// loop is the engine: it drains the mailbox until the context closes it.
+func (e *Engine) loop() {
+	defer close(e.loopDone)
+	for {
+		select {
+		case <-e.ctx.Done():
+			e.shutdown()
+			return
+		case <-e.notify:
+			// The drain re-checks the context each round: on a synchronous
+			// lane a closed-loop caller refills the mailbox from inside
+			// handle(), so without the check a cancelled engine would spin
+			// here forever and Close() would never return.
+			for e.ctx.Err() == nil {
+				evs := e.takeInbox()
+				if len(evs) == 0 {
+					break
+				}
+				for i := range evs {
+					e.handle(&evs[i])
+				}
+			}
+			e.checkIdle()
+		}
+	}
+}
+
+// handle processes one mailbox event on the loop goroutine.
+func (e *Engine) handle(ev *event) {
+	c := ev.op.c
+	if !ev.done {
+		if c.active == nil {
+			e.begin(ev.op)
+		} else {
+			c.queue = append(c.queue, ev.op)
+		}
+		return
+	}
+	if c.active != ev.op {
+		return // stale completion for an op the shutdown sweep failed
+	}
+	c.active = nil
+	e.inFlight.Add(-1)
+	if ev.err != nil {
+		e.failed.Add(1)
+	} else {
+		e.completed.Add(1)
+	}
+	// The callback runs before the client's next queued op starts, so a
+	// closed-loop caller that issues from the callback stays ahead of its
+	// own queue — invocation order is preserved either way.
+	if ev.op.write {
+		ev.op.onWrite(ev.err)
+	} else {
+		ev.op.onRead(ev.val, ev.err)
+	}
+	e.settle(1)
+	if c.active == nil && len(c.queue) > 0 {
+		next := c.queue[0]
+		c.queue = c.queue[1:]
+		e.begin(next)
+	}
+}
+
+// begin hands an operation to the construction. The construction's Start
+// call must not block; its completion posts back into the mailbox from
+// whatever goroutine completes the chain.
+func (e *Engine) begin(o *op) {
+	o.c.active = o
+	e.started.Add(1)
+	cur := e.inFlight.Add(1)
+	if cur > e.maxInFlight.Load() {
+		e.maxInFlight.Store(cur)
+	}
+	if o.write {
+		o.c.aw.StartWrite(o.v, func(err error) { e.postDone(o, types.InitialValue, err) })
+	} else {
+		o.c.ar.StartRead(func(v types.Value, err error) { e.postDone(o, v, err) })
+	}
+}
+
+// settle retires n outstanding ops and wakes Drain waiters at zero.
+func (e *Engine) settle(n int64) {
+	e.mu.Lock()
+	e.outstanding -= n
+	if e.outstanding == 0 {
+		for _, w := range e.waiters {
+			close(w)
+		}
+		e.waiters = nil
+	}
+	e.mu.Unlock()
+}
+
+// checkIdle wakes Drain waiters if everything settled between mailbox
+// drains (settle covers the common case; this covers waiters registered
+// while the loop was busy).
+func (e *Engine) checkIdle() {
+	e.settle(0)
+}
+
+// shutdown fails every queued and in-flight op. It runs on the loop
+// goroutine, which owns all client state.
+func (e *Engine) shutdown() {
+	e.mu.Lock()
+	e.closed = true
+	inbox := e.inbox
+	e.inbox = nil
+	e.outstanding = 0
+	waiters := e.waiters
+	e.waiters = nil
+	clients := e.clients
+	e.mu.Unlock()
+
+	err := ErrClosed
+	if cause := context.Cause(e.ctx); cause != nil && !errors.Is(cause, context.Canceled) {
+		err = fmt.Errorf("%w: %v", ErrClosed, cause)
+	}
+	for i := range inbox {
+		if !inbox[i].done {
+			inbox[i].op.fail(err)
+		}
+	}
+	for _, c := range clients {
+		if c.active != nil {
+			e.inFlight.Add(-1)
+			e.failed.Add(1)
+			c.active.fail(err)
+			c.active = nil
+		}
+		for _, o := range c.queue {
+			o.fail(err)
+		}
+		c.queue = nil
+	}
+	for _, w := range waiters {
+		close(w)
+	}
+}
+
+// Close stops the engine: every queued and in-flight operation fails with
+// ErrClosed, and the loop exits. Close is idempotent and safe from any
+// goroutine except the engine loop itself (i.e. not from a completion
+// callback — cancel the engine's context instead).
+func (e *Engine) Close() error {
+	e.cancel()
+	<-e.loopDone
+	return nil
+}
+
+// Drain blocks until every operation issued so far has completed (or the
+// engine closed), or ctx expires. New operations issued while draining —
+// e.g. closed-loop callbacks — extend the wait.
+func (e *Engine) Drain(ctx context.Context) error {
+	e.mu.Lock()
+	if e.outstanding == 0 || e.closed {
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			return ErrClosed
+		}
+		return nil
+	}
+	w := make(chan struct{})
+	e.waiters = append(e.waiters, w)
+	e.mu.Unlock()
+	e.wake()
+	select {
+	case <-w:
+		e.mu.Lock()
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			return ErrClosed
+		}
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("async: drain: %w", ctx.Err())
+	}
+}

@@ -24,13 +24,42 @@ package emulation
 
 import (
 	"context"
+	"fmt"
+	"sync/atomic"
 
 	"repro/internal/types"
 )
 
 // ReaderIDBase is the first client ID handed to readers, keeping them
-// disjoint from writer IDs 0..k-1.
+// disjoint from writer IDs 0..k-1. Constructions must reject k >=
+// ReaderIDBase (ValidateWriters) or the two ID spaces would collide.
 const ReaderIDBase types.ClientID = 1 << 20
+
+// ValidateWriters checks that a requested writer count fits the client-ID
+// scheme: writers occupy IDs 0..k-1, so k must be positive and stay below
+// ReaderIDBase. Every construction calls this before allocating handles.
+func ValidateWriters(k int) error {
+	if k <= 0 {
+		return fmt.Errorf("emulation: k must be positive, got %d", k)
+	}
+	if types.ClientID(k) >= ReaderIDBase {
+		return fmt.Errorf("emulation: k=%d collides with the reader ID space (ReaderIDBase=%d)", k, ReaderIDBase)
+	}
+	return nil
+}
+
+// ReaderIDs allocates fresh reader client IDs above ReaderIDBase. The zero
+// value is ready to use; Next is safe for concurrent callers (the async
+// engine creates readers from its event loop while tests create them from
+// their own goroutines).
+type ReaderIDs struct {
+	ctr atomic.Int64
+}
+
+// Next returns the next unused reader client ID.
+func (r *ReaderIDs) Next() types.ClientID {
+	return ReaderIDBase + types.ClientID(r.ctr.Add(1))
+}
 
 // Writer is the write-side handle of an emulated register for one client.
 type Writer interface {
@@ -48,6 +77,27 @@ type Reader interface {
 	Read(ctx context.Context) (types.Value, error)
 	// Client returns the reader's client ID.
 	Client() types.ClientID
+}
+
+// AsyncWriter is the completion-based write-side handle: StartWrite
+// triggers the high-level write and returns immediately; done fires exactly
+// once when (and if) the write completes — possibly inline, on the
+// in-process lane, or later on a fabric goroutine. If the failure
+// assumption is violated (more than f servers crash, or the environment
+// holds responses forever) done never fires, exactly like a pending
+// high-level op; callers bound the wait with their own clocks. done must
+// not block. Like the blocking handles, an AsyncWriter serializes: the
+// caller must not start a second operation before the previous done fired
+// (the paper's well-formed histories); internal/emulation/async enforces
+// this per logical client.
+type AsyncWriter interface {
+	StartWrite(v types.Value, done func(error))
+}
+
+// AsyncReader is the completion-based read-side handle; the same contract
+// as AsyncWriter applies.
+type AsyncReader interface {
+	StartRead(done func(types.Value, error))
 }
 
 // Register is an emulated fault-tolerant k-register.

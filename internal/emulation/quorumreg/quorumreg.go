@@ -8,7 +8,6 @@ package quorumreg
 import (
 	"context"
 	"fmt"
-	"sync/atomic"
 
 	"repro/internal/emulation"
 	"repro/internal/emulation/abdcore"
@@ -44,7 +43,7 @@ type Register struct {
 	resources int
 	engine    *abdcore.Engine
 	hist      *spec.History
-	readers   atomic.Int64
+	readers   emulation.ReaderIDs
 }
 
 // Compile-time interface compliance check.
@@ -52,8 +51,8 @@ var _ emulation.Register = (*Register)(nil)
 
 // New builds the adapter.
 func New(cfg Config) (*Register, error) {
-	if cfg.K <= 0 {
-		return nil, fmt.Errorf("quorumreg: k must be positive, got %d", cfg.K)
+	if err := emulation.ValidateWriters(cfg.K); err != nil {
+		return nil, fmt.Errorf("quorumreg: %w", err)
 	}
 	opts := cfg.EngineOpts
 	if cfg.Fabric != nil {
@@ -100,10 +99,10 @@ func (r *Register) Writer(i int) (emulation.Writer, error) {
 	return &writerHandle{reg: r, client: types.ClientID(i)}, nil
 }
 
-// NewReader implements emulation.Register.
+// NewReader implements emulation.Register. It is safe for concurrent
+// callers: reader IDs come from a shared atomic allocator.
 func (r *Register) NewReader() emulation.Reader {
-	id := emulation.ReaderIDBase + types.ClientID(r.readers.Add(1))
-	return &readerHandle{reg: r, client: id}
+	return &readerHandle{reg: r, client: r.readers.Next()}
 }
 
 // writerHandle is the per-writer handle.
@@ -111,6 +110,15 @@ type writerHandle struct {
 	reg    *Register
 	client types.ClientID
 }
+
+// Compile-time interface compliance checks: the handles serve both the
+// blocking and the completion-based client paths.
+var (
+	_ emulation.Writer      = (*writerHandle)(nil)
+	_ emulation.AsyncWriter = (*writerHandle)(nil)
+	_ emulation.Reader      = (*readerHandle)(nil)
+	_ emulation.AsyncReader = (*readerHandle)(nil)
+)
 
 // Client implements emulation.Writer.
 func (w *writerHandle) Client() types.ClientID { return w.client }
@@ -126,6 +134,19 @@ func (w *writerHandle) Write(ctx context.Context, v types.Value) error {
 	return nil
 }
 
+// StartWrite implements emulation.AsyncWriter: the engine's collect/push
+// callback chain, with the history op opened now and closed when (and if)
+// the chain completes.
+func (w *writerHandle) StartWrite(v types.Value, done func(error)) {
+	pw := w.reg.hist.BeginWrite(w.client, v)
+	w.reg.engine.StartWrite(w.client, v, func(err error) {
+		if err == nil {
+			pw.End()
+		}
+		done(err)
+	})
+}
+
 // readerHandle is the per-reader handle.
 type readerHandle struct {
 	reg    *Register
@@ -134,6 +155,19 @@ type readerHandle struct {
 
 // Client implements emulation.Reader.
 func (r *readerHandle) Client() types.ClientID { return r.client }
+
+// StartRead implements emulation.AsyncReader.
+func (r *readerHandle) StartRead(done func(types.Value, error)) {
+	pr := r.reg.hist.BeginRead(r.client)
+	r.reg.engine.StartRead(r.client, func(v types.Value, err error) {
+		if err != nil {
+			done(types.InitialValue, err)
+			return
+		}
+		pr.End(v)
+		done(v, nil)
+	})
+}
 
 // Read implements emulation.Reader.
 func (r *readerHandle) Read(ctx context.Context) (types.Value, error) {

@@ -26,7 +26,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"sync/atomic"
+	"sync"
 
 	"repro/internal/baseobj"
 	"repro/internal/emulation"
@@ -45,7 +45,7 @@ type Emulation struct {
 	k, f, n   int
 	scan      []rounds.Target // reads on every register, server-major order
 	writers   []*Writer
-	readers   atomic.Int64
+	readers   emulation.ReaderIDs
 }
 
 // Compile-time interface compliance check.
@@ -71,6 +71,9 @@ func New(fab *fabric.Fabric, k, f int, opts Options) (*Emulation, error) {
 	placement, err := layout.Materialize(c, plan)
 	if err != nil {
 		return nil, fmt.Errorf("regemu: materializing layout: %w", err)
+	}
+	if err := emulation.ValidateWriters(k); err != nil {
+		return nil, fmt.Errorf("regemu: %w", err)
 	}
 	hist := opts.History
 	if hist == nil {
@@ -118,7 +121,6 @@ func New(fab *fabric.Fabric, k, f int, opts Options) (*Emulation, error) {
 			set:     set,
 			quorum:  quorum,
 			pending: make(map[types.ObjectID]bool, len(set)),
-			events:  make(chan writeEvent, 2*len(set)),
 		}
 	}
 	return e, nil
@@ -153,10 +155,10 @@ func (e *Emulation) Writer(i int) (emulation.Writer, error) {
 	return e.writers[i], nil
 }
 
-// NewReader implements emulation.Register.
+// NewReader implements emulation.Register. It is safe for concurrent
+// callers: reader IDs come from a shared atomic allocator.
 func (e *Emulation) NewReader() emulation.Reader {
-	id := emulation.ReaderIDBase + types.ClientID(e.readers.Add(1))
-	return &Reader{em: e, client: id}
+	return &Reader{em: e, client: e.readers.Next()}
 }
 
 // collect implements lines 13–26 of Algorithm 2: scatter a read on every
@@ -171,130 +173,243 @@ func (e *Emulation) collect(ctx context.Context, client types.ClientID) (types.T
 	return max, nil
 }
 
-// writeEvent is one base-register write completion for a writer. ts is the
-// timestamp that was written, which identifies the high-level write it
-// belongs to.
-type writeEvent struct {
-	obj types.ObjectID
-	ts  types.TSValue
-	err error
+// writeOp is one in-flight high-level write driven by the writer's state
+// machine: the Statei of the pseudo-code for one invocation. It is guarded
+// by the writer's mutex.
+type writeOp struct {
+	// ts is the write's timestamp, assigned when the collect phase
+	// completed; scattered reports that the push phase has started (only
+	// then do freed registers re-trigger with ts — during the collect the
+	// timestamp does not exist yet, so freed registers simply stay free
+	// and join the push batch).
+	ts        types.TSValue
+	scattered bool
+	// acked counts responses carrying ts (line 11).
+	acked int
+	// finished latches completion (or detachment): the op no longer owns
+	// the machine and its done must not fire (again).
+	finished bool
+	pw       *spec.PendingWrite
+	done     func(error)
 }
 
-// Writer is the Algorithm 2 per-writer state machine (the Statei of the
-// pseudo-code). pending[b] plays the role of coverSet: it is true while b
-// has a low-level write of ours without a response.
+// Writer is the Algorithm 2 per-writer state machine. pending[b] plays the
+// role of coverSet: it is true while b has a low-level write of ours
+// without a response. The machine is event-driven — low-level completions
+// call onEvent on whatever goroutine completes them (fabric, timer, or the
+// caller's own for synchronous lanes) — so one high-level write costs no
+// goroutine: the blocking Write is a thin wrapper over StartWrite, and the
+// completion-based path (internal/emulation/async) drives thousands of
+// writers from one event loop. Per the emulation contract a writer carries
+// at most one in-flight high-level write; starting a second before the
+// previous done fired is rejected loudly.
 type Writer struct {
 	em     *Emulation
 	client types.ClientID
 	set    []types.ObjectID
 	quorum int
 
+	mu      sync.Mutex
 	pending map[types.ObjectID]bool
-	events  chan writeEvent
+	cur     *writeOp // the in-flight high-level write, nil when idle
 }
 
-// Compile-time interface compliance check.
-var _ emulation.Writer = (*Writer)(nil)
+// Compile-time interface compliance checks.
+var (
+	_ emulation.Writer      = (*Writer)(nil)
+	_ emulation.AsyncWriter = (*Writer)(nil)
+)
 
 // Client implements emulation.Writer.
 func (w *Writer) Client() types.ClientID { return w.client }
 
-// deliver lands a completion in the writer's event channel without ever
-// blocking the completing (possibly fabric) goroutine. The buffer holds
-// 2·|R_j| events while the cover-set discipline admits at most one
-// outstanding write per register (pending[b] gates re-triggering until b's
-// previous event was consumed), so even a Write abandoned mid-drain by ctx
-// cancellation leaves room for every late completion; an overflow means
-// that invariant broke and is surfaced loudly instead of leaking a blocked
-// goroutine.
-func (w *Writer) deliver(ev writeEvent) {
-	select {
-	case w.events <- ev:
-	default:
-		panic(fmt.Sprintf("regemu: writer %d event overflow (cap %d): register %d", w.client, cap(w.events), ev.obj))
+// triggerLocked issues a low-level write of ts on register b and marks it
+// pending. The trigger itself runs after the caller released the mutex
+// (returned as a thunk), because on a synchronous lane the completion runs
+// inline and re-enters onEvent.
+func (w *Writer) triggerLocked(b types.ObjectID, ts types.TSValue) func() {
+	w.pending[b] = true
+	return func() {
+		call := w.em.fab.Trigger(w.client, b, baseobj.Invocation{Op: baseobj.OpWrite, Arg: ts})
+		call.OnComplete(func(o fabric.Outcome) { w.onEvent(b, ts, o.Err) })
 	}
 }
 
-// trigger issues a low-level write of ts on register b and marks it
-// pending; the completion lands in the writer's event channel.
-func (w *Writer) trigger(b types.ObjectID, ts types.TSValue) {
-	w.pending[b] = true
-	call := w.em.fab.Trigger(w.client, b, baseobj.Invocation{Op: baseobj.OpWrite, Arg: ts})
-	call.OnComplete(func(o fabric.Outcome) {
-		w.deliver(writeEvent{obj: b, ts: ts, err: o.Err})
-	})
-}
-
-// scatter batch-triggers a write of ts on every given register, marking
-// them pending; completions land in the writer's event channel.
+// scatter batch-triggers a write of ts on every given register; the
+// registers must already be marked pending. Completions re-enter onEvent.
 func (w *Writer) scatter(objs []types.ObjectID, ts types.TSValue) {
 	batch := make([]fabric.BatchOp, len(objs))
 	for i, b := range objs {
-		w.pending[b] = true
 		batch[i] = fabric.BatchOp{Object: b, Inv: baseobj.Invocation{Op: baseobj.OpWrite, Arg: ts}}
 	}
 	for i, call := range w.em.fab.TriggerBatch(w.client, batch) {
 		b := objs[i]
-		call.OnComplete(func(o fabric.Outcome) {
-			w.deliver(writeEvent{obj: b, ts: ts, err: o.Err})
-		})
+		call.OnComplete(func(o fabric.Outcome) { w.onEvent(b, ts, o.Err) })
 	}
 }
 
-// Write implements emulation.Writer: collect, pick a higher timestamp,
-// push to the writer's register set avoiding self-covered registers, and
-// return after |R_j| - f acknowledgements.
-func (w *Writer) Write(ctx context.Context, v types.Value) error {
-	pw := w.em.hist.BeginWrite(w.client, v)
-	cur, err := w.em.collect(ctx, w.client)
+// onEvent lands one low-level write completion in the state machine: the
+// register is freed, and — when a push is in flight — a response for the
+// current timestamp counts toward the quorum (line 11) while a response
+// for an older one immediately re-covers the register with the current
+// value (lines 29–34). Events arriving while the writer is idle (the op
+// was cancelled and detached, or the machine is between writes) just free
+// the register: the next write's push batch picks it up. onEvent never
+// blocks beyond the writer mutex, so it is safe on fabric goroutines.
+func (w *Writer) onEvent(b types.ObjectID, ts types.TSValue, err error) {
+	w.mu.Lock()
+	w.pending[b] = false
+	op := w.cur
+	if op == nil || op.finished {
+		w.mu.Unlock()
+		return
+	}
 	if err != nil {
+		op.finished = true
+		w.cur = nil
+		done := op.done
+		w.mu.Unlock()
+		done(fmt.Errorf("regemu: write: %w", err))
+		return
+	}
+	if !op.scattered {
+		// Collect still running: the freed register joins the push batch
+		// once the timestamp exists.
+		w.mu.Unlock()
+		return
+	}
+	if ts == op.ts {
+		op.acked++
+		if op.acked >= w.quorum {
+			op.finished = true
+			w.cur = nil
+			pw, done := op.pw, op.done
+			w.mu.Unlock()
+			pw.End()
+			done(nil)
+			return
+		}
+		w.mu.Unlock()
+		return
+	}
+	retrigger := w.triggerLocked(b, op.ts)
+	w.mu.Unlock()
+	retrigger()
+}
+
+// StartWrite implements emulation.AsyncWriter: collect, pick a higher
+// timestamp, push to the writer's register set avoiding self-covered
+// registers, and fire done after |R_j| - f acknowledgements. The whole
+// operation is a callback chain — nothing blocks, and done may fire inline
+// on a synchronous lane. If the failure assumption is violated, done never
+// fires (a pending high-level op); the blocking wrapper bounds that wait
+// with its context, and detaches on cancellation.
+func (w *Writer) StartWrite(v types.Value, done func(error)) {
+	w.startWrite(v, done)
+}
+
+// startWrite is StartWrite returning the op handle for detach.
+func (w *Writer) startWrite(v types.Value, done func(error)) *writeOp {
+	op := &writeOp{done: done}
+	w.mu.Lock()
+	if w.cur != nil {
+		w.mu.Unlock()
+		done(fmt.Errorf("regemu: writer %d already has a write in flight", w.client))
+		return nil
+	}
+	w.cur = op
+	w.mu.Unlock()
+	op.pw = w.em.hist.BeginWrite(w.client, v)
+
+	// Lines 20–26: collect until n-f complete server scans responded, then
+	// (lines 6–10) scatter one batch over every register of R_j not
+	// currently covered by our own previous writes.
+	rounds.ScatterFoldServers(w.em.fab, w.client, w.em.scan, w.em.n-w.em.f, func(cur types.TSValue, err error) {
+		if err != nil {
+			w.fail(op, fmt.Errorf("regemu: collect: %w", err))
+			return
+		}
+		w.mu.Lock()
+		if w.cur != op || op.finished {
+			w.mu.Unlock() // detached by a cancelled blocking wrapper
+			return
+		}
+		op.ts = types.TSValue{TS: cur.TS + 1, Writer: w.client, Val: v}
+		op.scattered = true
+		fresh := make([]types.ObjectID, 0, len(w.set))
+		for _, b := range w.set {
+			if !w.pending[b] {
+				fresh = append(fresh, b)
+				w.pending[b] = true
+			}
+		}
+		ts := op.ts
+		w.mu.Unlock()
+		w.scatter(fresh, ts)
+	})
+	return op
+}
+
+// fail completes op with err, unless it already finished or detached.
+func (w *Writer) fail(op *writeOp, err error) {
+	w.mu.Lock()
+	if w.cur != op || op.finished {
+		w.mu.Unlock()
+		return
+	}
+	op.finished = true
+	w.cur = nil
+	done := op.done
+	w.mu.Unlock()
+	done(err)
+}
+
+// detach abandons op: its done will never fire, late completions for its
+// low-level writes just free their registers, and the writer may start a
+// new write — the cancelled op stays pending in the history, exactly like
+// the paper's incomplete high-level ops.
+func (w *Writer) detach(op *writeOp) {
+	if op == nil {
+		return
+	}
+	w.mu.Lock()
+	if w.cur == op {
+		op.finished = true
+		w.cur = nil
+	}
+	w.mu.Unlock()
+}
+
+// Write implements emulation.Writer: the blocking wrapper over StartWrite.
+// On ctx expiry the in-flight op is detached; its already-triggered
+// low-level writes keep covering their registers until they respond, as in
+// any abandoned write.
+func (w *Writer) Write(ctx context.Context, v types.Value) error {
+	done := make(chan error, 1)
+	op := w.startWrite(v, func(err error) { done <- err })
+	select {
+	case err := <-done:
 		return err
-	}
-	ts := types.TSValue{TS: cur.TS + 1, Writer: w.client, Val: v}
-
-	// Lines 6–10: scatter one batch over every register of R_j that we do
-	// not currently cover. (Self-covered registers are re-armed as their
-	// old writes respond, below.)
-	fresh := make([]types.ObjectID, 0, len(w.set))
-	for _, b := range w.set {
-		if !w.pending[b] {
-			fresh = append(fresh, b)
-		}
-	}
-	w.scatter(fresh, ts)
-
-	// Line 11 + lines 29–34: drain completions until |R_j|-f registers
-	// acknowledged the *current* timestamp. A response for an older
-	// timestamp frees a previously covered register: immediately
-	// re-trigger it with the current value.
-	acked := 0
-	for acked < w.quorum {
-		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("regemu: write (%d/%d acks): %w", acked, w.quorum, err)
-		}
+	case <-ctx.Done():
+		w.detach(op)
+		// The op may have completed between the ctx firing and the
+		// detach; prefer its verdict, matching the blocking loop's
+		// drain-before-ctx discipline.
 		select {
-		case <-ctx.Done():
-			return fmt.Errorf("regemu: write (%d/%d acks): %w", acked, w.quorum, ctx.Err())
-		case ev := <-w.events:
-			if ev.err != nil {
-				return fmt.Errorf("regemu: write: %w", ev.err)
-			}
-			w.pending[ev.obj] = false
-			if ev.ts == ts {
-				acked++
-			} else {
-				w.trigger(ev.obj, ts)
-			}
+		case err := <-done:
+			return err
+		default:
+			return fmt.Errorf("regemu: write: %w", ctx.Err())
 		}
 	}
-	pw.End()
-	return nil
 }
 
 // CoveredByMe returns the registers of the writer's set that currently
 // have one of its low-level writes pending — at most f after a completed
 // write (Observation 3). Exposed for the covering experiments.
 func (w *Writer) CoveredByMe() []types.ObjectID {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	var covered []types.ObjectID
 	for _, b := range w.set {
 		if w.pending[b] {
@@ -310,11 +425,29 @@ type Reader struct {
 	client types.ClientID
 }
 
-// Compile-time interface compliance check.
-var _ emulation.Reader = (*Reader)(nil)
+// Compile-time interface compliance checks.
+var (
+	_ emulation.Reader      = (*Reader)(nil)
+	_ emulation.AsyncReader = (*Reader)(nil)
+)
 
 // Client implements emulation.Reader.
 func (r *Reader) Client() types.ClientID { return r.client }
+
+// StartRead implements emulation.AsyncReader: the collect as a callback
+// chain, firing done with the freshest value once n-f complete server
+// scans responded.
+func (r *Reader) StartRead(done func(types.Value, error)) {
+	pr := r.em.hist.BeginRead(r.client)
+	rounds.ScatterFoldServers(r.em.fab, r.client, r.em.scan, r.em.n-r.em.f, func(cur types.TSValue, err error) {
+		if err != nil {
+			done(types.InitialValue, fmt.Errorf("regemu: collect: %w", err))
+			return
+		}
+		pr.End(cur.Val)
+		done(cur.Val, nil)
+	})
+}
 
 // Read implements emulation.Reader: collect and return the freshest value
 // (lines 17–19).

@@ -14,9 +14,12 @@
 //     collect/push phases of abdmax, casmax, aacmax, naiveabd).
 //   - Round.AwaitServers: block until every operation of `need` distinct
 //     servers responded (Algorithm 2's complete per-server scans in regemu).
-//   - ScatterFold: non-blocking; invoke a report callback when `need`
-//     responses arrived (per-server multi-register stores such as aacmax's
-//     read-max, which must not block inside an asynchronous store start).
+//   - ScatterFold / ScatterFoldServers: non-blocking; invoke a report
+//     callback when the quorum condition holds (count-based or complete
+//     per-server scans). These carry the asynchronous store starts (such
+//     as aacmax's read-max) and the whole completion-based client path of
+//     internal/emulation/async, where nothing may ever block a fabric
+//     goroutine. Fold is the reusable accumulator underneath.
 //
 // Crash adaptivity is inherited from the fabric's semantics: operations on
 // crashed servers never respond, so gathers simply keep waiting for other
@@ -226,8 +229,15 @@ func Gather(ctx context.Context, ch <-chan Report, need int) (types.TSValue, err
 	return max, nil
 }
 
-// fold accumulates responses for ScatterFold.
-type fold struct {
+// Fold is the non-blocking counterpart of Gather: it accumulates responses
+// (folding the maximum timestamped value) and fires its report exactly once
+// — on the need'th response or the first error. Complete never blocks, so
+// folds are safe to feed from fabric goroutines; late completions after the
+// report fired are absorbed silently, matching the buffered-channel
+// discipline of the blocking gathers. If fewer than need responses ever
+// arrive (held or crashed operations), the report simply never fires,
+// exactly like any pending op — callers bound the wait at a higher level.
+type Fold struct {
 	mu        sync.Mutex
 	remaining int
 	max       types.TSValue
@@ -235,9 +245,14 @@ type fold struct {
 	report    func(types.TSValue, error)
 }
 
-// complete accumulates one response, firing the report on the need'th
+// NewFold creates a fold firing report after need successful responses.
+func NewFold(need int, report func(types.TSValue, error)) *Fold {
+	return &Fold{remaining: need, report: report}
+}
+
+// Complete accumulates one response, firing the report on the need'th
 // response or the first error.
-func (j *fold) complete(v types.TSValue, err error) {
+func (j *Fold) Complete(v types.TSValue, err error) {
 	j.mu.Lock()
 	if j.done {
 		j.mu.Unlock()
@@ -274,12 +289,89 @@ func ScatterFold(fab *fabric.Fabric, client types.ClientID, targets []Target, ne
 		report(types.ZeroTSValue, fmt.Errorf("rounds: fold needs %d of %d targets", need, len(targets)))
 		return
 	}
-	j := &fold{remaining: need, report: report}
+	j := NewFold(need, report)
 	batch := make([]fabric.BatchOp, len(targets))
 	for i, t := range targets {
 		batch[i] = fabric.BatchOp{Object: t.Object, Inv: t.Inv}
 	}
 	for _, call := range fab.TriggerBatch(client, batch) {
-		call.OnComplete(func(o fabric.Outcome) { j.complete(o.Resp.Val, o.Err) })
+		call.OnComplete(func(o fabric.Outcome) { j.Complete(o.Resp.Val, o.Err) })
+	}
+}
+
+// serverFold accumulates per-server scan completions for ScatterFoldServers:
+// the callback analogue of AwaitServers, with the same duplicate-report
+// accounting.
+type serverFold struct {
+	mu        sync.Mutex
+	remaining map[types.ServerID]int
+	need      int
+	scans     int
+	max       types.TSValue
+	done      bool
+	report    func(types.TSValue, error)
+}
+
+// complete accumulates one operation completion for its server, firing the
+// report when need servers delivered complete scans or on the first error
+// (including over-delivery, mirroring AwaitServers).
+func (j *serverFold) complete(server types.ServerID, v types.TSValue, err error) {
+	j.mu.Lock()
+	if j.done {
+		j.mu.Unlock()
+		return
+	}
+	fire := func(v types.TSValue, err error) {
+		j.done = true
+		r := j.report
+		j.mu.Unlock()
+		r(v, err)
+	}
+	if err != nil {
+		fire(types.ZeroTSValue, fmt.Errorf("rounds: scan fold: %w", err))
+		return
+	}
+	left := j.remaining[server]
+	if left <= 0 {
+		fire(types.ZeroTSValue, fmt.Errorf("%w: server %d at %d/%d scans", ErrOverDelivery, server, j.scans, j.need))
+		return
+	}
+	j.max = types.MaxTSValue(j.max, v)
+	j.remaining[server] = left - 1
+	if left == 1 {
+		j.scans++
+		if j.scans >= j.need {
+			fire(j.max, nil)
+			return
+		}
+	}
+	j.mu.Unlock()
+}
+
+// ScatterFoldServers is the non-blocking counterpart of
+// Scatter+AwaitServers: it triggers every target in one batch and invokes
+// report exactly once — when, for need distinct servers, every operation
+// targeting that server responded (Algorithm 2's "n-f complete scans"), or
+// on the first error. Completions run on fabric goroutines and never
+// block; a partially-scanned crashed server never counts, because its
+// remaining operations never respond.
+func ScatterFoldServers(fab *fabric.Fabric, client types.ClientID, targets []Target, need int, report func(types.TSValue, error)) {
+	batch := make([]fabric.BatchOp, len(targets))
+	for i, t := range targets {
+		batch[i] = fabric.BatchOp{Object: t.Object, Inv: t.Inv}
+	}
+	calls := fab.TriggerBatch(client, batch)
+	remaining := make(map[types.ServerID]int, need)
+	for _, call := range calls {
+		remaining[call.Event().Server]++
+	}
+	if need <= 0 || need > len(remaining) {
+		report(types.ZeroTSValue, fmt.Errorf("rounds: scan fold needs %d of %d servers", need, len(remaining)))
+		return
+	}
+	j := &serverFold{remaining: remaining, need: need, report: report}
+	for _, call := range calls {
+		server := call.Event().Server
+		call.OnComplete(func(o fabric.Outcome) { j.complete(server, o.Resp.Val, o.Err) })
 	}
 }

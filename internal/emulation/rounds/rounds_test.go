@@ -297,3 +297,120 @@ func TestScatterFoldReportsProtocolError(t *testing.T) {
 		t.Fatal("fold never reported")
 	}
 }
+
+// multiEnv builds an n-server cluster with regs max-registers per server,
+// returning read targets in server-major order (a scan).
+func multiEnv(t *testing.T, n, regs int, gate fabric.Gate) (*fabric.Fabric, []Target, [][]types.ObjectID) {
+	t.Helper()
+	c, err := cluster.New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scan []Target
+	byServer := make([][]types.ObjectID, n)
+	for s := 0; s < n; s++ {
+		for r := 0; r < regs; r++ {
+			obj, err := c.PlaceMaxRegister(types.ServerID(s))
+			if err != nil {
+				t.Fatal(err)
+			}
+			byServer[s] = append(byServer[s], obj)
+			scan = append(scan, Target{Object: obj, Inv: baseobj.Invocation{Op: baseobj.OpReadMax}})
+		}
+	}
+	var opts []fabric.Option
+	if gate != nil {
+		opts = append(opts, fabric.WithGate(gate))
+	}
+	return fabric.New(c, opts...), scan, byServer
+}
+
+func TestScatterFoldServersCompletes(t *testing.T) {
+	fab, scan, byServer := multiEnv(t, 3, 2, nil)
+	v := types.TSValue{TS: 3, Writer: 0, Val: 9}
+	if _, err := Scatter(fab, 0, writeTargets([]types.ObjectID{byServer[1][1]}, v)).AwaitMax(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan types.TSValue, 1)
+	ScatterFoldServers(fab, 1, scan, 3, func(max types.TSValue, err error) {
+		if err != nil {
+			t.Errorf("scan fold: %v", err)
+		}
+		got <- max
+	})
+	select {
+	case max := <-got:
+		if max != v {
+			t.Fatalf("scan fold max = %v, want %v", max, v)
+		}
+	default:
+		t.Fatal("scan fold did not fire synchronously on the in-process lane")
+	}
+}
+
+// TestScatterFoldServersPartialScanDoesNotCount holds one register response
+// per gated server: its scan stays partial and must not count toward the
+// quorum until released.
+func TestScatterFoldServersPartialScanDoesNotCount(t *testing.T) {
+	var heldObj types.ObjectID = -1
+	gate := fabric.GateFuncs{Respond: func(ev fabric.TriggerEvent, _ baseobj.Response) fabric.Decision {
+		if ev.Object == heldObj {
+			return fabric.Hold
+		}
+		return fabric.Pass
+	}}
+	fab, scan, byServer := multiEnv(t, 3, 2, gate)
+	heldObj = byServer[0][0]
+	fired := make(chan types.TSValue, 1)
+	ScatterFoldServers(fab, 1, scan, 3, func(max types.TSValue, err error) {
+		if err != nil {
+			t.Errorf("scan fold: %v", err)
+		}
+		fired <- max
+	})
+	select {
+	case <-fired:
+		t.Fatal("scan fold fired with server 0's scan still partial")
+	default:
+	}
+	fab.ReleaseWhere(func(fabric.PendingOp) bool { return true })
+	select {
+	case <-fired:
+	default:
+		t.Fatal("scan fold did not fire after releasing the held response")
+	}
+}
+
+// TestServerFoldOverDelivery feeds the accumulator a duplicate report for an
+// exhausted server: the same protocol violation AwaitServers rejects.
+func TestServerFoldOverDelivery(t *testing.T) {
+	errs := make(chan error, 1)
+	j := &serverFold{
+		remaining: map[types.ServerID]int{0: 1, 1: 1},
+		need:      2,
+		report:    func(_ types.TSValue, err error) { errs <- err },
+	}
+	j.complete(0, types.ZeroTSValue, nil)
+	j.complete(0, types.ZeroTSValue, nil)
+	select {
+	case err := <-errs:
+		if !errors.Is(err, ErrOverDelivery) {
+			t.Fatalf("duplicate report error = %v, want ErrOverDelivery", err)
+		}
+	default:
+		t.Fatal("duplicate report for an exhausted server did not fire the fold")
+	}
+}
+
+// TestFoldLateCompletionsAbsorbed fires a fold, then keeps completing: the
+// report must fire exactly once.
+func TestFoldLateCompletionsAbsorbed(t *testing.T) {
+	fired := 0
+	j := NewFold(1, func(types.TSValue, error) { fired++ })
+	j.Complete(types.TSValue{TS: 1}, nil)
+	j.Complete(types.TSValue{TS: 2}, nil)
+	j.Complete(types.ZeroTSValue, errors.New("late error"))
+	if fired != 1 {
+		t.Fatalf("fold fired %d times, want 1", fired)
+	}
+}

@@ -1,0 +1,519 @@
+// Package loadgen is the end-to-end workload driver: it measures what the
+// emulated registers deliver to *clients* — high-level operations per
+// second and completion latency — rather than the fabric's raw
+// trigger throughput.
+//
+// A run builds a key-space of independent emulated registers on one shared
+// cluster and fabric, drives configurable populations of writer and reader
+// clients through the completion-based engine (internal/emulation/async; a
+// single event-loop goroutine per register, no goroutine per op), and
+// records every operation's latency into log-linear histograms
+// (internal/stats). Two workload shapes are supported:
+//
+//   - closed loop: every client keeps exactly one operation in flight and
+//     issues its next from the previous one's completion callback; total
+//     in-flight concurrency equals the client population.
+//   - open loop: a pacer issues operations at a fixed aggregate rate onto
+//     round-robin clients regardless of completions; per-client
+//     serialization queues excess arrivals, and latency includes the queue
+//     wait, so the numbers degrade honestly under overload instead of
+//     being coordinated-omission-blind.
+//
+// Runs are correctness-gated, not just speedometers: each register records
+// its history, every run checks read validity, and atomic (read
+// write-back) builds additionally check linearizability on sound samples
+// of the history (spec.SampleLinearizable). Pure-throughput runs can opt
+// out of recording (NoHistory) when billions of ops would not fit memory.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/emulation"
+	"repro/internal/emulation/async"
+	"repro/internal/fabric"
+	"repro/internal/runner"
+	"repro/internal/seed"
+	"repro/internal/spec"
+	"repro/internal/stats"
+	"repro/internal/types"
+)
+
+// Mode selects the workload shape.
+type Mode string
+
+// The two workload shapes.
+const (
+	// ModeClosed keeps one op in flight per client.
+	ModeClosed Mode = "closed"
+	// ModeOpen issues at a fixed aggregate rate.
+	ModeOpen Mode = "open"
+)
+
+// DefaultProfile is the latency-lane delay distribution of load runs: a
+// LAN-ish base with enough jitter to reorder quorum rounds and a rare
+// straggler spike.
+var DefaultProfile = fabric.LatencyProfile{
+	Base:      100 * time.Microsecond,
+	Jitter:    200 * time.Microsecond,
+	SpikeProb: 0.01,
+	Spike:     2 * time.Millisecond,
+}
+
+// Config parameterizes a load run.
+type Config struct {
+	// Kind is the construction; K defaults to the writer population per
+	// register, F to 1, N to the construction's chaos server count.
+	Kind runner.Kind
+	F, N int
+	// Atomic builds the read write-back variant (abd-max/abd-cas only),
+	// which is what enables the linearizability gate.
+	Atomic bool
+
+	// Clients is the total logical client population; ReadFraction of it
+	// become readers, the rest writers (at least one writer per
+	// register). Registers shards the population over that many
+	// independent emulated registers (the key-space), each with its own
+	// async engine loop.
+	Clients      int
+	ReadFraction float64
+	Registers    int
+
+	// Mode and Rate shape the workload; Rate (ops/sec, aggregate) is
+	// only used by ModeOpen.
+	Mode Mode
+	Rate float64
+
+	// Duration bounds the measured run; MaxOps (0 = unlimited)
+	// additionally stops after that many completed operations —
+	// keeping recorded histories bounded.
+	Duration time.Duration
+	MaxOps   int64
+
+	// Lane selects the dispatch backend (runner.LaneInProc default, or
+	// runner.LaneLatency with Profile); Seed drives the lane delays and
+	// the open-loop mix.
+	Lane    runner.Lane
+	Profile *fabric.LatencyProfile
+	Seed    int64
+
+	// NoHistory disables history recording (and therefore all checks):
+	// the pure-throughput mode.
+	NoHistory bool
+	// SampleChecks is how many independent linearizability samples to
+	// check per register on atomic builds (default 4).
+	SampleChecks int
+}
+
+// Latency summarizes one histogram in nanoseconds.
+type Latency struct {
+	N    int64   `json:"n"`
+	Mean float64 `json:"mean_ns"`
+	P50  int64   `json:"p50_ns"`
+	P90  int64   `json:"p90_ns"`
+	P99  int64   `json:"p99_ns"`
+	Max  int64   `json:"max_ns"`
+}
+
+func summarize(h *stats.Histogram) Latency {
+	return Latency{
+		N:    h.Count(),
+		Mean: h.Mean(),
+		P50:  h.Quantile(0.50),
+		P90:  h.Quantile(0.90),
+		P99:  h.Quantile(0.99),
+		Max:  h.Max(),
+	}
+}
+
+// Result is one run's report, shaped for JSON snapshots.
+type Result struct {
+	Kind      string  `json:"kind"`
+	Lane      string  `json:"lane"`
+	Mode      string  `json:"mode"`
+	Atomic    bool    `json:"atomic"`
+	K         int     `json:"k"`
+	F         int     `json:"f"`
+	N         int     `json:"n"`
+	Clients   int     `json:"clients"`
+	Writers   int     `json:"writers"`
+	Readers   int     `json:"readers"`
+	Registers int     `json:"registers"`
+	Rate      float64 `json:"rate,omitempty"`
+
+	DurationSec float64 `json:"duration_sec"`
+	Ops         int64   `json:"ops"`
+	Failed      int64   `json:"failed"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	// MaxInFlight sums the per-register engines' peak concurrency (exact
+	// when Registers == 1).
+	MaxInFlight int64 `json:"max_in_flight"`
+
+	Latency      Latency `json:"latency"`
+	WriteLatency Latency `json:"write_latency"`
+	ReadLatency  Latency `json:"read_latency"`
+
+	// Checked reports whether consistency was verified; HistoryOps is the
+	// total recorded high-level ops, SampledOps how many the
+	// linearizability samples covered, and Violations any checker
+	// failures (empty on a healthy run).
+	Checked    bool     `json:"checked"`
+	HistoryOps int      `json:"history_ops"`
+	SampledOps int      `json:"sampled_ops"`
+	Violations []string `json:"violations,omitempty"`
+}
+
+// shard is one register of the key-space with its clients and meters.
+type shard struct {
+	reg     *runnerReg
+	eng     *async.Engine
+	writers []*async.Client
+	readers []*async.Client
+
+	nextVal atomic.Int64
+
+	// Owned by the shard's engine loop.
+	all       *stats.Histogram
+	writeLat  *stats.Histogram
+	readLat   *stats.Histogram
+	completed atomic.Int64
+	failed    atomic.Int64
+}
+
+// runnerReg pairs a built register with its history.
+type runnerReg struct {
+	k    int
+	hist *spec.History
+}
+
+// Run executes one load run.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.Clients <= 0 {
+		return nil, fmt.Errorf("loadgen: need at least one client, got %d", cfg.Clients)
+	}
+	if cfg.Registers <= 0 {
+		cfg.Registers = 1
+	}
+	if cfg.Registers > cfg.Clients {
+		return nil, fmt.Errorf("loadgen: %d registers need at least as many clients, got %d", cfg.Registers, cfg.Clients)
+	}
+	if cfg.ReadFraction < 0 || cfg.ReadFraction > 1 {
+		return nil, fmt.Errorf("loadgen: read fraction %v outside [0,1]", cfg.ReadFraction)
+	}
+	if cfg.Mode == "" {
+		cfg.Mode = ModeClosed
+	}
+	if cfg.Mode == ModeOpen && cfg.Rate <= 0 {
+		return nil, fmt.Errorf("loadgen: open loop needs a positive rate")
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	if cfg.F <= 0 {
+		cfg.F = 1
+	}
+	if cfg.N <= 0 {
+		cfg.N = runner.ChaosServers(cfg.Kind)
+		if cfg.F > 1 {
+			cfg.N = 2*cfg.F + 1
+			if cfg.Kind == runner.KindRegEmu {
+				cfg.N = 3*cfg.F + 1
+			}
+		}
+	}
+	if cfg.SampleChecks <= 0 {
+		cfg.SampleChecks = 4
+	}
+
+	readers := int(float64(cfg.Clients)*cfg.ReadFraction + 0.5)
+	writers := cfg.Clients - readers
+	if writers < cfg.Registers {
+		// Every register needs a writer population (K >= 1).
+		writers = cfg.Registers
+		readers = cfg.Clients - writers
+		if readers < 0 {
+			readers = 0
+		}
+	}
+
+	var laneOpts []fabric.Option
+	switch cfg.Lane {
+	case "", runner.LaneInProc:
+		cfg.Lane = runner.LaneInProc
+	case runner.LaneLatency:
+		profile := DefaultProfile
+		if cfg.Profile != nil {
+			profile = *cfg.Profile
+		}
+		laneOpts = append(laneOpts, fabric.WithLanes(fabric.LatencyLanes(seed.Sub(cfg.Seed, 0), profile)))
+	default:
+		return nil, fmt.Errorf("loadgen: unknown lane %q", cfg.Lane)
+	}
+	env, err := runner.NewEnv(cfg.N, nil, laneOpts...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build the key-space and distribute the populations.
+	shards := make([]*shard, cfg.Registers)
+	engCtx, engCancel := context.WithCancel(ctx)
+	defer engCancel()
+	for s := range shards {
+		wHere := writers / cfg.Registers
+		if s < writers%cfg.Registers {
+			wHere++
+		}
+		rHere := readers / cfg.Registers
+		if s < readers%cfg.Registers {
+			rHere++
+		}
+		built, h, err := buildShard(cfg, env.Fabric, wHere)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.NoHistory {
+			h.SetDiscard(true)
+		}
+		sh := &shard{
+			reg:      &runnerReg{k: wHere, hist: h},
+			eng:      async.New(built, async.WithContext(engCtx)),
+			all:      stats.NewHistogram(),
+			writeLat: stats.NewHistogram(),
+			readLat:  stats.NewHistogram(),
+		}
+		for i := 0; i < wHere; i++ {
+			c, err := sh.eng.Writer(i)
+			if err != nil {
+				return nil, err
+			}
+			sh.writers = append(sh.writers, c)
+		}
+		for i := 0; i < rHere; i++ {
+			sh.readers = append(sh.readers, sh.eng.NewReader())
+		}
+		shards[s] = sh
+	}
+	defer func() {
+		for _, sh := range shards {
+			sh.eng.Close()
+		}
+	}()
+
+	// The measurement window: completions are counted while counting is
+	// set; the first MaxOps-crossing completion (or the duration timer)
+	// clears it, and the drained tail is not measured.
+	var counting atomic.Bool
+	counting.Store(true)
+	var totalDone atomic.Int64
+	stopped := make(chan struct{})
+	var stopOnce atomic.Bool
+	stop := func() {
+		if stopOnce.CompareAndSwap(false, true) {
+			counting.Store(false)
+			close(stopped)
+		}
+	}
+
+	record := func(sh *shard, write bool, start time.Time, err error) {
+		if !counting.Load() {
+			return
+		}
+		if err != nil {
+			sh.failed.Add(1)
+			return
+		}
+		lat := time.Since(start).Nanoseconds()
+		sh.all.Record(lat)
+		if write {
+			sh.writeLat.Record(lat)
+		} else {
+			sh.readLat.Record(lat)
+		}
+		sh.completed.Add(1)
+		if cfg.MaxOps > 0 && totalDone.Add(1) >= cfg.MaxOps {
+			stop()
+		}
+	}
+
+	started := time.Now()
+	switch cfg.Mode {
+	case ModeClosed:
+		for _, sh := range shards {
+			sh := sh
+			for _, c := range sh.writers {
+				c := c
+				var issue func()
+				issue = func() {
+					if !counting.Load() {
+						return
+					}
+					start := time.Now()
+					c.StartWrite(types.Value(sh.nextVal.Add(1)), func(err error) {
+						record(sh, true, start, err)
+						issue()
+					})
+				}
+				issue()
+			}
+			for _, c := range sh.readers {
+				c := c
+				var issue func()
+				issue = func() {
+					if !counting.Load() {
+						return
+					}
+					start := time.Now()
+					c.StartRead(func(_ types.Value, err error) {
+						record(sh, false, start, err)
+						issue()
+					})
+				}
+				issue()
+			}
+		}
+	case ModeOpen:
+		go pace(ctx, cfg, shards, stopped, &counting, record)
+	default:
+		return nil, fmt.Errorf("loadgen: unknown mode %q", cfg.Mode)
+	}
+
+	select {
+	case <-time.After(cfg.Duration):
+	case <-stopped:
+	case <-ctx.Done():
+	}
+	stop()
+	elapsed := time.Since(started)
+
+	// Drain the in-flight tail so histories are complete before checking.
+	drainCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	for _, sh := range shards {
+		if err := sh.eng.Drain(drainCtx); err != nil {
+			return nil, fmt.Errorf("loadgen: draining register engine: %w", err)
+		}
+	}
+
+	res := &Result{
+		Kind:        string(cfg.Kind),
+		Lane:        string(cfg.Lane),
+		Mode:        string(cfg.Mode),
+		Atomic:      cfg.Atomic,
+		F:           cfg.F,
+		N:           cfg.N,
+		Clients:     cfg.Clients,
+		Writers:     writers,
+		Readers:     readers,
+		Registers:   cfg.Registers,
+		Rate:        cfg.Rate,
+		DurationSec: elapsed.Seconds(),
+	}
+	all, wh, rh := stats.NewHistogram(), stats.NewHistogram(), stats.NewHistogram()
+	for _, sh := range shards {
+		res.K += sh.reg.k
+		res.Ops += sh.completed.Load()
+		res.Failed += sh.failed.Load()
+		res.MaxInFlight += sh.eng.Stats().MaxInFlight
+		all.Merge(sh.all)
+		wh.Merge(sh.writeLat)
+		rh.Merge(sh.readLat)
+	}
+	res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
+	res.Latency = summarize(all)
+	res.WriteLatency = summarize(wh)
+	res.ReadLatency = summarize(rh)
+
+	if !cfg.NoHistory {
+		res.Checked = true
+		for _, sh := range shards {
+			ops := sh.reg.hist.Snapshot()
+			res.HistoryOps += len(ops)
+			if err := spec.CheckReadValidity(ops, types.InitialValue); err != nil {
+				res.Violations = append(res.Violations, err.Error())
+			}
+			if cfg.Atomic {
+				for chk := 0; chk < cfg.SampleChecks; chk++ {
+					sample := spec.SampleLinearizable(ops, 1024, seed.Sub(cfg.Seed, uint64(chk+1)))
+					res.SampledOps += len(sample)
+					if err := spec.CheckLinearizable(sample, types.InitialValue); err != nil {
+						res.Violations = append(res.Violations, err.Error())
+					}
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// buildShard builds one register of the key-space.
+func buildShard(cfg Config, fab *fabric.Fabric, k int) (emulation.Register, *spec.History, error) {
+	if cfg.Atomic {
+		return runner.BuildAtomic(cfg.Kind, fab, k, cfg.F)
+	}
+	return runner.Build(cfg.Kind, fab, k, cfg.F)
+}
+
+// pace is the open-loop arrival process: issue ops at cfg.Rate aggregate
+// onto round-robin clients (the mix drawn per arrival), queueing behind
+// busy clients rather than skipping them.
+func pace(ctx context.Context, cfg Config, shards []*shard, stopped <-chan struct{}, counting *atomic.Bool, record func(*shard, bool, time.Time, error)) {
+	rng := rand.New(rand.NewSource(seed.Sub(cfg.Seed, 99)))
+	const tick = time.Millisecond
+	perTick := cfg.Rate * tick.Seconds()
+	var carry float64
+	var wIdx, rIdx int
+	var writersAll []struct {
+		sh *shard
+		c  *async.Client
+	}
+	var readersAll []struct {
+		sh *shard
+		c  *async.Client
+	}
+	for _, sh := range shards {
+		for _, c := range sh.writers {
+			writersAll = append(writersAll, struct {
+				sh *shard
+				c  *async.Client
+			}{sh, c})
+		}
+		for _, c := range sh.readers {
+			readersAll = append(readersAll, struct {
+				sh *shard
+				c  *async.Client
+			}{sh, c})
+		}
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-stopped:
+			return
+		case <-t.C:
+		}
+		carry += perTick
+		for ; carry >= 1; carry-- {
+			if !counting.Load() {
+				return
+			}
+			read := len(readersAll) > 0 && (len(writersAll) == 0 || rng.Float64() < cfg.ReadFraction)
+			start := time.Now()
+			if read {
+				e := readersAll[rIdx%len(readersAll)]
+				rIdx++
+				e.c.StartRead(func(_ types.Value, err error) { record(e.sh, false, start, err) })
+			} else {
+				e := writersAll[wIdx%len(writersAll)]
+				wIdx++
+				e.c.StartWrite(types.Value(e.sh.nextVal.Add(1)), func(err error) { record(e.sh, true, start, err) })
+			}
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/runner"
+)
+
+// testProfile keeps test runs fast while still exercising asynchronous
+// completion.
+var testProfile = fabric.LatencyProfile{Base: 500 * time.Microsecond, Jitter: 500 * time.Microsecond}
+
+// TestClosedLoopInProc is the smallest end-to-end run: closed loop on the
+// synchronous lane, atomic build, every check green.
+func TestClosedLoopInProc(t *testing.T) {
+	res, err := Run(context.Background(), Config{
+		Kind:         runner.KindABDMax,
+		Atomic:       true,
+		Clients:      16,
+		ReadFraction: 0.5,
+		Duration:     time.Second,
+		MaxOps:       3000,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops < 3000 {
+		t.Fatalf("ops = %d, want >= 3000 (MaxOps-bounded run)", res.Ops)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("failed ops: %d", res.Failed)
+	}
+	if !res.Checked || len(res.Violations) != 0 {
+		t.Fatalf("checks: checked=%v violations=%v", res.Checked, res.Violations)
+	}
+	if res.SampledOps == 0 {
+		t.Fatal("atomic run sampled no ops for linearizability")
+	}
+	if res.Latency.N != res.Ops {
+		t.Fatalf("latency histogram has %d samples for %d ops", res.Latency.N, res.Ops)
+	}
+	if res.WriteLatency.N+res.ReadLatency.N != res.Ops {
+		t.Fatalf("per-kind histograms (%d + %d) do not cover %d ops",
+			res.WriteLatency.N, res.ReadLatency.N, res.Ops)
+	}
+}
+
+// TestClosedLoopConcurrency checks the subsystem's headline property on the
+// latency lane: in-flight concurrency equals the client population.
+func TestClosedLoopConcurrency(t *testing.T) {
+	const clients = 120
+	profile := fabric.LatencyProfile{Base: 2 * time.Millisecond, Jitter: time.Millisecond}
+	res, err := Run(context.Background(), Config{
+		Kind:         runner.KindABDMax,
+		Atomic:       true,
+		Clients:      clients,
+		ReadFraction: 0.5,
+		Lane:         runner.LaneLatency,
+		Profile:      &profile,
+		Duration:     400 * time.Millisecond,
+		Seed:         2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxInFlight < clients*9/10 {
+		t.Fatalf("peak in-flight = %d, want ~%d (closed loop)", res.MaxInFlight, clients)
+	}
+	if res.Failed != 0 || len(res.Violations) != 0 {
+		t.Fatalf("failed=%d violations=%v", res.Failed, res.Violations)
+	}
+	if res.Latency.P50 < time.Millisecond.Nanoseconds() {
+		t.Fatalf("p50 latency %v below the lane's base delay", time.Duration(res.Latency.P50))
+	}
+}
+
+// TestOpenLoop paces arrivals at a fixed rate and checks the measured
+// throughput tracks it.
+func TestOpenLoop(t *testing.T) {
+	res, err := Run(context.Background(), Config{
+		Kind:         runner.KindRegEmu,
+		Clients:      32,
+		ReadFraction: 0.5,
+		Mode:         ModeOpen,
+		Rate:         2000,
+		Lane:         runner.LaneLatency,
+		Profile:      &testProfile,
+		Duration:     500 * time.Millisecond,
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loose bounds: the pacer must neither stall nor run away.
+	if res.Ops < 300 {
+		t.Fatalf("open loop completed only %d ops at rate 2000 over 500ms", res.Ops)
+	}
+	if res.OpsPerSec > 4000 {
+		t.Fatalf("open loop overshot: %.0f ops/sec at rate 2000", res.OpsPerSec)
+	}
+	if res.Failed != 0 || len(res.Violations) != 0 {
+		t.Fatalf("failed=%d violations=%v", res.Failed, res.Violations)
+	}
+}
+
+// TestRegisterSharding spreads clients over a key-space of registers.
+func TestRegisterSharding(t *testing.T) {
+	res, err := Run(context.Background(), Config{
+		Kind:         runner.KindCASMax,
+		Atomic:       true,
+		Clients:      24,
+		ReadFraction: 0.5,
+		Registers:    4,
+		Duration:     time.Second,
+		MaxOps:       2000,
+		Seed:         4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Registers != 4 {
+		t.Fatalf("registers = %d", res.Registers)
+	}
+	if res.Ops < 2000 || res.Failed != 0 || len(res.Violations) != 0 {
+		t.Fatalf("ops=%d failed=%d violations=%v", res.Ops, res.Failed, res.Violations)
+	}
+	if res.HistoryOps < int(res.Ops) {
+		t.Fatalf("histories recorded %d ops for %d completed", res.HistoryOps, res.Ops)
+	}
+}
+
+// TestNoHistoryMode skips recording and checking.
+func TestNoHistoryMode(t *testing.T) {
+	res, err := Run(context.Background(), Config{
+		Kind:      runner.KindNaive,
+		Clients:   8,
+		Duration:  time.Second,
+		MaxOps:    500,
+		NoHistory: true,
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checked || res.HistoryOps != 0 {
+		t.Fatalf("no-history run recorded: checked=%v historyOps=%d", res.Checked, res.HistoryOps)
+	}
+	if res.Ops < 500 {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+}
+
+// TestConfigValidation rejects malformed configs.
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Kind: runner.KindABDMax, Clients: 0},
+		{Kind: runner.KindABDMax, Clients: 4, Registers: 8},
+		{Kind: runner.KindABDMax, Clients: 4, ReadFraction: 1.5},
+		{Kind: runner.KindABDMax, Clients: 4, Mode: ModeOpen},
+		{Kind: runner.KindABDMax, Clients: 4, Lane: "bogus"},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package spec
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// TestAtomicUniqueAgreesWithSearch is the correctness anchor of the
+// polynomial checker: on thousands of small random CONCURRENT histories
+// with unique write values, its verdict must coincide with the independent
+// Wing–Gong search. The generator skews toward plausible histories (reads
+// of real values) but also produces garbage reads and pending ops.
+func TestAtomicUniqueAgreesWithSearch(t *testing.T) {
+	const trials = 4000
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < trials; trial++ {
+		ops := randomConcurrentHistory(rng)
+		if !uniqueValuesCheckable(ops, 0) {
+			t.Fatal("generator produced duplicate values")
+		}
+		fast := checkAtomicUnique(ops, 0) == nil
+		slow := checkLinearizableSearch(ops, 0) == nil
+		if fast != slow {
+			t.Fatalf("trial %d: polynomial says %v, search says %v, history:\n%v",
+				trial, fast, slow, ops)
+		}
+	}
+}
+
+// randomConcurrentHistory builds a small history with overlapping writers
+// and readers, unique write values, occasional pending ops, and read
+// values drawn from writes / v0 / garbage.
+func randomConcurrentHistory(rng *rand.Rand) []Op {
+	var ops []Op
+	numWrites := 1 + rng.Intn(5)
+	numReads := rng.Intn(5)
+	span := int64(2 * (numWrites + numReads) * 3)
+	var vals []types.Value
+	for i := 0; i < numWrites; i++ {
+		v := types.Value(i + 1)
+		vals = append(vals, v)
+		start := 1 + rng.Int63n(span)
+		op := Op{Client: types.ClientID(i), Kind: KindWrite, Arg: v, Start: start}
+		if rng.Intn(6) > 0 {
+			op.End = start + 1 + rng.Int63n(6)
+			op.Complete = true
+		}
+		ops = append(ops, op)
+	}
+	for r := 0; r < numReads; r++ {
+		start := 1 + rng.Int63n(span)
+		op := Op{Client: types.ClientID(100 + r), Kind: KindRead, Start: start}
+		if rng.Intn(6) > 0 {
+			op.End = start + 1 + rng.Int63n(6)
+			op.Complete = true
+			switch rng.Intn(5) {
+			case 0:
+				op.Out = 0 // initial value
+			case 1:
+				op.Out = 99 // garbage (never written)
+			default:
+				op.Out = vals[rng.Intn(len(vals))]
+			}
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// TestAtomicUniqueWideConcurrency is the case the search cannot touch: a
+// large, heavily concurrent, linearizable history checks in polynomial
+// time, and planting one stale read flips the verdict.
+func TestAtomicUniqueWideConcurrency(t *testing.T) {
+	const clients = 200
+	var ops []Op
+	clock := int64(1)
+	// Round-structure: each round, all clients write (unique values) with
+	// overlapping intervals, then all read the round's last value with
+	// overlapping intervals.
+	v := types.Value(0)
+	var lastVal types.Value
+	for round := 0; round < 5; round++ {
+		base := clock
+		for c := 0; c < clients; c++ {
+			v++
+			ops = append(ops, Op{
+				ID: len(ops), Client: types.ClientID(c), Kind: KindWrite, Arg: v,
+				Start: base + int64(c), End: base + int64(clients) + int64(c) + 1, Complete: true,
+			})
+			lastVal = v
+		}
+		clock = base + 2*int64(clients) + 2
+		// All writes of the round overlap; any of them may be last.
+		// Readers read the highest value, which is legal: its write may
+		// linearize last in the round.
+		base = clock
+		for c := 0; c < clients; c++ {
+			ops = append(ops, Op{
+				ID: len(ops), Client: types.ClientID(1000 + c), Kind: KindRead, Out: lastVal,
+				Start: base + int64(c), End: base + int64(clients) + int64(c) + 1, Complete: true,
+			})
+		}
+		clock = base + 2*int64(clients) + 2
+	}
+	if err := CheckLinearizable(ops, 0); err != nil {
+		t.Fatalf("wide linearizable history rejected: %v", err)
+	}
+	// Plant a stale read: after everything, read round 1's value.
+	stale := append(append([]Op{}, ops...), Op{
+		ID: len(ops), Client: 5000, Kind: KindRead, Out: 1,
+		Start: clock + 1, End: clock + 2, Complete: true,
+	})
+	if err := CheckLinearizable(stale, 0); err == nil {
+		t.Fatal("stale read at the end of a wide history passed")
+	}
+}
+
+// TestAtomicUniqueReadBeforeWrite rejects a read returning a value whose
+// write had not been invoked yet.
+func TestAtomicUniqueReadBeforeWrite(t *testing.T) {
+	ops := []Op{
+		{Kind: KindRead, Client: 100, Out: 1, Start: 1, End: 2, Complete: true},
+		{Kind: KindWrite, Client: 0, Arg: 1, Start: 3, End: 4, Complete: true},
+	}
+	if err := CheckLinearizable(ops, 0); err == nil {
+		t.Fatal("read before its write was invoked passed")
+	}
+}
+
+// TestAtomicUniquePendingWriteReadable lets a read return a pending write's
+// value (it linearizes although it never returned).
+func TestAtomicUniquePendingWriteReadable(t *testing.T) {
+	ops := []Op{
+		{Kind: KindWrite, Client: 0, Arg: 1, Start: 1}, // pending forever
+		{Kind: KindRead, Client: 100, Out: 1, Start: 2, End: 3, Complete: true},
+	}
+	if err := CheckLinearizable(ops, 0); err != nil {
+		t.Fatalf("read of a pending write rejected: %v", err)
+	}
+}
+
+// TestAtomicUniqueInitialAfterWrite rejects reading v0 after a write
+// completed.
+func TestAtomicUniqueInitialAfterWrite(t *testing.T) {
+	ops := []Op{
+		{Kind: KindWrite, Client: 0, Arg: 1, Start: 1, End: 2, Complete: true},
+		{Kind: KindRead, Client: 100, Out: 0, Start: 3, End: 4, Complete: true},
+	}
+	if err := CheckLinearizable(ops, 0); err == nil {
+		t.Fatal("read of the initial value after a completed write passed")
+	}
+}

@@ -93,11 +93,22 @@ func (o Op) String() string {
 // History records high-level operations concurrently. The zero value is
 // ready to use.
 type History struct {
-	clock atomic.Int64
+	clock   atomic.Int64
+	discard atomic.Bool
 
 	mu  sync.Mutex
 	ops []*Op
 }
+
+// SetDiscard toggles discard mode: while on, Begin*/End are cheap no-ops
+// (no clock ticks, no locking, nothing recorded). Pure-throughput load
+// runs use it to drive billions of ops without accumulating history;
+// flip it before the run — ops in flight across a toggle record a
+// half-open entry at worst.
+func (h *History) SetDiscard(on bool) { h.discard.Store(on) }
+
+// discarded is the shared non-recording op of discard-mode handles.
+var discarded = &Op{ID: -1}
 
 // PendingWrite is the handle for an in-flight high-level write.
 type PendingWrite struct {
@@ -116,6 +127,9 @@ func (h *History) tick() int64 { return h.clock.Add(1) }
 
 // BeginWrite records the invocation of write(v) by client.
 func (h *History) BeginWrite(client types.ClientID, v types.Value) *PendingWrite {
+	if h.discard.Load() {
+		return &PendingWrite{h: h, op: discarded}
+	}
 	op := &Op{Client: client, Kind: KindWrite, Arg: v, Start: h.tick()}
 	h.mu.Lock()
 	op.ID = len(h.ops)
@@ -126,6 +140,9 @@ func (h *History) BeginWrite(client types.ClientID, v types.Value) *PendingWrite
 
 // End records the write's return.
 func (w *PendingWrite) End() {
+	if w.op.ID < 0 {
+		return
+	}
 	end := w.h.tick()
 	w.h.mu.Lock()
 	w.op.End = end
@@ -135,6 +152,9 @@ func (w *PendingWrite) End() {
 
 // BeginRead records the invocation of a read by client.
 func (h *History) BeginRead(client types.ClientID) *PendingRead {
+	if h.discard.Load() {
+		return &PendingRead{h: h, op: discarded}
+	}
 	op := &Op{Client: client, Kind: KindRead, Start: h.tick()}
 	h.mu.Lock()
 	op.ID = len(h.ops)
@@ -145,6 +165,9 @@ func (h *History) BeginRead(client types.ClientID) *PendingRead {
 
 // End records the read's return with the value it returned.
 func (r *PendingRead) End(v types.Value) {
+	if r.op.ID < 0 {
+		return
+	}
 	end := r.h.tick()
 	r.h.mu.Lock()
 	r.op.Out = v

@@ -69,17 +69,33 @@ func precedenceMasks(ops []Op, masks []uint64) {
 // linearized (taking effect at some point after their invocation) or
 // dropped, exactly as in the paper's definition of linearization.
 //
-// The search is a Wing–Gong style exploration with memoization on
-// (consumed-ops bitmask, register value); unique write values keep the
-// state space small. The precedence relation is precomputed once as
-// per-op bitmasks, so testing whether an op may be linearized next is a
-// single AND instead of a rescan of the history, and the memo map is
-// pooled across calls. Histories larger than 64 operations return
-// ErrTooLarge.
+// Histories with unique write values (every experiment and load run in
+// this repository) are decided by the polynomial write-order algorithm in
+// atomicity.go, which handles wide concurrency — hundreds of clients —
+// and histories up to 4096 ops. Everything else falls back to a Wing–Gong
+// style exploration with memoization on (consumed-ops bitmask, register
+// value): the precedence relation is precomputed once as per-op bitmasks,
+// so testing whether an op may be linearized next is a single AND instead
+// of a rescan of the history, and the memo map is pooled across calls.
+// The fallback is exponential in the concurrency antichain and capped at
+// 64 operations (ErrTooLarge beyond either path's cap).
 func CheckLinearizable(ops []Op, v0 types.Value) error {
+	if uniqueValuesCheckable(ops, v0) {
+		if len(ops) > maxUniqueLinOps {
+			return fmt.Errorf("%w: %d ops (max %d)", ErrTooLarge, len(ops), maxUniqueLinOps)
+		}
+		return checkAtomicUnique(ops, v0)
+	}
 	if len(ops) > maxLinOps {
 		return fmt.Errorf("%w: %d ops (max %d)", ErrTooLarge, len(ops), maxLinOps)
 	}
+	return checkLinearizableSearch(ops, v0)
+}
+
+// checkLinearizableSearch is the general-history Wing–Gong decider; the
+// unique-value cross-check fuzz test also drives it directly against the
+// polynomial algorithm.
+func checkLinearizableSearch(ops []Op, v0 types.Value) error {
 	var completeMask uint64
 	for i, op := range ops {
 		if op.Complete {

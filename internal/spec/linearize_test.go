@@ -105,12 +105,28 @@ func TestLinearizablePendingWriteMixedReads(t *testing.T) {
 }
 
 func TestLinearizableTooLarge(t *testing.T) {
+	// 65 unique-value writes are fine now (the polynomial path has a
+	// 4096-op cap)...
 	ops := make([]Op, 65)
 	for i := range ops {
 		ops[i] = w(types.ClientID(i), types.Value(i+1), int64(2*i+1), int64(2*i+2))
 	}
+	if err := CheckLinearizable(ops, 0); err != nil {
+		t.Fatalf("65 unique writes: err = %v, want nil", err)
+	}
+	// ...but 65 ops with a duplicated value fall back to the search and
+	// exceed its 64-op cap...
+	ops[1].Arg = ops[0].Arg
 	if err := CheckLinearizable(ops, 0); !errors.Is(err, ErrTooLarge) {
-		t.Fatalf("err = %v, want ErrTooLarge", err)
+		t.Fatalf("65 non-unique ops: err = %v, want ErrTooLarge", err)
+	}
+	// ...and the polynomial path has its own ceiling.
+	big := make([]Op, maxUniqueLinOps+1)
+	for i := range big {
+		big[i] = w(types.ClientID(i), types.Value(i+1), int64(2*i+1), int64(2*i+2))
+	}
+	if err := CheckLinearizable(big, 0); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("%d unique ops: err = %v, want ErrTooLarge", len(big), err)
 	}
 }
 

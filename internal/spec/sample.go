@@ -1,0 +1,153 @@
+// Sampling for linearizability checking of large histories.
+//
+// CheckLinearizable caps histories (4096 ops on the unique-value path),
+// but load-generation runs record millions. A sound sample exists because
+// linearizability of a
+// read/write register is closed under read-source projection: take any
+// subset of a linearizable history's operations that, for every included
+// complete read, also includes the write of the value it returned. The full
+// history's linearization induces an order on the subset that (a) respects
+// the subset's real-time precedence (it is a suborder of the full order)
+// and (b) satisfies the register spec — a read's source write is the LAST
+// write before it in the full linearization, so no included write can land
+// between them, and a read returning v0 has no write at all before it, so
+// no included write that precedes it in real time exists either. Hence a
+// violation found on such a sample is a genuine violation of the recorded
+// run; a pass is evidence proportional to coverage, never a false alarm.
+//
+// The sampler therefore picks a contiguous window of reads (late windows
+// carry the most contended state), pulls in every source write, and pads
+// with the writes adjacent to the window, staying under the checker's cap.
+package spec
+
+import (
+	"sort"
+
+	"repro/internal/types"
+)
+
+// SampleLinearizable extracts a checkable sub-history of at most maxOps
+// operations (clamped to the unique-value CheckLinearizable cap) from a
+// snapshot:
+// a seeded window of complete reads plus, for every sampled read, the
+// write of the value it returned, plus completed writes interleaving the
+// window. Histories must have unique write values (as every experiment
+// and load run in this repository does); a read whose source write cannot
+// be found is kept anyway, so a corrupted run still fails the check
+// instead of being sampled around. The result is ordered by invocation
+// time and is empty only if ops is.
+func SampleLinearizable(ops []Op, maxOps int, seed int64) []Op {
+	if maxOps <= 0 || maxOps > maxUniqueLinOps {
+		maxOps = maxUniqueLinOps
+	}
+	if len(ops) <= maxOps {
+		out := make([]Op, len(ops))
+		copy(out, ops)
+		sortByStart(out)
+		return out
+	}
+
+	writeByVal := make(map[types.Value]int, len(ops))
+	var reads []int
+	for i, op := range ops {
+		switch op.Kind {
+		case KindWrite:
+			writeByVal[op.Arg] = i
+		case KindRead:
+			if op.Complete {
+				reads = append(reads, i)
+			}
+		}
+	}
+	sort.Slice(reads, func(a, b int) bool { return ops[reads[a]].Start < ops[reads[b]].Start })
+
+	// Window start: a deterministic draw from the seed (splitmix-style
+	// scramble, so adjacent seeds pick unrelated windows), biased toward
+	// the tail — contention accumulates, so late windows carry the most
+	// interesting state. The square-law map sends a uniform u to
+	// 1 - u², which lands ~71% of windows in the later half.
+	windowAt := 0
+	if len(reads) > 0 {
+		z := uint64(seed) + 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		u := float64(z>>11) / float64(uint64(1)<<53)
+		windowAt = int(float64(len(reads)) * (1 - u*u))
+		if windowAt >= len(reads) {
+			windowAt = len(reads) - 1
+		}
+	}
+
+	picked := make(map[int]bool, maxOps)
+	budget := maxOps
+	take := func(i int) bool {
+		if picked[i] {
+			return true
+		}
+		if budget == 0 {
+			return false
+		}
+		picked[i] = true
+		budget--
+		return true
+	}
+	// A read costs up to two slots (itself + its source write): admit it
+	// only when both fit, so the sample never cites an unwritten value by
+	// running out of budget halfway.
+	for _, ri := range reads[windowAt:] {
+		src, hasSrc := writeByVal[ops[ri].Out]
+		need := 1
+		if hasSrc && !picked[src] {
+			need++
+		}
+		if budget < need {
+			break
+		}
+		take(ri)
+		if hasSrc {
+			take(src)
+		}
+	}
+	// Pad with complete writes concurrent with or inside the window: they
+	// sharpen the check (more ordering constraints) at no soundness cost.
+	if budget > 0 && len(picked) > 0 {
+		var lo, hi int64
+		first := true
+		for i := range picked {
+			if first || ops[i].Start < lo {
+				lo = ops[i].Start
+			}
+			if first || ops[i].End > hi {
+				hi = ops[i].End
+			}
+			first = false
+		}
+		for i, op := range ops {
+			if budget == 0 {
+				break
+			}
+			if op.Kind == KindWrite && op.Complete && op.Start >= lo && op.End <= hi {
+				take(i)
+			}
+		}
+	}
+
+	out := make([]Op, 0, len(picked))
+	for i := range picked {
+		out = append(out, ops[i])
+	}
+	sortByStart(out)
+	return out
+}
+
+// sortByStart orders ops by invocation time (ID as tie-break, though the
+// logical clock never ties).
+func sortByStart(ops []Op) {
+	sort.Slice(ops, func(a, b int) bool {
+		if ops[a].Start != ops[b].Start {
+			return ops[a].Start < ops[b].Start
+		}
+		return ops[a].ID < ops[b].ID
+	})
+}

@@ -1,0 +1,99 @@
+package spec
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+// mkOp builds a complete op.
+func mkOp(id int, client types.ClientID, kind OpKind, arg, out types.Value, start, end int64) Op {
+	return Op{ID: id, Client: client, Kind: kind, Arg: arg, Out: out, Start: start, End: end, Complete: true}
+}
+
+// TestSampleSmallHistoryPassesThrough keeps histories under the cap whole.
+func TestSampleSmallHistoryPassesThrough(t *testing.T) {
+	ops := []Op{
+		mkOp(0, 0, KindWrite, 1, 0, 1, 2),
+		mkOp(1, 100, KindRead, 0, 1, 3, 4),
+	}
+	got := SampleLinearizable(ops, 64, 0)
+	if len(got) != 2 {
+		t.Fatalf("sample dropped ops: %d of 2", len(got))
+	}
+}
+
+// TestSampleIncludesSourceWrites demands every sampled read's source write
+// ride along, over a history much larger than the cap.
+func TestSampleIncludesSourceWrites(t *testing.T) {
+	var ops []Op
+	clock := int64(1)
+	for i := 0; i < 300; i++ {
+		v := types.Value(i + 1)
+		ops = append(ops, mkOp(len(ops), 0, KindWrite, v, 0, clock, clock+1))
+		clock += 2
+		ops = append(ops, mkOp(len(ops), 100, KindRead, 0, v, clock, clock+1))
+		clock += 2
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		sample := SampleLinearizable(ops, 32, seed)
+		if len(sample) == 0 || len(sample) > 32 {
+			t.Fatalf("seed %d: sample size %d", seed, len(sample))
+		}
+		writes := make(map[types.Value]bool)
+		for _, op := range sample {
+			if op.Kind == KindWrite {
+				writes[op.Arg] = true
+			}
+		}
+		for _, op := range sample {
+			if op.Kind == KindRead && op.Out != types.InitialValue && !writes[op.Out] {
+				t.Fatalf("seed %d: read of %d sampled without its source write", seed, op.Out)
+			}
+		}
+		// The projection of a sequential alternating history must
+		// linearize.
+		if err := CheckLinearizable(sample, types.InitialValue); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestSampleCatchesStaleRead plants a new-old inversion: a read that
+// returns an old value after a read of a newer one already returned. Any
+// sample containing both reads (here the tail window always does) must
+// fail the check.
+func TestSampleCatchesStaleRead(t *testing.T) {
+	ops := []Op{
+		mkOp(0, 0, KindWrite, 1, 0, 1, 2),
+		mkOp(1, 0, KindWrite, 2, 0, 3, 4),
+		mkOp(2, 100, KindRead, 0, 2, 5, 6),
+		mkOp(3, 101, KindRead, 0, 1, 7, 8), // stale: 1 after 2 was read
+	}
+	if err := CheckLinearizable(ops, types.InitialValue); err == nil {
+		t.Fatal("crafted violation passes the full check; test is broken")
+	}
+	sample := SampleLinearizable(ops, 64, 0)
+	if err := CheckLinearizable(sample, types.InitialValue); err == nil {
+		t.Fatal("sample hid the stale-read violation")
+	}
+}
+
+// TestHistoryDiscardMode checks that discard mode records nothing and that
+// handles stay harmless.
+func TestHistoryDiscardMode(t *testing.T) {
+	h := &History{}
+	h.SetDiscard(true)
+	w := h.BeginWrite(0, 7)
+	r := h.BeginRead(100)
+	w.End()
+	r.End(7)
+	if h.Len() != 0 {
+		t.Fatalf("discard mode recorded %d ops", h.Len())
+	}
+	h.SetDiscard(false)
+	h.BeginWrite(0, 8).End()
+	if h.Len() != 1 {
+		t.Fatalf("recording after discard off: %d ops, want 1", h.Len())
+	}
+}

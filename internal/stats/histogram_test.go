@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestBucketMonotone checks the bucket index is monotone and the midpoint
+// stays inside the bucket's value range.
+func TestBucketMonotone(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 2, 15, 16, 17, 31, 32, 63, 64, 100, 1000, 1 << 20, 1 << 40, 1 << 55} {
+		idx := bucketOf(v)
+		if idx < prev {
+			t.Fatalf("bucketOf(%d) = %d < previous %d", v, idx, prev)
+		}
+		prev = idx
+		mid := bucketMid(idx)
+		// The midpoint must be within a factor bounded by the sub-bucket
+		// width of v.
+		if v > 0 {
+			ratio := float64(mid) / float64(v)
+			if ratio < 0.9 || ratio > 1.1 {
+				t.Fatalf("bucketMid(bucketOf(%d)) = %d, off by %.2fx", v, mid, ratio)
+			}
+		}
+	}
+}
+
+// TestHistogramQuantiles compares histogram quantiles against exact
+// order-statistics of a log-normal-ish sample.
+func TestHistogramQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := NewHistogram()
+	var sample []float64
+	for i := 0; i < 20000; i++ {
+		v := int64(math.Exp(rng.NormFloat64()*1.5+10)) + rng.Int63n(1000)
+		h.Record(v)
+		sample = append(sample, float64(v))
+	}
+	sort.Float64s(sample)
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		exact := Percentile(sample, p)
+		got := float64(h.Quantile(p))
+		if rel := math.Abs(got-exact) / exact; rel > 0.08 {
+			t.Fatalf("p%.0f: histogram %v vs exact %v (%.1f%% off)", p*100, got, exact, rel*100)
+		}
+	}
+	if h.Count() != 20000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Quantile(0) < h.Min() || h.Quantile(1) > h.Max() {
+		t.Fatalf("quantiles escape [min,max]: q0=%d min=%d q1=%d max=%d", h.Quantile(0), h.Min(), h.Quantile(1), h.Max())
+	}
+}
+
+// TestHistogramMerge folds two histograms and checks totals.
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := int64(1); i <= 100; i++ {
+		a.Record(i)
+		b.Record(i * 1000)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Min() != 1 || a.Max() != 100000 {
+		t.Fatalf("merged min/max = %d/%d", a.Min(), a.Max())
+	}
+	empty := NewHistogram()
+	empty.Merge(a)
+	if empty.Count() != 200 || empty.Min() != 1 {
+		t.Fatalf("merge into empty: count=%d min=%d", empty.Count(), empty.Min())
+	}
+}
+
+// TestHistogramEmpty checks the zero-observation behavior.
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+}
