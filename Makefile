@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-json fabric-bench loadgen-smoke
+.PHONY: all build vet test race bench bench-smoke bench-json fabric-bench loadgen-smoke race-lanes race-lanes-mailbox1
 
 all: vet build test
 
@@ -44,8 +44,17 @@ loadgen-smoke:
 fabric-bench:
 	$(GO) test -run xxx -bench BenchmarkFabricParallelTrigger -benchtime 2s .
 
-# Lane-backend suite under the race detector: latency lanes, the TCP
-# protocol/node/client, and the chaos suites over both (the TCP chaos
+# Lane-backend suite under the race detector: latency lanes (event loop,
+# snapshot scans, coalescing, crash windows), the TCP protocol/node/client
+# with pipelined frames, and the chaos suites over both (the TCP chaos
 # suite spawns real cmd/lanenode processes).
+LANE_TESTS = 'TestLatencyLane|TestCustomLaneBackend|TestScanSnapshot|TestProto|TestNetworkLane|TestDisconnectIsCrash|TestCrashDuringRemoteScan|TestChaosLatencyLaneSweep|TestTCPLane'
 race-lanes:
-	$(GO) test -race -count 1 -run 'TestLatencyLane|TestCustomLaneBackend|TestProto|TestNetworkLane|TestDisconnectIsCrash|TestCrashDuringRemoteScan|TestChaosLatencyLaneSweep|TestTCPLane' ./internal/fabric ./internal/lanenet ./internal/runner
+	$(GO) test -race -count 1 -run $(LANE_TESTS) ./internal/fabric ./internal/lanenet ./internal/runner
+
+# The same suite with every lane mailbox clamped to capacity 1: each
+# delivery blocks until the event loop dequeues the previous group, so the
+# backpressure path (instead of the buffered fast path) carries the whole
+# suite.
+race-lanes-mailbox1:
+	REPRO_LANE_MAILBOX=1 $(GO) test -race -count 1 -run $(LANE_TESTS) ./internal/fabric ./internal/lanenet ./internal/runner

@@ -11,6 +11,7 @@ package repro_test
 import (
 	"context"
 	"fmt"
+	"net"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/emulation/casmax"
 	"repro/internal/fabric"
+	"repro/internal/lanenet"
 	"repro/internal/layout"
 	"repro/internal/runner"
 	"repro/internal/spec"
@@ -539,6 +541,10 @@ func BenchmarkFabricLaneTrigger(b *testing.B) {
 				client := types.ClientID(nextClient.Add(1))
 				obj := objs[int(client)%len(objs)]
 				var wg sync.WaitGroup
+				// One completion callback for the whole run: the benchmark
+				// measures the fabric's dispatch cost, not a per-op closure
+				// allocation in the harness.
+				complete := func(fabric.Outcome) { wg.Done() }
 				i := 0
 				for pb.Next() {
 					i++
@@ -547,7 +553,7 @@ func BenchmarkFabricLaneTrigger(b *testing.B) {
 						Op:  baseobj.OpWrite,
 						Arg: types.TSValue{TS: uint64(i), Writer: client},
 					})
-					call.OnComplete(func(fabric.Outcome) { wg.Done() })
+					call.OnComplete(complete)
 					if i%256 == 0 {
 						wg.Wait()
 					}
@@ -556,6 +562,66 @@ func BenchmarkFabricLaneTrigger(b *testing.B) {
 			})
 			b.StopTimer()
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "triggers/sec")
+		})
+	}
+}
+
+// BenchmarkLanenetPipeline measures round-trips/sec through one pipelined
+// TCP lane connection at varying in-flight depth (experiment E21). Depth 1
+// is the lock-step shape — every request waits for its response before the
+// next is queued — while deeper pipelines keep many request IDs in flight,
+// so queued frames coalesce into single writes, the node decodes them as
+// one burst, and identical queued reads collapse onto one wire request
+// (reported as coalesced/op).
+func BenchmarkLanenetPipeline(b *testing.B) {
+	for _, depth := range []int{1, 16, 256} {
+		depth := depth
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatalf("listen: %v", err)
+			}
+			defer l.Close()
+			node := lanenet.NewNode()
+			go node.Serve(l)
+			maker, clients, err := lanenet.Lanes([]string{l.Addr().String()}, time.Second)
+			if err != nil {
+				b.Fatalf("lanes: %v", err)
+			}
+			c, err := cluster.New(1)
+			if err != nil {
+				b.Fatalf("cluster: %v", err)
+			}
+			obj, err := c.PlaceRegister(0)
+			if err != nil {
+				b.Fatalf("place: %v", err)
+			}
+			fab := fabric.New(c, fabric.WithLanes(maker))
+			defer fab.Close()
+
+			// Warm the route and seed a value for the measured reads.
+			warm := make(chan fabric.Outcome, 1)
+			fab.TriggerFn(0, obj, baseobj.Invocation{
+				Op:  baseobj.OpWrite,
+				Arg: types.TSValue{TS: 1, Writer: 0, Val: 7},
+			}, func(o fabric.Outcome) { warm <- o })
+			if o := <-warm; o.Err != nil {
+				b.Fatalf("warm write: %v", o.Err)
+			}
+
+			sem := make(chan struct{}, depth)
+			var wg sync.WaitGroup
+			complete := func(fabric.Outcome) { <-sem; wg.Done() }
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sem <- struct{}{}
+				wg.Add(1)
+				fab.TriggerFn(0, obj, baseobj.Invocation{Op: baseobj.OpRead}, complete)
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "roundtrips/sec")
+			b.ReportMetric(float64(clients[0].CoalescedReads())/float64(b.N), "coalesced/op")
 		})
 	}
 }

@@ -32,7 +32,7 @@ import (
 // tracks PR over PR. BenchmarkFabricLaneTrigger records in-process vs
 // latency-lane trigger-to-completion throughput side by side, so the cost
 // of real asynchrony is part of every snapshot.
-const trajectoryBenches = "BenchmarkFabricParallelTrigger|BenchmarkFabricLaneTrigger|BenchmarkExhaustiveParallel|BenchmarkExhaustiveSearch|BenchmarkCheckers|BenchmarkCheckLinearizable"
+const trajectoryBenches = "BenchmarkFabricParallelTrigger|BenchmarkFabricLaneTrigger|BenchmarkLanenetPipeline|BenchmarkExhaustiveParallel|BenchmarkExhaustiveSearch|BenchmarkCheckers|BenchmarkCheckLinearizable"
 
 // Result is one parsed benchmark line.
 type Result struct {

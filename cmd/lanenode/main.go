@@ -30,6 +30,7 @@ func main() {
 
 func run() error {
 	listen := flag.String("listen", "127.0.0.1:0", "TCP address to listen on (port 0 picks an ephemeral port)")
+	readBatch := flag.Int("readbatch", 0, "max already-buffered frames decoded per batch before responses flush (0 = default)")
 	flag.Parse()
 
 	l, err := net.Listen("tcp", *listen)
@@ -37,5 +38,9 @@ func run() error {
 		return err
 	}
 	fmt.Printf("listening %s\n", l.Addr())
-	return lanenet.NewNode().Serve(l)
+	var opts []lanenet.NodeOption
+	if *readBatch > 0 {
+		opts = append(opts, lanenet.WithReadBatch(*readBatch))
+	}
+	return lanenet.NewNode(opts...).Serve(l)
 }

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/loadgen"
@@ -50,7 +51,22 @@ func run() error {
 	asJSON := flag.Bool("json", false, "print the result as JSON")
 	out := flag.String("out", "", "also write the JSON result to this file")
 	timeout := flag.Duration("timeout", 5*time.Minute, "hard run timeout")
+	mailbox := flag.Int("mailbox", 0, "latency-lane mailbox capacity (0 = default)")
+	coalesce := flag.Duration("coalesce", 0, "latency-lane coalescing window (0 = fire exactly on schedule)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
@@ -71,6 +87,8 @@ func run() error {
 		Seed:         *seed,
 		NoHistory:    *noHistory,
 		SampleChecks: *checks,
+		Mailbox:      *mailbox,
+		Coalesce:     *coalesce,
 	})
 	if err != nil {
 		return err

@@ -24,19 +24,41 @@
 //     which is how the covering adversary of Lemma 1 is realized. Each
 //     lane's transport is a pluggable backend (the Lane interface): the
 //     in-process lane (default, synchronous, zero-regression hot path),
-//     the latency lane (seeded per-op delay/jitter/straggler delivery),
-//     and the network lane below.
+//     the latency lane, and the network lane below. TriggerScan scatters
+//     an all-read round whose per-server groups are each answered from
+//     one consistent snapshot of that server's objects (inline under the
+//     objects' state locks in-process; inside the event loop or the
+//     node's exclusive section on the asynchronous backends).
+//   - The latency lane (fabric.LatencyLanes) is a single-goroutine event
+//     loop per server: deliveries enqueue into a bounded mailbox
+//     (WithMailboxCapacity, REPRO_LANE_MAILBOX), the loop draws seeded
+//     delay/jitter/straggler delivery times into a min-heap, and because
+//     the loop alone applies ops, it answers same-object reads that fall
+//     due in one pass from a single apply (read coalescing,
+//     CoalescedReads; widen the pass with WithCoalesceWindow), applies a
+//     scan group back-to-back as one snapshot, and hands completions to a
+//     separate completer goroutine so a completion that triggers new ops
+//     can never deadlock against a full mailbox.
 //   - internal/lanenet + cmd/lanenode: the network lane backend — a
 //     length-prefixed TCP protocol between a lane and a per-server storage
-//     node process holding the authoritative base objects. Placement is
-//     mirrored on first route resolution, responses are matched by request
-//     id, and a broken connection crashes the lane's server
+//     node process holding the authoritative base objects. The connection
+//     is fully pipelined: the client queues frames and a flusher goroutine
+//     coalesces everything queued into one deadline-bounded write
+//     (identical queued reads collapse onto one request; a scan group
+//     travels as one msgScan frame answered under the node's exclusive
+//     lock), the node decodes each already-buffered burst before flushing
+//     its responses (WithReadBatch / lanenode -readbatch), and responses
+//     are matched by request id, so many ops share the socket without a
+//     round-trip each. A broken connection crashes the lane's server
 //     (reconnect-as-crash), so killing a node process is exactly the
 //     paper's server crash: in-flight and future ops become pending
 //     forever and quorums over surviving nodes keep completing.
 //   - internal/emulation/rounds: the shared quorum round engine — scatter
 //     a round over the lanes, await a quorum of responses (count-based,
 //     or Algorithm 2's complete-per-server scans), adaptive to crashes.
+//     All-read collect rounds use the scan variants (ScatterScan,
+//     ScatterFoldServersScan), so every construction's collect phase rides
+//     the snapshot path.
 //   - internal/emulation/...: the five constructions of Table 1 (abdmax,
 //     casmax, aacmax, regemu, and the under-provisioned naiveabd
 //     baseline), all built on the round engine; a new construction is the

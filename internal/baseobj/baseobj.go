@@ -93,6 +93,10 @@ func (c OpCode) IsWrite() bool {
 	}
 }
 
+// IsRead reports whether the op code is a pure read (OpRead / OpReadMax) —
+// the only operations a snapshot scan (fabric.TriggerScan) may carry.
+func (c OpCode) IsRead() bool { return c == OpRead || c == OpReadMax }
+
 // Invocation is a low-level operation invocation.
 type Invocation struct {
 	// Op selects the operation.
@@ -141,11 +145,29 @@ type Object interface {
 	Peek() types.TSValue
 }
 
+// Locker is implemented by objects whose state lock can be taken
+// externally, so a caller may apply a *group* of operations against several
+// objects as one consistent cut: lock every object (in ascending object-ID
+// order, the package-wide lock order), apply through ApplyLocked, unlock.
+// The fabric's snapshot scans (fabric.TriggerScan) are the only caller; the
+// single-object Apply path never pays for the seam.
+type Locker interface {
+	// LockState acquires the object's state lock.
+	LockState()
+	// UnlockState releases the object's state lock.
+	UnlockState()
+	// ApplyLocked is Apply with the state lock already held by the caller.
+	ApplyLocked(client types.ClientID, inv Invocation) (Response, error)
+}
+
 // Compile-time interface compliance checks.
 var (
 	_ Object = (*Register)(nil)
 	_ Object = (*MaxRegister)(nil)
 	_ Object = (*CASCell)(nil)
+	_ Locker = (*Register)(nil)
+	_ Locker = (*MaxRegister)(nil)
+	_ Locker = (*CASCell)(nil)
 )
 
 // Register is a multi-writer/multi-reader atomic read/write register,
@@ -235,6 +257,30 @@ func (r *Register) Apply(client types.ClientID, inv Invocation) (Response, error
 	}
 }
 
+// LockState implements Locker.
+func (r *Register) LockState() { r.mu.Lock() }
+
+// UnlockState implements Locker.
+func (r *Register) UnlockState() { r.mu.Unlock() }
+
+// ApplyLocked implements Locker.
+func (r *Register) ApplyLocked(client types.ClientID, inv Invocation) (Response, error) {
+	switch inv.Op {
+	case OpRead:
+		return Response{Op: OpRead, Val: r.val}, nil
+	case OpWrite:
+		if r.writers != nil {
+			if _, ok := r.writers[client]; !ok {
+				return Response{}, fmt.Errorf("%w: client %d, register %d", ErrUnauthorizedWriter, client, r.id)
+			}
+		}
+		r.val = inv.Arg
+		return Response{Op: OpWrite}, nil
+	default:
+		return Response{}, fmt.Errorf("%w: %v on register %d", ErrWrongOp, inv.Op, r.id)
+	}
+}
+
 // Peek implements Object.
 func (r *Register) Peek() types.TSValue {
 	r.mu.Lock()
@@ -282,6 +328,25 @@ func (m *MaxRegister) Apply(_ types.ClientID, inv Invocation) (Response, error) 
 	}
 }
 
+// LockState implements Locker.
+func (m *MaxRegister) LockState() { m.mu.Lock() }
+
+// UnlockState implements Locker.
+func (m *MaxRegister) UnlockState() { m.mu.Unlock() }
+
+// ApplyLocked implements Locker.
+func (m *MaxRegister) ApplyLocked(_ types.ClientID, inv Invocation) (Response, error) {
+	switch inv.Op {
+	case OpReadMax:
+		return Response{Op: OpReadMax, Val: m.val}, nil
+	case OpWriteMax:
+		m.val = types.MaxTSValue(m.val, inv.Arg)
+		return Response{Op: OpWriteMax}, nil
+	default:
+		return Response{}, fmt.Errorf("%w: %v on max-register %d", ErrWrongOp, inv.Op, m.id)
+	}
+}
+
 // Peek implements Object.
 func (m *MaxRegister) Peek() types.TSValue {
 	m.mu.Lock()
@@ -321,6 +386,24 @@ func (c *CASCell) Apply(_ types.ClientID, inv Invocation) (Response, error) {
 		c.val = inv.New
 	}
 	c.mu.Unlock()
+	return Response{Op: OpCAS, Val: prev}, nil
+}
+
+// LockState implements Locker.
+func (c *CASCell) LockState() { c.mu.Lock() }
+
+// UnlockState implements Locker.
+func (c *CASCell) UnlockState() { c.mu.Unlock() }
+
+// ApplyLocked implements Locker.
+func (c *CASCell) ApplyLocked(_ types.ClientID, inv Invocation) (Response, error) {
+	if inv.Op != OpCAS {
+		return Response{}, fmt.Errorf("%w: %v on cas cell %d", ErrWrongOp, inv.Op, c.id)
+	}
+	prev := c.val
+	if c.val == inv.Exp {
+		c.val = inv.New
+	}
 	return Response{Op: OpCAS, Val: prev}, nil
 }
 

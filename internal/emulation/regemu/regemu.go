@@ -166,7 +166,7 @@ func (e *Emulation) NewReader() emulation.Reader {
 // every register of the server has responded (n-f complete scans). It
 // returns the highest timestamped value observed.
 func (e *Emulation) collect(ctx context.Context, client types.ClientID) (types.TSValue, error) {
-	max, err := rounds.Scatter(e.fab, client, e.scan).AwaitServers(ctx, e.n-e.f)
+	max, err := rounds.ScatterScan(e.fab, client, e.scan).AwaitServers(ctx, e.n-e.f)
 	if err != nil {
 		return max, fmt.Errorf("regemu: collect: %w", err)
 	}
@@ -324,7 +324,7 @@ func (w *Writer) startWrite(v types.Value, done func(error)) *writeOp {
 	// Lines 20–26: collect until n-f complete server scans responded, then
 	// (lines 6–10) scatter one batch over every register of R_j not
 	// currently covered by our own previous writes.
-	rounds.ScatterFoldServers(w.em.fab, w.client, w.em.scan, w.em.n-w.em.f, func(cur types.TSValue, err error) {
+	rounds.ScatterFoldServersScan(w.em.fab, w.client, w.em.scan, w.em.n-w.em.f, func(cur types.TSValue, err error) {
 		if err != nil {
 			w.fail(op, fmt.Errorf("regemu: collect: %w", err))
 			return
@@ -439,7 +439,7 @@ func (r *Reader) Client() types.ClientID { return r.client }
 // scans responded.
 func (r *Reader) StartRead(done func(types.Value, error)) {
 	pr := r.em.hist.BeginRead(r.client)
-	rounds.ScatterFoldServers(r.em.fab, r.client, r.em.scan, r.em.n-r.em.f, func(cur types.TSValue, err error) {
+	rounds.ScatterFoldServersScan(r.em.fab, r.client, r.em.scan, r.em.n-r.em.f, func(cur types.TSValue, err error) {
 		if err != nil {
 			done(types.InitialValue, fmt.Errorf("regemu: collect: %w", err))
 			return

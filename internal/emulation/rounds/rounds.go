@@ -129,19 +129,39 @@ type Round struct {
 // completes at most once, so the completion closures can never block —
 // not even when the round was abandoned by a cancelled gather and late
 // releases complete the remaining calls with nobody left to drain them.
+//
+// Completions are registered at trigger time (BatchOp.Done), so the server
+// of each report is resolved up front via Fabric.ServerFor — an unroutable
+// target reports server 0 with its routing error, exactly as its call
+// completes.
 func Scatter(fab *fabric.Fabric, client types.ClientID, targets []Target) *Round {
+	return scatter(fab, client, targets, false)
+}
+
+// ScatterScan is Scatter for an all-read round dispatched via TriggerScan:
+// each server's members are answered from one consistent snapshot of that
+// server's objects (backends without snapshot support fall back to per-op
+// delivery — same responses, no cut guarantee). Algorithm 2's collects are
+// exactly this shape, and the snapshot both tightens the model and lets
+// event-loop/network lanes answer the whole group in one pass.
+func ScatterScan(fab *fabric.Fabric, client types.ClientID, targets []Target) *Round {
+	return scatter(fab, client, targets, true)
+}
+
+func scatter(fab *fabric.Fabric, client types.ClientID, targets []Target, scan bool) *Round {
+	r := &Round{ch: make(chan Report, len(targets))}
 	batch := make([]fabric.BatchOp, len(targets))
 	for i, t := range targets {
-		batch[i] = fabric.BatchOp{Object: t.Object, Inv: t.Inv}
+		srv, _ := fab.ServerFor(t.Object)
+		i, t, srv := i, t, srv
+		batch[i] = fabric.BatchOp{Object: t.Object, Inv: t.Inv, Done: func(o fabric.Outcome) {
+			Deliver(r.ch, Report{Index: i, Object: t.Object, Server: srv, Val: o.Resp.Val, Err: o.Err})
+		}}
 	}
-	r := &Round{ch: make(chan Report, len(targets))}
-	r.calls = fab.TriggerBatch(client, batch)
-	for i, call := range r.calls {
-		i, call := i, call
-		ev := call.Event()
-		call.OnComplete(func(o fabric.Outcome) {
-			Deliver(r.ch, Report{Index: i, Object: ev.Object, Server: ev.Server, Val: o.Resp.Val, Err: o.Err})
-		})
+	if scan {
+		r.calls = fab.TriggerScan(client, batch)
+	} else {
+		r.calls = fab.TriggerBatch(client, batch)
 	}
 	return r
 }
@@ -290,13 +310,12 @@ func ScatterFold(fab *fabric.Fabric, client types.ClientID, targets []Target, ne
 		return
 	}
 	j := NewFold(need, report)
+	done := func(o fabric.Outcome) { j.Complete(o.Resp.Val, o.Err) }
 	batch := make([]fabric.BatchOp, len(targets))
 	for i, t := range targets {
-		batch[i] = fabric.BatchOp{Object: t.Object, Inv: t.Inv}
+		batch[i] = fabric.BatchOp{Object: t.Object, Inv: t.Inv, Done: done}
 	}
-	for _, call := range fab.TriggerBatch(client, batch) {
-		call.OnComplete(func(o fabric.Outcome) { j.Complete(o.Resp.Val, o.Err) })
-	}
+	fab.TriggerBatch(client, batch)
 }
 
 // serverFold accumulates per-server scan completions for ScatterFoldServers:
@@ -356,22 +375,42 @@ func (j *serverFold) complete(server types.ServerID, v types.TSValue, err error)
 // block; a partially-scanned crashed server never counts, because its
 // remaining operations never respond.
 func ScatterFoldServers(fab *fabric.Fabric, client types.ClientID, targets []Target, need int, report func(types.TSValue, error)) {
-	batch := make([]fabric.BatchOp, len(targets))
-	for i, t := range targets {
-		batch[i] = fabric.BatchOp{Object: t.Object, Inv: t.Inv}
-	}
-	calls := fab.TriggerBatch(client, batch)
+	scatterFoldServers(fab, client, targets, need, report, false)
+}
+
+// ScatterFoldServersScan is ScatterFoldServers dispatched via TriggerScan:
+// the non-blocking snapshot collect (see ScatterScan).
+func ScatterFoldServersScan(fab *fabric.Fabric, client types.ClientID, targets []Target, need int, report func(types.TSValue, error)) {
+	scatterFoldServers(fab, client, targets, need, report, true)
+}
+
+func scatterFoldServers(fab *fabric.Fabric, client types.ClientID, targets []Target, need int, report func(types.TSValue, error), scan bool) {
+	// The per-server countdown must exist before the batch fires: with
+	// trigger-time callbacks, the in-process lane completes ops inside the
+	// TriggerBatch call itself. Unroutable targets count under server 0 and
+	// report their routing error through their call's completion, as before.
 	remaining := make(map[types.ServerID]int, need)
-	for _, call := range calls {
-		remaining[call.Event().Server]++
+	servers := make([]types.ServerID, len(targets))
+	for i, t := range targets {
+		srv, _ := fab.ServerFor(t.Object)
+		servers[i] = srv
+		remaining[srv]++
 	}
 	if need <= 0 || need > len(remaining) {
 		report(types.ZeroTSValue, fmt.Errorf("rounds: scan fold needs %d of %d servers", need, len(remaining)))
 		return
 	}
 	j := &serverFold{remaining: remaining, need: need, report: report}
-	for _, call := range calls {
-		server := call.Event().Server
-		call.OnComplete(func(o fabric.Outcome) { j.complete(server, o.Resp.Val, o.Err) })
+	batch := make([]fabric.BatchOp, len(targets))
+	for i, t := range targets {
+		server := servers[i]
+		batch[i] = fabric.BatchOp{Object: t.Object, Inv: t.Inv, Done: func(o fabric.Outcome) {
+			j.complete(server, o.Resp.Val, o.Err)
+		}}
+	}
+	if scan {
+		fab.TriggerScan(client, batch)
+	} else {
+		fab.TriggerBatch(client, batch)
 	}
 }

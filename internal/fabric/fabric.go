@@ -194,6 +194,13 @@ type Call struct {
 	ev  TriggerEvent
 	out Outcome // written once by the completer, published by state
 
+	// fn is the pre-registered completion callback (TriggerFn,
+	// BatchOp.Done): written before the op is handed to any lane, read by
+	// the completer after the hand-off's happens-before edge, so it needs
+	// no atomics and no per-registration allocation — the big win over
+	// OnComplete on high-rate paths.
+	fn func(Outcome)
+
 	state atomic.Uint32
 	done  atomic.Pointer[func(Outcome)]
 }
@@ -219,6 +226,21 @@ func (c *Call) Outcome() (Outcome, bool) {
 // because the first caller's completion would be silently lost. Callbacks
 // must be non-blocking (typically a send into a buffered channel).
 func (c *Call) OnComplete(fn func(Outcome)) {
+	if c.done.Load() == consumedCallback {
+		// Already completed and the slot is closed (the common case on the
+		// synchronous in-process lane, where the call completed inside
+		// Trigger): fire inline without forcing fn onto the heap.
+		fn(c.out)
+		return
+	}
+	c.onCompleteSlow(fn)
+}
+
+// onCompleteSlow is the pending-call path of OnComplete, split out so the
+// fast path above never forces fn onto the heap (escape analysis is static:
+// keeping the &fn below in the same function body would heap-allocate the
+// callback even when the inline branch fires).
+func (c *Call) onCompleteSlow(fn func(Outcome)) {
 	p := &fn
 	for {
 		cur := c.done.Load()
@@ -250,6 +272,24 @@ func (c *Call) complete(o Outcome) {
 	if fn := c.done.Swap(consumedCallback); fn != nil && fn != consumedCallback {
 		(*fn)(o)
 	}
+	if c.fn != nil {
+		c.fn(o)
+	}
+}
+
+// completeUnshared delivers the outcome of a call that has not escaped the
+// triggering goroutine yet (the synchronous in-process fast path completes
+// the call before Trigger returns it). No completer can race it and no
+// callback can be armed, so the pending→writing claim and the callback
+// hand-off collapse to two plain publishes — the claim CAS the generic
+// complete pays is pure overhead here.
+func (c *Call) completeUnshared(o Outcome) {
+	c.out = o
+	c.state.Store(callDone)
+	c.done.Store(consumedCallback)
+	if c.fn != nil {
+		c.fn(o)
+	}
 }
 
 // PendingOp describes a low-level operation that was triggered but has not
@@ -260,13 +300,40 @@ type PendingOp struct {
 	Phase Phase
 }
 
-// heldOp is the fabric-internal record of a parked operation.
+// heldOp is the fabric-internal record of a parked or in-flight operation.
+// For in-flight ops (prepInflight) it doubles as the receiver of the lane
+// hand-off's apply/complete methods, so one allocation carries the whole
+// delivery instead of a record plus two capture-heavy closures.
 type heldOp struct {
 	ev    TriggerEvent
 	rt    *route
 	phase Phase
 	resp  baseobj.Response // valid when phase == PhaseRespond
 	call  *Call
+	f     *Fabric // set for in-flight ops (lane hand-off methods)
+}
+
+// applyOp is the in-flight op's ApplyFunc: linearize against the server's
+// base object unless the server crashed while the op was on the wire.
+func (h *heldOp) applyOp() (baseobj.Response, error) {
+	if h.rt.srv.Crashed() {
+		return baseobj.Response{}, errCrashedDrop
+	}
+	return h.rt.obj.Apply(h.ev.Client, h.ev.Inv)
+}
+
+// completeOp is the in-flight op's CompleteFunc: claim the in-flight entry
+// (crash drains race this claim; exactly one side wins) and route the
+// response through the respond gate.
+func (h *heldOp) completeOp(resp baseobj.Response, err error) {
+	if !h.rt.lane.takeInflight(h.ev.Token) {
+		return // a crash drain claimed the op: it is dropped
+	}
+	if errors.Is(err, errCrashedDrop) || h.rt.srv.Crashed() {
+		h.f.drop(h)
+		return
+	}
+	h.f.respond(h.rt, h.call, resp, err)
 }
 
 // Errors reported by fabric operations.
@@ -430,6 +497,19 @@ func (f *Fabric) Cluster() *cluster.Cluster { return f.cluster }
 // route resolves an object to its lane, caching the result: after the
 // first operation on an object, triggering never touches the cluster-wide
 // tables again.
+// ServerFor resolves the server hosting an object without dispatching
+// anything — the read-only face of the route table. Round engines use it to
+// build per-server accounting before a scatter, so completion callbacks
+// registered at trigger time (BatchOp.Done) find it ready even when the
+// in-process lane completes inside the TriggerBatch call itself.
+func (f *Fabric) ServerFor(obj types.ObjectID) (types.ServerID, error) {
+	rt, err := f.route(obj)
+	if err != nil {
+		return 0, err
+	}
+	return rt.server, nil
+}
+
 func (f *Fabric) route(obj types.ObjectID) (*route, error) {
 	if rt := f.routes.get(obj); rt != nil {
 		return rt, nil
@@ -461,10 +541,26 @@ func (f *Fabric) Trigger(client types.ClientID, obj types.ObjectID, inv baseobj.
 		// Unknown object: a programming error, delivered as an error
 		// response so tests can catch it.
 		call := &Call{ev: TriggerEvent{Client: client, Object: obj, Inv: inv}}
-		call.complete(Outcome{Err: err})
+		call.completeUnshared(Outcome{Err: err})
 		return call
 	}
-	return f.trigger(client, obj, inv, rt)
+	return f.trigger(client, obj, inv, rt, nil)
+}
+
+// TriggerFn is Trigger with the completion callback registered before
+// dispatch, the single-op analogue of BatchOp.Done: fn fires exactly once
+// when the call completes, without OnComplete's per-registration heap
+// allocation and atomic hand-off. fn must be non-blocking; on the
+// in-process lane it runs inline before TriggerFn returns. Do not also call
+// OnComplete on the returned call.
+func (f *Fabric) TriggerFn(client types.ClientID, obj types.ObjectID, inv baseobj.Invocation, fn func(Outcome)) *Call {
+	rt, err := f.route(obj)
+	if err != nil {
+		call := &Call{ev: TriggerEvent{Client: client, Object: obj, Inv: inv}, fn: fn}
+		call.completeUnshared(Outcome{Err: err})
+		return call
+	}
+	return f.trigger(client, obj, inv, rt, fn)
 }
 
 // BatchOp is one operation of a TriggerBatch scatter.
@@ -473,32 +569,235 @@ type BatchOp struct {
 	Object types.ObjectID
 	// Inv is the invocation.
 	Inv baseobj.Invocation
+	// Done, when non-nil, is the op's completion callback, registered
+	// before dispatch — equivalent to calling OnComplete on the returned
+	// call, minus the per-op heap allocation and atomic hand-off. Like
+	// OnComplete callbacks it must be non-blocking and may fire from a lane
+	// goroutine (or inline, on the in-process lane, before TriggerBatch
+	// returns).
+	Done func(Outcome)
 }
 
 // TriggerBatch scatters a whole round of low-level operations in one
 // dispatch pass and returns the calls in input order. It is semantically
 // identical to calling Trigger once per op — each op gets its own token,
-// gate decisions, and lifecycle — but lets emulations hand a full quorum
-// round to the fabric at once, which is how the round engine
-// (internal/emulation/rounds) drives it.
+// gate decisions (consulted in input order), and lifecycle — but the batch
+// shape lets the fabric amortize the machinery: one token-block allocation
+// instead of n atomic increments, one call-slab allocation instead of n,
+// and one hand-off per lane to backends that accept groups (GroupLane), so
+// an event-loop lane sees a whole round in one mailbox message. In-process
+// operations still apply synchronously at their input position, exactly as
+// a loop of Trigger calls would — the exhaustive sweeps depend on that
+// order.
 func (f *Fabric) TriggerBatch(client types.ClientID, ops []BatchOp) []*Call {
-	calls := make([]*Call, len(ops))
+	return f.triggerGroup(client, ops, false)
+}
+
+// TriggerScan scatters an all-read batch whose per-server groups are each
+// answered from one consistent snapshot: on the in-process lane the fabric
+// locks every target object of a server (in ascending object order) and
+// reads them under the locks; event-loop and network backends that
+// implement ScanLane apply the group back-to-back with nothing interleaved.
+// A scan is still semantically a set of independent low-level reads — the
+// snapshot only *restricts* the interleavings to ones where each server's
+// reads happen at a single point — so every caller of TriggerBatch over
+// reads may use it; Algorithm 2's collects (internal/emulation/rounds
+// ScatterScan) are the intended user. Non-read invocations complete with an
+// error. Under a holding gate, held members degrade to individually
+// released reads and only the gate-passed remainder is snapshotted.
+func (f *Fabric) TriggerScan(client types.ClientID, ops []BatchOp) []*Call {
+	return f.triggerGroup(client, ops, true)
+}
+
+// triggerGroup is the shared TriggerBatch/TriggerScan dispatch pass.
+func (f *Fabric) triggerGroup(client types.ClientID, ops []BatchOp, scan bool) []*Call {
+	n := len(ops)
+	if n == 0 {
+		return nil
+	}
+	calls := make([]*Call, n)
+	slab := make([]Call, n)
+	routes := make([]*route, n)
+	routed := 0
 	for i, op := range ops {
-		calls[i] = f.Trigger(client, op.Object, op.Inv)
+		rt, err := f.route(op.Object)
+		if err == nil && scan && !op.Inv.Op.IsRead() {
+			err = fmt.Errorf("fabric: scan op %v on object %d is not a read", op.Inv.Op, op.Object)
+		}
+		if err != nil {
+			c := &slab[i]
+			c.ev = TriggerEvent{Client: client, Object: op.Object, Inv: op.Inv}
+			c.fn = op.Done
+			c.completeUnshared(Outcome{Err: err})
+			calls[i] = c
+			continue
+		}
+		routes[i] = rt
+		routed++
+	}
+	if routed == 0 {
+		return calls
+	}
+	// One token-block allocation orders the whole batch: the tokens are
+	// consecutive in input order — the exact sequence a loop of per-op
+	// Add(1) calls produces — for one atomic RMW instead of `routed`.
+	token := f.nextToken.Add(uint64(routed)) - uint64(routed)
+
+	// Gate-passed ops for asynchronous backends are staged per lane and
+	// handed off after the pass; both slices are lazily allocated so the
+	// all-in-process batch (the sweep hot path) never pays for them.
+	var groups [][]LaneOp
+	var scanGroups [][]scanOp
+	for i, op := range ops {
+		rt := routes[i]
+		if rt == nil {
+			continue
+		}
+		token++
+		rt.markUsed()
+		c := &slab[i]
+		c.ev = TriggerEvent{Token: token, Client: client, Object: op.Object, Server: rt.server, Inv: op.Inv}
+		c.fn = op.Done
+		calls[i] = c
+		f.emit(TraceTrigger, &c.ev, rt.server)
+		if rt.srv.Crashed() {
+			f.drop(&heldOp{ev: c.ev, rt: rt, phase: PhaseDropped, call: c})
+			continue
+		}
+		if !f.benign && f.gate.BeforeApply(c.ev) == Hold {
+			f.emit(TraceHoldApply, &c.ev, rt.server)
+			f.park(&heldOp{ev: c.ev, rt: rt, phase: PhaseApply, call: c})
+			continue
+		}
+		l := rt.lane
+		if l.inproc {
+			if scan {
+				if scanGroups == nil {
+					scanGroups = make([][]scanOp, len(f.lanes))
+				}
+				scanGroups[l.server] = append(scanGroups[l.server], scanOp{rt: rt, call: c})
+				continue
+			}
+			if f.benign {
+				f.applyInline(rt, c)
+			} else {
+				resp, err := rt.obj.Apply(c.ev.Client, c.ev.Inv)
+				f.respond(rt, c, resp, err)
+			}
+			continue
+		}
+		if lop, ok := f.prepInflight(rt, c); ok {
+			if groups == nil {
+				groups = make([][]LaneOp, len(f.lanes))
+			}
+			groups[l.server] = append(groups[l.server], lop)
+		}
+	}
+	for _, g := range scanGroups {
+		if len(g) > 0 {
+			f.applyScanInline(g)
+		}
+	}
+	for s, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		backend := f.lanes[s].backend
+		if scan {
+			if sl, ok := backend.(ScanLane); ok {
+				sl.DeliverScan(g)
+				continue
+			}
+		}
+		if gl, ok := backend.(GroupLane); ok {
+			gl.DeliverGroup(g)
+			continue
+		}
+		for _, lop := range g {
+			backend.Deliver(lop.Ev, lop.Apply, lop.Complete)
+		}
 	}
 	return calls
 }
 
+// scanOp is one in-process member of a snapshot scan group.
+type scanOp struct {
+	rt   *route
+	call *Call
+}
+
+// applyScanInline answers one server's all-read scan group from a single
+// consistent snapshot: every distinct target object's state lock is taken
+// in ascending object order (the package-wide lock order — concurrent scans
+// cannot deadlock), all reads apply under the locks, the locks drop, and
+// only then do responses flow. A concurrent writer serializes against the
+// whole cut, so no scan can observe object j's newer write but miss the
+// same writer's earlier write to object i — the torn read that per-object
+// locking allows.
+func (f *Fabric) applyScanInline(group []scanOp) {
+	byObj := make([]scanOp, len(group))
+	copy(byObj, group)
+	sort.Slice(byObj, func(i, j int) bool { return byObj[i].call.ev.Object < byObj[j].call.ev.Object })
+	locked := make([]baseobj.Locker, 0, len(byObj))
+	for i, s := range byObj {
+		if i > 0 && s.call.ev.Object == byObj[i-1].call.ev.Object {
+			continue
+		}
+		if lk, ok := s.rt.obj.(baseobj.Locker); ok {
+			lk.LockState()
+			locked = append(locked, lk)
+		}
+	}
+	outs := make([]Outcome, len(group))
+	for i, s := range group {
+		var resp baseobj.Response
+		var err error
+		if lk, ok := s.rt.obj.(baseobj.Locker); ok {
+			resp, err = lk.ApplyLocked(s.call.ev.Client, s.call.ev.Inv)
+		} else {
+			// Non-Locker custom objects read under their own locking; they
+			// join the pass but not the snapshot guarantee.
+			resp, err = s.rt.obj.Apply(s.call.ev.Client, s.call.ev.Inv)
+		}
+		outs[i] = Outcome{Resp: resp, Err: err}
+	}
+	for _, lk := range locked {
+		lk.UnlockState()
+	}
+	for i, s := range group {
+		if !f.benign {
+			f.respond(s.rt, s.call, outs[i].Resp, outs[i].Err)
+			continue
+		}
+		if outs[i].Err != nil {
+			s.call.completeUnshared(Outcome{Err: outs[i].Err})
+			continue
+		}
+		f.emit(TraceApply, &s.call.ev, s.call.ev.Server)
+		f.emit(TraceRespond, &s.call.ev, s.call.ev.Server)
+		s.call.completeUnshared(Outcome{Resp: outs[i].Resp})
+	}
+}
+
 // trigger dispatches one routed operation.
-func (f *Fabric) trigger(client types.ClientID, obj types.ObjectID, inv baseobj.Invocation, rt *route) *Call {
+func (f *Fabric) trigger(client types.ClientID, obj types.ObjectID, inv baseobj.Invocation, rt *route, fn func(Outcome)) *Call {
 	token := f.nextToken.Add(1)
 	rt.markUsed()
 
-	call := &Call{ev: TriggerEvent{Token: token, Client: client, Object: obj, Server: rt.server, Inv: inv}}
+	call := &Call{ev: TriggerEvent{Token: token, Client: client, Object: obj, Server: rt.server, Inv: inv}, fn: fn}
 	f.emit(TraceTrigger, &call.ev, rt.server)
 
 	if rt.srv.Crashed() {
 		f.drop(&heldOp{ev: call.ev, rt: rt, phase: PhaseDropped, call: call})
+		return call
+	}
+
+	if f.benign && rt.lane.inproc {
+		// Benign in-process fast path: the gate never holds and the apply
+		// is the linearization point, so the op runs to completion inside
+		// Trigger — and since the call has not escaped yet, completion
+		// needs no claim CAS.
+		f.applyInline(rt, call)
 		return call
 	}
 
@@ -509,6 +808,19 @@ func (f *Fabric) trigger(client types.ClientID, obj types.ObjectID, inv baseobj.
 	}
 	f.deliver(rt, call)
 	return call
+}
+
+// applyInline runs a benign in-process op to completion on the triggering
+// goroutine. The call must not have escaped yet (completeUnshared).
+func (f *Fabric) applyInline(rt *route, call *Call) {
+	resp, err := rt.obj.Apply(call.ev.Client, call.ev.Inv)
+	if err != nil {
+		call.completeUnshared(Outcome{Err: err})
+		return
+	}
+	f.emit(TraceApply, &call.ev, call.ev.Server)
+	f.emit(TraceRespond, &call.ev, call.ev.Server)
+	call.completeUnshared(Outcome{Resp: resp})
 }
 
 // deliver hands a gate-passed op to its server's lane backend and routes
@@ -529,33 +841,30 @@ func (f *Fabric) deliver(rt *route, call *Call) {
 		f.respond(rt, call, resp, err)
 		return
 	}
-	h := &heldOp{ev: call.ev, rt: rt, phase: PhaseInFlight, call: call}
+	if op, ok := f.prepInflight(rt, call); ok {
+		l.backend.Deliver(op.Ev, op.Apply, op.Complete)
+	}
+}
+
+// prepInflight records an op handed to an asynchronous backend and builds
+// the backend hand-off with the fault model folded in: the apply closure
+// drops ops whose server crashed before delivery, and the completion
+// closure claims the in-flight entry (takeInflight) so completion and
+// crash-drop stay mutually exclusive. ok is false when the server crashed
+// around the in-flight insert and the op was dropped instead.
+func (f *Fabric) prepInflight(rt *route, call *Call) (LaneOp, bool) {
+	l := rt.lane
+	h := &heldOp{ev: call.ev, rt: rt, phase: PhaseInFlight, call: call, f: f}
 	l.putInflight(h)
 	if rt.srv.Crashed() {
-		// The server crashed between the check above and the in-flight
+		// The server crashed between the caller's check and the in-flight
 		// insert; the crash drain may already have run past this token.
 		if l.takeInflight(h.ev.Token) {
 			f.drop(h)
 		}
-		return
+		return LaneOp{}, false
 	}
-	ev := call.ev
-	apply := func() (baseobj.Response, error) {
-		if rt.srv.Crashed() {
-			return baseobj.Response{}, errCrashedDrop
-		}
-		return rt.obj.Apply(ev.Client, ev.Inv)
-	}
-	l.backend.Deliver(ev, apply, func(resp baseobj.Response, err error) {
-		if !l.takeInflight(ev.Token) {
-			return // a crash drain claimed the op: it is dropped
-		}
-		if errors.Is(err, errCrashedDrop) || rt.srv.Crashed() {
-			f.drop(h)
-			return
-		}
-		f.respond(rt, call, resp, err)
-	})
+	return LaneOp{Ev: h.ev, Apply: h.applyOp, Complete: h.completeOp}, true
 }
 
 // respond routes a delivered response through the respond gate and

@@ -37,6 +37,44 @@ type Lane interface {
 	Close() error
 }
 
+// LaneOp is one prepared delivery: the trigger event plus the fabric-built
+// apply and completion closures (crash checks and in-flight claim folded
+// in). Group-capable backends receive whole rounds as []LaneOp.
+type LaneOp struct {
+	// Ev is the trigger event.
+	Ev TriggerEvent
+	// Apply linearizes the op against the server's local base object.
+	Apply ApplyFunc
+	// Complete delivers the op's response back into the fabric.
+	Complete CompleteFunc
+}
+
+// GroupLane is implemented by backends that accept a whole batch of
+// operations in one hand-off — an event-loop lane turns the group into a
+// single mailbox message, a network lane into a single buffered flush. The
+// group carries no extra semantics: delivering it is equivalent to calling
+// Deliver once per op, just cheaper.
+type GroupLane interface {
+	Lane
+	// DeliverGroup delivers every op of the group. Like Deliver it must
+	// not block indefinitely on op completion; bounded-mailbox backends may
+	// block briefly for backpressure.
+	DeliverGroup(ops []LaneOp)
+}
+
+// ScanLane is implemented by backends that can answer an all-read group
+// from one consistent snapshot: the ops apply back-to-back with no other
+// operation of the same server interleaved, so the responses form a
+// consistent cut of the server's objects. The fabric hands ScanLane the
+// gate-passed members of a TriggerScan; backends without the interface fall
+// back to per-op delivery (losing only the snapshot guarantee, never
+// correctness — a scan is still a set of independent reads).
+type ScanLane interface {
+	Lane
+	// DeliverScan delivers an all-read group atomically.
+	DeliverScan(ops []LaneOp)
+}
+
 // ApplyFunc linearizes an operation against the server's local base object.
 // The fabric builds it with the crash check folded in: applying an op whose
 // server has crashed returns errCrashedDrop, and the fabric maps that to

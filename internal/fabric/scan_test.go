@@ -1,0 +1,252 @@
+package fabric
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/types"
+)
+
+// scanEnv builds a cluster whose single server hosts k registers — the
+// shape a snapshot scan must read as one consistent cut.
+func scanEnv(t *testing.T, k int, maker LaneMaker) (*Fabric, []types.ObjectID) {
+	t.Helper()
+	c, err := cluster.New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := make([]types.ObjectID, k)
+	for i := range objs {
+		obj, err := c.PlaceRegister(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs[i] = obj
+	}
+	var opts []Option
+	if maker != nil {
+		opts = append(opts, WithLanes(maker))
+	}
+	fab := New(c, opts...)
+	t.Cleanup(func() { fab.Close() })
+	return fab, objs
+}
+
+// awaitScan triggers one snapshot scan over objs and returns the observed
+// timestamps in placement order.
+func awaitScan(t *testing.T, fab *Fabric, client types.ClientID, objs []types.ObjectID) []uint64 {
+	t.Helper()
+	ts := make([]uint64, len(objs))
+	var wg sync.WaitGroup
+	wg.Add(len(objs))
+	ops := make([]BatchOp, len(objs))
+	for i, obj := range objs {
+		i := i
+		ops[i] = BatchOp{Object: obj, Inv: readInv(), Done: func(o Outcome) {
+			if o.Err != nil {
+				t.Errorf("scan read: %v", o.Err)
+			}
+			ts[i] = o.Resp.Val.TS
+			wg.Done()
+		}}
+	}
+	fab.TriggerScan(client, ops)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("scan never completed")
+	}
+	return ts
+}
+
+// TestScanSnapshotNoTornReads is the torn-scan regression: a writer walks
+// the server's registers in placement order, bumping each to round r before
+// moving on, so at every instant the timestamps are non-increasing along
+// the placement order. Concurrent snapshot scans — including many queued
+// scans coalesced into one lane pass — must observe a consistent cut, never
+// the torn shape (a later register ahead of an earlier one). Run under
+// -race: the scans race the writer by design.
+func TestScanSnapshotNoTornReads(t *testing.T) {
+	backends := []struct {
+		name  string
+		maker LaneMaker
+	}{
+		{"inproc", nil},
+		{"latency", LatencyLanes(11, LatencyProfile{Jitter: 30 * time.Microsecond})},
+	}
+	for _, be := range backends {
+		be := be
+		t.Run("lane="+be.name, func(t *testing.T) {
+			const k, rounds, scanners = 4, 40, 6
+			fab, objs := scanEnv(t, k, be.maker)
+
+			writerDone := make(chan struct{})
+			go func() {
+				defer close(writerDone)
+				for r := 1; r <= rounds; r++ {
+					for _, obj := range objs {
+						if o := awaitOutcome(t, fab.Trigger(0, obj, writeInv(uint64(r), types.Value(r)))); o.Err != nil {
+							t.Errorf("write round %d: %v", r, o.Err)
+							return
+						}
+					}
+				}
+			}()
+
+			var wg sync.WaitGroup
+			for s := 0; s < scanners; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					client := types.ClientID(s + 1)
+					for {
+						select {
+						case <-writerDone:
+							return
+						default:
+						}
+						ts := awaitScan(t, fab, client, objs)
+						for i := 1; i < len(ts); i++ {
+							if ts[i] > ts[i-1] {
+								t.Errorf("torn scan: %v (register %d ahead of %d)", ts, i, i-1)
+								return
+							}
+						}
+					}
+				}(s)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// TestLatencyLaneCrashBetweenDequeueAndSnapshot crashes the server inside
+// the event loop's window between dequeuing a scan group from the mailbox
+// and drawing its delivery delay: the scan's ops must be dropped — never
+// completed, never applied — exactly like any in-flight op on a crashed
+// server.
+func TestLatencyLaneCrashBetweenDequeueAndSnapshot(t *testing.T) {
+	lane := NewLatencyLane(5, LatencyProfile{Base: 2 * time.Millisecond})
+	fab, objs := scanEnv(t, 3, func(types.ServerID) Lane { return lane })
+
+	var once sync.Once
+	lane.testHook = func() {
+		once.Do(func() {
+			if err := fab.Crash(0); err != nil {
+				t.Errorf("crash: %v", err)
+			}
+		})
+	}
+
+	ops := make([]BatchOp, len(objs))
+	for i, obj := range objs {
+		ops[i] = BatchOp{Object: obj, Inv: readInv()}
+	}
+	calls := fab.TriggerScan(1, ops)
+
+	// Wait well past the delivery delay: nothing may complete.
+	time.Sleep(20 * time.Millisecond)
+	if got := fab.Cluster().Crashes(); got != 1 {
+		t.Fatalf("crashes = %d, want 1", got)
+	}
+	for i, call := range calls {
+		if o, ok := call.Outcome(); ok {
+			t.Fatalf("scan op %d completed %+v after crash in the dequeue window", i, o)
+		}
+	}
+	var dropped int
+	for _, p := range fab.Pending() {
+		if p.Phase == PhaseDropped {
+			dropped++
+		}
+	}
+	if dropped != len(objs) {
+		t.Fatalf("dropped = %d, want %d", dropped, len(objs))
+	}
+}
+
+// TestLatencyLaneMailboxCapacityOne forces every enqueue to block on the
+// loop's dequeue (mailbox capacity 1) and hammers the lane with concurrent
+// clients mixing writes, reads, and snapshot scans: backpressure must slow
+// delivery, never deadlock or drop it.
+func TestLatencyLaneMailboxCapacityOne(t *testing.T) {
+	fast := LatencyProfile{Jitter: 20 * time.Microsecond}
+	fab, objs := scanEnv(t, 3, LatencyLanes(7, fast, WithMailboxCapacity(1)))
+	var wg sync.WaitGroup
+	for cl := 0; cl < 6; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			client := types.ClientID(cl)
+			for i := 0; i < 40; i++ {
+				switch i % 3 {
+				case 0:
+					if o := awaitOutcome(t, fab.Trigger(client, objs[cl%len(objs)], writeInv(uint64(cl*100+i+1), types.Value(i)))); o.Err != nil {
+						t.Errorf("write: %v", o.Err)
+						return
+					}
+				case 1:
+					if o := awaitOutcome(t, fab.Trigger(client, objs[(cl+i)%len(objs)], readInv())); o.Err != nil {
+						t.Errorf("read: %v", o.Err)
+						return
+					}
+				default:
+					awaitScan(t, fab, client, objs)
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+}
+
+// TestLatencyLaneCoalescesReads: reads of the same object that fall due in
+// one fire pass are answered from a single apply. The coalesced counter is
+// the observable; the responses must still be correct.
+func TestLatencyLaneCoalescesReads(t *testing.T) {
+	lane := NewLatencyLane(3, LatencyProfile{Base: 2 * time.Millisecond},
+		WithCoalesceWindow(2*time.Millisecond))
+	fab, objs := scanEnv(t, 1, func(types.ServerID) Lane { return lane })
+
+	if o := awaitOutcome(t, fab.Trigger(0, objs[0], writeInv(1, 42))); o.Err != nil {
+		t.Fatalf("write: %v", o.Err)
+	}
+
+	const readers = 16
+	var wg sync.WaitGroup
+	var bad atomic.Int64
+	wg.Add(readers)
+	for i := 0; i < readers; i++ {
+		fab.TriggerFn(types.ClientID(i+1), objs[0], readInv(), func(o Outcome) {
+			if o.Err != nil || o.Resp.Val.Val != 42 {
+				bad.Add(1)
+			}
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	if n := bad.Load(); n != 0 {
+		t.Fatalf("%d coalesced reads returned the wrong value", n)
+	}
+	if lane.CoalescedReads() == 0 {
+		t.Fatal("no reads coalesced: 16 same-object reads due in one pass should share an apply")
+	}
+	t.Logf("coalesced %d of %d reads", lane.CoalescedReads(), readers)
+}
+
+// TestLatencyLaneMailboxEnvOverride pins the REPRO_LANE_MAILBOX parsing
+// used by the race-lanes CI variant.
+func TestLatencyLaneMailboxEnvOverride(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int
+	}{{"1", 1}, {"64", 64}, {"0", DefaultMailboxCapacity}, {"", DefaultMailboxCapacity}, {"junk", DefaultMailboxCapacity}} {
+		if got := parseMailboxCapacity(tc.in); got != tc.want {
+			t.Errorf("parseMailboxCapacity(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package lanenet
 
 import (
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
@@ -12,36 +13,116 @@ import (
 	"repro/internal/types"
 )
 
-// Client is the fabric side of a network lane: one TCP connection to one
-// server's storage node. It implements fabric.Lane (asynchronous delivery),
+// defaultWriteTimeout bounds one flush against a stalled peer: a node that
+// stops draining its socket long enough to back pressure all the way into a
+// blocked Write is indistinguishable from a dead node, and reconnect-as-
+// crash handles it the same way.
+const defaultWriteTimeout = 10 * time.Second
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithWriteTimeout bounds each flusher write; a write that exceeds it fails
+// the connection (reconnect-as-crash).
+func WithWriteTimeout(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.writeTimeout = d
+		}
+	}
+}
+
+// WithFlushWindow makes the flusher linger up to w after the first queued
+// frame before flushing, trading per-op latency for bigger coalesced
+// batches. Zero (the default) flushes as soon as the queue is non-empty.
+func WithFlushWindow(w time.Duration) ClientOption {
+	return func(c *Client) {
+		if w > 0 {
+			c.flushWindow = w
+		}
+	}
+}
+
+// outKind discriminates queued frames.
+type outKind uint8
+
+const (
+	outPlace outKind = iota // pre-encoded placement frame
+	outApply                // one invocation
+	outScan                 // an all-read snapshot group
+)
+
+// outItem is one queued frame awaiting the flusher.
+type outItem struct {
+	kind     outKind
+	payload  []byte // outPlace
+	ev       fabric.TriggerEvent
+	complete fabric.CompleteFunc // outApply
+	ops      []fabric.LaneOp     // outScan
+}
+
+// pendingEntry matches a response to its waiting completions: one for a
+// plain apply, several when identical reads were coalesced into one wire
+// request, per-member (request-order) for scans.
+type pendingEntry struct {
+	completes []fabric.CompleteFunc
+	scan      bool
+}
+
+// Client is the fabric side of a network lane: one pooled, multiplexed TCP
+// connection to one server's storage node. It implements fabric.Lane,
+// fabric.GroupLane, and fabric.ScanLane (pipelined asynchronous delivery),
 // fabric.ObjectMirror (placement replication), and fabric.CrashReporter
 // (reconnect-as-crash: a broken connection crashes the lane's server and
 // the lane never delivers again).
+//
+// Deliveries do not write the socket: they enqueue, and a single flusher
+// goroutine drains the queue, coalesces identical queued reads into one
+// wire request, concatenates every queued frame, and writes them in one
+// deadline-bounded Write. Responses are matched by request id in the read
+// loop, so many operations are in flight per connection at once (the
+// pipeline) and no sender ever blocks on a slow peer.
 type Client struct {
 	conn net.Conn
 
-	// wmu serializes frame writes; responses are matched by request id, so
-	// write order only matters for the place-before-apply guarantee.
-	wmu sync.Mutex
+	writeTimeout time.Duration
+	flushWindow  time.Duration
+
+	// Outbound queue, drained by the flusher.
+	qmu   sync.Mutex
+	queue []outItem
+	qsig  chan struct{}
 
 	mu      sync.Mutex
-	pending map[uint64]fabric.CompleteFunc
+	pending map[uint64]pendingEntry
 	hook    func() // crash hook installed by the fabric
 
-	nextReq atomic.Uint64
-	crashed atomic.Bool
-	closing atomic.Bool
+	nextReq  atomic.Uint64
+	crashed  atomic.Bool
+	closing  atomic.Bool
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	coalesced atomic.Uint64
+
+	// testHook, when set before the first delivery, runs on the flusher
+	// goroutine after each queue drain and before the batch is encoded and
+	// written. Tests use it to sever the connection in the dequeue-to-write
+	// window.
+	testHook func()
 }
 
 // Compile-time interface compliance checks.
 var (
 	_ fabric.Lane          = (*Client)(nil)
+	_ fabric.GroupLane     = (*Client)(nil)
+	_ fabric.ScanLane      = (*Client)(nil)
 	_ fabric.CrashReporter = (*Client)(nil)
 	_ fabric.ObjectMirror  = (*Client)(nil)
 )
 
 // Dial connects to one storage node.
-func Dial(addr string, timeout time.Duration) (*Client, error) {
+func Dial(addr string, timeout time.Duration, opts ...ClientOption) (*Client, error) {
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
@@ -50,20 +131,30 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 		return nil, fmt.Errorf("lanenet: dialing %s: %w", addr, err)
 	}
 	if tc, ok := conn.(*net.TCPConn); ok {
-		_ = tc.SetNoDelay(true) // quorum rounds are latency-bound, tiny frames
+		_ = tc.SetNoDelay(true) // the flusher already batches; don't add Nagle on top
 	}
-	c := &Client{conn: conn, pending: make(map[uint64]fabric.CompleteFunc)}
+	c := &Client{
+		conn:         conn,
+		writeTimeout: defaultWriteTimeout,
+		pending:      make(map[uint64]pendingEntry),
+		qsig:         make(chan struct{}, 1),
+		stop:         make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(c)
+	}
 	go c.readLoop()
+	go c.flusher()
 	return c, nil
 }
 
 // Lanes dials one node per server and returns the fabric lane maker plus
 // the dialed clients (for tests that sever individual connections). addrs
 // is indexed by server id.
-func Lanes(addrs []string, timeout time.Duration) (fabric.LaneMaker, []*Client, error) {
+func Lanes(addrs []string, timeout time.Duration, opts ...ClientOption) (fabric.LaneMaker, []*Client, error) {
 	clients := make([]*Client, len(addrs))
 	for i, addr := range addrs {
-		c, err := Dial(addr, timeout)
+		c, err := Dial(addr, timeout, opts...)
 		if err != nil {
 			for _, prev := range clients[:i] {
 				_ = prev.Close()
@@ -97,15 +188,31 @@ func (c *Client) SetCrashHook(fn func()) {
 	}
 }
 
+// CoalescedReads reports how many read requests were merged into another
+// identical queued read instead of going on the wire themselves.
+func (c *Client) CoalescedReads() uint64 { return c.coalesced.Load() }
+
+// enqueue appends one frame to the outbound queue and nudges the flusher.
+func (c *Client) enqueue(it outItem) {
+	c.qmu.Lock()
+	c.queue = append(c.queue, it)
+	c.qmu.Unlock()
+	select {
+	case c.qsig <- struct{}{}:
+	default:
+	}
+}
+
 // MirrorObject implements fabric.ObjectMirror: it replicates the object's
 // kind (and, for registers, the declared writer set) to the node before
-// any operation on the object is delivered.
+// any operation on the object is delivered. The placement rides the same
+// FIFO queue as invocations, preserving place-before-apply.
 func (c *Client) MirrorObject(obj baseobj.Object) {
 	p := placeReq{obj: obj.ID(), kind: obj.Kind()}
 	if reg, ok := obj.(*baseobj.Register); ok {
 		p.writers = reg.Writers()
 	}
-	c.send(encodePlace(p))
+	c.enqueue(outItem{kind: outPlace, payload: encodePlace(p)})
 }
 
 // Deliver implements fabric.Lane. A crashed lane never delivers and never
@@ -116,21 +223,165 @@ func (c *Client) Deliver(ev fabric.TriggerEvent, _ fabric.ApplyFunc, complete fa
 	if c.crashed.Load() {
 		return
 	}
-	req := c.nextReq.Add(1)
-	c.mu.Lock()
-	c.pending[req] = complete
-	c.mu.Unlock()
-	c.send(encodeApply(applyReq{req: req, obj: ev.Object, client: ev.Client, inv: ev.Inv}))
+	c.enqueue(outItem{kind: outApply, ev: ev, complete: complete})
 }
 
-// send writes one frame, mapping a transport failure onto crash.
-func (c *Client) send(payload []byte) {
-	c.wmu.Lock()
-	err := writeFrame(c.conn, payload)
-	c.wmu.Unlock()
-	if err != nil {
-		c.fail()
+// DeliverGroup implements fabric.GroupLane: the whole scattered group
+// enters the queue together, so one flush carries it in one Write.
+func (c *Client) DeliverGroup(ops []fabric.LaneOp) {
+	if c.crashed.Load() {
+		return
 	}
+	c.qmu.Lock()
+	for _, op := range ops {
+		c.queue = append(c.queue, outItem{kind: outApply, ev: op.Ev, complete: op.Complete})
+	}
+	c.qmu.Unlock()
+	select {
+	case c.qsig <- struct{}{}:
+	default:
+	}
+}
+
+// DeliverScan implements fabric.ScanLane: the group travels as one msgScan
+// frame and the node answers every member from one consistent snapshot.
+func (c *Client) DeliverScan(ops []fabric.LaneOp) {
+	if c.crashed.Load() || len(ops) == 0 {
+		return
+	}
+	c.enqueue(outItem{kind: outScan, ops: ops})
+}
+
+// flusher drains the outbound queue: it registers each request's pending
+// completion, coalesces identical queued reads into one wire request,
+// encodes every frame into one buffer, and writes the buffer with a single
+// deadline-bounded Write. Holding no lock across the Write, a slow peer
+// blocks only this goroutine — deliveries keep queueing — until the
+// deadline converts the stall into a crash.
+func (c *Client) flusher() {
+	var buf []byte
+	var batch []outItem
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-c.qsig:
+		}
+		if c.flushWindow > 0 {
+			// Linger: give the round's remaining frames time to queue, then
+			// swallow the signals they raised (their items drain below).
+			select {
+			case <-c.stop:
+				return
+			case <-time.After(c.flushWindow):
+			}
+			select {
+			case <-c.qsig:
+			default:
+			}
+		}
+
+		c.qmu.Lock()
+		batch, c.queue = c.queue, batch[:0]
+		c.qmu.Unlock()
+		if len(batch) == 0 || c.crashed.Load() {
+			continue
+		}
+		if c.testHook != nil {
+			c.testHook()
+		}
+		buf = c.encodeBatch(buf[:0], batch)
+		if len(buf) == 0 {
+			continue
+		}
+		_ = c.conn.SetWriteDeadline(time.Now().Add(c.writeTimeout))
+		if _, err := c.conn.Write(buf); err != nil {
+			c.fail()
+			return
+		}
+	}
+}
+
+// encodeBatch encodes one drained queue into a single write buffer,
+// registering pending completions as it goes. Identical reads (same object,
+// same read op) queued in the same batch collapse onto one wire request:
+// none of them has been sent yet, so all their invocations precede the
+// shared apply and one response answers every caller.
+func (c *Client) encodeBatch(buf []byte, batch []outItem) []byte {
+	type readKey struct {
+		obj types.ObjectID
+		op  baseobj.OpCode
+	}
+	var readReq map[readKey]uint64
+
+	for i := range batch {
+		it := &batch[i]
+		switch it.kind {
+		case outPlace:
+			buf = appendFrame(buf, it.payload)
+		case outApply:
+			if it.ev.Inv.Op.IsRead() {
+				k := readKey{obj: it.ev.Object, op: it.ev.Inv.Op}
+				if req, ok := readReq[k]; ok {
+					c.coalesced.Add(1)
+					c.mu.Lock()
+					e := c.pending[req]
+					e.completes = append(e.completes, it.complete)
+					c.pending[req] = e
+					c.mu.Unlock()
+					continue
+				}
+				req := c.nextReq.Add(1)
+				if readReq == nil {
+					readReq = make(map[readKey]uint64, 8)
+				}
+				readReq[k] = req
+				c.register(req, pendingEntry{completes: []fabric.CompleteFunc{it.complete}})
+				buf = appendFrame(buf, encodeApply(applyReq{req: req, obj: it.ev.Object, client: it.ev.Client, inv: it.ev.Inv}))
+				continue
+			}
+			req := c.nextReq.Add(1)
+			c.register(req, pendingEntry{completes: []fabric.CompleteFunc{it.complete}})
+			buf = appendFrame(buf, encodeApply(applyReq{req: req, obj: it.ev.Object, client: it.ev.Client, inv: it.ev.Inv}))
+		case outScan:
+			req := c.nextReq.Add(1)
+			entries := make([]scanEntry, len(it.ops))
+			completes := make([]fabric.CompleteFunc, len(it.ops))
+			for j, op := range it.ops {
+				entries[j] = scanEntry{obj: op.Ev.Object, client: op.Ev.Client, op: op.Ev.Inv.Op}
+				completes[j] = op.Complete
+			}
+			c.register(req, pendingEntry{completes: completes, scan: true})
+			buf = appendFrame(buf, encodeScan(nil, req, entries))
+		}
+		// Release references so the reused batch slice doesn't retain them.
+		*it = outItem{}
+	}
+	return buf
+}
+
+// appendFrame appends one length-prefixed frame to the write buffer.
+func appendFrame(buf, payload []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	return append(buf, payload...)
+}
+
+// register records a pending request.
+func (c *Client) register(req uint64, e pendingEntry) {
+	c.mu.Lock()
+	c.pending[req] = e
+	c.mu.Unlock()
+}
+
+// take claims a pending request.
+func (c *Client) take(req uint64) (pendingEntry, bool) {
+	c.mu.Lock()
+	e, ok := c.pending[req]
+	if ok {
+		delete(c.pending, req)
+	}
+	c.mu.Unlock()
+	return e, ok
 }
 
 // readLoop matches responses to pending deliveries until the connection
@@ -142,23 +393,46 @@ func (c *Client) readLoop() {
 			c.fail()
 			return
 		}
-		if len(payload) == 0 || payload[0] != msgResp {
+		if len(payload) == 0 {
 			c.fail()
 			return
 		}
-		r, err := decodeResp(payload[1:])
-		if err != nil {
+		switch payload[0] {
+		case msgResp:
+			r, err := decodeResp(payload[1:])
+			if err != nil {
+				c.fail()
+				return
+			}
+			e, ok := c.take(r.req)
+			if !ok {
+				continue // response to an op a crash already discarded
+			}
+			rerr := respError(r)
+			for _, complete := range e.completes {
+				complete(r.resp, rerr)
+			}
+		case msgScanResp:
+			req, results, err := decodeScanResp(payload[1:])
+			if err != nil {
+				c.fail()
+				return
+			}
+			e, ok := c.take(req)
+			if !ok {
+				continue
+			}
+			if !e.scan || len(results) != len(e.completes) {
+				c.fail()
+				return // protocol violation: member count mismatch
+			}
+			for i, r := range results {
+				e.completes[i](r.resp, respError(r))
+			}
+		default:
 			c.fail()
 			return
 		}
-		c.mu.Lock()
-		complete, ok := c.pending[r.req]
-		delete(c.pending, r.req)
-		c.mu.Unlock()
-		if !ok {
-			continue // response to an op a crash already discarded
-		}
-		complete(r.resp, respError(r))
 	}
 }
 
@@ -190,7 +464,7 @@ func (c *Client) fail() {
 	}
 	_ = c.conn.Close()
 	c.mu.Lock()
-	c.pending = make(map[uint64]fabric.CompleteFunc)
+	c.pending = make(map[uint64]pendingEntry)
 	hook := c.hook
 	c.mu.Unlock()
 	if hook != nil && !c.closing.Load() {
@@ -204,5 +478,6 @@ func (c *Client) Crashed() bool { return c.crashed.Load() }
 // Close implements fabric.Lane.
 func (c *Client) Close() error {
 	c.closing.Store(true)
+	c.stopOnce.Do(func() { close(c.stop) })
 	return c.conn.Close()
 }

@@ -1,8 +1,11 @@
 package lanenet
 
 import (
+	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 
@@ -10,18 +13,47 @@ import (
 	"repro/internal/types"
 )
 
+// defaultReadBatch caps how many already-buffered frames one ServeConn pass
+// decodes before flushing responses: batching amortizes syscalls, the cap
+// bounds how long the first request of a burst waits for its response.
+const defaultReadBatch = 256
+
+// NodeOption configures a Node.
+type NodeOption func(*Node)
+
+// WithReadBatch caps the frames decoded per batch before responses flush.
+func WithReadBatch(n int) NodeOption {
+	return func(nd *Node) {
+		if n > 0 {
+			nd.readBatch = n
+		}
+	}
+}
+
 // Node is one server's storage: it hosts base objects keyed by their
 // cluster-wide id and applies invocations atomically. A node is the remote
 // half of exactly one fault domain — run one node process per server, so
 // killing a process is the paper's server crash.
+//
+// Plain applies run under the table's read lock held across the object
+// apply; a msgScan takes the write lock instead, so every scan member reads
+// with no apply of any connection interleaved — one consistent snapshot of
+// the node's objects, the remote analogue of the fabric's in-process
+// snapshot scan.
 type Node struct {
+	readBatch int
+
 	mu      sync.RWMutex
 	objects map[types.ObjectID]baseobj.Object
 }
 
 // NewNode creates an empty storage node.
-func NewNode() *Node {
-	return &Node{objects: make(map[types.ObjectID]baseobj.Object)}
+func NewNode(opts ...NodeOption) *Node {
+	n := &Node{objects: make(map[types.ObjectID]baseobj.Object), readBatch: defaultReadBatch}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
 }
 
 // NumObjects returns the number of hosted objects.
@@ -50,35 +82,91 @@ func (n *Node) Serve(l net.Listener) error {
 
 // ServeConn serves one connection until EOF or error, processing frames in
 // arrival order: a placement is therefore always applied before any
-// invocation the client sent after it.
+// invocation the client sent after it. After the first (blocking) frame of
+// a burst, every further frame the kernel already delivered is decoded and
+// handled in the same pass — the pipelined client's coalesced flush arrives
+// as one such burst — and the batched responses go out in one flush once
+// the input is momentarily dry or the batch cap is reached.
 func (n *Node) ServeConn(conn net.Conn) {
 	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
 	for {
-		payload, err := readFrame(conn)
+		payload, err := readFrame(br)
 		if err != nil {
 			return // EOF or broken pipe: the client is gone
 		}
-		if len(payload) == 0 {
+		if !n.handleFrame(bw, payload) {
 			return
 		}
-		switch payload[0] {
-		case msgPlace:
-			p, err := decodePlace(payload[1:])
-			if err != nil {
+		// Drain whatever the kernel already delivered before flushing.
+		for batched := 1; batched < n.readBatch; batched++ {
+			payload, ok := bufferedFrame(br)
+			if !ok {
+				break
+			}
+			if !n.handleFrame(bw, payload) {
 				return
 			}
-			n.place(p)
-		case msgApply:
-			a, err := decodeApply(payload[1:])
-			if err != nil {
-				return
-			}
-			if err := writeFrame(conn, encodeResp(n.apply(a))); err != nil {
-				return
-			}
-		default:
-			return // protocol violation: drop the connection
 		}
+		if bw.Flush() != nil {
+			return
+		}
+	}
+}
+
+// bufferedFrame decodes the next frame only if it is already fully
+// buffered, never blocking on the socket (Peek would block for the header,
+// so it is guarded by Buffered).
+func bufferedFrame(br *bufio.Reader) ([]byte, bool) {
+	if br.Buffered() < 4 {
+		return nil, false
+	}
+	hdr, err := br.Peek(4)
+	if err != nil {
+		return nil, false
+	}
+	m := binary.BigEndian.Uint32(hdr)
+	if m > maxFrame || br.Buffered() < 4+int(m) {
+		return nil, false
+	}
+	if _, err := br.Discard(4); err != nil {
+		return nil, false
+	}
+	payload := make([]byte, m)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, false
+	}
+	return payload, true
+}
+
+// handleFrame dispatches one decoded frame; false drops the connection.
+func (n *Node) handleFrame(bw *bufio.Writer, payload []byte) bool {
+	if len(payload) == 0 {
+		return false
+	}
+	switch payload[0] {
+	case msgPlace:
+		p, err := decodePlace(payload[1:])
+		if err != nil {
+			return false
+		}
+		n.place(p)
+		return true
+	case msgApply:
+		a, err := decodeApply(payload[1:])
+		if err != nil {
+			return false
+		}
+		return writeFrame(bw, encodeResp(n.apply(a))) == nil
+	case msgScan:
+		req, ops, err := decodeScan(payload[1:])
+		if err != nil {
+			return false
+		}
+		return writeFrame(bw, encodeScanResp(req, n.scan(req, ops))) == nil
+	default:
+		return false // protocol violation: drop the connection
 	}
 }
 
@@ -105,22 +193,49 @@ func (n *Node) place(p placeReq) {
 }
 
 // apply runs one invocation and maps its outcome onto the wire statuses.
+// The read lock is held across the object apply so a concurrent scan's
+// write lock cannot slot between lookup and apply — scans see every apply
+// entirely before or entirely after their snapshot.
 func (n *Node) apply(a applyReq) applyResp {
 	n.mu.RLock()
+	defer n.mu.RUnlock()
 	obj, ok := n.objects[a.obj]
-	n.mu.RUnlock()
 	if !ok {
 		return applyResp{req: a.req, status: statusUnknownObject, msg: fmt.Sprintf("object %d not hosted", a.obj)}
 	}
 	resp, err := obj.Apply(a.client, a.inv)
+	return outcomeResp(a.req, resp, err)
+}
+
+// scan answers a whole all-read group under the table's write lock: with
+// every plain apply holding the read lock across its object apply, the
+// exclusive section is a consistent cut of the node's objects.
+func (n *Node) scan(req uint64, ops []scanEntry) []applyResp {
+	results := make([]applyResp, len(ops))
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i, e := range ops {
+		obj, ok := n.objects[e.obj]
+		if !ok {
+			results[i] = applyResp{req: req, status: statusUnknownObject, msg: fmt.Sprintf("object %d not hosted", e.obj)}
+			continue
+		}
+		resp, err := obj.Apply(e.client, baseobj.Invocation{Op: e.op})
+		results[i] = outcomeResp(req, resp, err)
+	}
+	return results
+}
+
+// outcomeResp maps one apply outcome onto the wire statuses.
+func outcomeResp(req uint64, resp baseobj.Response, err error) applyResp {
 	switch {
 	case err == nil:
-		return applyResp{req: a.req, status: statusOK, resp: resp}
+		return applyResp{req: req, status: statusOK, resp: resp}
 	case errors.Is(err, baseobj.ErrWrongOp):
-		return applyResp{req: a.req, status: statusWrongOp, msg: err.Error()}
+		return applyResp{req: req, status: statusWrongOp, msg: err.Error()}
 	case errors.Is(err, baseobj.ErrUnauthorizedWriter):
-		return applyResp{req: a.req, status: statusUnauthorizedWriter, msg: err.Error()}
+		return applyResp{req: req, status: statusUnauthorizedWriter, msg: err.Error()}
 	default:
-		return applyResp{req: a.req, status: statusOther, msg: err.Error()}
+		return applyResp{req: req, status: statusOther, msg: err.Error()}
 	}
 }

@@ -36,6 +36,12 @@ const (
 	msgApply byte = 2
 	// msgResp answers one msgApply (node -> client).
 	msgResp byte = 3
+	// msgScan requests a whole all-read group answered from one consistent
+	// snapshot (client -> node).
+	msgScan byte = 4
+	// msgScanResp answers one msgScan with per-member results in request
+	// order (node -> client).
+	msgScanResp byte = 5
 )
 
 // Response statuses. Canonical base-object errors travel as codes so the
@@ -49,9 +55,10 @@ const (
 )
 
 // maxFrame bounds a frame so a corrupt length prefix cannot allocate
-// unboundedly. Frames are tiny (placements are the largest: 8 bytes per
-// declared writer).
-const maxFrame = 1 << 16
+// unboundedly. Scans carry a whole collect round in one frame (9 bytes per
+// member), so the bound admits the largest plausible round with room to
+// spare.
+const maxFrame = 1 << 20
 
 // placeReq is the decoded form of msgPlace.
 type placeReq struct {
@@ -214,6 +221,105 @@ func encodeResp(r applyResp) []byte {
 	b = binary.BigEndian.AppendUint16(b, uint16(len(msg)))
 	b = append(b, msg...)
 	return b
+}
+
+// scanEntry is one member of a msgScan request: a read invocation addressed
+// by object. Reads carry no arguments, so the op code is the whole
+// invocation.
+type scanEntry struct {
+	obj    types.ObjectID
+	client types.ClientID
+	op     baseobj.OpCode
+}
+
+// encodeScan encodes a msgScan payload: one request id for the whole group
+// plus 9 bytes per member. b, when non-nil, is the reused destination
+// buffer.
+func encodeScan(b []byte, req uint64, ops []scanEntry) []byte {
+	b = append(b, msgScan)
+	b = binary.BigEndian.AppendUint64(b, req)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(ops)))
+	for _, e := range ops {
+		b = binary.BigEndian.AppendUint32(b, uint32(e.obj))
+		b = binary.BigEndian.AppendUint32(b, uint32(e.client))
+		b = append(b, byte(e.op))
+	}
+	return b
+}
+
+// decodeScan decodes a msgScan payload (after the type byte).
+func decodeScan(b []byte) (uint64, []scanEntry, error) {
+	if len(b) < 10 {
+		return 0, nil, fmt.Errorf("lanenet: truncated scan")
+	}
+	req := binary.BigEndian.Uint64(b)
+	n := int(binary.BigEndian.Uint16(b[8:]))
+	if len(b) < 10+9*n {
+		return 0, nil, fmt.Errorf("lanenet: truncated scan member list")
+	}
+	ops := make([]scanEntry, n)
+	for i := 0; i < n; i++ {
+		off := 10 + 9*i
+		ops[i] = scanEntry{
+			obj:    types.ObjectID(int32(binary.BigEndian.Uint32(b[off:]))),
+			client: types.ClientID(int32(binary.BigEndian.Uint32(b[off+4:]))),
+			op:     baseobj.OpCode(b[off+8]),
+		}
+	}
+	return req, ops, nil
+}
+
+// encodeScanResp encodes a msgScanResp payload: the group's request id plus
+// per-member results in request order.
+func encodeScanResp(req uint64, results []applyResp) []byte {
+	size := 1 + 8 + 2
+	for i := range results {
+		if len(results[i].msg) > 1024 {
+			results[i].msg = results[i].msg[:1024]
+		}
+		size += 1 + 1 + 20 + 2 + len(results[i].msg)
+	}
+	b := make([]byte, 0, size)
+	b = append(b, msgScanResp)
+	b = binary.BigEndian.AppendUint64(b, req)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(results)))
+	for _, r := range results {
+		b = append(b, r.status, byte(r.resp.Op))
+		b = appendTSValue(b, r.resp.Val)
+		b = binary.BigEndian.AppendUint16(b, uint16(len(r.msg)))
+		b = append(b, r.msg...)
+	}
+	return b
+}
+
+// decodeScanResp decodes a msgScanResp payload (after the type byte).
+func decodeScanResp(b []byte) (uint64, []applyResp, error) {
+	if len(b) < 10 {
+		return 0, nil, fmt.Errorf("lanenet: truncated scan response")
+	}
+	req := binary.BigEndian.Uint64(b)
+	n := int(binary.BigEndian.Uint16(b[8:]))
+	results := make([]applyResp, 0, n)
+	off := 10
+	for i := 0; i < n; i++ {
+		if len(b) < off+2+20+2 {
+			return 0, nil, fmt.Errorf("lanenet: truncated scan result")
+		}
+		r := applyResp{req: req, status: b[off]}
+		r.resp.Op = baseobj.OpCode(b[off+1])
+		var err error
+		if r.resp.Val, off, err = tsValueAt(b, off+2); err != nil {
+			return 0, nil, err
+		}
+		m := int(binary.BigEndian.Uint16(b[off:]))
+		if len(b) < off+2+m {
+			return 0, nil, fmt.Errorf("lanenet: truncated scan result message")
+		}
+		r.msg = string(b[off+2 : off+2+m])
+		off += 2 + m
+		results = append(results, r)
+	}
+	return req, results, nil
 }
 
 // decodeResp decodes a msgResp payload (after the type byte).

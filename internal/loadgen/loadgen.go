@@ -107,6 +107,14 @@ type Config struct {
 	// SampleChecks is how many independent linearizability samples to
 	// check per register on atomic builds (default 4).
 	SampleChecks int
+
+	// Mailbox overrides the latency lanes' event-loop mailbox capacity
+	// (0 = fabric default); Coalesce widens their fire window so more
+	// queued reads merge per pass (0 = fire exactly on schedule). Both
+	// only apply to LaneLatency — the knobs loadgen sweeps use to find
+	// the batching knee.
+	Mailbox  int
+	Coalesce time.Duration
 }
 
 // Latency summarizes one histogram in nanoseconds.
@@ -249,7 +257,14 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		if cfg.Profile != nil {
 			profile = *cfg.Profile
 		}
-		laneOpts = append(laneOpts, fabric.WithLanes(fabric.LatencyLanes(seed.Sub(cfg.Seed, 0), profile)))
+		var latOpts []fabric.LatencyOption
+		if cfg.Mailbox > 0 {
+			latOpts = append(latOpts, fabric.WithMailboxCapacity(cfg.Mailbox))
+		}
+		if cfg.Coalesce > 0 {
+			latOpts = append(latOpts, fabric.WithCoalesceWindow(cfg.Coalesce))
+		}
+		laneOpts = append(laneOpts, fabric.WithLanes(fabric.LatencyLanes(seed.Sub(cfg.Seed, 0), profile, latOpts...)))
 	default:
 		return nil, fmt.Errorf("loadgen: unknown lane %q", cfg.Lane)
 	}
