@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-json fabric-bench loadgen-smoke race-lanes race-lanes-mailbox1
+.PHONY: all build vet test race bench bench-smoke bench-json fabric-bench loadgen-smoke race-lanes race-lanes-mailbox1 race-shards
 
 all: vet build test
 
@@ -25,10 +25,11 @@ bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
 # Perf trajectory snapshot: triggers/sec (in-process and latency lanes,
-# side by side), sweep wall-clock, checker ns/op, and the end-to-end
-# loadgen numbers (high-level ops/sec + latency percentiles through the
-# async client engine on both lanes), recorded as BENCH_<date>.json so
-# future PRs have a baseline.
+# side by side), sweep wall-clock, checker ns/op, the end-to-end loadgen
+# numbers (high-level ops/sec + latency percentiles through the async
+# client engine on both lanes), the shard-count sweep (aggregate ops/sec
+# at 1/2/4/8 shards), and the open-loop latency-vs-rate curve with its
+# knee — recorded as BENCH_<date>.json so future PRs have a baseline.
 bench-json:
 	$(GO) run ./cmd/benchjson -benchtime 100ms
 
@@ -58,3 +59,13 @@ race-lanes:
 # suite.
 race-lanes-mailbox1:
 	REPRO_LANE_MAILBOX=1 $(GO) test -race -count 1 -run $(LANE_TESTS) ./internal/fabric ./internal/lanenet ./internal/runner
+
+# Sharded-store suite under the race detector: deterministic shard
+# routing, the multi-engine frontend (client identity, key affinity,
+# per-client serialization), crash-per-shard end-to-end runs, the
+# multi-table lanenet node, the sharded loadgen paths, and the TCP-lane
+# smoke — 2 shards x 3 servers multiplexed over 2 real cmd/lanenode
+# processes, plus the 3-process variant that kills a node mid-run.
+SHARD_TESTS = 'TestShard|TestBalancedKeys|TestClientIdentity|TestMultiTableNode|TestBindRoundTrip|TestShardedRun|TestOpenLoopCoordinatedOmission|TestRateSweepKnee'
+race-shards:
+	$(GO) test -race -count 1 -run $(SHARD_TESTS) ./internal/shardstore ./internal/lanenet ./internal/loadgen

@@ -56,6 +56,23 @@ type Snapshot struct {
 	// lane backend, correctness-gated (a run with violations fails the
 	// snapshot).
 	Loadgen []*loadgen.Result `json:"loadgen,omitempty"`
+	// ShardSweep records aggregate throughput at shard counts 1, 2, 4, 8:
+	// weak scaling on the latency lane — a fixed closed-loop client
+	// population per shard, so per-shard load is latency-bound and the
+	// aggregate grows with the shard count until the CPU ceiling. (On a
+	// single-core runner the sweep measures lane/engine parallelism
+	// headroom, not core scaling; GOMAXPROCS above records the context.)
+	ShardSweep []*loadgen.Result `json:"shard_sweep,omitempty"`
+	// RateCurve is the open-loop latency-vs-offered-rate curve on the
+	// latency lane, coordinated-omission-corrected, with the knee index.
+	RateCurve *RateCurve `json:"rate_curve,omitempty"`
+}
+
+// RateCurve is one open-loop sweep: Points[Knee] is the highest offered
+// rate achieved within 95% (knee -1 when none was).
+type RateCurve struct {
+	Knee   int               `json:"knee"`
+	Points []*loadgen.Result `json:"points"`
 }
 
 func main() {
@@ -101,6 +118,16 @@ func run() error {
 			return err
 		}
 		snap.Loadgen = lg
+		sweep, err := runShardSweep(*loadgenDur)
+		if err != nil {
+			return err
+		}
+		snap.ShardSweep = sweep
+		curve, err := runRateCurve(*loadgenDur)
+		if err != nil {
+			return err
+		}
+		snap.RateCurve = curve
 	}
 	path := *out
 	if path == "" {
@@ -179,4 +206,77 @@ func runLoadgen(dur time.Duration) ([]*loadgen.Result, error) {
 		out = append(out, res)
 	}
 	return out, nil
+}
+
+// gate fails a run that recorded violations or failed operations, so a
+// tainted number never lands in the snapshot.
+func gate(what string, res *loadgen.Result) error {
+	if len(res.Violations) > 0 {
+		return fmt.Errorf("%s: %d consistency violations", what, len(res.Violations))
+	}
+	if res.Failed > 0 {
+		return fmt.Errorf("%s: %d operations failed", what, res.Failed)
+	}
+	return nil
+}
+
+// runShardSweep measures aggregate closed-loop throughput at shard counts
+// 1, 2, 4, 8 on the latency lane: 8 clients per shard (weak scaling), 4
+// keys per shard, engines matching shards, atomic builds with the
+// linearizability gate on.
+func runShardSweep(dur time.Duration) ([]*loadgen.Result, error) {
+	ctx := context.Background()
+	var out []*loadgen.Result
+	for _, shards := range []int{1, 2, 4, 8} {
+		res, err := loadgen.Run(ctx, loadgen.Config{
+			Kind: runner.KindABDMax, Atomic: true,
+			Clients: 8 * shards, ReadFraction: 0.5,
+			Registers: 4 * shards, Shards: shards, Engines: shards,
+			Lane: runner.LaneLatency, Duration: dur, Seed: 1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("shard sweep S=%d: %w", shards, err)
+		}
+		if err := gate(fmt.Sprintf("shard sweep S=%d", shards), res); err != nil {
+			return nil, err
+		}
+		fmt.Printf("shard sweep S=%d: %.0f ops/sec, p50=%v p99=%v\n",
+			shards, res.OpsPerSec,
+			time.Duration(res.Latency.P50), time.Duration(res.Latency.P99))
+		out = append(out, res)
+	}
+	if base, quad := out[0].OpsPerSec, out[2].OpsPerSec; base > 0 {
+		fmt.Printf("shard sweep: 4-shard/1-shard aggregate = %.2fx\n", quad/base)
+	}
+	return out, nil
+}
+
+// runRateCurve traces the open-loop latency-vs-offered-rate curve on the
+// latency lane (CO-corrected timestamps; see internal/loadgen) and marks
+// the knee — the highest offered rate achieved within 95%.
+func runRateCurve(dur time.Duration) (*RateCurve, error) {
+	rates := []float64{10_000, 20_000, 40_000, 60_000, 80_000, 100_000}
+	results, err := loadgen.RateSweep(context.Background(), loadgen.Config{
+		Kind: runner.KindABDMax, Atomic: true,
+		Clients: 64, ReadFraction: 0.5,
+		Registers: 8, Shards: 2, Engines: 2,
+		Lane: runner.LaneLatency, Duration: dur, Seed: 1,
+	}, rates)
+	if err != nil {
+		return nil, fmt.Errorf("rate curve: %w", err)
+	}
+	curve := &RateCurve{Knee: loadgen.Knee(results), Points: results}
+	for i, res := range results {
+		if err := gate(fmt.Sprintf("rate curve at %.0f", res.Rate), res); err != nil {
+			return nil, err
+		}
+		marker := ""
+		if i == curve.Knee {
+			marker = "  <- knee"
+		}
+		fmt.Printf("rate curve: offered %.0f -> %.0f ops/sec, p50=%v p99=%v%s\n",
+			res.Rate, res.OpsPerSec,
+			time.Duration(res.Latency.P50), time.Duration(res.Latency.P99), marker)
+	}
+	return curve, nil
 }

@@ -1,8 +1,14 @@
-// Command lanenode runs one server's storage node: the remote half of a
-// network-backed fabric dispatch lane (internal/lanenet). Run one process
-// per server; killing a process is the paper's server crash, and the
-// fabric maps the broken connections onto PhaseDropped via its
-// reconnect-as-crash semantics.
+// Command lanenode runs a storage-node process: the remote half of a
+// network-backed fabric dispatch lane (internal/lanenet). A node hosts any
+// number of named object tables over one listener — a connection operates
+// on the default table until it binds another (lanenet.WithTable) — so one
+// process can serve several shards of a sharded store
+// (internal/shardstore), each shard's fabric bound to its own table and
+// free of object-id collisions with the others.
+//
+// The process is one fault domain: killing it is the paper's server crash
+// for every shard with a table here, and the fabric maps the broken
+// connections onto PhaseDropped via its reconnect-as-crash semantics.
 //
 // Usage:
 //

@@ -72,14 +72,34 @@
 //     thousands of logical clients over one construction, with per-client
 //     op serialization (the paper's well-formed histories), queueing, and
 //     close/cancellation propagation onto every in-flight op.
+//   - internal/shardstore: the horizontal-composition layer — a large
+//     register key-space partitioned across S independent fabrics (each a
+//     complete vertical slice: cluster, fabric, lane group; shards share
+//     no locks and no fault domains) behind a single routing frontend,
+//     driven by M detached async engine loops shared across the shards.
+//     The key->shard router is a pure splitmix hash — deterministic
+//     across restarts, the key-space analogue of the fabric's per-object
+//     ServerFor — and a second independent hash pins every key's clients
+//     to one engine loop, so per-client op serialization (well-formed
+//     histories) survives any number of calling goroutines. Registers
+//     materialize lazily on first touch. On the TCP lane, shards multiplex
+//     onto a flat pool of lanenode processes via per-connection named
+//     tables (msgBind / lanenet.WithTable): one process hosts many shards'
+//     object tables over one listener without id collisions, and killing
+//     it crashes one server in every shard tabled there.
 //   - internal/loadgen + cmd/loadgen: the end-to-end workload driver on
-//     top of the async engine — closed-loop (one op in flight per client)
-//     or open-loop (fixed arrival rate, queue-honest latency) populations
-//     over a key-space of registers, on any lane backend, recording
-//     high-level ops/sec and log-linear latency histograms
-//     (internal/stats.Histogram). Runs are correctness-gated: read
-//     validity always, and sampled linearizability (spec.SampleLinearizable,
-//     sound read-source projections) on atomic builds.
+//     top of the sharded store — closed-loop (one op in flight per client)
+//     or open-loop populations over the key-space, on any lane backend,
+//     recording high-level ops/sec and log-linear latency histograms
+//     (internal/stats.Histogram), per shard and merged
+//     (stats.Histogram.Merge). The open loop timestamps every operation
+//     at its intended send time (coordinated-omission correction), so
+//     saturation shows up as unbounded tail latency rather than being
+//     silently absorbed; RateSweep traces the latency-vs-offered-rate
+//     curve and Knee marks the highest sustained rate. Runs are
+//     correctness-gated: read validity always, and sampled linearizability
+//     (spec.SampleLinearizable, sound read-source projections) on atomic
+//     builds.
 //   - internal/spec: the consistency checkers (WS-Safety, WS-Regularity,
 //     linearizability) that validate every experiment's history. The
 //     write-sequential checkers answer per-read questions from a sorted

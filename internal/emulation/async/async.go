@@ -61,8 +61,11 @@ import (
 // because it was closed (explicitly or by its context).
 var ErrClosed = errors.New("async: engine closed")
 
-// Engine multiplexes completion-based clients of one emulated register
-// over a single event-loop goroutine.
+// Engine multiplexes completion-based clients of emulated registers over a
+// single event-loop goroutine. An engine built with New serves one bound
+// register (Writer/NewReader); a detached engine (NewDetached) serves
+// clients on any register via WriterOn/ReaderOn — the sharded store runs a
+// pool of detached loops over the registers of all its shards.
 type Engine struct {
 	reg    emulation.Register
 	ctx    context.Context
@@ -74,7 +77,7 @@ type Engine struct {
 	outstanding int64
 	waiters     []chan struct{}
 	clients     []*Client
-	writers     map[int]*Client
+	writers     map[writerKey]*Client
 
 	notify   chan struct{}
 	loopDone chan struct{}
@@ -101,7 +104,7 @@ func New(reg emulation.Register, opts ...Option) *Engine {
 	e := &Engine{
 		reg:      reg,
 		ctx:      context.Background(),
-		writers:  make(map[int]*Client),
+		writers:  make(map[writerKey]*Client),
 		notify:   make(chan struct{}, 1),
 		loopDone: make(chan struct{}),
 	}
@@ -113,8 +116,22 @@ func New(reg emulation.Register, opts ...Option) *Engine {
 	return e
 }
 
-// Register returns the wrapped construction.
+// NewDetached creates an engine bound to no particular construction: every
+// client is created through WriterOn/ReaderOn, naming its register
+// explicitly. This is the engine-pool form the sharded store uses — M
+// detached loops share the registers of S shards, each key's clients pinned
+// to one loop by the store's key-affinity routing.
+func NewDetached(opts ...Option) *Engine { return New(nil, opts...) }
+
+// Register returns the wrapped construction (nil for a detached engine).
 func (e *Engine) Register() emulation.Register { return e.reg }
+
+// writerKey identifies one writer slot of one register: detached engines
+// drive writers of many registers, so the slot index alone is not unique.
+type writerKey struct {
+	reg emulation.Register
+	i   int
+}
 
 // Stats is a snapshot of the engine's operation counters.
 type Stats struct {
@@ -205,15 +222,28 @@ func (g goReader) StartRead(done func(types.Value, error)) {
 	go func() { done(g.r.Read(g.ctx)) }()
 }
 
-// Writer returns the engine client for writer i. Repeated calls return the
-// same client: the underlying per-writer state admits one driver.
+// Writer returns the engine client for writer i of the engine's own
+// register. Repeated calls return the same client: the underlying
+// per-writer state admits one driver.
 func (e *Engine) Writer(i int) (*Client, error) {
+	if e.reg == nil {
+		return nil, fmt.Errorf("async: detached engine has no bound register; use WriterOn")
+	}
+	return e.WriterOn(e.reg, i)
+}
+
+// WriterOn returns the engine client for writer i of reg, which need not be
+// the engine's own register: a detached engine drives clients of many
+// registers through one loop. Repeated calls with the same (reg, i) return
+// the same client.
+func (e *Engine) WriterOn(reg emulation.Register, i int) (*Client, error) {
+	key := writerKey{reg: reg, i: i}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if c, ok := e.writers[i]; ok {
+	if c, ok := e.writers[key]; ok {
 		return c, nil
 	}
-	w, err := e.reg.Writer(i)
+	w, err := reg.Writer(i)
 	if err != nil {
 		return nil, err
 	}
@@ -222,15 +252,24 @@ func (e *Engine) Writer(i int) (*Client, error) {
 		aw = goWriter{w: w, ctx: e.ctx}
 	}
 	c := &Client{eng: e, id: w.Client(), aw: aw}
-	e.writers[i] = c
+	e.writers[key] = c
 	e.clients = append(e.clients, c)
 	return c, nil
 }
 
-// NewReader returns a fresh reader client. Safe from any goroutine,
-// including engine callbacks.
+// NewReader returns a fresh reader client on the engine's own register.
+// Safe from any goroutine, including engine callbacks.
 func (e *Engine) NewReader() *Client {
-	r := e.reg.NewReader()
+	if e.reg == nil {
+		panic("async: detached engine has no bound register; use ReaderOn")
+	}
+	return e.ReaderOn(e.reg)
+}
+
+// ReaderOn returns a fresh reader client on reg; like WriterOn, reg need
+// not be the engine's own register.
+func (e *Engine) ReaderOn(reg emulation.Register) *Client {
+	r := reg.NewReader()
 	ar, ok := r.(emulation.AsyncReader)
 	if !ok {
 		ar = goReader{r: r, ctx: e.ctx}

@@ -43,11 +43,20 @@ func WithFlushWindow(w time.Duration) ClientOption {
 	}
 }
 
+// WithTable binds the connection onto the node's named object table: the
+// bind frame is queued before anything else, so every placement and
+// invocation of this lane lands in that table. Sharded stores use one table
+// per shard, letting several shards' fabrics — whose object ids all start
+// at zero — share one node process without colliding.
+func WithTable(name string) ClientOption {
+	return func(c *Client) { c.table = name }
+}
+
 // outKind discriminates queued frames.
 type outKind uint8
 
 const (
-	outPlace outKind = iota // pre-encoded placement frame
+	outPlace outKind = iota // pre-encoded no-reply frame (placement, table bind)
 	outApply                // one invocation
 	outScan                 // an all-read snapshot group
 )
@@ -87,6 +96,7 @@ type Client struct {
 
 	writeTimeout time.Duration
 	flushWindow  time.Duration
+	table        string
 
 	// Outbound queue, drained by the flusher.
 	qmu   sync.Mutex
@@ -142,6 +152,12 @@ func Dial(addr string, timeout time.Duration, opts ...ClientOption) (*Client, er
 	}
 	for _, o := range opts {
 		o(c)
+	}
+	if c.table != "" {
+		// Queued before the goroutines start, so the bind is the first
+		// frame on the wire: every later placement and invocation of this
+		// lane operates on the bound table.
+		c.enqueue(outItem{kind: outPlace, payload: encodeBind(c.table)})
 	}
 	go c.readLoop()
 	go c.flusher()

@@ -2,6 +2,7 @@ package lanenet
 
 import (
 	"errors"
+	"fmt"
 	"net"
 	"testing"
 	"time"
@@ -284,5 +285,64 @@ func TestCrashDuringRemoteScan(t *testing.T) {
 	time.Sleep(10 * time.Millisecond)
 	if _, ok := calls[0].Outcome(); ok {
 		t.Fatal("scan op on dead server completed")
+	}
+}
+
+// TestMultiTableNode hosts two independent single-server environments on
+// ONE storage node through named tables: both fabrics' object ids start at
+// zero, so without the per-connection table bind their placements would
+// collide in the node's object map. Each table must see only its own
+// shard's writes.
+func TestMultiTableNode(t *testing.T) {
+	addrs, nodes := startNodes(t, 1)
+	vals := []types.Value{10, 20}
+	for shard := 0; shard < 2; shard++ {
+		client, err := Dial(addrs[0], time.Second, WithTable(fmt.Sprintf("s%d", shard)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := cluster.New(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj, err := c.PlaceRegister(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if obj != 0 {
+			t.Fatalf("shard %d object id = %d, want 0 (the collision under test)", shard, obj)
+		}
+		fab := fabric.New(c, fabric.WithLanes(func(types.ServerID) fabric.Lane { return client }))
+		t.Cleanup(func() { fab.Close() })
+		v := types.TSValue{TS: 1, Writer: 0, Val: vals[shard]}
+		if o := await(t, fab.Trigger(0, obj, baseobj.Invocation{Op: baseobj.OpWrite, Arg: v})); o.Err != nil {
+			t.Fatalf("shard %d write: %v", shard, o.Err)
+		}
+		if o := await(t, fab.Trigger(0, obj, baseobj.Invocation{Op: baseobj.OpRead})); o.Err != nil || o.Resp.Val.Val != vals[shard] {
+			t.Fatalf("shard %d read = %+v, want %d", shard, o, vals[shard])
+		}
+	}
+	// Both shards' object 0 coexist: one per table, never merged.
+	if got := nodes[0].NumObjects(); got != 2 {
+		t.Fatalf("node hosts %d objects, want 2 (one per table)", got)
+	}
+	if got := nodes[0].NumTables(); got != 3 {
+		t.Fatalf("node has %d tables, want 3 (default + 2 shard tables)", got)
+	}
+}
+
+// TestBindRoundTrip pins the msgBind wire encoding.
+func TestBindRoundTrip(t *testing.T) {
+	for _, name := range []string{"", "s0", "shard-17"} {
+		got, err := decodeBind(encodeBind(name)[1:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != name {
+			t.Fatalf("bind round trip = %q, want %q", got, name)
+		}
+	}
+	if _, err := decodeBind([]byte{0, 5, 'x'}); err == nil {
+		t.Fatal("truncated bind decoded without error")
 	}
 }

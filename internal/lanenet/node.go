@@ -30,37 +30,82 @@ func WithReadBatch(n int) NodeOption {
 	}
 }
 
-// Node is one server's storage: it hosts base objects keyed by their
-// cluster-wide id and applies invocations atomically. A node is the remote
-// half of exactly one fault domain — run one node process per server, so
-// killing a process is the paper's server crash.
+// Node is a storage process hosting one or more named object tables. Each
+// table holds base objects keyed by their cluster-wide id and applies
+// invocations atomically. A connection operates on the default table ("")
+// until it binds another with msgBind (Client's WithTable sends the bind as
+// its first frame), so one node process can host the tables of several
+// shards — several independent fabrics whose object ids all start at zero —
+// over one listener. The process stays one fault domain: killing it is the
+// paper's server crash for every shard with a table here.
 //
-// Plain applies run under the table's read lock held across the object
-// apply; a msgScan takes the write lock instead, so every scan member reads
-// with no apply of any connection interleaved — one consistent snapshot of
-// the node's objects, the remote analogue of the fabric's in-process
-// snapshot scan.
+// Plain applies run under their table's read lock held across the object
+// apply; a msgScan takes the table's write lock instead, so every scan
+// member reads with no apply of any connection interleaved — one consistent
+// snapshot of the table's objects, the remote analogue of the fabric's
+// in-process snapshot scan. Tables lock independently: traffic on one
+// shard's table never contends with another's.
 type Node struct {
 	readBatch int
 
+	mu     sync.RWMutex
+	tables map[string]*nodeTable
+}
+
+// nodeTable is one named object table with its own lock domain.
+type nodeTable struct {
 	mu      sync.RWMutex
 	objects map[types.ObjectID]baseobj.Object
 }
 
-// NewNode creates an empty storage node.
+// NewNode creates an empty storage node with just the default table.
 func NewNode(opts ...NodeOption) *Node {
-	n := &Node{objects: make(map[types.ObjectID]baseobj.Object), readBatch: defaultReadBatch}
+	n := &Node{
+		tables:    map[string]*nodeTable{"": {objects: make(map[types.ObjectID]baseobj.Object)}},
+		readBatch: defaultReadBatch,
+	}
 	for _, o := range opts {
 		o(n)
 	}
 	return n
 }
 
-// NumObjects returns the number of hosted objects.
+// table returns the named table, creating it on first bind.
+func (n *Node) table(name string) *nodeTable {
+	n.mu.RLock()
+	t, ok := n.tables[name]
+	n.mu.RUnlock()
+	if ok {
+		return t
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if t, ok := n.tables[name]; ok {
+		return t
+	}
+	t = &nodeTable{objects: make(map[types.ObjectID]baseobj.Object)}
+	n.tables[name] = t
+	return t
+}
+
+// NumObjects returns the number of hosted objects across all tables.
 func (n *Node) NumObjects() int {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	return len(n.objects)
+	total := 0
+	for _, t := range n.tables {
+		t.mu.RLock()
+		total += len(t.objects)
+		t.mu.RUnlock()
+	}
+	return total
+}
+
+// NumTables returns the number of tables, the default included.
+func (n *Node) NumTables() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.tables)
 }
 
 // Serve accepts connections until the listener is closed. Each connection
@@ -91,12 +136,16 @@ func (n *Node) ServeConn(conn net.Conn) {
 	defer conn.Close()
 	br := bufio.NewReaderSize(conn, 64<<10)
 	bw := bufio.NewWriterSize(conn, 64<<10)
+	// The connection's current table: the default until a msgBind switches
+	// it. Frames are handled in arrival order, so a bind sent first governs
+	// everything after it.
+	tbl := n.table("")
 	for {
 		payload, err := readFrame(br)
 		if err != nil {
 			return // EOF or broken pipe: the client is gone
 		}
-		if !n.handleFrame(bw, payload) {
+		if tbl = n.handleFrame(bw, tbl, payload); tbl == nil {
 			return
 		}
 		// Drain whatever the kernel already delivered before flushing.
@@ -105,7 +154,7 @@ func (n *Node) ServeConn(conn net.Conn) {
 			if !ok {
 				break
 			}
-			if !n.handleFrame(bw, payload) {
+			if tbl = n.handleFrame(bw, tbl, payload); tbl == nil {
 				return
 			}
 		}
@@ -140,42 +189,56 @@ func bufferedFrame(br *bufio.Reader) ([]byte, bool) {
 	return payload, true
 }
 
-// handleFrame dispatches one decoded frame; false drops the connection.
-func (n *Node) handleFrame(bw *bufio.Writer, payload []byte) bool {
+// handleFrame dispatches one decoded frame against the connection's current
+// table and returns the table governing the next frame (a msgBind switches
+// it); nil drops the connection.
+func (n *Node) handleFrame(bw *bufio.Writer, tbl *nodeTable, payload []byte) *nodeTable {
 	if len(payload) == 0 {
-		return false
+		return nil
 	}
 	switch payload[0] {
+	case msgBind:
+		name, err := decodeBind(payload[1:])
+		if err != nil {
+			return nil
+		}
+		return n.table(name)
 	case msgPlace:
 		p, err := decodePlace(payload[1:])
 		if err != nil {
-			return false
+			return nil
 		}
-		n.place(p)
-		return true
+		tbl.place(p)
+		return tbl
 	case msgApply:
 		a, err := decodeApply(payload[1:])
 		if err != nil {
-			return false
+			return nil
 		}
-		return writeFrame(bw, encodeResp(n.apply(a))) == nil
+		if writeFrame(bw, encodeResp(tbl.apply(a))) != nil {
+			return nil
+		}
+		return tbl
 	case msgScan:
 		req, ops, err := decodeScan(payload[1:])
 		if err != nil {
-			return false
+			return nil
 		}
-		return writeFrame(bw, encodeScanResp(req, n.scan(req, ops))) == nil
+		if writeFrame(bw, encodeScanResp(req, tbl.scan(req, ops))) != nil {
+			return nil
+		}
+		return tbl
 	default:
-		return false // protocol violation: drop the connection
+		return nil // protocol violation: drop the connection
 	}
 }
 
 // place hosts an object. Placement is idempotent: the fabric may mirror an
 // object twice when two clients race to resolve its route.
-func (n *Node) place(p placeReq) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if _, ok := n.objects[p.obj]; ok {
+func (t *nodeTable) place(p placeReq) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.objects[p.obj]; ok {
 		return
 	}
 	switch p.kind {
@@ -184,11 +247,11 @@ func (n *Node) place(p placeReq) {
 		if len(p.writers) > 0 {
 			opts = append(opts, baseobj.WithWriters(p.writers))
 		}
-		n.objects[p.obj] = baseobj.NewRegister(p.obj, opts...)
+		t.objects[p.obj] = baseobj.NewRegister(p.obj, opts...)
 	case baseobj.KindMaxRegister:
-		n.objects[p.obj] = baseobj.NewMaxRegister(p.obj)
+		t.objects[p.obj] = baseobj.NewMaxRegister(p.obj)
 	case baseobj.KindCAS:
-		n.objects[p.obj] = baseobj.NewCASCell(p.obj)
+		t.objects[p.obj] = baseobj.NewCASCell(p.obj)
 	}
 }
 
@@ -196,10 +259,10 @@ func (n *Node) place(p placeReq) {
 // The read lock is held across the object apply so a concurrent scan's
 // write lock cannot slot between lookup and apply — scans see every apply
 // entirely before or entirely after their snapshot.
-func (n *Node) apply(a applyReq) applyResp {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	obj, ok := n.objects[a.obj]
+func (t *nodeTable) apply(a applyReq) applyResp {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	obj, ok := t.objects[a.obj]
 	if !ok {
 		return applyResp{req: a.req, status: statusUnknownObject, msg: fmt.Sprintf("object %d not hosted", a.obj)}
 	}
@@ -209,13 +272,13 @@ func (n *Node) apply(a applyReq) applyResp {
 
 // scan answers a whole all-read group under the table's write lock: with
 // every plain apply holding the read lock across its object apply, the
-// exclusive section is a consistent cut of the node's objects.
-func (n *Node) scan(req uint64, ops []scanEntry) []applyResp {
+// exclusive section is a consistent cut of the table's objects.
+func (t *nodeTable) scan(req uint64, ops []scanEntry) []applyResp {
 	results := make([]applyResp, len(ops))
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for i, e := range ops {
-		obj, ok := n.objects[e.obj]
+		obj, ok := t.objects[e.obj]
 		if !ok {
 			results[i] = applyResp{req: req, status: statusUnknownObject, msg: fmt.Sprintf("object %d not hosted", e.obj)}
 			continue

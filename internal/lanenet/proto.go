@@ -42,6 +42,11 @@ const (
 	// msgScanResp answers one msgScan with per-member results in request
 	// order (node -> client).
 	msgScanResp byte = 5
+	// msgBind switches the connection onto a named object table
+	// (client -> node, no reply). One node process hosts several shards'
+	// tables over one listener; a client that never binds stays on the
+	// default table, so pre-bind peers interoperate unchanged.
+	msgBind byte = 6
 )
 
 // Response statuses. Canonical base-object errors travel as codes so the
@@ -320,6 +325,26 @@ func decodeScanResp(b []byte) (uint64, []applyResp, error) {
 		results = append(results, r)
 	}
 	return req, results, nil
+}
+
+// encodeBind encodes a msgBind payload.
+func encodeBind(table string) []byte {
+	b := make([]byte, 0, 3+len(table))
+	b = append(b, msgBind)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(table)))
+	return append(b, table...)
+}
+
+// decodeBind decodes a msgBind payload (after the type byte).
+func decodeBind(b []byte) (string, error) {
+	if len(b) < 2 {
+		return "", fmt.Errorf("lanenet: truncated bind")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	if len(b) < 2+n {
+		return "", fmt.Errorf("lanenet: truncated bind table name")
+	}
+	return string(b[2 : 2+n]), nil
 }
 
 // decodeResp decodes a msgResp payload (after the type byte).

@@ -3,42 +3,62 @@
 // second and completion latency — rather than the fabric's raw
 // trigger throughput.
 //
-// A run builds a key-space of independent emulated registers on one shared
-// cluster and fabric, drives configurable populations of writer and reader
-// clients through the completion-based engine (internal/emulation/async; a
-// single event-loop goroutine per register, no goroutine per op), and
-// records every operation's latency into log-linear histograms
-// (internal/stats). Two workload shapes are supported:
+// A run opens a sharded multi-register store (internal/shardstore): the
+// key-space is partitioned across S independent fabrics, each with its own
+// lane group (in-process, latency, or a TCP lanenode set), and driven by M
+// shared async engine loops (internal/emulation/async; no goroutine per
+// op). Configurable populations of writer and reader clients spread over
+// the materialized keys, and every operation's latency lands in a
+// log-linear histogram (internal/stats) — one per (shard, engine) pair, so
+// recording stays single-writer and lock-free, merged per shard and
+// overall at the end (stats.Histogram.Merge). Two workload shapes are
+// supported:
 //
 //   - closed loop: every client keeps exactly one operation in flight and
 //     issues its next from the previous one's completion callback; total
-//     in-flight concurrency equals the client population.
-//   - open loop: a pacer issues operations at a fixed aggregate rate onto
+//     in-flight concurrency equals the client population. Latency is
+//     service time by construction — a closed loop cannot suffer
+//     coordinated omission because it never has a backlog of intended
+//     sends.
+//   - open loop: a pacer schedules arrivals at a fixed aggregate rate onto
 //     round-robin clients regardless of completions; per-client
-//     serialization queues excess arrivals, and latency includes the queue
-//     wait, so the numbers degrade honestly under overload instead of
-//     being coordinated-omission-blind.
+//     serialization queues excess arrivals.
 //
-// Runs are correctness-gated, not just speedometers: each register records
-// its history, every run checks read validity, and atomic (read
-// write-back) builds additionally check linearizability on sound samples
-// of the history (spec.SampleLinearizable). Pure-throughput runs can opt
-// out of recording (NoHistory) when billions of ops would not fit memory.
+// # Coordinated-omission correction
+//
+// The open loop timestamps every operation at its *intended* send time —
+// arrival n of a rate-R run is charged from base + n/R — not at the moment
+// the pacer got around to issuing it. When the system (or the pacer's own
+// scheduling) falls behind, the backlog's wait is therefore part of every
+// delayed operation's recorded latency instead of being silently absorbed,
+// the classic coordinated-omission error that makes saturated systems look
+// healthy. Past the knee the reported percentiles grow without bound, as
+// they should: that is what an open-loop client experiences. RateSweep
+// runs the same configuration across offered rates to trace the
+// latency-vs-rate curve, and Knee picks the last point the store actually
+// sustained.
+//
+// Runs are correctness-gated, not just speedometers: each materialized
+// key records its history, every run checks read validity, and atomic
+// (read write-back) builds additionally check linearizability on sound
+// samples of each key's history (spec.SampleLinearizable). Pure-throughput
+// runs can opt out of recording (NoHistory) when billions of ops would not
+// fit memory.
 package loadgen
 
 import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync/atomic"
 	"time"
 
-	"repro/internal/emulation"
 	"repro/internal/emulation/async"
 	"repro/internal/fabric"
 	"repro/internal/runner"
 	"repro/internal/seed"
-	"repro/internal/spec"
+	"repro/internal/shardstore"
 	"repro/internal/stats"
 	"repro/internal/types"
 )
@@ -54,20 +74,13 @@ const (
 	ModeOpen Mode = "open"
 )
 
-// DefaultProfile is the latency-lane delay distribution of load runs: a
-// LAN-ish base with enough jitter to reorder quorum rounds and a rare
-// straggler spike.
-var DefaultProfile = fabric.LatencyProfile{
-	Base:      100 * time.Microsecond,
-	Jitter:    200 * time.Microsecond,
-	SpikeProb: 0.01,
-	Spike:     2 * time.Millisecond,
-}
+// DefaultProfile is the latency-lane delay distribution of load runs.
+var DefaultProfile = shardstore.DefaultProfile
 
 // Config parameterizes a load run.
 type Config struct {
 	// Kind is the construction; K defaults to the writer population per
-	// register, F to 1, N to the construction's chaos server count.
+	// key, F to 1, N to the construction's default server count per shard.
 	Kind runner.Kind
 	F, N int
 	// Atomic builds the read write-back variant (abd-max/abd-cas only),
@@ -75,13 +88,20 @@ type Config struct {
 	Atomic bool
 
 	// Clients is the total logical client population; ReadFraction of it
-	// become readers, the rest writers (at least one writer per
-	// register). Registers shards the population over that many
-	// independent emulated registers (the key-space), each with its own
-	// async engine loop.
+	// become readers, the rest writers (at least one writer per key).
+	// Registers is how many keys the population spreads over, picked
+	// evenly across the shards from a KeySpace-sized key-space
+	// (default 2^20, floored at Registers).
 	Clients      int
 	ReadFraction float64
 	Registers    int
+	KeySpace     uint64
+
+	// Shards partitions the key-space over that many independent fabrics
+	// (default 1); Engines is the async engine-loop pool they share
+	// (default = Shards).
+	Shards  int
+	Engines int
 
 	// Mode and Rate shape the workload; Rate (ops/sec, aggregate) is
 	// only used by ModeOpen.
@@ -94,18 +114,20 @@ type Config struct {
 	Duration time.Duration
 	MaxOps   int64
 
-	// Lane selects the dispatch backend (runner.LaneInProc default, or
-	// runner.LaneLatency with Profile); Seed drives the lane delays and
-	// the open-loop mix.
-	Lane    runner.Lane
-	Profile *fabric.LatencyProfile
-	Seed    int64
+	// Lane selects the dispatch backend (runner.LaneInProc default,
+	// runner.LaneLatency with Profile, or runner.LaneTCP over NodeAddrs);
+	// Seed drives the lane delays and the open-loop mix.
+	Lane        runner.Lane
+	Profile     *fabric.LatencyProfile
+	NodeAddrs   []string
+	DialTimeout time.Duration
+	Seed        int64
 
 	// NoHistory disables history recording (and therefore all checks):
 	// the pure-throughput mode.
 	NoHistory bool
 	// SampleChecks is how many independent linearizability samples to
-	// check per register on atomic builds (default 4).
+	// check per key on atomic builds (default 4).
 	SampleChecks int
 
 	// Mailbox overrides the latency lanes' event-loop mailbox capacity
@@ -138,6 +160,15 @@ func summarize(h *stats.Histogram) Latency {
 	}
 }
 
+// ShardStat is one shard's share of a run.
+type ShardStat struct {
+	Shard   int     `json:"shard"`
+	Keys    int     `json:"keys"`
+	Ops     int64   `json:"ops"`
+	Failed  int64   `json:"failed"`
+	Latency Latency `json:"latency"`
+}
+
 // Result is one run's report, shaped for JSON snapshots.
 type Result struct {
 	Kind      string  `json:"kind"`
@@ -151,19 +182,24 @@ type Result struct {
 	Writers   int     `json:"writers"`
 	Readers   int     `json:"readers"`
 	Registers int     `json:"registers"`
+	Shards    int     `json:"shards"`
+	Engines   int     `json:"engines"`
+	Procs     int     `json:"procs"`
 	Rate      float64 `json:"rate,omitempty"`
 
 	DurationSec float64 `json:"duration_sec"`
 	Ops         int64   `json:"ops"`
 	Failed      int64   `json:"failed"`
 	OpsPerSec   float64 `json:"ops_per_sec"`
-	// MaxInFlight sums the per-register engines' peak concurrency (exact
-	// when Registers == 1).
+	// MaxInFlight sums the engine loops' peak concurrency.
 	MaxInFlight int64 `json:"max_in_flight"`
 
 	Latency      Latency `json:"latency"`
 	WriteLatency Latency `json:"write_latency"`
 	ReadLatency  Latency `json:"read_latency"`
+	// PerShard breaks the run down by shard; the top-level histograms are
+	// the per-shard ones merged.
+	PerShard []ShardStat `json:"per_shard,omitempty"`
 
 	// Checked reports whether consistency was verified; HistoryOps is the
 	// total recorded high-level ops, SampledOps how many the
@@ -175,27 +211,27 @@ type Result struct {
 	Violations []string `json:"violations,omitempty"`
 }
 
-// shard is one register of the key-space with its clients and meters.
-type shard struct {
-	reg     *runnerReg
-	eng     *async.Engine
-	writers []*async.Client
-	readers []*async.Client
-
-	nextVal atomic.Int64
-
-	// Owned by the shard's engine loop.
-	all       *stats.Histogram
-	writeLat  *stats.Histogram
-	readLat   *stats.Histogram
-	completed atomic.Int64
-	failed    atomic.Int64
+// meter is one (shard, engine) pair's latency and outcome record. All of a
+// key's completions fire on its engine loop, so each meter has exactly one
+// writing goroutine: no locks, no atomics on the hot path.
+type meter struct {
+	all      *stats.Histogram
+	writeLat *stats.Histogram
+	readLat  *stats.Histogram
+	done     int64
+	failed   int64
 }
 
-// runnerReg pairs a built register with its history.
-type runnerReg struct {
-	k    int
-	hist *spec.History
+func newMeter() *meter {
+	return &meter{all: stats.NewHistogram(), writeLat: stats.NewHistogram(), readLat: stats.NewHistogram()}
+}
+
+// worker is one logical client bound to its key, engine client, and meter.
+type worker struct {
+	key uint64
+	c   *async.Client
+	m   *meter
+	val *atomic.Int64 // per-key write-value counter (shared by the key's writers)
 }
 
 // Run executes one load run.
@@ -215,6 +251,9 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Mode == "" {
 		cfg.Mode = ModeClosed
 	}
+	if cfg.Mode != ModeClosed && cfg.Mode != ModeOpen {
+		return nil, fmt.Errorf("loadgen: unknown mode %q", cfg.Mode)
+	}
 	if cfg.Mode == ModeOpen && cfg.Rate <= 0 {
 		return nil, fmt.Errorf("loadgen: open loop needs a positive rate")
 	}
@@ -225,104 +264,108 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		cfg.F = 1
 	}
 	if cfg.N <= 0 {
-		cfg.N = runner.ChaosServers(cfg.Kind)
-		if cfg.F > 1 {
-			cfg.N = 2*cfg.F + 1
-			if cfg.Kind == runner.KindRegEmu {
-				cfg.N = 3*cfg.F + 1
-			}
-		}
+		cfg.N = shardstore.DefaultServers(cfg.Kind, cfg.F)
 	}
 	if cfg.SampleChecks <= 0 {
 		cfg.SampleChecks = 4
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Engines <= 0 {
+		cfg.Engines = cfg.Shards
+	}
+	if cfg.KeySpace == 0 {
+		cfg.KeySpace = 1 << 20
+	}
+	if cfg.KeySpace < uint64(cfg.Registers) {
+		cfg.KeySpace = uint64(cfg.Registers)
+	}
+	if cfg.Lane == "" {
+		cfg.Lane = runner.LaneInProc
 	}
 
 	readers := int(float64(cfg.Clients)*cfg.ReadFraction + 0.5)
 	writers := cfg.Clients - readers
 	if writers < cfg.Registers {
-		// Every register needs a writer population (K >= 1).
+		// Every key needs a writer population (K >= 1).
 		writers = cfg.Registers
 		readers = cfg.Clients - writers
 		if readers < 0 {
 			readers = 0
 		}
 	}
-
-	var laneOpts []fabric.Option
-	switch cfg.Lane {
-	case "", runner.LaneInProc:
-		cfg.Lane = runner.LaneInProc
-	case runner.LaneLatency:
-		profile := DefaultProfile
-		if cfg.Profile != nil {
-			profile = *cfg.Profile
-		}
-		var latOpts []fabric.LatencyOption
-		if cfg.Mailbox > 0 {
-			latOpts = append(latOpts, fabric.WithMailboxCapacity(cfg.Mailbox))
-		}
-		if cfg.Coalesce > 0 {
-			latOpts = append(latOpts, fabric.WithCoalesceWindow(cfg.Coalesce))
-		}
-		laneOpts = append(laneOpts, fabric.WithLanes(fabric.LatencyLanes(seed.Sub(cfg.Seed, 0), profile, latOpts...)))
-	default:
-		return nil, fmt.Errorf("loadgen: unknown lane %q", cfg.Lane)
+	// Per-key populations: key i of the Registers picked keys gets wPer
+	// (+1 for the first writers%Registers keys) writers, same for readers.
+	maxWPerKey := writers / cfg.Registers
+	if writers%cfg.Registers > 0 {
+		maxWPerKey++
 	}
-	env, err := runner.NewEnv(cfg.N, nil, laneOpts...)
+
+	st, err := shardstore.Open(ctx, shardstore.Config{
+		Shards: cfg.Shards, Engines: cfg.Engines, Keys: cfg.KeySpace,
+		Kind: cfg.Kind, WritersPerKey: maxWPerKey, F: cfg.F, N: cfg.N,
+		Atomic: cfg.Atomic,
+		Lane:   cfg.Lane, Profile: cfg.Profile,
+		NodeAddrs: cfg.NodeAddrs, DialTimeout: cfg.DialTimeout,
+		Seed: cfg.Seed, NoHistory: cfg.NoHistory,
+		Mailbox: cfg.Mailbox, Coalesce: cfg.Coalesce,
+	})
 	if err != nil {
 		return nil, err
 	}
+	defer st.Close()
 
-	// Build the key-space and distribute the populations.
-	shards := make([]*shard, cfg.Registers)
-	engCtx, engCancel := context.WithCancel(ctx)
-	defer engCancel()
-	for s := range shards {
+	// Materialize the keys and their clients up front so construction cost
+	// stays out of the measured window. Meters are per (shard, engine):
+	// single-writer by key-affinity.
+	meters := make([][]*meter, cfg.Shards)
+	for s := range meters {
+		meters[s] = make([]*meter, cfg.Engines)
+		for e := range meters[s] {
+			meters[s][e] = newMeter()
+		}
+	}
+	keys := st.BalancedKeys(cfg.Registers)
+	var writerPool, readerPool []worker
+	totalK := 0
+	for ki, key := range keys {
+		m := meters[st.ShardOf(key)][st.EngineOf(key)]
+		val := new(atomic.Int64)
 		wHere := writers / cfg.Registers
-		if s < writers%cfg.Registers {
+		if ki < writers%cfg.Registers {
 			wHere++
 		}
 		rHere := readers / cfg.Registers
-		if s < readers%cfg.Registers {
+		if ki < readers%cfg.Registers {
 			rHere++
 		}
-		built, h, err := buildShard(cfg, env.Fabric, wHere)
-		if err != nil {
-			return nil, err
-		}
-		if cfg.NoHistory {
-			h.SetDiscard(true)
-		}
-		sh := &shard{
-			reg:      &runnerReg{k: wHere, hist: h},
-			eng:      async.New(built, async.WithContext(engCtx)),
-			all:      stats.NewHistogram(),
-			writeLat: stats.NewHistogram(),
-			readLat:  stats.NewHistogram(),
-		}
-		for i := 0; i < wHere; i++ {
-			c, err := sh.eng.Writer(i)
+		totalK += wHere
+		for slot := 0; slot < wHere; slot++ {
+			c, err := st.Writer(key, slot)
 			if err != nil {
 				return nil, err
 			}
-			sh.writers = append(sh.writers, c)
+			writerPool = append(writerPool, worker{key: key, c: c, m: m, val: val})
 		}
-		for i := 0; i < rHere; i++ {
-			sh.readers = append(sh.readers, sh.eng.NewReader())
+		for slot := 0; slot < rHere; slot++ {
+			c, err := st.Reader(key, slot)
+			if err != nil {
+				return nil, err
+			}
+			readerPool = append(readerPool, worker{key: key, c: c, m: m})
 		}
-		shards[s] = sh
 	}
-	defer func() {
-		for _, sh := range shards {
-			sh.eng.Close()
-		}
-	}()
 
 	// The measurement window: completions are counted while counting is
 	// set; the first MaxOps-crossing completion (or the duration timer)
-	// clears it, and the drained tail is not measured.
+	// clears it, and the drained tail is not measured. The window opens
+	// only after every client's first op is enqueued (below) — on a fast
+	// lane the engine loops can complete thousands of ops while this
+	// goroutine is still starting workers (single-CPU scheduling), and a
+	// small MaxOps would otherwise be spent before late shards' workers
+	// exist. Stop halts issuance; counting alone gates recording.
 	var counting atomic.Bool
-	counting.Store(true)
 	var totalDone atomic.Int64
 	stopped := make(chan struct{})
 	var stopOnce atomic.Bool
@@ -333,67 +376,65 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
-	record := func(sh *shard, write bool, start time.Time, err error) {
+	record := func(m *meter, write bool, start time.Time, err error) {
 		if !counting.Load() {
 			return
 		}
 		if err != nil {
-			sh.failed.Add(1)
+			m.failed++
 			return
 		}
 		lat := time.Since(start).Nanoseconds()
-		sh.all.Record(lat)
+		m.all.Record(lat)
 		if write {
-			sh.writeLat.Record(lat)
+			m.writeLat.Record(lat)
 		} else {
-			sh.readLat.Record(lat)
+			m.readLat.Record(lat)
 		}
-		sh.completed.Add(1)
+		m.done++
 		if cfg.MaxOps > 0 && totalDone.Add(1) >= cfg.MaxOps {
 			stop()
 		}
 	}
 
-	started := time.Now()
-	switch cfg.Mode {
-	case ModeClosed:
-		for _, sh := range shards {
-			sh := sh
-			for _, c := range sh.writers {
-				c := c
-				var issue func()
-				issue = func() {
-					if !counting.Load() {
-						return
-					}
-					start := time.Now()
-					c.StartWrite(types.Value(sh.nextVal.Add(1)), func(err error) {
-						record(sh, true, start, err)
-						issue()
-					})
+	if cfg.Mode == ModeClosed {
+		// Completions arriving before the window opens recurse (keeping
+		// the one-op-in-flight invariant) but are not recorded.
+		for _, w := range writerPool {
+			w := w
+			var issue func()
+			issue = func() {
+				if stopOnce.Load() {
+					return
 				}
-				issue()
+				start := time.Now()
+				w.c.StartWrite(types.Value(w.val.Add(1)), func(err error) {
+					record(w.m, true, start, err)
+					issue()
+				})
 			}
-			for _, c := range sh.readers {
-				c := c
-				var issue func()
-				issue = func() {
-					if !counting.Load() {
-						return
-					}
-					start := time.Now()
-					c.StartRead(func(_ types.Value, err error) {
-						record(sh, false, start, err)
-						issue()
-					})
-				}
-				issue()
-			}
+			issue()
 		}
-	case ModeOpen:
-		go pace(ctx, cfg, shards, stopped, &counting, record)
-	default:
-		return nil, fmt.Errorf("loadgen: unknown mode %q", cfg.Mode)
+		for _, w := range readerPool {
+			w := w
+			var issue func()
+			issue = func() {
+				if stopOnce.Load() {
+					return
+				}
+				start := time.Now()
+				w.c.StartRead(func(_ types.Value, err error) {
+					record(w.m, false, start, err)
+					issue()
+				})
+			}
+			issue()
+		}
+	}
+	counting.Store(true)
+	started := time.Now()
+	if cfg.Mode == ModeOpen {
+		go pace(ctx, cfg, writerPool, readerPool, stopped, &counting, record)
 	}
 
 	select {
@@ -407,10 +448,8 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	// Drain the in-flight tail so histories are complete before checking.
 	drainCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
 	defer cancel()
-	for _, sh := range shards {
-		if err := sh.eng.Drain(drainCtx); err != nil {
-			return nil, fmt.Errorf("loadgen: draining register engine: %w", err)
-		}
+	if err := st.Drain(drainCtx); err != nil {
+		return nil, fmt.Errorf("loadgen: draining engines: %w", err)
 	}
 
 	res := &Result{
@@ -418,24 +457,41 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		Lane:        string(cfg.Lane),
 		Mode:        string(cfg.Mode),
 		Atomic:      cfg.Atomic,
+		K:           totalK,
 		F:           cfg.F,
 		N:           cfg.N,
 		Clients:     cfg.Clients,
 		Writers:     writers,
 		Readers:     readers,
-		Registers:   cfg.Registers,
+		Registers:   len(keys),
+		Shards:      cfg.Shards,
+		Engines:     cfg.Engines,
+		Procs:       runtime.GOMAXPROCS(0),
 		Rate:        cfg.Rate,
 		DurationSec: elapsed.Seconds(),
 	}
+	perShardKeys := st.MaterializedKeys()
 	all, wh, rh := stats.NewHistogram(), stats.NewHistogram(), stats.NewHistogram()
-	for _, sh := range shards {
-		res.K += sh.reg.k
-		res.Ops += sh.completed.Load()
-		res.Failed += sh.failed.Load()
-		res.MaxInFlight += sh.eng.Stats().MaxInFlight
-		all.Merge(sh.all)
-		wh.Merge(sh.writeLat)
-		rh.Merge(sh.readLat)
+	for s := 0; s < cfg.Shards; s++ {
+		shardAll := stats.NewHistogram()
+		var stat ShardStat
+		stat.Shard = s
+		stat.Keys = perShardKeys[s]
+		for _, m := range meters[s] {
+			shardAll.Merge(m.all)
+			wh.Merge(m.writeLat)
+			rh.Merge(m.readLat)
+			stat.Ops += m.done
+			stat.Failed += m.failed
+		}
+		stat.Latency = summarize(shardAll)
+		all.Merge(shardAll)
+		res.PerShard = append(res.PerShard, stat)
+		res.Ops += stat.Ops
+		res.Failed += stat.Failed
+	}
+	for _, es := range st.EngineStats() {
+		res.MaxInFlight += es.MaxInFlight
 	}
 	res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
 	res.Latency = summarize(all)
@@ -444,66 +500,27 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 
 	if !cfg.NoHistory {
 		res.Checked = true
-		for _, sh := range shards {
-			ops := sh.reg.hist.Snapshot()
-			res.HistoryOps += len(ops)
-			if err := spec.CheckReadValidity(ops, types.InitialValue); err != nil {
-				res.Violations = append(res.Violations, err.Error())
-			}
-			if cfg.Atomic {
-				for chk := 0; chk < cfg.SampleChecks; chk++ {
-					sample := spec.SampleLinearizable(ops, 1024, seed.Sub(cfg.Seed, uint64(chk+1)))
-					res.SampledOps += len(sample)
-					if err := spec.CheckLinearizable(sample, types.InitialValue); err != nil {
-						res.Violations = append(res.Violations, err.Error())
-					}
-				}
-			}
-		}
+		rep := st.CheckAll(cfg.SampleChecks, cfg.Seed)
+		res.HistoryOps = rep.HistoryOps
+		res.SampledOps = rep.SampledOps
+		res.Violations = rep.Violations
 	}
 	return res, nil
 }
 
-// buildShard builds one register of the key-space.
-func buildShard(cfg Config, fab *fabric.Fabric, k int) (emulation.Register, *spec.History, error) {
-	if cfg.Atomic {
-		return runner.BuildAtomic(cfg.Kind, fab, k, cfg.F)
-	}
-	return runner.Build(cfg.Kind, fab, k, cfg.F)
-}
-
-// pace is the open-loop arrival process: issue ops at cfg.Rate aggregate
-// onto round-robin clients (the mix drawn per arrival), queueing behind
-// busy clients rather than skipping them.
-func pace(ctx context.Context, cfg Config, shards []*shard, stopped <-chan struct{}, counting *atomic.Bool, record func(*shard, bool, time.Time, error)) {
+// pace is the open-loop arrival process: arrival n is *scheduled* at
+// base + n/Rate, and that intended time — not the moment the pacer loop
+// reached it — is the timestamp its latency is measured from
+// (coordinated-omission correction; see the package comment). Arrivals go
+// onto round-robin clients with the read/write mix drawn per arrival,
+// queueing behind busy clients rather than skipping them.
+func pace(ctx context.Context, cfg Config, writers, readers []worker, stopped <-chan struct{}, counting *atomic.Bool, record func(*meter, bool, time.Time, error)) {
 	rng := rand.New(rand.NewSource(seed.Sub(cfg.Seed, 99)))
-	const tick = time.Millisecond
-	perTick := cfg.Rate * tick.Seconds()
-	var carry float64
+	interval := float64(time.Second) / cfg.Rate
+	base := time.Now()
+	var issued int64
 	var wIdx, rIdx int
-	var writersAll []struct {
-		sh *shard
-		c  *async.Client
-	}
-	var readersAll []struct {
-		sh *shard
-		c  *async.Client
-	}
-	for _, sh := range shards {
-		for _, c := range sh.writers {
-			writersAll = append(writersAll, struct {
-				sh *shard
-				c  *async.Client
-			}{sh, c})
-		}
-		for _, c := range sh.readers {
-			readersAll = append(readersAll, struct {
-				sh *shard
-				c  *async.Client
-			}{sh, c})
-		}
-	}
-	t := time.NewTicker(tick)
+	t := time.NewTicker(time.Millisecond)
 	defer t.Stop()
 	for {
 		select {
@@ -513,22 +530,56 @@ func pace(ctx context.Context, cfg Config, shards []*shard, stopped <-chan struc
 			return
 		case <-t.C:
 		}
-		carry += perTick
-		for ; carry >= 1; carry-- {
+		// Everything scheduled up to now is due; a late wakeup issues the
+		// whole backlog, each op stamped with its own intended time.
+		due := int64(float64(time.Since(base)) / interval)
+		for ; issued < due; issued++ {
 			if !counting.Load() {
 				return
 			}
-			read := len(readersAll) > 0 && (len(writersAll) == 0 || rng.Float64() < cfg.ReadFraction)
-			start := time.Now()
+			intended := base.Add(time.Duration(float64(issued) * interval))
+			read := len(readers) > 0 && (len(writers) == 0 || rng.Float64() < cfg.ReadFraction)
 			if read {
-				e := readersAll[rIdx%len(readersAll)]
+				w := readers[rIdx%len(readers)]
 				rIdx++
-				e.c.StartRead(func(_ types.Value, err error) { record(e.sh, false, start, err) })
+				w.c.StartRead(func(_ types.Value, err error) { record(w.m, false, intended, err) })
 			} else {
-				e := writersAll[wIdx%len(writersAll)]
+				w := writers[wIdx%len(writers)]
 				wIdx++
-				e.c.StartWrite(types.Value(e.sh.nextVal.Add(1)), func(err error) { record(e.sh, true, start, err) })
+				w.c.StartWrite(types.Value(w.val.Add(1)), func(err error) { record(w.m, true, intended, err) })
 			}
 		}
 	}
+}
+
+// RateSweep runs the same open-loop configuration at each offered rate in
+// turn — a fresh store per point, so queue state never leaks between rates
+// — and returns one Result per rate: the latency-vs-offered-rate curve.
+func RateSweep(ctx context.Context, cfg Config, rates []float64) ([]*Result, error) {
+	cfg.Mode = ModeOpen
+	out := make([]*Result, 0, len(rates))
+	for _, r := range rates {
+		cfg.Rate = r
+		res, err := Run(ctx, cfg)
+		if err != nil {
+			return out, fmt.Errorf("loadgen: sweep at rate %.0f: %w", r, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Knee returns the index of the last sweep point whose achieved throughput
+// is at least 95% of its offered rate — the highest rate the store
+// sustained before saturating; -1 when even the lowest offered rate was
+// not sustained. Past this point the CO-corrected percentiles grow with
+// the backlog rather than the service time.
+func Knee(results []*Result) int {
+	knee := -1
+	for i, r := range results {
+		if r.Rate > 0 && r.OpsPerSec >= 0.95*r.Rate {
+			knee = i
+		}
+	}
+	return knee
 }

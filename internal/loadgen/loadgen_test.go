@@ -133,6 +133,113 @@ func TestRegisterSharding(t *testing.T) {
 	}
 }
 
+// TestShardedRun spreads the key-space over several shards and engines:
+// every shard must carry load, the per-shard breakdown must tile the
+// totals, and the cross-shard histories must stay clean. MaxOps must span
+// many scheduler quanta: on the in-process lane a busy engine loop burns
+// ~3000 ops per ~10ms time slice without yielding, so a budget that small
+// can be spent entirely by one engine's keys before the other engine runs
+// at all on a single-CPU machine, leaving its shards unrecorded.
+func TestShardedRun(t *testing.T) {
+	res, err := Run(context.Background(), Config{
+		Kind:         runner.KindABDMax,
+		Atomic:       true,
+		Clients:      24,
+		ReadFraction: 0.5,
+		Registers:    6,
+		Shards:       3,
+		Engines:      2,
+		Duration:     2 * time.Second,
+		MaxOps:       60000,
+		Seed:         6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != 3 || res.Engines != 2 || len(res.PerShard) != 3 {
+		t.Fatalf("shards=%d engines=%d per-shard=%d", res.Shards, res.Engines, len(res.PerShard))
+	}
+	var ops, n int64
+	for _, sh := range res.PerShard {
+		if sh.Ops == 0 || sh.Keys == 0 {
+			t.Fatalf("shard %d idle: %+v", sh.Shard, sh)
+		}
+		ops += sh.Ops
+		n += sh.Latency.N
+	}
+	if ops != res.Ops || n != res.Latency.N {
+		t.Fatalf("per-shard ops %d / samples %d do not tile totals %d / %d", ops, n, res.Ops, res.Latency.N)
+	}
+	if res.Failed != 0 || len(res.Violations) != 0 {
+		t.Fatalf("failed=%d violations=%v", res.Failed, res.Violations)
+	}
+}
+
+// TestOpenLoopCoordinatedOmission overloads a slow lane far past its
+// capacity: with intended-send-time stamping the measured tail must carry
+// the backlog's wait (far above the lane's service time), which issue-time
+// stamping would have silently omitted.
+func TestOpenLoopCoordinatedOmission(t *testing.T) {
+	base := time.Millisecond
+	profile := fabric.LatencyProfile{Base: base, Jitter: 100 * time.Microsecond}
+	res, err := Run(context.Background(), Config{
+		Kind:         runner.KindABDMax,
+		Clients:      4,
+		ReadFraction: 0.5,
+		Mode:         ModeOpen,
+		Rate:         10_000, // capacity is ~clients/base = ~4k ops/sec
+		Lane:         runner.LaneLatency,
+		Profile:      &profile,
+		Duration:     250 * time.Millisecond,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("overloaded run completed nothing")
+	}
+	if p99 := time.Duration(res.Latency.P99); p99 < 10*base {
+		t.Fatalf("overload p99 = %v, want >> service time %v: backlog wait omitted", p99, base)
+	}
+	if res.Failed != 0 || len(res.Violations) != 0 {
+		t.Fatalf("failed=%d violations=%v", res.Failed, res.Violations)
+	}
+}
+
+// TestRateSweepKnee sweeps a sustained and a saturating offered rate and
+// checks Knee lands on the sustained one.
+func TestRateSweepKnee(t *testing.T) {
+	profile := fabric.LatencyProfile{Base: 500 * time.Microsecond, Jitter: 100 * time.Microsecond}
+	results, err := RateSweep(context.Background(), Config{
+		Kind:         runner.KindABDMax,
+		Clients:      8,
+		ReadFraction: 0.5,
+		Lane:         runner.LaneLatency,
+		Profile:      &profile,
+		Duration:     200 * time.Millisecond,
+		Seed:         8,
+	}, []float64{1000, 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("sweep returned %d points", len(results))
+	}
+	if results[0].OpsPerSec < 950 {
+		t.Fatalf("sustained point achieved %.0f of 1000 offered", results[0].OpsPerSec)
+	}
+	if results[1].OpsPerSec >= 0.95*100_000 {
+		t.Fatalf("saturating point achieved %.0f of 100000 offered on 8 clients", results[1].OpsPerSec)
+	}
+	if k := Knee(results); k != 0 {
+		t.Fatalf("knee = %d, want 0", k)
+	}
+	if k := Knee(nil); k != -1 {
+		t.Fatalf("knee of empty sweep = %d, want -1", k)
+	}
+}
+
 // TestNoHistoryMode skips recording and checking.
 func TestNoHistoryMode(t *testing.T) {
 	res, err := Run(context.Background(), Config{

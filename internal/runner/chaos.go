@@ -18,9 +18,7 @@ import (
 // Lane selects the fabric dispatch backend of a chaos run.
 type Lane string
 
-// The chaos-capable lane backends. The TCP lane is exercised through
-// ChaosConfig.LaneMaker (the caller dials the storage nodes and hands the
-// lanes in), not through a Lane constant, because it needs endpoints.
+// The lane backends.
 const (
 	// LaneInProc is the default synchronous in-process lane.
 	LaneInProc Lane = "inproc"
@@ -28,6 +26,12 @@ const (
 	// on every lane, composing real asynchrony with the chaos gate's
 	// holds and releases.
 	LaneLatency Lane = "latency"
+	// LaneTCP dispatches over lanenet storage-node processes. Chaos runs
+	// exercise it through ChaosConfig.LaneMaker (the caller dials the
+	// nodes and hands the lanes in) because it needs endpoints; layers
+	// that carry endpoints themselves (shardstore, loadgen) accept the
+	// constant directly.
+	LaneTCP Lane = "tcp"
 )
 
 // chaosLatencyProfile is the delay distribution of latency-lane chaos
@@ -96,6 +100,8 @@ func (cfg ChaosConfig) laneOptions() ([]fabric.Option, error) {
 	case LaneLatency:
 		maker := fabric.LatencyLanes(seed.Sub(cfg.Seed, chaosStreamLane), chaosLatencyProfile)
 		return []fabric.Option{fabric.WithLanes(maker)}, nil
+	case LaneTCP:
+		return nil, fmt.Errorf("runner: chaos lane %q needs endpoints; dial the nodes and set LaneMaker", cfg.Lane)
 	default:
 		return nil, fmt.Errorf("runner: unknown chaos lane %q", cfg.Lane)
 	}

@@ -1,0 +1,523 @@
+// Package shardstore is the horizontal-composition layer: it partitions a
+// large register key-space across S independent fabrics (shards) behind a
+// single routing frontend, and drives them through a pool of M shared
+// async engine loops.
+//
+// The paper's space and latency bounds are per-register; serving a large
+// key-space means amortizing those per-register costs across many
+// registers without funnelling every operation through one fabric and one
+// engine goroutine. Each shard is a complete vertical slice — its own
+// cluster (server set), fabric, and lane group (in-process, latency, or a
+// TCP lanenode set) — so shards share no locks, no token counters, and no
+// fault domains: crashing a server affects exactly one shard's quorums.
+// The shard router is the key-space analogue of the fabric's per-object
+// ServerFor routing: a pure, deterministic function of the key, stable
+// across restarts, so any frontend instance routes identically
+// (freestore's client frontend over server groups is the exemplar).
+//
+// # Key-affinity engine routing
+//
+// Engines are deliberately decoupled from shards: M detached async engine
+// loops (async.NewDetached) are shared by all S shards, and every key is
+// pinned to one engine by a second independent hash. All clients of a key
+// live on that key's engine, so per-client operation serialization — the
+// paper's well-formed histories — is enforced by the engine's per-client
+// queueing no matter how many goroutines call into the store. M scales
+// with cores, S with fault domains; the two are tuned independently.
+//
+// # Registers, lazily
+//
+// A key's emulated register (construction, base objects on the shard's
+// servers, history) is materialized on first touch and cached; a store
+// "serving a million keys" allocates per-register state only for keys that
+// actually see traffic. Materialization is idempotent and safe from any
+// goroutine.
+//
+// # TCP shards over shared node processes
+//
+// On the TCP lane, shards map onto a flat pool of storage-node processes:
+// shard s's server j dials NodeAddrs[(s*N+j) mod P] and binds the
+// connection to table "shard<s>" (lanenet.WithTable), so one node process
+// hosts many shards' tables over one listener without object-id
+// collisions. Killing a node process crashes one server in every shard
+// with a table there — several shards each lose one fault domain, and
+// every quorum still completes when f bounds hold per shard.
+package shardstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/emulation"
+	"repro/internal/emulation/async"
+	"repro/internal/fabric"
+	"repro/internal/lanenet"
+	"repro/internal/runner"
+	"repro/internal/seed"
+	"repro/internal/spec"
+	"repro/internal/types"
+)
+
+// Routing sub-streams: the shard and engine hashes must be independent so
+// engine load stays balanced within every shard.
+const (
+	routeStreamShard uint64 = iota
+	routeStreamEngine
+)
+
+// DefaultProfile is the latency-lane delay distribution used when no
+// profile is given: a LAN-ish base with enough jitter to reorder quorum
+// rounds and a rare straggler spike.
+var DefaultProfile = fabric.LatencyProfile{
+	Base:      100 * time.Microsecond,
+	Jitter:    200 * time.Microsecond,
+	SpikeProb: 0.01,
+	Spike:     2 * time.Millisecond,
+}
+
+// DefaultServers returns the per-shard server count provisioned for a
+// construction at failure threshold f: the chaos defaults at f=1, the
+// quorum minimum (2f+1, or 3f+1 for Algorithm 2's segment placement)
+// above.
+func DefaultServers(kind runner.Kind, f int) int {
+	if f <= 1 {
+		return runner.ChaosServers(kind)
+	}
+	if kind == runner.KindRegEmu {
+		return 3*f + 1
+	}
+	return 2*f + 1
+}
+
+// Config parameterizes a store.
+type Config struct {
+	// Shards is S, the number of independent fabrics (default 1); Engines
+	// is M, the number of shared async engine loops (default = Shards).
+	Shards  int
+	Engines int
+
+	// Keys is the key-space size: keys 0..Keys-1 are addressable
+	// (default 1). Registers materialize lazily on first touch.
+	Keys uint64
+
+	// Kind is the construction; WritersPerKey the writer slots per key's
+	// register (default 1); F and N the per-shard failure threshold and
+	// server count (N defaults per DefaultServers). Atomic builds the read
+	// write-back variant, enabling the linearizability checks.
+	Kind          runner.Kind
+	WritersPerKey int
+	F, N          int
+	Atomic        bool
+
+	// Lane selects each shard's dispatch backend: runner.LaneInProc
+	// (default), runner.LaneLatency with Profile, or runner.LaneTCP over
+	// the NodeAddrs pool. Seed drives lane delay streams per shard.
+	Lane      runner.Lane
+	Profile   *fabric.LatencyProfile
+	NodeAddrs []string
+	// DialTimeout bounds each TCP dial (default 5s).
+	DialTimeout time.Duration
+	Seed        int64
+
+	// NoHistory disables history recording (and therefore CheckAll).
+	NoHistory bool
+
+	// Mailbox and Coalesce are the latency-lane event-loop knobs
+	// (fabric.WithMailboxCapacity / WithCoalesceWindow); 0 keeps defaults.
+	Mailbox  int
+	Coalesce time.Duration
+}
+
+// Store is a sharded multi-register store: the routing frontend over S
+// shards and M engine loops. All methods are safe for concurrent use.
+type Store struct {
+	cfg     Config
+	shards  []*shard
+	engines []*async.Engine
+	cancel  context.CancelFunc
+	closed  atomic.Bool
+}
+
+// shard is one vertical slice: a fabric with its own lane group plus the
+// materialized registers of the keys routed here.
+type shard struct {
+	env *runner.Env
+
+	mu   sync.RWMutex
+	keys map[uint64]*keyreg
+}
+
+// keyreg is one key's materialized register.
+type keyreg struct {
+	reg  emulation.Register
+	hist *spec.History
+
+	mu      sync.Mutex
+	readers []*async.Client
+}
+
+// Open builds the store: S fabrics with their lane groups and M detached
+// engine loops bounded by ctx (cancelling it fails every in-flight op, as
+// does Close).
+func Open(ctx context.Context, cfg Config) (*Store, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Engines <= 0 {
+		cfg.Engines = cfg.Shards
+	}
+	if cfg.Keys == 0 {
+		cfg.Keys = 1
+	}
+	if cfg.WritersPerKey <= 0 {
+		cfg.WritersPerKey = 1
+	}
+	if cfg.F <= 0 {
+		cfg.F = 1
+	}
+	if cfg.N <= 0 {
+		cfg.N = DefaultServers(cfg.Kind, cfg.F)
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.Lane == "" {
+		cfg.Lane = runner.LaneInProc
+	}
+
+	st := &Store{cfg: cfg}
+	engCtx, cancel := context.WithCancel(ctx)
+	st.cancel = cancel
+	ok := false
+	defer func() {
+		if !ok {
+			_ = st.Close()
+		}
+	}()
+	for m := 0; m < cfg.Engines; m++ {
+		st.engines = append(st.engines, async.NewDetached(async.WithContext(engCtx)))
+	}
+	for s := 0; s < cfg.Shards; s++ {
+		laneOpts, err := laneOptions(cfg, s)
+		if err != nil {
+			return nil, err
+		}
+		env, err := runner.NewEnv(cfg.N, nil, laneOpts...)
+		if err != nil {
+			return nil, err
+		}
+		st.shards = append(st.shards, &shard{env: env, keys: make(map[uint64]*keyreg)})
+	}
+	ok = true
+	return st, nil
+}
+
+// laneOptions builds shard s's lane group.
+func laneOptions(cfg Config, s int) ([]fabric.Option, error) {
+	switch cfg.Lane {
+	case runner.LaneInProc:
+		return nil, nil
+	case runner.LaneLatency:
+		profile := DefaultProfile
+		if cfg.Profile != nil {
+			profile = *cfg.Profile
+		}
+		var latOpts []fabric.LatencyOption
+		if cfg.Mailbox > 0 {
+			latOpts = append(latOpts, fabric.WithMailboxCapacity(cfg.Mailbox))
+		}
+		if cfg.Coalesce > 0 {
+			latOpts = append(latOpts, fabric.WithCoalesceWindow(cfg.Coalesce))
+		}
+		// Each shard draws its delays from an independent sub-stream, so
+		// shards never share correlated spikes.
+		maker := fabric.LatencyLanes(seed.Sub(cfg.Seed, uint64(s)), profile, latOpts...)
+		return []fabric.Option{fabric.WithLanes(maker)}, nil
+	case runner.LaneTCP:
+		if len(cfg.NodeAddrs) == 0 {
+			return nil, errors.New("shardstore: TCP lane needs NodeAddrs")
+		}
+		clients := make([]*lanenet.Client, cfg.N)
+		table := fmt.Sprintf("shard%d", s)
+		for j := 0; j < cfg.N; j++ {
+			addr := cfg.NodeAddrs[(s*cfg.N+j)%len(cfg.NodeAddrs)]
+			c, err := lanenet.Dial(addr, cfg.DialTimeout, lanenet.WithTable(table))
+			if err != nil {
+				for _, prev := range clients[:j] {
+					_ = prev.Close()
+				}
+				return nil, fmt.Errorf("shardstore: shard %d server %d: %w", s, j, err)
+			}
+			clients[j] = c
+		}
+		maker := func(server types.ServerID) fabric.Lane { return clients[server] }
+		return []fabric.Option{fabric.WithLanes(maker)}, nil
+	default:
+		return nil, fmt.Errorf("shardstore: unknown lane %q", cfg.Lane)
+	}
+}
+
+// NumShards returns S.
+func (st *Store) NumShards() int { return len(st.shards) }
+
+// NumEngines returns M.
+func (st *Store) NumEngines() int { return len(st.engines) }
+
+// Keys returns the key-space size.
+func (st *Store) Keys() uint64 { return st.cfg.Keys }
+
+// ShardOf routes a key to its shard: a pure function of (key, S) — no
+// state, so the mapping is identical across store instances and restarts.
+func (st *Store) ShardOf(key uint64) int {
+	return int(uint64(seed.Sub(int64(key), routeStreamShard)) % uint64(len(st.shards)))
+}
+
+// EngineOf pins a key to its engine loop, independently of ShardOf.
+func (st *Store) EngineOf(key uint64) int {
+	return int(uint64(seed.Sub(int64(key), routeStreamEngine)) % uint64(len(st.engines)))
+}
+
+// Env exposes shard s's environment (cluster + fabric) for fault injection
+// and space accounting.
+func (st *Store) Env(s int) *runner.Env { return st.shards[s].env }
+
+// Crash crashes one server of one shard: every in-flight and future
+// operation on that server's objects stays pending forever, in that shard
+// only.
+func (st *Store) Crash(s int, server types.ServerID) error {
+	return st.shards[s].env.Fabric.Crash(server)
+}
+
+// keyreg materializes (or returns) a key's register on its shard.
+func (st *Store) keyreg(key uint64) (*keyreg, error) {
+	if key >= st.cfg.Keys {
+		return nil, fmt.Errorf("shardstore: key %d outside key-space [0, %d)", key, st.cfg.Keys)
+	}
+	sh := st.shards[st.ShardOf(key)]
+	sh.mu.RLock()
+	kr, hit := sh.keys[key]
+	sh.mu.RUnlock()
+	if hit {
+		return kr, nil
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if kr, hit := sh.keys[key]; hit {
+		return kr, nil
+	}
+	build := runner.Build
+	if st.cfg.Atomic {
+		build = runner.BuildAtomic
+	}
+	reg, hist, err := build(st.cfg.Kind, sh.env.Fabric, st.cfg.WritersPerKey, st.cfg.F)
+	if err != nil {
+		return nil, fmt.Errorf("shardstore: materializing key %d: %w", key, err)
+	}
+	if st.cfg.NoHistory {
+		hist.SetDiscard(true)
+	}
+	kr = &keyreg{reg: reg, hist: hist}
+	sh.keys[key] = kr
+	return kr, nil
+}
+
+// Writer returns the engine client for writer slot i (in [0, WritersPerKey))
+// of key's register, materializing the register on first touch. Repeated
+// calls return the same client — ops through it serialize in invocation
+// order on the key's engine loop.
+func (st *Store) Writer(key uint64, slot int) (*async.Client, error) {
+	kr, err := st.keyreg(key)
+	if err != nil {
+		return nil, err
+	}
+	return st.engines[st.EngineOf(key)].WriterOn(kr.reg, slot)
+}
+
+// Reader returns the engine client for reader slot i of key's register
+// (slots are unbounded; each is a distinct logical client). Repeated calls
+// with the same slot return the same client.
+func (st *Store) Reader(key uint64, slot int) (*async.Client, error) {
+	if slot < 0 {
+		return nil, fmt.Errorf("shardstore: negative reader slot %d", slot)
+	}
+	kr, err := st.keyreg(key)
+	if err != nil {
+		return nil, err
+	}
+	kr.mu.Lock()
+	defer kr.mu.Unlock()
+	for len(kr.readers) <= slot {
+		kr.readers = append(kr.readers, nil)
+	}
+	if kr.readers[slot] == nil {
+		kr.readers[slot] = st.engines[st.EngineOf(key)].ReaderOn(kr.reg)
+	}
+	return kr.readers[slot], nil
+}
+
+// StartWrite routes one high-level write through the frontend: key to
+// shard, shard to register, writer slot to engine client. done fires
+// exactly once on the key's engine loop (or inline, on a routing error).
+func (st *Store) StartWrite(key uint64, slot int, v types.Value, done func(error)) {
+	c, err := st.Writer(key, slot)
+	if err != nil {
+		done(err)
+		return
+	}
+	c.StartWrite(v, done)
+}
+
+// StartRead is the read-side frontend; the same contract as StartWrite.
+func (st *Store) StartRead(key uint64, slot int, done func(types.Value, error)) {
+	c, err := st.Reader(key, slot)
+	if err != nil {
+		done(types.InitialValue, err)
+		return
+	}
+	c.StartRead(done)
+}
+
+// MaterializedKeys returns how many keys have registers built, per shard.
+func (st *Store) MaterializedKeys() []int {
+	counts := make([]int, len(st.shards))
+	for i, sh := range st.shards {
+		sh.mu.RLock()
+		counts[i] = len(sh.keys)
+		sh.mu.RUnlock()
+	}
+	return counts
+}
+
+// EngineStats snapshots every engine loop's operation counters.
+func (st *Store) EngineStats() []async.Stats {
+	out := make([]async.Stats, len(st.engines))
+	for i, e := range st.engines {
+		out[i] = e.Stats()
+	}
+	return out
+}
+
+// BalancedKeys picks n distinct keys spread evenly over the shards — the
+// lowest key ids that fill a per-shard quota of ceil(n/S) — so loads built
+// on small key counts exercise every shard. Deterministic.
+func (st *Store) BalancedKeys(n int) []uint64 {
+	if uint64(n) >= st.cfg.Keys {
+		keys := make([]uint64, st.cfg.Keys)
+		for i := range keys {
+			keys[i] = uint64(i)
+		}
+		return keys
+	}
+	s := len(st.shards)
+	quota := make([]int, s)
+	for i := range quota {
+		quota[i] = n / s
+		if i < n%s {
+			quota[i]++
+		}
+	}
+	keys := make([]uint64, 0, n)
+	var skipped []uint64
+	for key := uint64(0); key < st.cfg.Keys && len(keys) < n; key++ {
+		sh := st.ShardOf(key)
+		if quota[sh] > 0 {
+			quota[sh]--
+			keys = append(keys, key)
+		} else {
+			skipped = append(skipped, key)
+		}
+	}
+	// The hash may starve a quota before the key-space runs out; fill the
+	// remainder from the lowest skipped keys so the count is exact.
+	for i := 0; len(keys) < n && i < len(skipped); i++ {
+		keys = append(keys, skipped[i])
+	}
+	return keys
+}
+
+// Drain blocks until every operation issued so far on every engine has
+// completed (or failed), or ctx expires.
+func (st *Store) Drain(ctx context.Context) error {
+	for _, e := range st.engines {
+		if err := e.Drain(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckReport is the outcome of CheckAll.
+type CheckReport struct {
+	// Keys is how many materialized registers were checked; HistoryOps the
+	// total recorded high-level ops; SampledOps how many ops the
+	// linearizability samples covered (atomic builds only).
+	Keys       int
+	HistoryOps int
+	SampledOps int
+	// Violations is empty on a healthy store.
+	Violations []string
+}
+
+// CheckAll verifies every materialized key's history: read validity
+// always, and sampleChecks independent linearizability samples per key on
+// atomic builds. Call after Drain so histories are complete.
+func (st *Store) CheckAll(sampleChecks int, checkSeed int64) CheckReport {
+	var rep CheckReport
+	if st.cfg.NoHistory {
+		return rep
+	}
+	if sampleChecks <= 0 {
+		sampleChecks = 4
+	}
+	for _, sh := range st.shards {
+		sh.mu.RLock()
+		keys := make(map[uint64]*keyreg, len(sh.keys))
+		for k, kr := range sh.keys {
+			keys[k] = kr
+		}
+		sh.mu.RUnlock()
+		for key, kr := range keys {
+			rep.Keys++
+			ops := kr.hist.Snapshot()
+			rep.HistoryOps += len(ops)
+			if err := spec.CheckReadValidity(ops, types.InitialValue); err != nil {
+				rep.Violations = append(rep.Violations, fmt.Sprintf("key %d: %v", key, err))
+			}
+			if !st.cfg.Atomic {
+				continue
+			}
+			keySeed := seed.Sub(checkSeed, key)
+			for chk := 0; chk < sampleChecks; chk++ {
+				sample := spec.SampleLinearizable(ops, 1024, seed.Sub(keySeed, uint64(chk+1)))
+				rep.SampledOps += len(sample)
+				if err := spec.CheckLinearizable(sample, types.InitialValue); err != nil {
+					rep.Violations = append(rep.Violations, fmt.Sprintf("key %d: %v", key, err))
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// Close shuts the store down: every engine closes (failing queued and
+// in-flight ops with async.ErrClosed) and every shard's fabric closes its
+// lanes. Idempotent.
+func (st *Store) Close() error {
+	if !st.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	st.cancel()
+	for _, e := range st.engines {
+		_ = e.Close()
+	}
+	for _, sh := range st.shards {
+		if sh != nil && sh.env != nil {
+			sh.env.Fabric.Close()
+		}
+	}
+	return nil
+}

@@ -77,6 +77,62 @@ func TestHistogramMerge(t *testing.T) {
 	}
 }
 
+// TestHistogramMergeMismatchedRanges merges histograms whose populated
+// ranges do not overlap — the per-shard case, where one shard's latencies
+// sit orders of magnitude away from another's — and checks the merged
+// quantiles land in the correct source range, the fold is symmetric, and
+// moments fold exactly.
+func TestHistogramMergeMismatchedRanges(t *testing.T) {
+	low, high := NewHistogram(), NewHistogram()
+	for i := int64(0); i < 1000; i++ {
+		low.Record(1_000 + i)           // ~1us range
+		high.Record(50_000_000 + i*500) // ~50ms range
+	}
+
+	merged := NewHistogram()
+	merged.Merge(low)
+	merged.Merge(high)
+	reversed := NewHistogram()
+	reversed.Merge(high)
+	reversed.Merge(low)
+
+	for _, m := range []*Histogram{merged, reversed} {
+		if m.Count() != 2000 {
+			t.Fatalf("merged count = %d", m.Count())
+		}
+		if m.Min() != low.Min() || m.Max() != high.Max() {
+			t.Fatalf("merged min/max = %d/%d, want %d/%d", m.Min(), m.Max(), low.Min(), high.Max())
+		}
+		if m.Sum() != low.Sum()+high.Sum() {
+			t.Fatalf("merged sum = %d, want %d", m.Sum(), low.Sum()+high.Sum())
+		}
+		// Below the 50% point every observation is from the low range;
+		// above it, from the high range. Quantiles must not blend across
+		// the empty gap between the populated ranges.
+		if q := m.Quantile(0.25); q > 2*low.Max() {
+			t.Fatalf("p25 = %d escaped the low range (max %d)", q, low.Max())
+		}
+		if q := m.Quantile(0.75); q < high.Min()/2 {
+			t.Fatalf("p75 = %d escaped the high range (min %d)", q, high.Min())
+		}
+	}
+	if merged.Quantile(0.5) != reversed.Quantile(0.5) || merged.Quantile(0.99) != reversed.Quantile(0.99) {
+		t.Fatal("merge is order-sensitive")
+	}
+
+	// Merging an empty histogram is the identity, in both directions.
+	before := merged.String()
+	merged.Merge(NewHistogram())
+	if merged.String() != before || merged.Min() != low.Min() {
+		t.Fatalf("merging empty changed the histogram: %s -> %s", before, merged.String())
+	}
+	ontoEmpty := NewHistogram()
+	ontoEmpty.Merge(high)
+	if ontoEmpty.Count() != 1000 || ontoEmpty.Min() != high.Min() || ontoEmpty.Max() != high.Max() {
+		t.Fatalf("merge onto empty: n=%d min=%d max=%d", ontoEmpty.Count(), ontoEmpty.Min(), ontoEmpty.Max())
+	}
+}
+
 // TestHistogramEmpty checks the zero-observation behavior.
 func TestHistogramEmpty(t *testing.T) {
 	h := NewHistogram()
