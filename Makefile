@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-json fabric-bench loadgen-smoke race-lanes race-lanes-mailbox1 race-shards
+.PHONY: all build vet test race bench bench-smoke bench-json fabric-bench loadgen-smoke lint race-lanes race-lanes-mailbox1 race-shards race-churn
 
 all: vet build test
 
@@ -9,6 +9,15 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: go vet always, staticcheck when installed (the CI image
+# has it; local checkouts without it still get a green target).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; ran go vet only"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -69,3 +78,14 @@ race-lanes-mailbox1:
 SHARD_TESTS = 'TestShard|TestBalancedKeys|TestClientIdentity|TestMultiTableNode|TestBindRoundTrip|TestShardedRun|TestOpenLoopCoordinatedOmission|TestRateSweepKnee'
 race-shards:
 	$(GO) test -race -count 1 -run $(SHARD_TESTS) ./internal/shardstore ./internal/lanenet ./internal/loadgen
+
+# Reconfiguration suite under the race detector: the Replace protocol
+# (freeze/drain/transfer/activate, parked-op outcomes, refusals), live
+# rolling replacement of every server of every construction under client
+# load, the churn chaos net on its pinned seeds (E24), membership
+# accounting, the stateful place frames and node drain on the TCP lane,
+# and whole-shard reconfiguration through the sharded store (in-process
+# and over real cmd/lanenode processes).
+CHURN_TESTS = 'TestReplace|TestTriggerOnDepartingServer|TestViewRetryDelay|TestAccounting|TestReconfigureMidFlight|TestChurn|TestLanenodeGracefulDrain|TestPlaceFrameCarriesState|TestDrainFinishesInFlight|TestShardStoreReconfigure|TestShardStoreTCPReconfigure'
+race-churn:
+	$(GO) test -race -count 1 -run $(CHURN_TESTS) ./internal/fabric ./internal/cluster ./internal/runner ./internal/lanenet ./internal/shardstore

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/loadgen"
 	"repro/internal/runner"
 )
@@ -45,9 +46,12 @@ type Result struct {
 
 // Snapshot is the file layout of BENCH_<date>.json.
 type Snapshot struct {
-	Date       string   `json:"date"`
-	GoVersion  string   `json:"go_version"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	// GitCommit attributes the snapshot to the exact tree that produced it
+	// ("unknown" outside a git checkout).
+	GitCommit  string `json:"git_commit"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
 	Bench      string   `json:"bench"`
 	Benchtime  string   `json:"benchtime"`
 	Results    []Result `json:"results"`
@@ -106,7 +110,8 @@ func run() error {
 	}
 	snap := Snapshot{
 		Date:       time.Now().Format("2006-01-02"),
-		GoVersion:  runtime.Version(),
+		GoVersion:  buildinfo.GoVersion(),
+		GitCommit:  buildinfo.GitCommit(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Bench:      *bench,
 		Benchtime:  *benchtime,

@@ -6,9 +6,14 @@
 // (internal/shardstore), each shard's fabric bound to its own table and
 // free of object-id collisions with the others.
 //
-// The process is one fault domain: killing it is the paper's server crash
-// for every shard with a table here, and the fabric maps the broken
-// connections onto PhaseDropped via its reconnect-as-crash semantics.
+// The process is one fault domain: killing it (SIGKILL) is the paper's
+// server crash for every shard with a table here, and the fabric maps the
+// broken connections onto PhaseDropped via its reconnect-as-crash
+// semantics. SIGINT/SIGTERM instead trigger a graceful drain — stop
+// accepting, finish the frames already decoded, flush responses, close the
+// listener and every connection — so a test (or an operator's rolling
+// restart) can distinguish a clean *leave* from a crash: a drained node
+// prints "draining" then "drained" and exits 0.
 //
 // Usage:
 //
@@ -23,6 +28,8 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/lanenet"
 )
@@ -48,5 +55,23 @@ func run() error {
 	if *readBatch > 0 {
 		opts = append(opts, lanenet.WithReadBatch(*readBatch))
 	}
-	return lanenet.NewNode(opts...).Serve(l)
+	node := lanenet.NewNode(opts...)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigs
+		fmt.Printf("draining (%v)\n", sig)
+		// Closing the listener makes Serve return nil (no new
+		// connections); Drain then finishes in-flight decodes, flushes
+		// responses, and closes every connection.
+		l.Close()
+	}()
+
+	if err := node.Serve(l); err != nil {
+		return err
+	}
+	node.Drain()
+	fmt.Println("drained")
+	return nil
 }

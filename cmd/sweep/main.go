@@ -9,6 +9,7 @@
 //	sweep -exp table1                   # one experiment
 //	sweep -exp figure2 -k 6 -f 2 -n 8
 //	sweep -exp exhaustive -f 2 -workers 8 -json   # pooled f=2 model check
+//	sweep -exp churn -json                        # chaos + live membership churn
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/layout"
 	"repro/internal/runner"
 )
@@ -32,12 +34,13 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment: table1 | figure1 | figure2 | separation | theorem2 | theorem6 | theorem7 | theorem8 | coincidence | all")
+	exp := flag.String("exp", "all", "experiment: table1 | figure1 | figure2 | separation | theorem2 | theorem6 | theorem7 | theorem8 | coincidence | churn | all")
 	k := flag.Int("k", 5, "number of writers (single-experiment runs)")
 	f := flag.Int("f", 2, "failure threshold (exhaustive sweeps support 1 or 2)")
 	n := flag.Int("n", 6, "number of servers")
 	workers := flag.Int("workers", 0, "sweep pool size for exhaustive/chaos (0 = one per CPU)")
 	lane := flag.String("lane", "both", "chaos dispatch lane: inproc | latency | both")
+	churn := flag.Float64("churn", 0.25, "churn experiment: per-op server-replacement probability")
 	jsonOut := flag.Bool("json", false, "emit exhaustive/chaos reports as JSON instead of tables")
 	timeout := flag.Duration("timeout", 5*time.Minute, "total timeout")
 	flag.Parse()
@@ -74,6 +77,7 @@ func run() error {
 		"coincidence": func(context.Context) error { return expCoincidence() },
 		"exhaustive":  func(ctx context.Context) error { return expExhaustive(ctx, exhaustF, *workers, *jsonOut) },
 		"chaos":       func(ctx context.Context) error { return expChaos(ctx, *workers, *lane, *jsonOut) },
+		"churn":       func(ctx context.Context) error { return expChurn(ctx, *workers, *churn, *jsonOut) },
 	}
 	if *exp != "all" {
 		fn, ok := experiments[*exp]
@@ -85,6 +89,7 @@ func run() error {
 	for _, name := range []string{
 		"table1", "figure1", "figure2", "separation", "theorem2", "theorem5",
 		"theorem6", "theorem7", "theorem8", "coincidence", "exhaustive", "chaos",
+		"churn",
 	} {
 		fmt.Printf("==== %s ====\n", name)
 		if err := experiments[name](ctx); err != nil {
@@ -326,12 +331,57 @@ func expChaos(ctx context.Context, workers int, lane string, jsonOut bool) error
 	return w.Flush()
 }
 
+// expChurn sweeps the chaos net with live membership churn (experiment
+// E24): between high-level ops, random servers are replaced wholesale —
+// freeze, drain, state transfer, view activation — while the gate keeps
+// holding and releasing. Seeds are pinned at 0..23 so the run is
+// reproducible: sound constructions must report zero violating seeds; the
+// naive baseline is expected to be caught.
+func expChurn(ctx context.Context, workers int, churnProb float64, jsonOut bool) error {
+	var reports []*runner.ChaosSweepReport
+	for _, kind := range runner.Kinds() {
+		rep, err := runner.RunChaosSweep(ctx, runner.ChaosConfig{
+			Kind: kind, K: 3, F: 2, N: runner.ChaosServers(kind),
+			Ops: 30, ChurnProb: churnProb,
+		}, 24, workers)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, rep)
+	}
+	if jsonOut {
+		return emitJSON(reports)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "construction\tseeds\treplacements\tholds\treleases\tviolating seeds (expected: naive only)\twall-clock")
+	for _, rep := range reports {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			rep.Kind, rep.Seeds, rep.Replacements, rep.Holds, rep.Releases,
+			rep.Violating, rep.Elapsed.Round(time.Millisecond))
+	}
+	return w.Flush()
+}
+
+// jsonEnvelope wraps every -json report with the build identity, so a
+// saved report is attributable to the toolchain and commit that made it.
+type jsonEnvelope struct {
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	GitCommit string `json:"git_commit"`
+	Reports   any    `json:"reports"`
+}
+
 // emitJSON renders sweep reports as indented JSON on stdout for scripted
-// consumers.
+// consumers, wrapped in the attribution envelope.
 func emitJSON(v any) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	return enc.Encode(v)
+	return enc.Encode(jsonEnvelope{
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: buildinfo.GoVersion(),
+		GitCommit: buildinfo.GitCommit(),
+		Reports:   v,
+	})
 }
 
 // expCoincidence verifies the bound coincidence regimes (experiment E12).

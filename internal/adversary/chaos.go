@@ -88,10 +88,24 @@ func (c *Chaos) Holds() int {
 
 // ReleaseSome releases each currently held op with probability p, drawing
 // from the gate's own PRNG for reproducibility, and returns how many were
-// released.
+// released. It also reconciles the budget books against the fabric: ops a
+// reconfiguration drained out from under the gate (completed with
+// ErrViewChanged, no longer pending) are forgotten so they stop consuming
+// their writer's hold budget.
 func (c *Chaos) ReleaseSome(fab *fabric.Fabric, p float64) int {
 	pending := fab.Pending()
+	live := make(map[uint64]struct{}, len(pending))
+	for _, op := range pending {
+		live[op.Event.Token] = struct{}{}
+	}
 	c.mu.Lock()
+	for _, held := range c.outstanding {
+		for tok := range held {
+			if _, ok := live[tok]; !ok {
+				delete(held, tok)
+			}
+		}
+	}
 	var victims []fabric.PendingOp
 	for _, op := range pending {
 		if op.Phase != fabric.PhaseApply && op.Phase != fabric.PhaseRespond {
@@ -104,8 +118,13 @@ func (c *Chaos) ReleaseSome(fab *fabric.Fabric, p float64) int {
 	c.mu.Unlock()
 	released := 0
 	for _, op := range victims {
-		if err := fab.Release(op.Event.Token); err == nil {
-			c.Released(op.Event.Client, op.Event.Token)
+		err := fab.Release(op.Event.Token)
+		// Free the budget even when the fabric no longer holds the op: a
+		// reconfiguration drains held ops out from under the gate (they
+		// complete with ErrViewChanged), and keeping them on the books
+		// would permanently shrink the writer's hold budget.
+		c.Released(op.Event.Client, op.Event.Token)
+		if err == nil {
 			released++
 		}
 	}

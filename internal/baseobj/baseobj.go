@@ -125,6 +125,15 @@ var (
 	// ErrUnauthorizedWriter is returned when a client outside a register's
 	// declared writer set attempts a write.
 	ErrUnauthorizedWriter = errors.New("baseobj: client is not in the register's writer set")
+	// ErrSealed is returned when a mutating operation reaches an object that
+	// was sealed for state transfer (view reconfiguration). Sealing happens
+	// under the object's own state lock, so the sealed snapshot and the
+	// rejection of later writes are atomic: a write either lands before the
+	// seal (and its effect is in the transferred state) or it fails with
+	// ErrSealed (and never took effect anywhere). Pure reads still succeed —
+	// they observe the final old-view state, which stays the current value
+	// until the first new-view write.
+	ErrSealed = errors.New("baseobj: object sealed for state transfer")
 )
 
 // Object is a base object: a sequential state machine applied atomically.
@@ -160,6 +169,18 @@ type Locker interface {
 	ApplyLocked(client types.ClientID, inv Invocation) (Response, error)
 }
 
+// Sealer is implemented by objects that support state transfer: Seal
+// atomically snapshots the current state and rejects every later mutating
+// operation with ErrSealed, and Restore loads transferred state into a
+// fresh copy. All three base-object types implement it.
+type Sealer interface {
+	// Seal marks the object sealed and returns the state at the seal point.
+	Seal() types.TSValue
+	// Restore overwrites the object's state (setup/transfer only — never
+	// concurrent with Apply traffic on an unsealed object's writers).
+	Restore(v types.TSValue)
+}
+
 // Compile-time interface compliance checks.
 var (
 	_ Object = (*Register)(nil)
@@ -168,7 +189,37 @@ var (
 	_ Locker = (*Register)(nil)
 	_ Locker = (*MaxRegister)(nil)
 	_ Locker = (*CASCell)(nil)
+	_ Sealer = (*Register)(nil)
+	_ Sealer = (*MaxRegister)(nil)
+	_ Sealer = (*CASCell)(nil)
 )
+
+// CloneAt builds a fresh, unsealed object of the same identity (ID, kind,
+// and — for registers — writer set) holding the given state. Reconfiguration
+// uses it to materialize a migrated object on its new server while the
+// sealed original keeps answering stale-route reads.
+func CloneAt(o Object, v types.TSValue) (Object, error) {
+	switch src := o.(type) {
+	case *Register:
+		var opts []RegisterOption
+		if ws := src.Writers(); ws != nil {
+			opts = append(opts, WithWriters(ws))
+		}
+		r := NewRegister(src.id, opts...)
+		r.Restore(v)
+		return r, nil
+	case *MaxRegister:
+		m := NewMaxRegister(src.id)
+		m.Restore(v)
+		return m, nil
+	case *CASCell:
+		c := NewCASCell(src.id)
+		c.Restore(v)
+		return c, nil
+	default:
+		return nil, fmt.Errorf("baseobj: cannot clone object %d of type %T", o.ID(), o)
+	}
+}
 
 // Register is a multi-writer/multi-reader atomic read/write register,
 // optionally restricted to a bounded writer set.
@@ -176,8 +227,9 @@ type Register struct {
 	id      types.ObjectID
 	writers map[types.ClientID]struct{} // nil means unbounded (MWMR)
 
-	mu  sync.Mutex
-	val types.TSValue
+	mu     sync.Mutex
+	val    types.TSValue
+	sealed bool
 }
 
 // RegisterOption configures a Register.
@@ -249,6 +301,10 @@ func (r *Register) Apply(client types.ClientID, inv Invocation) (Response, error
 			}
 		}
 		r.mu.Lock()
+		if r.sealed {
+			r.mu.Unlock()
+			return Response{}, fmt.Errorf("%w: register %d", ErrSealed, r.id)
+		}
 		r.val = inv.Arg
 		r.mu.Unlock()
 		return Response{Op: OpWrite}, nil
@@ -274,6 +330,9 @@ func (r *Register) ApplyLocked(client types.ClientID, inv Invocation) (Response,
 				return Response{}, fmt.Errorf("%w: client %d, register %d", ErrUnauthorizedWriter, client, r.id)
 			}
 		}
+		if r.sealed {
+			return Response{}, fmt.Errorf("%w: register %d", ErrSealed, r.id)
+		}
 		r.val = inv.Arg
 		return Response{Op: OpWrite}, nil
 	default:
@@ -288,6 +347,21 @@ func (r *Register) Peek() types.TSValue {
 	return r.val
 }
 
+// Seal implements Sealer.
+func (r *Register) Seal() types.TSValue {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sealed = true
+	return r.val
+}
+
+// Restore implements Sealer.
+func (r *Register) Restore(v types.TSValue) {
+	r.mu.Lock()
+	r.val = v
+	r.mu.Unlock()
+}
+
 // MaxRegister is a max-register [Aspnes, Attiya, Censor 2009]: write-max
 // only takes effect when the written value exceeds the current one, so a
 // delayed old write-max can never erase a newer value. This monotonicity is
@@ -295,8 +369,9 @@ func (r *Register) Peek() types.TSValue {
 type MaxRegister struct {
 	id types.ObjectID
 
-	mu  sync.Mutex
-	val types.TSValue
+	mu     sync.Mutex
+	val    types.TSValue
+	sealed bool
 }
 
 // NewMaxRegister returns a max-register initialized to the zero TSValue.
@@ -320,6 +395,10 @@ func (m *MaxRegister) Apply(_ types.ClientID, inv Invocation) (Response, error) 
 		return Response{Op: OpReadMax, Val: v}, nil
 	case OpWriteMax:
 		m.mu.Lock()
+		if m.sealed {
+			m.mu.Unlock()
+			return Response{}, fmt.Errorf("%w: max-register %d", ErrSealed, m.id)
+		}
 		m.val = types.MaxTSValue(m.val, inv.Arg)
 		m.mu.Unlock()
 		return Response{Op: OpWriteMax}, nil
@@ -340,6 +419,9 @@ func (m *MaxRegister) ApplyLocked(_ types.ClientID, inv Invocation) (Response, e
 	case OpReadMax:
 		return Response{Op: OpReadMax, Val: m.val}, nil
 	case OpWriteMax:
+		if m.sealed {
+			return Response{}, fmt.Errorf("%w: max-register %d", ErrSealed, m.id)
+		}
 		m.val = types.MaxTSValue(m.val, inv.Arg)
 		return Response{Op: OpWriteMax}, nil
 	default:
@@ -354,14 +436,30 @@ func (m *MaxRegister) Peek() types.TSValue {
 	return m.val
 }
 
+// Seal implements Sealer.
+func (m *MaxRegister) Seal() types.TSValue {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sealed = true
+	return m.val
+}
+
+// Restore implements Sealer.
+func (m *MaxRegister) Restore(v types.TSValue) {
+	m.mu.Lock()
+	m.val = v
+	m.mu.Unlock()
+}
+
 // CASCell is a compare-and-swap object. CAS(exp, new) sets the value to new
 // when the current value equals exp, and always returns the previous value
 // (the semantics of Algorithm 1 in Appendix B).
 type CASCell struct {
 	id types.ObjectID
 
-	mu  sync.Mutex
-	val types.TSValue
+	mu     sync.Mutex
+	val    types.TSValue
+	sealed bool
 }
 
 // NewCASCell returns a CAS cell initialized to the zero TSValue.
@@ -381,6 +479,10 @@ func (c *CASCell) Apply(_ types.ClientID, inv Invocation) (Response, error) {
 		return Response{}, fmt.Errorf("%w: %v on cas cell %d", ErrWrongOp, inv.Op, c.id)
 	}
 	c.mu.Lock()
+	if c.sealed {
+		c.mu.Unlock()
+		return Response{}, fmt.Errorf("%w: cas cell %d", ErrSealed, c.id)
+	}
 	prev := c.val
 	if c.val == inv.Exp {
 		c.val = inv.New
@@ -400,6 +502,9 @@ func (c *CASCell) ApplyLocked(_ types.ClientID, inv Invocation) (Response, error
 	if inv.Op != OpCAS {
 		return Response{}, fmt.Errorf("%w: %v on cas cell %d", ErrWrongOp, inv.Op, c.id)
 	}
+	if c.sealed {
+		return Response{}, fmt.Errorf("%w: cas cell %d", ErrSealed, c.id)
+	}
 	prev := c.val
 	if c.val == inv.Exp {
 		c.val = inv.New
@@ -412,4 +517,19 @@ func (c *CASCell) Peek() types.TSValue {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.val
+}
+
+// Seal implements Sealer.
+func (c *CASCell) Seal() types.TSValue {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sealed = true
+	return c.val
+}
+
+// Restore implements Sealer.
+func (c *CASCell) Restore(v types.TSValue) {
+	c.mu.Lock()
+	c.val = v
+	c.mu.Unlock()
 }

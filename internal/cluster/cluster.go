@@ -35,12 +35,19 @@ var (
 	// ErrServerCrashed is returned when applying an operation to an
 	// object on a crashed server.
 	ErrServerCrashed = errors.New("cluster: server crashed")
+	// ErrServerNotEmpty is returned when removing a member that still
+	// hosts objects: state must be transferred off first (MoveObject).
+	ErrServerNotEmpty = errors.New("cluster: server still hosts objects")
+	// ErrNotMember is returned when removing a server that is not in the
+	// current view.
+	ErrNotMember = errors.New("cluster: server is not a view member")
 )
 
 // Server is a fault-prone server hosting base objects.
 type Server struct {
-	id      types.ServerID
-	crashed atomic.Bool
+	id        types.ServerID
+	crashed   atomic.Bool
+	departing atomic.Bool
 
 	mu      sync.RWMutex
 	objects map[types.ObjectID]baseobj.Object
@@ -51,6 +58,16 @@ func (s *Server) ID() types.ServerID { return s.id }
 
 // Crashed reports whether the server has crashed.
 func (s *Server) Crashed() bool { return s.crashed.Load() }
+
+// Departing reports whether the server is leaving the view: a
+// reconfiguration froze it for state transfer. Unlike a crash it does not
+// count toward Crashes() — the paper's fail-stop budget f is about
+// failures, and a planned leave hands its objects over before going.
+func (s *Server) Departing() bool { return s.departing.Load() }
+
+// Depart freezes the server for a view change. New operations routed here
+// fail with a retryable view-change error instead of silently pending.
+func (s *Server) Depart() { s.departing.Store(true) }
 
 // NumObjects returns |delta^-1({s})|, the number of base objects stored on
 // the server.
@@ -67,6 +84,13 @@ func (s *Server) place(obj baseobj.Object) {
 		s.objects = make(map[types.ObjectID]baseobj.Object)
 	}
 	s.objects[obj.ID()] = obj
+	s.mu.Unlock()
+}
+
+// remove drops an object from the server's table (state transfer).
+func (s *Server) remove(obj types.ObjectID) {
+	s.mu.Lock()
+	delete(s.objects, obj)
 	s.mu.Unlock()
 }
 
@@ -92,44 +116,189 @@ func (s *Server) apply(obj types.ObjectID, client types.ClientID, inv baseobj.In
 	return o.Apply(client, inv)
 }
 
+// View is one membership epoch: the ordered set of servers currently
+// eligible for placement and quorums. Epochs advance on every membership
+// or placement change (AddServer, MoveObject, RemoveServer); package
+// fabric validates its cached routes against the current epoch, so a
+// bumped epoch is exactly "every stale route must re-resolve".
+type View struct {
+	// Epoch is the view's activation number, strictly increasing.
+	Epoch uint64
+	// Members are the view's servers in ascending ID order.
+	Members []types.ServerID
+}
+
+// N returns the view's cardinality.
+func (v View) N() int { return len(v.Members) }
+
+// Quorum returns the view's quorum threshold n-f for failure budget f.
+func (v View) Quorum(f int) int { return len(v.Members) - f }
+
 // Cluster is the set of servers plus the delta mapping.
 type Cluster struct {
-	servers []*Server
+	// servers is the append-only server list, published copy-on-write so
+	// the hot lock-free readers (Server, Route, Apply) stay safe while
+	// AddServer grows it. Server IDs are slice indexes and never reused —
+	// a removed member keeps its slot, so stale routes still resolve to
+	// its (sealed, empty) shell instead of a neighbour's objects.
+	servers atomic.Pointer[[]*Server]
 	crashes atomic.Int32
 
-	// mu guards the delta and object tables. Placement is rare (setup
-	// time) and every hot-path access is a read, hence the RWMutex.
+	// epoch is the current view's activation number, read lock-free on
+	// the fabric's route hot path.
+	epoch atomic.Uint64
+
+	// mu guards the delta and object tables plus the membership list.
+	// Placement and membership changes are rare; every hot-path access is
+	// a read, hence the RWMutex.
 	mu      sync.RWMutex
+	members []types.ServerID
 	delta   map[types.ObjectID]types.ServerID
 	objects map[types.ObjectID]baseobj.Object
 	nextID  types.ObjectID
 }
 
-// New creates a cluster of n servers with IDs 0..n-1 and no objects.
+// New creates a cluster of n servers with IDs 0..n-1 and no objects; all n
+// are members of the initial view (epoch 0).
 func New(n int) (*Cluster, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("cluster: n must be positive, got %d", n)
 	}
 	c := &Cluster{
-		servers: make([]*Server, n),
 		delta:   make(map[types.ObjectID]types.ServerID),
 		objects: make(map[types.ObjectID]baseobj.Object),
 	}
-	for i := range c.servers {
-		c.servers[i] = &Server{id: types.ServerID(i)}
+	servers := make([]*Server, n)
+	c.members = make([]types.ServerID, n)
+	for i := range servers {
+		servers[i] = &Server{id: types.ServerID(i)}
+		c.members[i] = types.ServerID(i)
 	}
+	c.servers.Store(&servers)
 	return c, nil
 }
 
-// N returns the number of servers, |S|.
-func (c *Cluster) N() int { return len(c.servers) }
+// serverList returns the current published server list.
+func (c *Cluster) serverList() []*Server { return *c.servers.Load() }
+
+// N returns the size of the server ID space (the append-only server list,
+// including departed members). The current view's cardinality is View().N().
+func (c *Cluster) N() int { return len(c.serverList()) }
+
+// Epoch returns the current view's epoch, lock-free.
+func (c *Cluster) Epoch() uint64 { return c.epoch.Load() }
+
+// View returns the current view: epoch plus member list. The snapshot is
+// internally consistent — members are read under the membership lock and
+// the epoch re-checked after, retrying on a concurrent change.
+func (c *Cluster) View() View {
+	for {
+		e := c.epoch.Load()
+		c.mu.RLock()
+		members := make([]types.ServerID, len(c.members))
+		copy(members, c.members)
+		c.mu.RUnlock()
+		if c.epoch.Load() == e {
+			return View{Epoch: e, Members: members}
+		}
+	}
+}
+
+// Members returns the current view's member IDs in ascending order.
+func (c *Cluster) Members() []types.ServerID { return c.View().Members }
+
+// AddServer appends a fresh server (the next unused ID) to the server list
+// and admits it to the view, activating a new epoch. The joiner starts with
+// an empty object table; state transfer (MoveObject) makes it useful.
+func (c *Cluster) AddServer() *Server {
+	c.mu.Lock()
+	old := c.serverList()
+	s := &Server{id: types.ServerID(len(old))}
+	grown := make([]*Server, len(old)+1)
+	copy(grown, old)
+	grown[len(old)] = s
+	c.servers.Store(&grown)
+	c.members = append(c.members, s.id)
+	sort.Slice(c.members, func(i, j int) bool { return c.members[i] < c.members[j] })
+	c.mu.Unlock()
+	c.epoch.Add(1)
+	return s
+}
+
+// RemoveServer retires a member from the view, activating a new epoch. The
+// server must be empty (every object moved off) and keeps its ID slot so
+// stale routes still resolve; it never counts as a crash.
+func (c *Cluster) RemoveServer(id types.ServerID) error {
+	s, err := c.Server(id)
+	if err != nil {
+		return err
+	}
+	if n := s.NumObjects(); n != 0 {
+		return fmt.Errorf("%w: server %d has %d objects", ErrServerNotEmpty, id, n)
+	}
+	c.mu.Lock()
+	idx := -1
+	for i, m := range c.members {
+		if m == id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrNotMember, id)
+	}
+	c.members = append(c.members[:idx], c.members[idx+1:]...)
+	c.mu.Unlock()
+	c.epoch.Add(1)
+	return nil
+}
+
+// MoveObject transfers an object to a new hosting server: a fresh unsealed
+// clone holding the transferred state is placed on the target, delta is
+// repointed, and the epoch advances so every cached route to the old copy
+// re-resolves. The caller (the fabric's reconfiguration coordinator) must
+// have sealed the source copy first — the clone's state is then final — and
+// removes nothing until the new mapping is published, so there is no window
+// where the object is unreachable.
+func (c *Cluster) MoveObject(obj types.ObjectID, to types.ServerID, state types.TSValue) error {
+	target, err := c.Server(to)
+	if err != nil {
+		return err
+	}
+	c.mu.RLock()
+	from, ok := c.delta[obj]
+	o := c.objects[obj]
+	c.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchObject, obj)
+	}
+	if from == to {
+		return nil
+	}
+	clone, err := baseobj.CloneAt(o, state)
+	if err != nil {
+		return err
+	}
+	target.place(clone)
+	c.mu.Lock()
+	c.delta[obj] = to
+	c.objects[obj] = clone
+	c.mu.Unlock()
+	c.epoch.Add(1)
+	if src, err := c.Server(from); err == nil {
+		src.remove(obj)
+	}
+	return nil
+}
 
 // Server returns the server with the given ID.
 func (c *Cluster) Server(id types.ServerID) (*Server, error) {
-	if int(id) < 0 || int(id) >= len(c.servers) {
-		return nil, fmt.Errorf("%w: %d (n=%d)", ErrNoSuchServer, id, len(c.servers))
+	servers := c.serverList()
+	if int(id) < 0 || int(id) >= len(servers) {
+		return nil, fmt.Errorf("%w: %d (n=%d)", ErrNoSuchServer, id, len(servers))
 	}
-	return c.servers[id], nil
+	return servers[id], nil
 }
 
 // allocID hands out the next object ID.
@@ -216,7 +385,7 @@ func (c *Cluster) Route(obj types.ObjectID) (*Server, baseobj.Object, error) {
 	if !ok {
 		return nil, nil, fmt.Errorf("%w: %d", ErrNoSuchObject, obj)
 	}
-	return c.servers[server], o, nil
+	return c.serverList()[server], o, nil
 }
 
 // Apply routes a low-level invocation to the server hosting the object and
@@ -229,7 +398,7 @@ func (c *Cluster) Apply(obj types.ObjectID, client types.ClientID, inv baseobj.I
 	if err != nil {
 		return baseobj.Response{}, err
 	}
-	return c.servers[server].apply(obj, client, inv)
+	return c.serverList()[server].apply(obj, client, inv)
 }
 
 // Crash crashes the given server and all objects mapped to it.
@@ -258,8 +427,9 @@ func (c *Cluster) ResourceComplexity() int {
 // PerServerCounts returns |delta^-1({s})| for every server, indexed by
 // server ID.
 func (c *Cluster) PerServerCounts() []int {
-	counts := make([]int, len(c.servers))
-	for i, s := range c.servers {
+	servers := c.serverList()
+	counts := make([]int, len(servers))
+	for i, s := range servers {
 		counts[i] = s.NumObjects()
 	}
 	return counts

@@ -54,15 +54,26 @@ func (s *store) StartWriteMax(client types.ClientID, v types.TSValue, report fun
 	}
 	s.mu.Lock()
 	prev := s.last[client]
+	s.mu.Unlock()
 	if !prev.Less(v) {
-		s.mu.Unlock()
 		report(prev, nil)
 		return
 	}
-	s.last[client] = v
-	s.mu.Unlock()
 	call := s.fab.Trigger(client, s.regs[client], baseobj.Invocation{Op: baseobj.OpWrite, Arg: v})
-	call.OnComplete(func(o fabric.Outcome) { report(o.Resp.Val, o.Err) })
+	call.OnComplete(func(o fabric.Outcome) {
+		if o.Err == nil {
+			// The floor advances only once the write took effect: advancing
+			// it at trigger time would make a retried round (after a
+			// view-change completion, which guarantees the write never
+			// applied) skip the register and report success for a lost write.
+			s.mu.Lock()
+			if s.last[client].Less(v) {
+				s.last[client] = v
+			}
+			s.mu.Unlock()
+		}
+		report(o.Resp.Val, o.Err)
+	})
 }
 
 // StartReadMax implements abdcore.MaxStore: scatter a read over all k

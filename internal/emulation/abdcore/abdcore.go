@@ -122,8 +122,18 @@ func New(stores []MaxStore, f int, opts ...Option) (*Engine, error) {
 // len(stores) - f, a majority when len(stores) = 2f+1.
 func (e *Engine) Quorum() int { return len(e.stores) - e.f }
 
-// Collect reads the highest timestamped value from a quorum of stores.
+// Collect reads the highest timestamped value from a quorum of stores. A
+// round that races a reconfiguration (some member completed with a
+// view-change error, so it never applied) retries whole under the new view:
+// routes re-resolve, the quorum re-forms, and the blocking shape makes
+// fabric.RetryView the natural retry loop.
 func (e *Engine) Collect(ctx context.Context, client types.ClientID) (types.TSValue, error) {
+	return fabric.RetryView(ctx, func() (types.TSValue, error) {
+		return e.collectOnce(ctx, client)
+	})
+}
+
+func (e *Engine) collectOnce(ctx context.Context, client types.ClientID) (types.TSValue, error) {
 	if e.readTargets != nil {
 		v, err := rounds.Scatter(e.fab, client, e.readTargets).AwaitMax(ctx, e.Quorum())
 		if err != nil {
@@ -148,8 +158,17 @@ func (e *Engine) Collect(ctx context.Context, client types.ClientID) (types.TSVa
 	return v, nil
 }
 
-// WriteMax pushes v to a quorum of stores.
+// WriteMax pushes v to a quorum of stores, retrying the round under a new
+// view if it raced a reconfiguration (write-max is idempotent, so the
+// already-acknowledged members absorb the replay).
 func (e *Engine) WriteMax(ctx context.Context, client types.ClientID, v types.TSValue) error {
+	_, err := fabric.RetryView(ctx, func() (types.TSValue, error) {
+		return types.ZeroTSValue, e.writeMaxOnce(ctx, client, v)
+	})
+	return err
+}
+
+func (e *Engine) writeMaxOnce(ctx context.Context, client types.ClientID, v types.TSValue) error {
 	if e.directWriters != nil {
 		targets := make([]rounds.Target, len(e.directWriters))
 		for i, dw := range e.directWriters {
@@ -179,19 +198,33 @@ func (e *Engine) WriteMax(ctx context.Context, client types.ClientID, v types.TS
 // startCollect is the non-blocking Collect: report fires exactly once, on
 // the quorum'th response or the first error, possibly inline. If fewer
 // than a quorum of stores ever respond, report never fires — a pending op.
+// View-change completions retry transparently: the direct path inherits
+// ScatterFold's built-in re-scatter; the store-start path (casmax chains)
+// re-starts every store under the new view via rounds.ViewRetry.
 func (e *Engine) startCollect(client types.ClientID, report func(types.TSValue, error)) {
+	e.startCollectAttempt(client, report, 0)
+}
+
+func (e *Engine) startCollectAttempt(client types.ClientID, report func(types.TSValue, error), attempt int) {
 	if e.readTargets != nil {
 		rounds.ScatterFold(e.fab, client, e.readTargets, e.Quorum(), report)
 		return
 	}
-	j := rounds.NewFold(e.Quorum(), report)
+	j := rounds.NewFold(e.Quorum(), rounds.ViewRetry(attempt, report, func(next int) {
+		e.startCollectAttempt(client, report, next)
+	}))
 	for _, s := range e.stores {
 		s.StartReadMax(client, j.Complete)
 	}
 }
 
-// startPush is the non-blocking WriteMax.
+// startPush is the non-blocking WriteMax, with the same view-change retry
+// split as startCollect.
 func (e *Engine) startPush(client types.ClientID, v types.TSValue, report func(types.TSValue, error)) {
+	e.startPushAttempt(client, v, report, 0)
+}
+
+func (e *Engine) startPushAttempt(client types.ClientID, v types.TSValue, report func(types.TSValue, error), attempt int) {
 	if e.directWriters != nil {
 		targets := make([]rounds.Target, len(e.directWriters))
 		for i, dw := range e.directWriters {
@@ -200,7 +233,9 @@ func (e *Engine) startPush(client types.ClientID, v types.TSValue, report func(t
 		rounds.ScatterFold(e.fab, client, targets, e.Quorum(), report)
 		return
 	}
-	j := rounds.NewFold(e.Quorum(), report)
+	j := rounds.NewFold(e.Quorum(), rounds.ViewRetry(attempt, report, func(next int) {
+		e.startPushAttempt(client, v, report, next)
+	}))
 	for _, s := range e.stores {
 		s.StartWriteMax(client, v, j.Complete)
 	}

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/baseobj"
 	"repro/internal/emulation"
@@ -166,7 +167,9 @@ func (e *Emulation) NewReader() emulation.Reader {
 // every register of the server has responded (n-f complete scans). It
 // returns the highest timestamped value observed.
 func (e *Emulation) collect(ctx context.Context, client types.ClientID) (types.TSValue, error) {
-	max, err := rounds.ScatterScan(e.fab, client, e.scan).AwaitServers(ctx, e.n-e.f)
+	max, err := fabric.RetryView(ctx, func() (types.TSValue, error) {
+		return rounds.ScatterScan(e.fab, client, e.scan).AwaitServers(ctx, e.n-e.f)
+	})
 	if err != nil {
 		return max, fmt.Errorf("regemu: collect: %w", err)
 	}
@@ -186,6 +189,9 @@ type writeOp struct {
 	scattered bool
 	// acked counts responses carrying ts (line 11).
 	acked int
+	// viewRetries counts per-op low-level re-triggers after view-change
+	// completions, bounding transparent reconfiguration retries.
+	viewRetries int
 	// finished latches completion (or detachment): the op no longer owns
 	// the machine and its done must not fire (again).
 	finished bool
@@ -265,6 +271,36 @@ func (w *Writer) onEvent(b types.ObjectID, ts types.TSValue, err error) {
 		return
 	}
 	if err != nil {
+		if fabric.IsViewChange(err) {
+			// The low-level write raced a reconfiguration and never applied
+			// (the view-change contract), so it retries instead of failing
+			// the high-level write. Before the push phase there is nothing
+			// to retry — the freed register simply joins the push batch once
+			// the timestamp exists.
+			if !op.scattered {
+				w.mu.Unlock()
+				return
+			}
+			if op.viewRetries < fabric.MaxViewRetries {
+				attempt := op.viewRetries
+				op.viewRetries++
+				w.mu.Unlock()
+				// The re-trigger runs from a timer goroutine so the backoff
+				// never blocks a fabric completion, re-checking ownership:
+				// if the op finished meanwhile, the register stays free.
+				time.AfterFunc(fabric.ViewRetryDelay(attempt), func() {
+					w.mu.Lock()
+					if w.cur != op || op.finished {
+						w.mu.Unlock()
+						return
+					}
+					retrigger := w.triggerLocked(b, op.ts)
+					w.mu.Unlock()
+					retrigger()
+				})
+				return
+			}
+		}
 		op.finished = true
 		w.cur = nil
 		done := op.done

@@ -37,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/baseobj"
 	"repro/internal/fabric"
@@ -298,18 +299,45 @@ func (j *Fold) Complete(v types.TSValue, err error) {
 	r(max, nil)
 }
 
+// viewRetry wraps a fold's report with the engine's built-in view-change
+// recovery: a round that fails because some member reached a departing
+// server re-scatters whole (through fresh routes — the re-resolution is the
+// point) after fabric.ViewRetryDelay, up to fabric.MaxViewRetries attempts.
+// The re-scatter is sound because a view-change completion guarantees the
+// failed op never applied, and every other member of a quorum round is an
+// idempotent read / (re)write of the same timestamped value. rescatter runs
+// from a timer goroutine, never from the completing fabric goroutine, so
+// retries cannot recurse into the dispatch path mid-completion.
+func ViewRetry(attempt int, report func(types.TSValue, error), rescatter func(attempt int)) func(types.TSValue, error) {
+	return func(v types.TSValue, err error) {
+		if err != nil && fabric.IsViewChange(err) && attempt < fabric.MaxViewRetries {
+			next := attempt + 1
+			time.AfterFunc(fabric.ViewRetryDelay(attempt), func() { rescatter(next) })
+			return
+		}
+		report(v, err)
+	}
+}
+
 // ScatterFold triggers every target and invokes report exactly once: when
 // need responses arrived (with their folded maximum) or on the first
 // error. It never blocks — completions run on fabric goroutines — which
 // makes it the right shape inside asynchronous store starts: if any
 // operation never responds (held or crashed), the report simply never
-// fires, exactly like any pending op.
+// fires, exactly like any pending op. Rounds that race a reconfiguration
+// retry transparently (see viewRetry).
 func ScatterFold(fab *fabric.Fabric, client types.ClientID, targets []Target, need int, report func(types.TSValue, error)) {
+	scatterFoldAttempt(fab, client, targets, need, report, 0)
+}
+
+func scatterFoldAttempt(fab *fabric.Fabric, client types.ClientID, targets []Target, need int, report func(types.TSValue, error), attempt int) {
 	if need <= 0 || need > len(targets) {
 		report(types.ZeroTSValue, fmt.Errorf("rounds: fold needs %d of %d targets", need, len(targets)))
 		return
 	}
-	j := NewFold(need, report)
+	j := NewFold(need, ViewRetry(attempt, report, func(next int) {
+		scatterFoldAttempt(fab, client, targets, need, report, next)
+	}))
 	done := func(o fabric.Outcome) { j.Complete(o.Resp.Val, o.Err) }
 	batch := make([]fabric.BatchOp, len(targets))
 	for i, t := range targets {
@@ -385,10 +413,16 @@ func ScatterFoldServersScan(fab *fabric.Fabric, client types.ClientID, targets [
 }
 
 func scatterFoldServers(fab *fabric.Fabric, client types.ClientID, targets []Target, need int, report func(types.TSValue, error), scan bool) {
+	scatterFoldServersAttempt(fab, client, targets, need, report, scan, 0)
+}
+
+func scatterFoldServersAttempt(fab *fabric.Fabric, client types.ClientID, targets []Target, need int, report func(types.TSValue, error), scan bool, attempt int) {
 	// The per-server countdown must exist before the batch fires: with
 	// trigger-time callbacks, the in-process lane completes ops inside the
 	// TriggerBatch call itself. Unroutable targets count under server 0 and
 	// report their routing error through their call's completion, as before.
+	// A retry rebuilds the countdown from scratch: ServerFor re-resolves
+	// under the new epoch, so migrated objects count under their new server.
 	remaining := make(map[types.ServerID]int, need)
 	servers := make([]types.ServerID, len(targets))
 	for i, t := range targets {
@@ -400,7 +434,9 @@ func scatterFoldServers(fab *fabric.Fabric, client types.ClientID, targets []Tar
 		report(types.ZeroTSValue, fmt.Errorf("rounds: scan fold needs %d of %d servers", need, len(remaining)))
 		return
 	}
-	j := &serverFold{remaining: remaining, need: need, report: report}
+	j := &serverFold{remaining: remaining, need: need, report: ViewRetry(attempt, report, func(next int) {
+		scatterFoldServersAttempt(fab, client, targets, need, report, scan, next)
+	})}
 	batch := make([]fabric.BatchOp, len(targets))
 	for i, t := range targets {
 		server := servers[i]

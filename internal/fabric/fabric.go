@@ -43,6 +43,18 @@
 // adversary, held/release/drop accounting, and everything above the fabric
 // compose with any backend.
 //
+// Membership is dynamic: the fabric serves the cluster's current View
+// (epoch + ordered server set), AddServer admits a joiner as a brand-new
+// never-reused server identity (on the TCP lane, a fresh session is the
+// join), and Replace (see view.go for the protocol) migrates a departing
+// server's objects — state included — onto a joiner without stopping
+// clients. An operation caught in a view change completes with
+// ErrViewChanged, which guarantees it never applied in the old view, so
+// retrying it (RetryView) is exactly-once safe even for CAS. A server
+// that leaves through Replace is a leave, not a crash: it never shows up
+// in crash accounting, and the paper's f budget is spent only on real
+// fail-stops.
+//
 // Pending write operations are exactly the paper's covering writes; the
 // fabric exposes them via Pending and CoveredObjects for the covering
 // experiments of Lemma 1.
@@ -55,6 +67,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/baseobj"
 	"repro/internal/cluster"
@@ -341,17 +354,83 @@ var (
 	// ErrNotHeld is returned by Release for unknown or already released
 	// tokens.
 	ErrNotHeld = errors.New("fabric: token not held")
+	// ErrViewChanged is the retryable completion of an operation that
+	// raced a view change: it reached a departing server before taking
+	// effect. The invariant clients rely on is strict — an operation that
+	// completes with a view-change error NEVER applied and never will, so
+	// re-triggering it in the new view is exactly-once safe even for
+	// non-idempotent ops (CAS).
+	ErrViewChanged = errors.New("fabric: view changed")
 )
+
+// IsViewChange reports whether err is a retryable view-change completion:
+// the op never took effect and should re-trigger through a fresh route.
+// baseobj.ErrSealed counts — a sealed object rejected the write before it
+// applied, the synchronous-lane face of the same freeze.
+func IsViewChange(err error) bool {
+	return errors.Is(err, ErrViewChanged) || errors.Is(err, baseobj.ErrSealed)
+}
+
+// viewChangedErr builds the per-server retryable completion error.
+func viewChangedErr(server types.ServerID) error {
+	return fmt.Errorf("%w: server %d departing", ErrViewChanged, server)
+}
+
+// MaxViewRetries bounds transparent per-operation view-change retries. A
+// reconfiguration transfers state in a handful of delivery round-trips;
+// with the backoff below the retry budget covers hundreds of milliseconds
+// of coordinator work before an op surfaces the error.
+const MaxViewRetries = 100
+
+// ViewRetryDelay returns the backoff before retry attempt `attempt`
+// (0-based): the first two retries are immediate — the route re-resolves
+// on the spot once the epoch advanced — then exponential from 50µs capped
+// at 2ms, so retry storms never saturate a mid-transfer coordinator.
+func ViewRetryDelay(attempt int) time.Duration {
+	if attempt < 2 {
+		return 0
+	}
+	d := 50 * time.Microsecond << uint(min(attempt-2, 6))
+	return min(d, 2*time.Millisecond)
+}
+
+// RetryView runs attempt until it stops failing with a view-change error,
+// sleeping ViewRetryDelay between tries — the blocking-path analogue of
+// the round engine's built-in re-scatter. Any other outcome (success or a
+// real error) returns immediately.
+func RetryView(ctx context.Context, attempt func() (types.TSValue, error)) (types.TSValue, error) {
+	for i := 0; ; i++ {
+		v, err := attempt()
+		if err == nil || !IsViewChange(err) || i >= MaxViewRetries {
+			return v, err
+		}
+		if d := ViewRetryDelay(i); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return v, ctx.Err()
+			case <-t.C:
+			}
+		} else if ctx.Err() != nil {
+			return v, ctx.Err()
+		}
+	}
+}
 
 // errCrashedDrop is the internal sentinel an ApplyFunc returns when the
 // op's server crashed before delivery: the fabric maps it to the dropped
 // (pending forever) state instead of completing the call with an error.
 var errCrashedDrop = errors.New("fabric: server crashed before delivery")
 
-// route is a resolved object: its server, lane, and the object itself.
-// Routes are immutable once cached — objects never move between servers —
-// except for the used flag, which latches to true on the first trigger.
+// route is a resolved object: its server, lane, and the object itself,
+// stamped with the view epoch it was resolved under. A route is immutable
+// once cached — except for the used flag, which latches to true on the
+// first trigger — but it is only *valid* while the cluster's epoch still
+// matches: a reconfiguration bumps the epoch, every lookup notices the
+// mismatch, and the object re-resolves to its (possibly new) server.
 type route struct {
+	epoch  uint64
 	server types.ServerID
 	srv    *cluster.Server
 	lane   *lane
@@ -386,8 +465,11 @@ func (t *routeTable) get(obj types.ObjectID) *route {
 }
 
 // put caches a route copy-on-write: a published table is never mutated, so
-// readers stay lock-free. Resolution happens once per object, so the copy
-// cost is setup-time only.
+// readers stay lock-free. Resolution happens once per object per epoch, so
+// the copy cost is setup- and reconfiguration-time only. A same-or-newer
+// cached entry wins the benign resolver race; a stale-epoch entry is
+// overwritten (never resurrected), inheriting the used latch so resource
+// accounting survives migration.
 func (t *routeTable) put(obj types.ObjectID, rt *route) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -395,8 +477,15 @@ func (t *routeTable) put(obj types.ObjectID, rt *route) {
 	if p := t.p.Load(); p != nil {
 		cur = *p
 	}
-	if int(obj) < len(cur) && cur[obj] != nil {
-		return // lost a benign race with another resolver
+	if int(obj) < len(cur) {
+		if old := cur[obj]; old != nil {
+			if old.epoch >= rt.epoch {
+				return // lost a benign race with a same-or-newer resolver
+			}
+			if old.used.Load() {
+				rt.used.Store(true)
+			}
+		}
 	}
 	grown := make([]*route, max(int(obj)+1, len(cur)))
 	copy(grown, cur)
@@ -429,8 +518,27 @@ type Fabric struct {
 	nextToken atomic.Uint64
 
 	laneMaker LaneMaker
-	lanes     []*lane // one dispatch lane per server, indexed by ServerID
-	routes    routeTable
+	// lanes is the dispatch lane list, indexed by ServerID and published
+	// copy-on-write: AddServer appends under laneMu while the dispatch hot
+	// path reads the published snapshot lock-free.
+	lanes  atomic.Pointer[[]*lane]
+	laneMu sync.Mutex
+	routes routeTable
+
+	// reconfMu serializes view changes (Replace/AddServer coordination).
+	reconfMu sync.Mutex
+}
+
+// laneList returns the published lane list.
+func (f *Fabric) laneList() []*lane { return *f.lanes.Load() }
+
+// laneFor returns server's dispatch lane, or nil for an unknown server.
+func (f *Fabric) laneFor(server types.ServerID) *lane {
+	lanes := f.laneList()
+	if int(server) < 0 || int(server) >= len(lanes) {
+		return nil
+	}
+	return lanes[server]
 }
 
 // Option configures a Fabric.
@@ -458,32 +566,59 @@ func New(c *cluster.Cluster, opts ...Option) *Fabric {
 		opt(f)
 	}
 	_, f.benign = f.gate.(PassGate)
-	f.lanes = make([]*lane, c.N())
-	for i := range f.lanes {
-		server := types.ServerID(i)
-		backend := f.laneMaker(server)
-		_, inproc := backend.(InProcLane)
-		f.lanes[i] = &lane{
-			server:   server,
-			backend:  backend,
-			inproc:   inproc,
-			held:     make(map[uint64]*heldOp),
-			inflight: make(map[uint64]*heldOp),
-			dropped:  make(map[uint64]*heldOp),
-		}
-		if cr, ok := backend.(CrashReporter); ok {
+	lanes := make([]*lane, c.N())
+	for i := range lanes {
+		lanes[i] = newLane(types.ServerID(i), f.laneMaker(types.ServerID(i)))
+	}
+	// Publish the lane list before installing crash hooks: a backend whose
+	// transport is already dead fires the hook synchronously from inside
+	// SetCrashHook, and Crash needs the list.
+	f.lanes.Store(&lanes)
+	for _, l := range lanes {
+		if cr, ok := l.backend.(CrashReporter); ok {
 			// A failed transport is a crashed server: reconnect-as-crash.
+			server := l.server
 			cr.SetCrashHook(func() { _ = f.Crash(server) })
 		}
 	}
 	return f
 }
 
+// AddServer grows the cluster by one server and wires its dispatch lane,
+// activating a new view epoch. maker builds the lane backend (nil uses the
+// fabric's default maker — the one New ran, so latency-lane fabrics give
+// the joiner its own seeded delay sub-stream). The joiner starts empty;
+// Replace (or cluster.MoveObject) transfers state onto it.
+func (f *Fabric) AddServer(maker LaneMaker) (types.ServerID, error) {
+	f.laneMu.Lock()
+	defer f.laneMu.Unlock()
+	if maker == nil {
+		maker = f.laneMaker
+	}
+	srv := f.cluster.AddServer()
+	id := srv.ID()
+	lanes := f.laneList()
+	if int(id) != len(lanes) {
+		// Lanes and cluster must grow in lockstep; a divergence means the
+		// cluster was grown behind the fabric's back.
+		return 0, fmt.Errorf("fabric: lane/cluster divergence: new server %d, %d lanes", id, len(lanes))
+	}
+	backend := maker(id)
+	grown := make([]*lane, len(lanes)+1)
+	copy(grown, lanes)
+	grown[len(lanes)] = newLane(id, backend)
+	f.lanes.Store(&grown)
+	if cr, ok := backend.(CrashReporter); ok {
+		cr.SetCrashHook(func() { _ = f.Crash(id) })
+	}
+	return id, nil
+}
+
 // Close closes every lane backend. The in-process and latency lanes have no
 // resources; network lanes close their connections.
 func (f *Fabric) Close() error {
 	var first error
-	for _, l := range f.lanes {
+	for _, l := range f.laneList() {
 		if err := l.backend.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -511,20 +646,31 @@ func (f *Fabric) ServerFor(obj types.ObjectID) (types.ServerID, error) {
 }
 
 func (f *Fabric) route(obj types.ObjectID) (*route, error) {
-	if rt := f.routes.get(obj); rt != nil {
+	// The epoch is captured BEFORE the delta lookup: a concurrent
+	// migration that publishes a new mapping then bumps the epoch can at
+	// worst produce a (new mapping, old epoch) cache entry — which the
+	// next lookup re-resolves — never a stale mapping stamped current.
+	epoch := f.cluster.Epoch()
+	if rt := f.routes.get(obj); rt != nil && rt.epoch == epoch {
 		return rt, nil
 	}
 	srv, o, err := f.cluster.Route(obj)
 	if err != nil {
 		return nil, err
 	}
-	rt := &route{server: srv.ID(), srv: srv, lane: f.lanes[srv.ID()], obj: o}
+	l := f.laneFor(srv.ID())
+	if l == nil {
+		return nil, fmt.Errorf("fabric: no dispatch lane for server %d (cluster grown behind the fabric's back?)", srv.ID())
+	}
+	rt := &route{epoch: epoch, server: srv.ID(), srv: srv, lane: l, obj: o}
 	if m, ok := rt.lane.backend.(ObjectMirror); ok {
 		// Let external-store backends host a matching object before any
 		// operation on it is delivered. Mirroring happens before the route
 		// is published, so every dispatch uses an already-mirrored route;
 		// the benign double-mirror race with a concurrent resolver is
-		// absorbed by idempotent placement on the store side.
+		// absorbed by idempotent placement on the store side. For a
+		// migrated object the mirrored state is the object's current
+		// (transferred) value — see lanenet's stateful place frames.
 		m.MirrorObject(o)
 	}
 	f.routes.put(obj, rt)
@@ -645,7 +791,10 @@ func (f *Fabric) triggerGroup(client types.ClientID, ops []BatchOp, scan bool) [
 
 	// Gate-passed ops for asynchronous backends are staged per lane and
 	// handed off after the pass; both slices are lazily allocated so the
-	// all-in-process batch (the sweep hot path) never pays for them.
+	// all-in-process batch (the sweep hot path) never pays for them. The
+	// lane snapshot is taken after routing: lanes grow append-only, so
+	// every routed server's index is within it.
+	lanes := f.laneList()
 	var groups [][]LaneOp
 	var scanGroups [][]scanOp
 	for i, op := range ops {
@@ -664,6 +813,12 @@ func (f *Fabric) triggerGroup(client types.ClientID, ops []BatchOp, scan bool) [
 			f.drop(&heldOp{ev: c.ev, rt: rt, phase: PhaseDropped, call: c})
 			continue
 		}
+		if rt.srv.Departing() {
+			// The server is frozen for a view change: complete retryably
+			// (the op never reaches the object) instead of pending forever.
+			c.completeUnshared(Outcome{Err: viewChangedErr(rt.server)})
+			continue
+		}
 		if !f.benign && f.gate.BeforeApply(c.ev) == Hold {
 			f.emit(TraceHoldApply, &c.ev, rt.server)
 			f.park(&heldOp{ev: c.ev, rt: rt, phase: PhaseApply, call: c})
@@ -673,7 +828,7 @@ func (f *Fabric) triggerGroup(client types.ClientID, ops []BatchOp, scan bool) [
 		if l.inproc {
 			if scan {
 				if scanGroups == nil {
-					scanGroups = make([][]scanOp, len(f.lanes))
+					scanGroups = make([][]scanOp, len(lanes))
 				}
 				scanGroups[l.server] = append(scanGroups[l.server], scanOp{rt: rt, call: c})
 				continue
@@ -688,7 +843,7 @@ func (f *Fabric) triggerGroup(client types.ClientID, ops []BatchOp, scan bool) [
 		}
 		if lop, ok := f.prepInflight(rt, c); ok {
 			if groups == nil {
-				groups = make([][]LaneOp, len(f.lanes))
+				groups = make([][]LaneOp, len(lanes))
 			}
 			groups[l.server] = append(groups[l.server], lop)
 		}
@@ -702,7 +857,7 @@ func (f *Fabric) triggerGroup(client types.ClientID, ops []BatchOp, scan bool) [
 		if len(g) == 0 {
 			continue
 		}
-		backend := f.lanes[s].backend
+		backend := lanes[s].backend
 		if scan {
 			if sl, ok := backend.(ScanLane); ok {
 				sl.DeliverScan(g)
@@ -791,6 +946,12 @@ func (f *Fabric) trigger(client types.ClientID, obj types.ObjectID, inv baseobj.
 		f.drop(&heldOp{ev: call.ev, rt: rt, phase: PhaseDropped, call: call})
 		return call
 	}
+	if rt.srv.Departing() {
+		// Frozen for a view change: the op never reaches the object, so it
+		// completes retryably instead of pending forever (unlike a crash).
+		call.completeUnshared(Outcome{Err: viewChangedErr(rt.server)})
+		return call
+	}
 
 	if f.benign && rt.lane.inproc {
 		// Benign in-process fast path: the gate never holds and the apply
@@ -835,6 +996,14 @@ func (f *Fabric) deliver(rt *route, call *Call) {
 		f.drop(&heldOp{ev: call.ev, rt: rt, phase: PhaseDropped, call: call})
 		return
 	}
+	if rt.srv.Departing() {
+		// The server froze for a view change after the op passed the gate
+		// (this path also catches released covering writes aimed at a
+		// departing server): the op must NOT apply — its effect would be
+		// invisible to the transferred state — so it completes retryably.
+		call.complete(Outcome{Err: viewChangedErr(rt.server)})
+		return
+	}
 	l := rt.lane
 	if l.inproc {
 		resp, err := rt.obj.Apply(call.ev.Client, call.ev.Inv)
@@ -855,7 +1024,14 @@ func (f *Fabric) deliver(rt *route, call *Call) {
 func (f *Fabric) prepInflight(rt *route, call *Call) (LaneOp, bool) {
 	l := rt.lane
 	h := &heldOp{ev: call.ev, rt: rt, phase: PhaseInFlight, call: call, f: f}
-	l.putInflight(h)
+	if !l.putInflight(h) {
+		// The lane froze for a view change before the insert: the op was
+		// never handed to the backend, so it completes retryably. This check
+		// runs under the same lock the coordinator's freeze takes, which is
+		// what keeps the op from writing a frame behind the state fetch.
+		call.complete(Outcome{Err: viewChangedErr(rt.server)})
+		return LaneOp{}, false
+	}
 	if rt.srv.Crashed() {
 		// The server crashed between the caller's check and the in-flight
 		// insert; the crash drain may already have run past this token.
@@ -906,7 +1082,7 @@ func (f *Fabric) drop(h *heldOp) {
 // holds it. Tokens do not encode their lane, so this scans the (small,
 // fixed) lane set; Release is an adversary-path operation, never a hot one.
 func (f *Fabric) take(token uint64) (*heldOp, bool) {
-	for _, l := range f.lanes {
+	for _, l := range f.laneList() {
 		l.mu.Lock()
 		h, ok := l.held[token]
 		if ok {
@@ -938,6 +1114,26 @@ func (f *Fabric) release(h *heldOp) error {
 		f.drop(h)
 		return nil
 	}
+	if h.rt.srv.Departing() {
+		// The op's server froze for a view change while the op was parked.
+		// The two phases MUST diverge: a PhaseApply op never took effect (it
+		// completes retryably — applying it now would mutate state behind the
+		// transfer), while a PhaseRespond op already linearized before the
+		// freeze, so its effect is in the transferred state and it must
+		// complete with its real response — a view-change error would make
+		// the client re-apply an op that already happened.
+		f.emit(TraceRelease, &h.ev, h.ev.Server)
+		switch h.phase {
+		case PhaseApply:
+			h.call.complete(Outcome{Err: viewChangedErr(h.ev.Server)})
+		case PhaseRespond:
+			f.emit(TraceRespond, &h.ev, h.ev.Server)
+			h.call.complete(Outcome{Resp: h.resp})
+		default:
+			return fmt.Errorf("fabric: cannot release op in phase %v", h.phase)
+		}
+		return nil
+	}
 	f.emit(TraceRelease, &h.ev, h.ev.Server)
 	switch h.phase {
 	case PhaseApply:
@@ -959,7 +1155,7 @@ func (f *Fabric) release(h *heldOp) error {
 // order, and returns how many were released.
 func (f *Fabric) ReleaseWhere(pred func(PendingOp) bool) int {
 	var tokens []uint64
-	for _, l := range f.lanes {
+	for _, l := range f.laneList() {
 		l.mu.Lock()
 		for token, h := range l.held {
 			if pred(PendingOp{Event: h.ev, Phase: h.phase}) {
@@ -986,7 +1182,10 @@ func (f *Fabric) Crash(server types.ServerID) error {
 		return err
 	}
 	f.emit(TraceCrash, &TriggerEvent{}, server)
-	l := f.lanes[server]
+	l := f.laneFor(server)
+	if l == nil {
+		return fmt.Errorf("fabric: no dispatch lane for server %d", server)
+	}
 	l.mu.Lock()
 	for token, h := range l.held {
 		delete(l.held, token)
@@ -1010,7 +1209,7 @@ func (f *Fabric) Crash(server types.ServerID) error {
 // pending low-level ops.
 func (f *Fabric) Pending() []PendingOp {
 	var ops []PendingOp
-	for _, l := range f.lanes {
+	for _, l := range f.laneList() {
 		l.mu.Lock()
 		for _, h := range l.held {
 			ops = append(ops, PendingOp{Event: h.ev, Phase: h.phase})

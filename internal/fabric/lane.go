@@ -150,13 +150,62 @@ type lane struct {
 	held     map[uint64]*heldOp
 	inflight map[uint64]*heldOp
 	dropped  map[uint64]*heldOp
+	// departing freezes the lane for a view change. It lives under mu —
+	// not in an atomic — deliberately: putInflight checks it under the
+	// same lock the coordinator sets it under, so after setDeparting
+	// returns, every op is either already in the in-flight index (the
+	// coordinator awaits it) or will fail its insert (and retry in the
+	// new view). No op can slip between the freeze and the state fetch.
+	departing bool
 }
 
-// putInflight records an op handed to an asynchronous backend.
-func (l *lane) putInflight(h *heldOp) {
+// newLane builds one server's dispatch shard.
+func newLane(server types.ServerID, backend Lane) *lane {
+	_, inproc := backend.(InProcLane)
+	return &lane{
+		server:   server,
+		backend:  backend,
+		inproc:   inproc,
+		held:     make(map[uint64]*heldOp),
+		inflight: make(map[uint64]*heldOp),
+		dropped:  make(map[uint64]*heldOp),
+	}
+}
+
+// putInflight records an op handed to an asynchronous backend. It returns
+// false when the lane is frozen for a view change: the op was not recorded
+// and must complete as a retryable view-change error instead.
+func (l *lane) putInflight(h *heldOp) bool {
 	l.mu.Lock()
+	if l.departing {
+		l.mu.Unlock()
+		return false
+	}
 	l.inflight[h.ev.Token] = h
 	l.mu.Unlock()
+	return true
+}
+
+// setDeparting freezes the lane for a view change and returns the ops
+// parked by the gate (held) for the coordinator to force-complete.
+func (l *lane) setDeparting() []*heldOp {
+	l.mu.Lock()
+	l.departing = true
+	parked := make([]*heldOp, 0, len(l.held))
+	for token, h := range l.held {
+		delete(l.held, token)
+		parked = append(parked, h)
+	}
+	l.mu.Unlock()
+	return parked
+}
+
+// inflightCount reports how many ops are on the wire.
+func (l *lane) inflightCount() int {
+	l.mu.Lock()
+	n := len(l.inflight)
+	l.mu.Unlock()
+	return n
 }
 
 // takeInflight claims the in-flight op with the given token. It returns

@@ -1,0 +1,227 @@
+// View-change coordination: live replacement of a server with state
+// transfer, without stopping reads or writes.
+//
+// The protocol is freeze → drain → transfer → activate:
+//
+//  1. Admit the joiner (Fabric.AddServer): a fresh server ID, an empty
+//     object table, and a new dispatch lane. Epoch bump #1 — but routes
+//     still resolve to the old server, so traffic is undisturbed.
+//  2. Freeze the departing server (Server.Depart + lane.setDeparting).
+//     From this point every NEW operation routed to it completes with a
+//     retryable ErrViewChanged before touching the wire; the freeze is
+//     taken under the lane mutex, so no op can slip between the freeze and
+//     the state fetch.
+//  3. Drain: force-complete the gate-parked ops (PhaseApply never applied
+//     → retryable error; PhaseRespond already linearized → its real
+//     response) and wait for the on-the-wire ops to complete — they
+//     legally finish in the old view and their effects are part of the
+//     transferred state.
+//  4. Transfer: seal each object (the seal point is the authoritative
+//     cutoff for local-state backends; network backends are read over the
+//     wire after the drain) and move the state onto the joiner
+//     (cluster.MoveObject). Each move bumps the epoch, so cached routes
+//     re-resolve object by object.
+//  5. Retire: remove the old server from the view and close its backend.
+//     A network backend's Close marks it closing first, so tearing down
+//     the connection reads as a clean leave, not a crash.
+//
+// Clients never stop: in-flight ops complete in the old view, ops that hit
+// the freeze window retry transparently into the new one (see ErrViewChanged
+// — the error guarantees the op never applied, so the retry is exactly-once
+// safe even for CAS), and the round engines re-scatter on view-change
+// completions automatically.
+package fabric
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/baseobj"
+	"repro/internal/types"
+)
+
+// quiescePoll is the interval at which the coordinator re-checks a draining
+// lane's in-flight count. Drains complete in a few delivery round-trips, so
+// a sub-millisecond poll keeps reconfiguration latency dominated by the
+// transport, not the coordinator.
+const quiescePoll = 200 * time.Microsecond
+
+// Replace performs a live replacement of server old: a fresh server joins
+// the view, the departing server freezes and drains, every object it hosts
+// transfers (with state) onto the joiner, and the old server leaves the
+// view. Reads and writes continue throughout — operations caught in the
+// freeze window complete with a retryable view-change error and re-execute
+// in the new view.
+//
+// maker builds the joiner's lane backend; nil uses the fabric's default
+// maker. Replace returns the joiner's server ID. Concurrent Replace calls
+// serialize; replacing a crashed or already-departing server fails.
+func (f *Fabric) Replace(ctx context.Context, old types.ServerID, maker LaneMaker) (types.ServerID, error) {
+	f.reconfMu.Lock()
+	defer f.reconfMu.Unlock()
+
+	srv, err := f.cluster.Server(old)
+	if err != nil {
+		return 0, err
+	}
+	if srv.Crashed() {
+		return 0, fmt.Errorf("fabric: cannot replace crashed server %d (its state is lost)", old)
+	}
+	if srv.Departing() {
+		return 0, fmt.Errorf("fabric: server %d is already departing", old)
+	}
+	l := f.laneFor(old)
+	if l == nil {
+		return 0, fmt.Errorf("fabric: no dispatch lane for server %d", old)
+	}
+
+	// 1. Admit the joiner before freezing anything: if admission fails the
+	// old server was never disturbed.
+	newID, err := f.AddServer(maker)
+	if err != nil {
+		return 0, err
+	}
+
+	// 2+3. Freeze and drain.
+	srv.Depart()
+	f.drainParked(l.setDeparting())
+	if err := f.awaitQuiesce(ctx, l); err != nil {
+		return newID, fmt.Errorf("fabric: drain of server %d: %w", old, err)
+	}
+
+	// 4. Transfer every hosted object onto the joiner.
+	for _, obj := range f.cluster.ObjectsOn(old) {
+		o, err := f.cluster.Object(obj)
+		if err != nil {
+			return newID, err
+		}
+		state, err := f.fetchState(ctx, l, o)
+		if err != nil {
+			return newID, fmt.Errorf("fabric: state fetch for object %d on server %d: %w", obj, old, err)
+		}
+		if err := f.cluster.MoveObject(obj, newID, state); err != nil {
+			return newID, fmt.Errorf("fabric: move object %d to server %d: %w", obj, newID, err)
+		}
+	}
+
+	// 5. Retire: leave the view, then tear down the transport. Close is
+	// ordered after RemoveServer so a backend whose Close reports failure
+	// (reconnect-as-crash) cannot crash a server that is still a member.
+	if err := f.cluster.RemoveServer(old); err != nil {
+		return newID, err
+	}
+	if err := l.backend.Close(); err != nil {
+		return newID, fmt.Errorf("fabric: closing lane backend of server %d: %w", old, err)
+	}
+	return newID, nil
+}
+
+// drainParked force-completes the ops the gate had parked on a now-frozen
+// lane, in ascending token order. The two phases must diverge — see
+// release: a PhaseApply op never linearized (retryable error), a
+// PhaseRespond op did (its real response).
+func (f *Fabric) drainParked(parked []*heldOp) {
+	sort.Slice(parked, func(i, j int) bool { return parked[i].ev.Token < parked[j].ev.Token })
+	for _, h := range parked {
+		f.emit(TraceRelease, &h.ev, h.ev.Server)
+		switch h.phase {
+		case PhaseApply:
+			h.call.complete(Outcome{Err: viewChangedErr(h.ev.Server)})
+		case PhaseRespond:
+			f.emit(TraceRespond, &h.ev, h.ev.Server)
+			h.call.complete(Outcome{Resp: h.resp})
+		}
+	}
+}
+
+// awaitQuiesce waits until the frozen lane has no operation on the wire.
+// Every such op was admitted before the freeze, so it completes in the old
+// view (or its server crashes); new ops cannot join (putInflight rejects
+// them under the same lock that set the freeze).
+func (f *Fabric) awaitQuiesce(ctx context.Context, l *lane) error {
+	for l.inflightCount() > 0 {
+		t := time.NewTimer(quiescePoll)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return fmt.Errorf("quiesce (%d in flight): %w", l.inflightCount(), ctx.Err())
+		case <-t.C:
+		}
+	}
+	return nil
+}
+
+// fetchState returns an object's authoritative state at the freeze point
+// and seals the local copy so no write can land behind the transfer.
+//
+// For local-state backends (in-process, latency) the seal IS the fetch: the
+// snapshot and the rejection of later writes are atomic under the object's
+// mutex. For external-store backends (ObjectMirror — the network lane) the
+// local copy is only a placeholder; the authoritative state lives in the
+// storage node and is read over the still-open connection. The read is
+// sound because the lane has quiesced and its freeze rejects new sends, so
+// the node can receive no further write for this fabric's objects before
+// the connection closes.
+func (f *Fabric) fetchState(ctx context.Context, l *lane, o baseobj.Object) (types.TSValue, error) {
+	sealer, ok := o.(baseobj.Sealer)
+	if !ok {
+		return types.TSValue{}, fmt.Errorf("object %d (%T) does not support state transfer", o.ID(), o)
+	}
+	local := sealer.Seal()
+	if _, remote := l.backend.(ObjectMirror); !remote {
+		return local, nil
+	}
+	inv, err := stateReadInv(o.Kind())
+	if err != nil {
+		return types.TSValue{}, err
+	}
+	// The fetch is a real wire delivery with a synthetic client identity —
+	// it bypasses routing, gating, and in-flight bookkeeping because the
+	// lane is frozen for everyone else.
+	ev := TriggerEvent{
+		Token:  f.nextToken.Add(1),
+		Client: types.ClientID(-1),
+		Object: o.ID(),
+		Server: l.server,
+		Inv:    inv,
+	}
+	done := make(chan Outcome, 1)
+	l.backend.Deliver(ev,
+		func() (baseobj.Response, error) {
+			return baseobj.Response{}, fmt.Errorf("fabric: state fetch for object %d applied locally on a remote-state backend", o.ID())
+		},
+		func(resp baseobj.Response, err error) {
+			done <- Outcome{Resp: resp, Err: err}
+		})
+	select {
+	case <-ctx.Done():
+		return types.TSValue{}, ctx.Err()
+	case out := <-done:
+		if out.Err != nil {
+			return types.TSValue{}, out.Err
+		}
+		return out.Resp.Val, nil
+	}
+}
+
+// stateReadInv builds the invocation that reads an object's full state
+// without mutating it. Registers and max-registers have plain reads; a CAS
+// cell's state is observed via a compare that can never succeed (no writer
+// ID is negative), whose response carries the previous — i.e. current —
+// value.
+func stateReadInv(kind baseobj.Kind) (baseobj.Invocation, error) {
+	switch kind {
+	case baseobj.KindRegister:
+		return baseobj.Invocation{Op: baseobj.OpRead}, nil
+	case baseobj.KindMaxRegister:
+		return baseobj.Invocation{Op: baseobj.OpReadMax}, nil
+	case baseobj.KindCAS:
+		probe := types.TSValue{TS: math.MaxUint64, Writer: -1, Val: -1}
+		return baseobj.Invocation{Op: baseobj.OpCAS, Exp: probe, New: probe}, nil
+	default:
+		return baseobj.Invocation{}, fmt.Errorf("fabric: no state read for object kind %v", kind)
+	}
+}

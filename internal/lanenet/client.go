@@ -224,7 +224,7 @@ func (c *Client) enqueue(it outItem) {
 // any operation on the object is delivered. The placement rides the same
 // FIFO queue as invocations, preserving place-before-apply.
 func (c *Client) MirrorObject(obj baseobj.Object) {
-	p := placeReq{obj: obj.ID(), kind: obj.Kind()}
+	p := placeReq{obj: obj.ID(), kind: obj.Kind(), state: obj.Peek()}
 	if reg, ok := obj.(*baseobj.Register); ok {
 		p.writers = reg.Writers()
 	}

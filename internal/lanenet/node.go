@@ -8,6 +8,8 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/baseobj"
 	"repro/internal/types"
@@ -50,6 +52,14 @@ type Node struct {
 
 	mu     sync.RWMutex
 	tables map[string]*nodeTable
+
+	// draining, conns, and serving implement the graceful drain: Drain
+	// flips the flag, wakes every blocked connection read, and waits for
+	// the serving goroutines to flush what they already decoded and exit.
+	draining atomic.Bool
+	connMu   sync.Mutex
+	conns    map[net.Conn]struct{}
+	serving  sync.WaitGroup
 }
 
 // nodeTable is one named object table with its own lock domain.
@@ -63,6 +73,7 @@ func NewNode(opts ...NodeOption) *Node {
 	n := &Node{
 		tables:    map[string]*nodeTable{"": {objects: make(map[types.ObjectID]baseobj.Object)}},
 		readBatch: defaultReadBatch,
+		conns:     make(map[net.Conn]struct{}),
 	}
 	for _, o := range opts {
 		o(n)
@@ -125,6 +136,45 @@ func (n *Node) Serve(l net.Listener) error {
 	}
 }
 
+// addConn registers a serving connection for the drain, or refuses it when
+// the node is already draining.
+func (n *Node) addConn(conn net.Conn) bool {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	if n.draining.Load() {
+		return false
+	}
+	n.conns[conn] = struct{}{}
+	n.serving.Add(1)
+	return true
+}
+
+// removeConn unregisters a connection whose serving goroutine is exiting.
+func (n *Node) removeConn(conn net.Conn) {
+	n.connMu.Lock()
+	delete(n.conns, conn)
+	n.connMu.Unlock()
+	n.serving.Done()
+}
+
+// Drain gracefully retires the node: new connections are refused, every
+// connection blocked waiting for input is woken (an immediate read
+// deadline), and Drain returns once each serving goroutine has finished
+// handling the frames it already decoded, flushed their responses, and
+// closed its connection. The caller closes the listener first, so the
+// sequence listener-close → Drain is the clean *leave* a kill signal can
+// never produce — peers see orderly EOFs after complete responses, not a
+// mid-frame reset.
+func (n *Node) Drain() {
+	n.connMu.Lock()
+	n.draining.Store(true)
+	for conn := range n.conns {
+		_ = conn.SetReadDeadline(time.Now())
+	}
+	n.connMu.Unlock()
+	n.serving.Wait()
+}
+
 // ServeConn serves one connection until EOF or error, processing frames in
 // arrival order: a placement is therefore always applied before any
 // invocation the client sent after it. After the first (blocking) frame of
@@ -134,6 +184,10 @@ func (n *Node) Serve(l net.Listener) error {
 // the input is momentarily dry or the batch cap is reached.
 func (n *Node) ServeConn(conn net.Conn) {
 	defer conn.Close()
+	if !n.addConn(conn) {
+		return
+	}
+	defer n.removeConn(conn)
 	br := bufio.NewReaderSize(conn, 64<<10)
 	bw := bufio.NewWriterSize(conn, 64<<10)
 	// The connection's current table: the default until a msgBind switches
@@ -143,7 +197,12 @@ func (n *Node) ServeConn(conn net.Conn) {
 	for {
 		payload, err := readFrame(br)
 		if err != nil {
-			return // EOF or broken pipe: the client is gone
+			// EOF or broken pipe: the client is gone. During a drain the
+			// error is the deadline that woke this goroutine; what was
+			// already handled has been flushed, so exiting here is the
+			// "finish in-flight work, then leave" half of the drain.
+			bw.Flush()
+			return
 		}
 		if tbl = n.handleFrame(bw, tbl, payload); tbl == nil {
 			return
@@ -159,6 +218,9 @@ func (n *Node) ServeConn(conn net.Conn) {
 			}
 		}
 		if bw.Flush() != nil {
+			return
+		}
+		if n.draining.Load() {
 			return
 		}
 	}
@@ -241,18 +303,27 @@ func (t *nodeTable) place(p placeReq) {
 	if _, ok := t.objects[p.obj]; ok {
 		return
 	}
+	var obj baseobj.Object
 	switch p.kind {
 	case baseobj.KindRegister:
 		var opts []baseobj.RegisterOption
 		if len(p.writers) > 0 {
 			opts = append(opts, baseobj.WithWriters(p.writers))
 		}
-		t.objects[p.obj] = baseobj.NewRegister(p.obj, opts...)
+		obj = baseobj.NewRegister(p.obj, opts...)
 	case baseobj.KindMaxRegister:
-		t.objects[p.obj] = baseobj.NewMaxRegister(p.obj)
+		obj = baseobj.NewMaxRegister(p.obj)
 	case baseobj.KindCAS:
-		t.objects[p.obj] = baseobj.NewCASCell(p.obj)
+		obj = baseobj.NewCASCell(p.obj)
+	default:
+		return
 	}
+	// A fresh placement materializes at the mirrored state: for migrated
+	// objects this IS the state transfer onto the replacement node.
+	if s, ok := obj.(baseobj.Sealer); ok {
+		s.Restore(p.state)
+	}
+	t.objects[p.obj] = obj
 }
 
 // apply runs one invocation and maps its outcome onto the wire statuses.

@@ -70,6 +70,11 @@ type placeReq struct {
 	obj     types.ObjectID
 	kind    baseobj.Kind
 	writers []types.ClientID
+	// state is the object's value at mirror time. A fresh placement is
+	// materialized at this state, which is what carries transferred state
+	// onto a replacement server's node; re-placements of an already-hosted
+	// object ignore it (the node's copy is authoritative).
+	state types.TSValue
 }
 
 // applyReq is the decoded form of msgApply.
@@ -142,7 +147,7 @@ func tsValueAt(b []byte, off int) (types.TSValue, int, error) {
 
 // encodePlace encodes a msgPlace payload.
 func encodePlace(p placeReq) []byte {
-	b := make([]byte, 0, 8+4*len(p.writers))
+	b := make([]byte, 0, 8+4*len(p.writers)+20)
 	b = append(b, msgPlace)
 	b = binary.BigEndian.AppendUint32(b, uint32(p.obj))
 	b = append(b, byte(p.kind))
@@ -150,7 +155,7 @@ func encodePlace(p placeReq) []byte {
 	for _, w := range p.writers {
 		b = binary.BigEndian.AppendUint32(b, uint32(w))
 	}
-	return b
+	return appendTSValue(b, p.state)
 }
 
 // decodePlace decodes a msgPlace payload (after the type byte).
@@ -163,11 +168,15 @@ func decodePlace(b []byte) (placeReq, error) {
 		kind: baseobj.Kind(b[4]),
 	}
 	n := int(binary.BigEndian.Uint16(b[5:]))
-	if len(b) < 7+4*n {
+	if len(b) < 7+4*n+20 {
 		return placeReq{}, fmt.Errorf("lanenet: truncated place writer set")
 	}
 	for i := 0; i < n; i++ {
 		p.writers = append(p.writers, types.ClientID(int32(binary.BigEndian.Uint32(b[7+4*i:]))))
+	}
+	var err error
+	if p.state, _, err = tsValueAt(b, 7+4*n); err != nil {
+		return placeReq{}, err
 	}
 	return p, nil
 }

@@ -52,6 +52,7 @@ const (
 	chaosStreamGate = iota
 	chaosStreamSchedule
 	chaosStreamLane
+	chaosStreamChurn
 )
 
 // ChaosServers returns the server count the chaos experiments provision
@@ -81,6 +82,11 @@ type ChaosConfig struct {
 	// ReleaseProb releases each held op with this probability between
 	// high-level ops (default 0.3), so stale covering writes land late.
 	ReleaseProb float64
+	// ChurnProb replaces one random live server between high-level ops
+	// with this probability (default 0 — no churn): a full fabric.Replace
+	// with state transfer, so the run additionally exercises view changes,
+	// transparent retries, and coordinator drains of gate-held ops.
+	ChurnProb float64
 	// Lane selects the dispatch backend (default LaneInProc).
 	Lane Lane
 	// LaneMaker, when set, overrides Lane with caller-built backends —
@@ -114,7 +120,9 @@ type ChaosReport struct {
 	Reads    int
 	Holds    int
 	Releases int
-	Checks   CheckResult
+	// Replacements counts the live server replacements churn performed.
+	Replacements int
+	Checks       CheckResult
 	// History is the recorded high-level history, for checks beyond the
 	// write-sequential pair (the TCP chaos suite also runs the
 	// linearizability checker over it).
@@ -158,6 +166,7 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 	}
 
 	schedule := rand.New(rand.NewSource(seed.Sub(cfg.Seed, chaosStreamSchedule)))
+	churn := rand.New(rand.NewSource(seed.Sub(cfg.Seed, chaosStreamChurn)))
 	values := workload.NewValueGen()
 	readers := []emulation.Reader{reg.NewReader(), reg.NewReader()}
 	rep := &ChaosReport{Cfg: cfg}
@@ -180,11 +189,45 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 			rep.Writes++
 		}
 		rep.Releases += gate.ReleaseSome(env.Fabric, releaseProb)
+		if cfg.ChurnProb > 0 && churn.Float64() < cfg.ChurnProb {
+			replaced, err := churnReplace(ctx, env, churn)
+			if err != nil {
+				return nil, fmt.Errorf("chaos op %d churn: %w", op, err)
+			}
+			if replaced {
+				rep.Replacements++
+			}
+		}
 	}
 	rep.Holds = gate.Holds()
 	rep.Checks = Check(hist)
 	rep.History = hist
 	return rep, nil
+}
+
+// churnReplace replaces one random live member of the current view with a
+// fresh joiner via fabric.Replace (state transfer included), using the
+// fabric's default lane maker for the joiner's backend. Crashed and
+// already-departing members are not candidates; with none left the churn
+// tick is a no-op.
+func churnReplace(ctx context.Context, env *Env, rng *rand.Rand) (bool, error) {
+	view := env.Cluster.View()
+	var candidates []types.ServerID
+	for _, id := range view.Members {
+		srv, err := env.Cluster.Server(id)
+		if err != nil || srv.Crashed() || srv.Departing() {
+			continue
+		}
+		candidates = append(candidates, id)
+	}
+	if len(candidates) == 0 {
+		return false, nil
+	}
+	victim := candidates[rng.Intn(len(candidates))]
+	if _, err := env.Fabric.Replace(ctx, victim, nil); err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // ChaosSweepReport aggregates a chaos sweep across consecutive seeds.
@@ -200,8 +243,9 @@ type ChaosSweepReport struct {
 	Violating int
 	// FirstViolatingSeed is the lowest violating seed, or -1 when none.
 	FirstViolatingSeed int64
-	// Writes, Reads, Holds, and Releases are summed across all seeds.
-	Writes, Reads, Holds, Releases int
+	// Writes, Reads, Holds, Releases, and Replacements are summed across
+	// all seeds.
+	Writes, Reads, Holds, Releases, Replacements int
 	// Elapsed is the sweep wall-clock time.
 	Elapsed time.Duration
 }
@@ -237,6 +281,7 @@ func RunChaosSweep(ctx context.Context, cfg ChaosConfig, seeds, workers int) (*C
 		rep.Reads += r.Reads
 		rep.Holds += r.Holds
 		rep.Releases += r.Releases
+		rep.Replacements += r.Replacements
 		if !r.Checks.OK() {
 			rep.Violating++
 			if rep.FirstViolatingSeed == -1 {

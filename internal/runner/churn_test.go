@@ -1,0 +1,95 @@
+package runner
+
+import (
+	"testing"
+)
+
+// churnSeeds is the pinned seed range of the churn chaos net (EXPERIMENTS.md
+// E24 uses the same range): within it every sound construction stays clean
+// and the naive baseline is caught.
+const churnSeeds = 24
+
+// TestChurnChaosSoundConstructionsStaySafe runs the chaos net with live
+// membership churn: between high-level ops, random servers are replaced
+// wholesale — freeze, drain of gate-parked ops, state transfer, view
+// activation — while holds and stale releases keep firing. Sound
+// constructions must stay WS-safe and WS-regular on every seed, and the
+// churn must actually happen.
+func TestChurnChaosSoundConstructionsStaySafe(t *testing.T) {
+	ctx := testCtx(t)
+	for _, kind := range []Kind{KindRegEmu, KindABDMax, KindCASMax, KindAACMax} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			replacements := 0
+			for seed := int64(0); seed < churnSeeds; seed++ {
+				cfg := ChaosConfig{
+					Kind: kind, K: 3, F: 2, N: ChaosServers(kind),
+					Ops: 25, Seed: seed, ChurnProb: 0.25,
+				}
+				rep, err := RunChaos(ctx, cfg)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if rep.Checks.WSSafety != nil {
+					t.Errorf("seed %d: WS-Safety: %v (replacements=%d)", seed, rep.Checks.WSSafety, rep.Replacements)
+				}
+				if rep.Checks.WSRegularity != nil {
+					t.Errorf("seed %d: WS-Regularity: %v (replacements=%d)", seed, rep.Checks.WSRegularity, rep.Replacements)
+				}
+				replacements += rep.Replacements
+			}
+			if replacements == 0 {
+				t.Error("churn never replaced a server — the net is vacuous")
+			}
+		})
+	}
+}
+
+// TestChurnChaosStillCatchesNaive guards the net's teeth: churn must not
+// blunt the detection of the under-provisioned baseline. Over the pinned
+// seed range the naive construction must violate at least once (seeds 8, 9,
+// and 13 do at the time of pinning).
+func TestChurnChaosStillCatchesNaive(t *testing.T) {
+	ctx := testCtx(t)
+	violations := 0
+	for seed := int64(0); seed < churnSeeds; seed++ {
+		rep, err := RunChaos(ctx, ChaosConfig{
+			Kind: KindNaive, K: 3, F: 2, N: 5, Ops: 30, Seed: seed, ChurnProb: 0.25,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !rep.Checks.OK() {
+			violations++
+		}
+	}
+	if violations == 0 {
+		t.Fatalf("naive baseline survived all %d churn seeds — the net lost its teeth", churnSeeds)
+	}
+	t.Logf("naive baseline violated WS conditions in %d/%d churn seeds", violations, churnSeeds)
+}
+
+// TestChurnDeterministicPerSeed: churn draws from its own sub-stream of the
+// run seed, so the whole run — schedule, holds, releases, and replacements —
+// must replay identically.
+func TestChurnDeterministicPerSeed(t *testing.T) {
+	ctx := testCtx(t)
+	cfg := ChaosConfig{
+		Kind: KindABDMax, K: 3, F: 2, N: 5, Ops: 30, Seed: 3, ChurnProb: 0.3,
+	}
+	a, err := RunChaos(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaos(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Writes != b.Writes || a.Reads != b.Reads || a.Replacements != b.Replacements || a.Holds != b.Holds {
+		t.Fatalf("same seed diverged: %d/%d/%d/%d vs %d/%d/%d/%d (writes/reads/replacements/holds)",
+			a.Writes, a.Reads, a.Replacements, a.Holds, b.Writes, b.Reads, b.Replacements, b.Holds)
+	}
+	if a.Replacements == 0 {
+		t.Error("pinned seed produced no replacements")
+	}
+}

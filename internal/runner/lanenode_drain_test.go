@@ -1,0 +1,110 @@
+package runner
+
+import (
+	"bufio"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/baseobj"
+	"repro/internal/fabric"
+	"repro/internal/lanenet"
+	"repro/internal/types"
+)
+
+// startDrainableNode spawns one lanenode whose stdout stays readable, so
+// the test can observe the drain banner lines after the listening banner.
+func startDrainableNode(t *testing.T) (string, *exec.Cmd, *bufio.Reader) {
+	t.Helper()
+	exe, err := lanenodeBin()
+	if err != nil {
+		t.Skipf("cannot build lanenode in this environment: %v", err)
+	}
+	cmd := exec.Command(exe, "-listen", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+	r := bufio.NewReader(stdout)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("banner: %v", err)
+	}
+	addr, ok := strings.CutPrefix(strings.TrimSpace(line), "listening ")
+	if !ok {
+		t.Fatalf("banner = %q", line)
+	}
+	return addr, cmd, r
+}
+
+// nodeWrite delivers one write to a node and reports whether it succeeded.
+func nodeWrite(t *testing.T, addr string) error {
+	t.Helper()
+	c, err := lanenet.Dial(addr, time.Second)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	c.MirrorObject(baseobj.NewMaxRegister(1))
+	done := make(chan error, 1)
+	c.Deliver(fabric.TriggerEvent{
+		Token: 1, Client: 0, Object: 1, Server: 0,
+		Inv: baseobj.Invocation{Op: baseobj.OpWriteMax, Arg: types.TSValue{TS: 1, Val: 4}},
+	}, nil, func(_ baseobj.Response, err error) { done <- err })
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(5 * time.Second):
+		t.Fatal("node write never completed")
+		return nil
+	}
+}
+
+// TestLanenodeGracefulDrainVsKill pins the process-level contract that
+// lets harnesses distinguish a clean leave from a crash: SIGTERM makes the
+// node print "draining"/"drained" and exit 0, while SIGKILL exits non-zero
+// with no drain banner — the paper's server crash.
+func TestLanenodeGracefulDrainVsKill(t *testing.T) {
+	addr, cmd, out := startDrainableNode(t)
+	if err := nodeWrite(t, addr); err != nil {
+		t.Fatalf("write before drain: %v", err)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	line, err := out.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, "draining") {
+		t.Fatalf("after SIGTERM read %q, %v; want a draining banner", line, err)
+	}
+	line, err = out.ReadString('\n')
+	if err != nil || strings.TrimSpace(line) != "drained" {
+		t.Fatalf("after drain read %q, %v; want \"drained\"", line, err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("drained node exited uncleanly: %v", err)
+	}
+	if err := nodeWrite(t, addr); err == nil {
+		t.Fatal("write succeeded against a drained node")
+	}
+
+	// The contrast: a killed node is a crash, not a leave.
+	addr, cmd, _ = startDrainableNode(t)
+	if err := nodeWrite(t, addr); err != nil {
+		t.Fatalf("write before kill: %v", err)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err == nil {
+		t.Fatal("killed node exited cleanly")
+	}
+}

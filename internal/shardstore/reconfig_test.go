@@ -1,0 +1,158 @@
+package shardstore
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+// assertFreshView fails unless shard s's view consists entirely of
+// post-reconfiguration joiners (every original ID < N replaced).
+func assertFreshView(t *testing.T, st *Store, s, n int) {
+	t.Helper()
+	view := st.Env(s).Cluster.View()
+	if view.N() != n {
+		t.Fatalf("shard %d view has %d members, want %d", s, view.N(), n)
+	}
+	for _, m := range view.Members {
+		if int(m) < n {
+			t.Fatalf("shard %d: original server %d still in view %v", s, m, view.Members)
+		}
+	}
+}
+
+// TestShardStoreReconfigure performs a live rolling replacement of every
+// server of every shard while concurrent clients keep writing and reading.
+// The bar is the issue's acceptance bar: zero failed client operations
+// (driveStore fails the test on any op error) and zero history violations
+// after the drain.
+func TestShardStoreReconfigure(t *testing.T) {
+	ctx := testCtx(t)
+	st, err := Open(ctx, Config{
+		Shards: 2, Engines: 2, Keys: 1 << 12, N: 3, F: 1,
+		Kind: runner.KindABDMax, Atomic: true, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	keys := st.BalancedKeys(6)
+
+	var reconfWG sync.WaitGroup
+	reconfErrs := make(chan error, st.NumShards())
+	var once sync.Once
+	hook := func(done int) {
+		if done < 6 {
+			return
+		}
+		once.Do(func() {
+			for s := 0; s < st.NumShards(); s++ {
+				s := s
+				reconfWG.Add(1)
+				go func() {
+					defer reconfWG.Done()
+					reconfErrs <- st.Reconfigure(ctx, s)
+				}()
+			}
+		})
+	}
+	driveStore(ctx, t, st, keys, 12, hook)
+	reconfWG.Wait()
+	close(reconfErrs)
+	for err := range reconfErrs {
+		if err != nil {
+			t.Fatalf("Reconfigure: %v", err)
+		}
+	}
+
+	for s := 0; s < st.NumShards(); s++ {
+		assertFreshView(t, st, s, 3)
+		if crashes := st.Env(s).Cluster.Crashes(); crashes != 0 {
+			t.Fatalf("shard %d: %d crashes after clean replacements, want 0", s, crashes)
+		}
+	}
+	if err := st.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rep := st.CheckAll(4, 23)
+	if len(rep.Violations) > 0 {
+		t.Fatalf("violations after reconfiguration: %v", rep.Violations)
+	}
+	if rep.Keys != len(keys) {
+		t.Fatalf("checked %d keys, want %d", rep.Keys, len(keys))
+	}
+}
+
+// TestShardStoreReconfigureOutOfRange pins the frontend validation.
+func TestShardStoreReconfigureOutOfRange(t *testing.T) {
+	ctx := testCtx(t)
+	st, err := Open(ctx, Config{Shards: 2, Kind: runner.KindABDMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Reconfigure(ctx, -1); err == nil {
+		t.Fatal("Reconfigure(-1) succeeded")
+	}
+	if err := st.Reconfigure(ctx, 2); err == nil {
+		t.Fatal("Reconfigure(2) succeeded")
+	}
+}
+
+// TestShardStoreTCPReconfigure rolls every server of both shards onto
+// fresh connections into the same node-process pool, mid-load: each joiner
+// dials its own connection bound to a server-scoped table (the new session
+// identity is the join), state rides the stateful place frames, and the
+// drained histories must stay clean.
+func TestShardStoreTCPReconfigure(t *testing.T) {
+	ctx := testCtx(t)
+	addrs, _ := startLanenodes(t, 2)
+	st, err := Open(ctx, Config{
+		Shards: 2, Engines: 2, Keys: 1 << 10, N: 3, F: 1,
+		Kind: runner.KindABDMax, Atomic: true,
+		Lane: runner.LaneTCP, NodeAddrs: addrs,
+		Seed: 29,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	keys := st.BalancedKeys(4)
+
+	var reconfWG sync.WaitGroup
+	reconfErrs := make(chan error, st.NumShards())
+	var once sync.Once
+	hook := func(done int) {
+		if done < 5 {
+			return
+		}
+		once.Do(func() {
+			for s := 0; s < st.NumShards(); s++ {
+				s := s
+				reconfWG.Add(1)
+				go func() {
+					defer reconfWG.Done()
+					reconfErrs <- st.Reconfigure(ctx, s)
+				}()
+			}
+		})
+	}
+	driveStore(ctx, t, st, keys, 10, hook)
+	reconfWG.Wait()
+	close(reconfErrs)
+	for err := range reconfErrs {
+		if err != nil {
+			t.Fatalf("Reconfigure: %v", err)
+		}
+	}
+	for s := 0; s < st.NumShards(); s++ {
+		assertFreshView(t, st, s, 3)
+	}
+	if err := st.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if rep := st.CheckAll(3, 31); len(rep.Violations) > 0 {
+		t.Fatalf("violations after TCP reconfiguration: %v", rep.Violations)
+	}
+}

@@ -292,6 +292,61 @@ func (st *Store) Crash(s int, server types.ServerID) error {
 	return st.shards[s].env.Fabric.Crash(server)
 }
 
+// Reconfigure performs a rolling replacement of every current member of
+// shard s: each server is replaced in turn (fabric.Replace) by a fresh
+// joiner with full state transfer, one at a time, while the shard keeps
+// serving — operations caught in a freeze window retry transparently. After
+// Reconfigure returns, none of the shard's original servers remain in the
+// view.
+//
+// On the TCP lane each joiner dials its own fresh connection into the node
+// pool (bound to the shard's table): the new session identity IS the join,
+// mirroring the reconnect-as-crash rule in reverse. Other lanes use the
+// fabric's default maker, so a latency-lane joiner gets its own seeded
+// delay sub-stream.
+func (st *Store) Reconfigure(ctx context.Context, s int) error {
+	if s < 0 || s >= len(st.shards) {
+		return fmt.Errorf("shardstore: shard %d outside [0, %d)", s, len(st.shards))
+	}
+	sh := st.shards[s]
+	view := sh.env.Cluster.View()
+	for _, old := range view.Members {
+		maker, err := st.joinerMaker(s)
+		if err != nil {
+			return fmt.Errorf("shardstore: shard %d joiner for server %d: %w", s, old, err)
+		}
+		if _, err := sh.env.Fabric.Replace(ctx, old, maker); err != nil {
+			return fmt.Errorf("shardstore: shard %d replace server %d: %w", s, old, err)
+		}
+	}
+	return nil
+}
+
+// joinerMaker builds the lane maker for one joiner on shard s. TCP shards
+// need a real maker — the Open-time maker closes over a fixed client slice
+// and cannot serve a grown server ID — so the joiner's connection is dialed
+// here, round-robin over the node pool by its (monotone, never reused)
+// server ID. Other lanes return nil: the fabric's default maker already
+// covers any ID.
+func (st *Store) joinerMaker(s int) (fabric.LaneMaker, error) {
+	if st.cfg.Lane != runner.LaneTCP {
+		return nil, nil
+	}
+	next := st.Env(s).Cluster.N() // the ID AddServer will assign
+	addr := st.cfg.NodeAddrs[(s*st.cfg.N+next)%len(st.cfg.NodeAddrs)]
+	// The joiner's table is namespaced by its server ID, not just the
+	// shard: node processes never delete objects, so a joiner landing on a
+	// node that once hosted a departed server of the same shard would
+	// otherwise hit the idempotent re-place rule and resurrect the stale
+	// copy instead of materializing the transferred state.
+	table := fmt.Sprintf("shard%d.s%d", s, next)
+	c, err := lanenet.Dial(addr, st.cfg.DialTimeout, lanenet.WithTable(table))
+	if err != nil {
+		return nil, err
+	}
+	return func(types.ServerID) fabric.Lane { return c }, nil
+}
+
 // keyreg materializes (or returns) a key's register on its shard.
 func (st *Store) keyreg(key uint64) (*keyreg, error) {
 	if key >= st.cfg.Keys {
