@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-json fabric-bench loadgen-smoke lint race-lanes race-lanes-mailbox1 race-shards race-churn
+.PHONY: all build vet test race bench bench-smoke bench-json fabric-bench loadgen-smoke lint race-lanes race-lanes-mailbox1 race-shards race-churn race-coded
 
 all: vet build test
 
@@ -37,8 +37,9 @@ bench-smoke:
 # side by side), sweep wall-clock, checker ns/op, the end-to-end loadgen
 # numbers (high-level ops/sec + latency percentiles through the async
 # client engine on both lanes), the shard-count sweep (aggregate ops/sec
-# at 1/2/4/8 shards), and the open-loop latency-vs-rate curve with its
-# knee — recorded as BENCH_<date>.json so future PRs have a baseline.
+# at 1/2/4/8 shards), the open-loop latency-vs-rate curve with its knee,
+# and the replicated-vs-coded bytes-per-server space grid (E25) —
+# recorded as BENCH_<date>.json so future PRs have a baseline.
 bench-json:
 	$(GO) run ./cmd/benchjson -benchtime 100ms
 
@@ -89,3 +90,13 @@ race-shards:
 CHURN_TESTS = 'TestReplace|TestTriggerOnDepartingServer|TestViewRetryDelay|TestAccounting|TestReconfigureMidFlight|TestChurn|TestLanenodeGracefulDrain|TestPlaceFrameCarriesState|TestDrainFinishesInFlight|TestShardStoreReconfigure|TestShardStoreTCPReconfigure'
 race-churn:
 	$(GO) test -race -count 1 -run $(CHURN_TESTS) ./internal/fabric ./internal/cluster ./internal/runner ./internal/lanenet ./internal/shardstore
+
+# Erasure-coded suite under the race detector: the GF(2^8) coder and the
+# coded construction (concurrent writers/readers, crash tolerance, space
+# accounting, live replacement), the torn-stripe adversary on all three
+# lane backends (the TCP variant spawns real cmd/lanenode processes), the
+# coded chaos net on its pinned seeds (E26), and the end-to-end space axis
+# through the sharded store.
+CODED_TESTS = 'TestGF|TestCoder|TestCoded|TestFragStore|TestTornStripe|TestChaosCoded|TestCodedSpaceAxis'
+race-coded:
+	$(GO) test -race -count 1 -run $(CODED_TESTS) ./internal/emulation/coded ./internal/baseobj ./internal/runner ./internal/loadgen

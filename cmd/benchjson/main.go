@@ -50,8 +50,8 @@ type Snapshot struct {
 	GoVersion string `json:"go_version"`
 	// GitCommit attributes the snapshot to the exact tree that produced it
 	// ("unknown" outside a git checkout).
-	GitCommit  string `json:"git_commit"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
+	GitCommit  string   `json:"git_commit"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
 	Bench      string   `json:"bench"`
 	Benchtime  string   `json:"benchtime"`
 	Results    []Result `json:"results"`
@@ -70,6 +70,22 @@ type Snapshot struct {
 	// RateCurve is the open-loop latency-vs-offered-rate curve on the
 	// latency lane, coordinated-omission-corrected, with the knee index.
 	RateCurve *RateCurve `json:"rate_curve,omitempty"`
+	// Space is the bytes-per-server axis: replicated (abd-max) vs coded
+	// runs at matched n/f/value-size grid points. The snapshot fails
+	// unless the coded points store strictly less than their replicated
+	// counterparts wherever striping is non-degenerate (kData > 1).
+	Space []*SpacePoint `json:"space,omitempty"`
+}
+
+// SpacePoint is one cell of the space grid: a short write-heavy run plus
+// the shard-store byte counters it left behind.
+type SpacePoint struct {
+	// Mode is "replicated" (full copies on every server) or "coded"
+	// (one fragment per server); DataShards is kData for coded points
+	// (n-2f, 1 = degenerate replication) and 0 otherwise.
+	Mode       string          `json:"mode"`
+	DataShards int             `json:"data_shards,omitempty"`
+	Run        *loadgen.Result `json:"run"`
 }
 
 // RateCurve is one open-loop sweep: Points[Knee] is the highest offered
@@ -133,6 +149,11 @@ func run() error {
 			return err
 		}
 		snap.RateCurve = curve
+		space, err := runSpaceGrid(*loadgenDur)
+		if err != nil {
+			return err
+		}
+		snap.Space = space
 	}
 	path := *out
 	if path == "" {
@@ -284,4 +305,52 @@ func runRateCurve(dur time.Duration) (*RateCurve, error) {
 			time.Duration(res.Latency.P50), time.Duration(res.Latency.P99), marker)
 	}
 	return curve, nil
+}
+
+// runSpaceGrid measures the bytes-per-server axis: replicated (abd-max)
+// vs coded runs with 64 KiB values at n=5, f=1 (kData=3, real striping)
+// and f=2 (kData=1, where the paper's bound forces the coded construction
+// back onto full copies). Each cell is a short write-heavy closed-loop
+// run; the counters are read after the drain, so every counted write is
+// complete.
+func runSpaceGrid(dur time.Duration) ([]*SpacePoint, error) {
+	ctx := context.Background()
+	const valueSize = 64 << 10
+	base := loadgen.Config{
+		N: 5, ValueSize: valueSize,
+		Clients: 8, ReadFraction: 0.25, Registers: 2,
+		Duration: dur, MaxOps: 200, Seed: 1,
+	}
+	var out []*SpacePoint
+	for _, f := range []int{1, 2} {
+		for _, kind := range []runner.Kind{runner.KindABDMax, runner.KindCoded} {
+			cfg := base
+			cfg.Kind, cfg.F = kind, f
+			res, err := loadgen.Run(ctx, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("space grid %s f=%d: %w", kind, f, err)
+			}
+			if err := gate(fmt.Sprintf("space grid %s f=%d", kind, f), res); err != nil {
+				return nil, err
+			}
+			pt := &SpacePoint{Mode: "replicated", Run: res}
+			if kind == runner.KindCoded {
+				pt.Mode = "coded"
+				pt.DataShards = cfg.N - 2*f
+			}
+			fmt.Printf("space grid %s f=%d: total=%d bytes, per-server=%v\n",
+				kind, f, res.TotalBytes, res.BytesPerServer)
+			out = append(out, pt)
+		}
+	}
+	// The acceptance inequality: wherever striping is real, coded beats
+	// replicated at the same grid point.
+	for i := 0; i+1 < len(out); i += 2 {
+		rep, coded := out[i], out[i+1]
+		if coded.DataShards > 1 && coded.Run.TotalBytes >= rep.Run.TotalBytes {
+			return nil, fmt.Errorf("space grid f=%d: coded stores %d bytes, replicated %d — striping did not win",
+				rep.Run.F, coded.Run.TotalBytes, rep.Run.TotalBytes)
+		}
+	}
+	return out, nil
 }

@@ -43,8 +43,10 @@ func main() {
 }
 
 func run() error {
-	kind := flag.String("kind", string(runner.KindABDMax), "construction: regemu | abd-max | abd-cas | aac-max | naive")
-	atomic := flag.Bool("atomic", false, "read write-back build (abd-max/abd-cas): enables the linearizability gate")
+	kind := flag.String("kind", string(runner.KindABDMax), "construction: regemu | abd-max | abd-cas | aac-max | naive | coded")
+	coded := flag.Bool("coded", false, "shorthand for -kind coded (erasure-coded stripes)")
+	atomic := flag.Bool("atomic", false, "read write-back build (abd-max/abd-cas/coded): enables the linearizability gate")
+	valueSize := flag.Int("valuesize", 0, "payload bytes per write (0 = timestamps only); enables the bytes-per-server report")
 	f := flag.Int("f", 1, "failure threshold per shard")
 	n := flag.Int("n", 0, "servers per shard (0 = construction default)")
 	clients := flag.Int("clients", 100, "logical client population")
@@ -87,11 +89,15 @@ func run() error {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
+	if *coded {
+		*kind = string(runner.KindCoded)
+	}
 	cfg := loadgen.Config{
 		Kind:         runner.Kind(*kind),
 		F:            *f,
 		N:            *n,
 		Atomic:       *atomic,
+		ValueSize:    *valueSize,
 		Clients:      *clients,
 		ReadFraction: *readFrac,
 		Registers:    *registers,
@@ -238,6 +244,10 @@ func printHuman(res *loadgen.Result) {
 				sh.Shard, sh.Keys, sh.Ops,
 				time.Duration(sh.Latency.P50), time.Duration(sh.Latency.P99))
 		}
+	}
+	if res.TotalBytes > 0 {
+		fmt.Printf("space: value=%dB total=%dB per-server=%v\n",
+			res.ValueSize, res.TotalBytes, res.BytesPerServer)
 	}
 	if res.Checked {
 		fmt.Printf("checks: history=%d ops, sampled=%d, violations=%d\n",

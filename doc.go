@@ -67,6 +67,21 @@
 //     StartWrite/StartRead handles (emulation.AsyncWriter/AsyncReader):
 //     high-level operations run as callback chains over the non-blocking
 //     rounds.ScatterFold* gathers, so an in-flight op costs no goroutine.
+//   - internal/emulation/coded: the sixth construction opens the
+//     bytes-per-server axis — a systematic Reed–Solomon GF(2^8) coder
+//     stripes each write's payload into n timestamped fragments (any
+//     kData = n−2f reconstruct) over per-server fragment stores
+//     (baseobj.FragStore), so each server holds ceil(size/kData) bytes
+//     where replication holds the full value. Writes put fragments at
+//     n−f then commit at n−f; a fragment store retires a pending stripe
+//     only on a higher-timestamped commit, so a reader's n−f gather
+//     intersects every committed stripe's put quorum in >= kData live
+//     fragments and a torn stripe (a crashed or gated writer's partial
+//     put) is simply never reconstructible — readers fall back to the
+//     newest committed stripe, verified byte-for-byte against the
+//     payload's self-describing fill. At f=2, n=5 the safe shard count
+//     collapses to 1 and the construction degenerates to replication,
+//     exactly where the paper's lower bound says coding cannot help.
 //   - internal/emulation/async: the completion-based client engine — a
 //     single event-loop goroutine (mailbox, freestore-style) multiplexing
 //     thousands of logical clients over one construction, with per-client

@@ -30,7 +30,7 @@ import (
 // uses CAS(v0, v0) as a read).
 func IsMutating(inv baseobj.Invocation) bool {
 	switch inv.Op {
-	case baseobj.OpWrite, baseobj.OpWriteMax:
+	case baseobj.OpWrite, baseobj.OpWriteMax, baseobj.OpPutFrag, baseobj.OpCommitFrag:
 		return true
 	case baseobj.OpCAS:
 		return inv.Exp != inv.New

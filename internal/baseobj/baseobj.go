@@ -32,6 +32,10 @@ const (
 	KindMaxRegister
 	// KindCAS is a compare-and-swap cell.
 	KindCAS
+	// KindFragStore is an erasure-coded fragment store: it holds one
+	// committed fragment of a striped value plus the pending fragments of
+	// newer, not-yet-committed stripes (package coded's per-server object).
+	KindFragStore
 )
 
 // String implements fmt.Stringer.
@@ -43,6 +47,8 @@ func (k Kind) String() string {
 		return "max-register"
 	case KindCAS:
 		return "cas"
+	case KindFragStore:
+		return "frag-store"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -62,6 +68,17 @@ const (
 	OpWriteMax
 	// OpCAS performs compare-and-swap and returns the previous value.
 	OpCAS
+	// OpPutFrag stores one erasure-coded fragment (Invocation.Frag) in a
+	// fragment store.
+	OpPutFrag
+	// OpGetFrags reads every fragment a store holds (committed + pending).
+	OpGetFrags
+	// OpCommitFrag advances a fragment store's commit watermark
+	// (Invocation.Arg), garbage-collecting superseded stripes.
+	OpCommitFrag
+	// OpFragTS reads only the store's maximum known stripe timestamp (the
+	// cheap collect for a coded write's timestamp round).
+	OpFragTS
 )
 
 // String implements fmt.Stringer.
@@ -77,6 +94,14 @@ func (c OpCode) String() string {
 		return "write-max"
 	case OpCAS:
 		return "cas"
+	case OpPutFrag:
+		return "put-frag"
+	case OpGetFrags:
+		return "get-frags"
+	case OpCommitFrag:
+		return "commit-frag"
+	case OpFragTS:
+		return "frag-ts"
 	default:
 		return fmt.Sprintf("op(%d)", int(c))
 	}
@@ -86,7 +111,7 @@ func (c OpCode) String() string {
 // arguments only care about mutating operations.
 func (c OpCode) IsWrite() bool {
 	switch c {
-	case OpWrite, OpWriteMax, OpCAS:
+	case OpWrite, OpWriteMax, OpCAS, OpPutFrag, OpCommitFrag:
 		return true
 	default:
 		return false
@@ -101,20 +126,73 @@ func (c OpCode) IsRead() bool { return c == OpRead || c == OpReadMax }
 type Invocation struct {
 	// Op selects the operation.
 	Op OpCode
-	// Arg is the argument of OpWrite and OpWriteMax.
+	// Arg is the argument of OpWrite and OpWriteMax, and the commit
+	// watermark of OpCommitFrag.
 	Arg types.TSValue
 	// Exp and New are the arguments of OpCAS.
 	Exp types.TSValue
 	New types.TSValue
+	// Data is the payload riding with OpWrite/OpWriteMax when the
+	// emulation stores real value bytes (replicated payload mode). The
+	// object takes ownership; callers must not mutate it after Apply.
+	Data types.Payload
+	// Frag is the fragment stored by OpPutFrag (nil for every other op).
+	// The object takes ownership of Frag.Data.
+	Frag *Fragment
 }
 
 // Response is a low-level operation response.
 type Response struct {
 	// Op echoes the invocation's op code.
 	Op OpCode
-	// Val carries the result of OpRead and OpReadMax, and the previous
-	// value for OpCAS. It is the zero TSValue for plain writes.
+	// Val carries the result of OpRead and OpReadMax, the previous value
+	// for OpCAS, and the maximum known stripe timestamp for OpGetFrags /
+	// OpFragTS. It is the zero TSValue for plain writes.
 	Val types.TSValue
+	// Data is the stored payload returned by OpRead/OpReadMax on objects
+	// holding payload bytes. Callers must not mutate it.
+	Data types.Payload
+	// Frags carries the fragments returned by OpGetFrags (committed
+	// first when present, then pending in unspecified order). Callers
+	// must not mutate the fragments' Data.
+	Frags []Fragment
+}
+
+// Fragment is one erasure-coded piece of a striped register value,
+// tagged with the write's timestamp so readers only ever combine
+// fragments of the same write.
+type Fragment struct {
+	// TS is the stripe's write timestamp; TS.Val is the logical value,
+	// so checkers and state transfer see the ordinary value domain.
+	TS types.TSValue
+	// Index is the fragment's position in the stripe (0..n-1).
+	Index int
+	// K is the stripe's reconstruction threshold.
+	K int
+	// Length is the total payload length in bytes before striping.
+	Length int
+	// Committed marks the store's committed fragment in OpGetFrags
+	// responses and state transfer.
+	Committed bool
+	// Data holds the fragment bytes.
+	Data types.Payload
+}
+
+// Clone returns a deep copy of the fragment.
+func (f Fragment) Clone() Fragment {
+	f.Data = f.Data.Clone()
+	return f
+}
+
+// State is the full transferable state of a base object: the TSValue
+// every kind stores, the replicated payload bytes (registers in payload
+// mode), and the fragment set (fragment stores, where Val is the commit
+// watermark). Reconfiguration moves State between servers; the classic
+// TSValue-only Sealer path stays for objects without payload.
+type State struct {
+	Val   types.TSValue
+	Data  types.Payload
+	Frags []Fragment
 }
 
 // Errors returned by Apply.
@@ -181,24 +259,70 @@ type Sealer interface {
 	Restore(v types.TSValue)
 }
 
+// StateSealer extends Sealer with full-state transfer: SealState seals
+// the object and snapshots everything it stores (TSValue, payload bytes,
+// fragments), RestoreState loads it into a fresh copy. All base-object
+// types implement it; reconfiguration prefers it over the TSValue-only
+// Sealer so payload-carrying objects migrate losslessly.
+type StateSealer interface {
+	SealState() State
+	RestoreState(State)
+}
+
+// StatePeeker returns the full current state without linearizing an
+// operation — the payload analogue of Object.Peek, used by lane backends
+// that mirror object state on placement.
+type StatePeeker interface {
+	PeekState() State
+}
+
+// Sizer reports the payload bytes an object currently stores. The
+// cluster's bytes-per-server space metric sums it across each server's
+// object table; objects that hold no payload may omit it (they count as
+// their fixed TSValue footprint).
+type Sizer interface {
+	SizeBytes() int
+}
+
 // Compile-time interface compliance checks.
 var (
-	_ Object = (*Register)(nil)
-	_ Object = (*MaxRegister)(nil)
-	_ Object = (*CASCell)(nil)
-	_ Locker = (*Register)(nil)
-	_ Locker = (*MaxRegister)(nil)
-	_ Locker = (*CASCell)(nil)
-	_ Sealer = (*Register)(nil)
-	_ Sealer = (*MaxRegister)(nil)
-	_ Sealer = (*CASCell)(nil)
+	_ Object      = (*Register)(nil)
+	_ Object      = (*MaxRegister)(nil)
+	_ Object      = (*CASCell)(nil)
+	_ Object      = (*FragStore)(nil)
+	_ Locker      = (*Register)(nil)
+	_ Locker      = (*MaxRegister)(nil)
+	_ Locker      = (*CASCell)(nil)
+	_ Locker      = (*FragStore)(nil)
+	_ Sealer      = (*Register)(nil)
+	_ Sealer      = (*MaxRegister)(nil)
+	_ Sealer      = (*CASCell)(nil)
+	_ Sealer      = (*FragStore)(nil)
+	_ StateSealer = (*Register)(nil)
+	_ StateSealer = (*MaxRegister)(nil)
+	_ StateSealer = (*CASCell)(nil)
+	_ StateSealer = (*FragStore)(nil)
+	_ StatePeeker = (*Register)(nil)
+	_ StatePeeker = (*MaxRegister)(nil)
+	_ StatePeeker = (*FragStore)(nil)
+	_ Sizer       = (*Register)(nil)
+	_ Sizer       = (*MaxRegister)(nil)
+	_ Sizer       = (*FragStore)(nil)
 )
 
 // CloneAt builds a fresh, unsealed object of the same identity (ID, kind,
-// and — for registers — writer set) holding the given state. Reconfiguration
-// uses it to materialize a migrated object on its new server while the
-// sealed original keeps answering stale-route reads.
+// and — for registers — writer set) holding the given TSValue state. It is
+// CloneAtState without payload; callers migrating payload-carrying
+// objects must use CloneAtState.
 func CloneAt(o Object, v types.TSValue) (Object, error) {
+	return CloneAtState(o, State{Val: v})
+}
+
+// CloneAtState builds a fresh, unsealed object of the same identity
+// holding the given full state. Reconfiguration uses it to materialize a
+// migrated object on its new server while the sealed original keeps
+// answering stale-route reads.
+func CloneAtState(o Object, st State) (Object, error) {
 	switch src := o.(type) {
 	case *Register:
 		var opts []RegisterOption
@@ -206,16 +330,20 @@ func CloneAt(o Object, v types.TSValue) (Object, error) {
 			opts = append(opts, WithWriters(ws))
 		}
 		r := NewRegister(src.id, opts...)
-		r.Restore(v)
+		r.RestoreState(st)
 		return r, nil
 	case *MaxRegister:
 		m := NewMaxRegister(src.id)
-		m.Restore(v)
+		m.RestoreState(st)
 		return m, nil
 	case *CASCell:
 		c := NewCASCell(src.id)
-		c.Restore(v)
+		c.RestoreState(st)
 		return c, nil
+	case *FragStore:
+		f := NewFragStore(src.id)
+		f.RestoreState(st)
+		return f, nil
 	default:
 		return nil, fmt.Errorf("baseobj: cannot clone object %d of type %T", o.ID(), o)
 	}
@@ -229,6 +357,7 @@ type Register struct {
 
 	mu     sync.Mutex
 	val    types.TSValue
+	data   types.Payload // payload bytes riding with val (payload mode)
 	sealed bool
 }
 
@@ -291,9 +420,9 @@ func (r *Register) Apply(client types.ClientID, inv Invocation) (Response, error
 	switch inv.Op {
 	case OpRead:
 		r.mu.Lock()
-		v := r.val
+		v, d := r.val, r.data
 		r.mu.Unlock()
-		return Response{Op: OpRead, Val: v}, nil
+		return Response{Op: OpRead, Val: v, Data: d}, nil
 	case OpWrite:
 		if r.writers != nil {
 			if _, ok := r.writers[client]; !ok {
@@ -306,6 +435,7 @@ func (r *Register) Apply(client types.ClientID, inv Invocation) (Response, error
 			return Response{}, fmt.Errorf("%w: register %d", ErrSealed, r.id)
 		}
 		r.val = inv.Arg
+		r.data = inv.Data
 		r.mu.Unlock()
 		return Response{Op: OpWrite}, nil
 	default:
@@ -323,7 +453,7 @@ func (r *Register) UnlockState() { r.mu.Unlock() }
 func (r *Register) ApplyLocked(client types.ClientID, inv Invocation) (Response, error) {
 	switch inv.Op {
 	case OpRead:
-		return Response{Op: OpRead, Val: r.val}, nil
+		return Response{Op: OpRead, Val: r.val, Data: r.data}, nil
 	case OpWrite:
 		if r.writers != nil {
 			if _, ok := r.writers[client]; !ok {
@@ -334,6 +464,7 @@ func (r *Register) ApplyLocked(client types.ClientID, inv Invocation) (Response,
 			return Response{}, fmt.Errorf("%w: register %d", ErrSealed, r.id)
 		}
 		r.val = inv.Arg
+		r.data = inv.Data
 		return Response{Op: OpWrite}, nil
 	default:
 		return Response{}, fmt.Errorf("%w: %v on register %d", ErrWrongOp, inv.Op, r.id)
@@ -357,9 +488,37 @@ func (r *Register) Seal() types.TSValue {
 
 // Restore implements Sealer.
 func (r *Register) Restore(v types.TSValue) {
+	r.RestoreState(State{Val: v})
+}
+
+// SealState implements StateSealer.
+func (r *Register) SealState() State {
 	r.mu.Lock()
-	r.val = v
+	defer r.mu.Unlock()
+	r.sealed = true
+	return State{Val: r.val, Data: r.data}
+}
+
+// RestoreState implements StateSealer.
+func (r *Register) RestoreState(st State) {
+	r.mu.Lock()
+	r.val = st.Val
+	r.data = st.Data
 	r.mu.Unlock()
+}
+
+// PeekState implements StatePeeker.
+func (r *Register) PeekState() State {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return State{Val: r.val, Data: r.data}
+}
+
+// SizeBytes implements Sizer.
+func (r *Register) SizeBytes() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.data)
 }
 
 // MaxRegister is a max-register [Aspnes, Attiya, Censor 2009]: write-max
@@ -371,6 +530,7 @@ type MaxRegister struct {
 
 	mu     sync.Mutex
 	val    types.TSValue
+	data   types.Payload // payload of the current max (payload mode)
 	sealed bool
 }
 
@@ -390,16 +550,19 @@ func (m *MaxRegister) Apply(_ types.ClientID, inv Invocation) (Response, error) 
 	switch inv.Op {
 	case OpReadMax:
 		m.mu.Lock()
-		v := m.val
+		v, d := m.val, m.data
 		m.mu.Unlock()
-		return Response{Op: OpReadMax, Val: v}, nil
+		return Response{Op: OpReadMax, Val: v, Data: d}, nil
 	case OpWriteMax:
 		m.mu.Lock()
 		if m.sealed {
 			m.mu.Unlock()
 			return Response{}, fmt.Errorf("%w: max-register %d", ErrSealed, m.id)
 		}
-		m.val = types.MaxTSValue(m.val, inv.Arg)
+		if m.val.Less(inv.Arg) {
+			m.val = inv.Arg
+			m.data = inv.Data
+		}
 		m.mu.Unlock()
 		return Response{Op: OpWriteMax}, nil
 	default:
@@ -417,12 +580,15 @@ func (m *MaxRegister) UnlockState() { m.mu.Unlock() }
 func (m *MaxRegister) ApplyLocked(_ types.ClientID, inv Invocation) (Response, error) {
 	switch inv.Op {
 	case OpReadMax:
-		return Response{Op: OpReadMax, Val: m.val}, nil
+		return Response{Op: OpReadMax, Val: m.val, Data: m.data}, nil
 	case OpWriteMax:
 		if m.sealed {
 			return Response{}, fmt.Errorf("%w: max-register %d", ErrSealed, m.id)
 		}
-		m.val = types.MaxTSValue(m.val, inv.Arg)
+		if m.val.Less(inv.Arg) {
+			m.val = inv.Arg
+			m.data = inv.Data
+		}
 		return Response{Op: OpWriteMax}, nil
 	default:
 		return Response{}, fmt.Errorf("%w: %v on max-register %d", ErrWrongOp, inv.Op, m.id)
@@ -446,9 +612,37 @@ func (m *MaxRegister) Seal() types.TSValue {
 
 // Restore implements Sealer.
 func (m *MaxRegister) Restore(v types.TSValue) {
+	m.RestoreState(State{Val: v})
+}
+
+// SealState implements StateSealer.
+func (m *MaxRegister) SealState() State {
 	m.mu.Lock()
-	m.val = v
+	defer m.mu.Unlock()
+	m.sealed = true
+	return State{Val: m.val, Data: m.data}
+}
+
+// RestoreState implements StateSealer.
+func (m *MaxRegister) RestoreState(st State) {
+	m.mu.Lock()
+	m.val = st.Val
+	m.data = st.Data
 	m.mu.Unlock()
+}
+
+// PeekState implements StatePeeker.
+func (m *MaxRegister) PeekState() State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return State{Val: m.val, Data: m.data}
+}
+
+// SizeBytes implements Sizer.
+func (m *MaxRegister) SizeBytes() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.data)
 }
 
 // CASCell is a compare-and-swap object. CAS(exp, new) sets the value to new
@@ -533,3 +727,11 @@ func (c *CASCell) Restore(v types.TSValue) {
 	c.val = v
 	c.mu.Unlock()
 }
+
+// SealState implements StateSealer. CAS cells carry no payload — their
+// comparability requirement (Apply compares TSValues with ==) keeps the
+// stored state a bare TSValue.
+func (c *CASCell) SealState() State { return State{Val: c.Seal()} }
+
+// RestoreState implements StateSealer.
+func (c *CASCell) RestoreState(st State) { c.Restore(st.Val) }

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/baseobj"
 	"repro/internal/types"
 )
 
@@ -76,7 +77,7 @@ func TestAccountingAcrossMembershipChanges(t *testing.T) {
 		{
 			name: "move register 0 -> 3",
 			do: func(t *testing.T) {
-				if err := c.MoveObject(r0, 3, types.TSValue{TS: 1, Val: 9}); err != nil {
+				if err := c.MoveObject(r0, 3, baseobj.State{Val: types.TSValue{TS: 1, Val: 9}}); err != nil {
 					t.Fatal(err)
 				}
 				if s, err := c.Delta(r0); err != nil || s != 3 {
@@ -97,7 +98,7 @@ func TestAccountingAcrossMembershipChanges(t *testing.T) {
 		{
 			name: "move last object off 1, then remove it",
 			do: func(t *testing.T) {
-				if err := c.MoveObject(m1, 3, types.TSValue{}); err != nil {
+				if err := c.MoveObject(m1, 3, baseobj.State{}); err != nil {
 					t.Fatal(err)
 				}
 				if err := c.RemoveServer(1); err != nil {

@@ -77,6 +77,23 @@ func (s *Server) NumObjects() int {
 	return len(s.objects)
 }
 
+// BytesStored returns the payload bytes currently held in the server's
+// object table: the sum of baseobj.Sizer over objects implementing it.
+// Objects without payload (CAS cells, plain TSValue registers) count 0 —
+// the metric is the *value bytes* axis the space bounds are about, not
+// per-object bookkeeping overhead.
+func (s *Server) BytesStored() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for _, o := range s.objects {
+		if sz, ok := o.(baseobj.Sizer); ok {
+			n += int64(sz.SizeBytes())
+		}
+	}
+	return n
+}
+
 // place registers an object on the server.
 func (s *Server) place(obj baseobj.Object) {
 	s.mu.Lock()
@@ -261,7 +278,7 @@ func (c *Cluster) RemoveServer(id types.ServerID) error {
 // have sealed the source copy first — the clone's state is then final — and
 // removes nothing until the new mapping is published, so there is no window
 // where the object is unreachable.
-func (c *Cluster) MoveObject(obj types.ObjectID, to types.ServerID, state types.TSValue) error {
+func (c *Cluster) MoveObject(obj types.ObjectID, to types.ServerID, state baseobj.State) error {
 	target, err := c.Server(to)
 	if err != nil {
 		return err
@@ -276,7 +293,7 @@ func (c *Cluster) MoveObject(obj types.ObjectID, to types.ServerID, state types.
 	if from == to {
 		return nil
 	}
-	clone, err := baseobj.CloneAt(o, state)
+	clone, err := baseobj.CloneAtState(o, state)
 	if err != nil {
 		return err
 	}
@@ -347,6 +364,16 @@ func (c *Cluster) PlaceMaxRegister(server types.ServerID) (types.ObjectID, error
 func (c *Cluster) PlaceCASCell(server types.ServerID) (types.ObjectID, error) {
 	id := c.allocID()
 	if err := c.placeObject(baseobj.NewCASCell(id), server); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// PlaceFragStore creates an erasure-coded fragment store on the given
+// server.
+func (c *Cluster) PlaceFragStore(server types.ServerID) (types.ObjectID, error) {
+	id := c.allocID()
+	if err := c.placeObject(baseobj.NewFragStore(id), server); err != nil {
 		return 0, err
 	}
 	return id, nil
@@ -433,6 +460,27 @@ func (c *Cluster) PerServerCounts() []int {
 		counts[i] = s.NumObjects()
 	}
 	return counts
+}
+
+// PerServerBytes returns BytesStored for every server, indexed by server
+// ID — the bytes-per-server space axis measured against the replication
+// and coding bounds.
+func (c *Cluster) PerServerBytes() []int64 {
+	servers := c.serverList()
+	bytes := make([]int64, len(servers))
+	for i, s := range servers {
+		bytes[i] = s.BytesStored()
+	}
+	return bytes
+}
+
+// TotalBytes returns the sum of PerServerBytes.
+func (c *Cluster) TotalBytes() int64 {
+	var n int64
+	for _, b := range c.PerServerBytes() {
+		n += b
+	}
+	return n
 }
 
 // ObjectsOn returns the IDs of all objects mapped to the given server, in

@@ -29,6 +29,19 @@ type store struct {
 	fab    *fabric.Fabric
 	obj    types.ObjectID
 	server types.ServerID
+	// valueSize, when positive, attaches a payload of that many bytes to
+	// every write-max — the replicated baseline of the bytes-per-server
+	// axis: each of the 2f+1 servers stores the full payload, where the
+	// coded construction stores a 1/kData fragment.
+	valueSize int
+}
+
+// payload derives the write's payload rider when the store is sized.
+func (s *store) payload(v types.TSValue) types.Payload {
+	if s.valueSize <= 0 {
+		return nil
+	}
+	return types.PayloadFor(v.Val, s.valueSize)
 }
 
 // Compile-time interface compliance checks.
@@ -48,12 +61,12 @@ func (s *store) ReadTarget() rounds.Target {
 
 // WriteTarget implements rounds.DirectWriter.
 func (s *store) WriteTarget(v types.TSValue) rounds.Target {
-	return rounds.Target{Object: s.obj, Inv: baseobj.Invocation{Op: baseobj.OpWriteMax, Arg: v}}
+	return rounds.Target{Object: s.obj, Inv: baseobj.Invocation{Op: baseobj.OpWriteMax, Arg: v, Data: s.payload(v)}}
 }
 
 // StartWriteMax implements abdcore.MaxStore with a single write-max trigger.
 func (s *store) StartWriteMax(client types.ClientID, v types.TSValue, report func(types.TSValue, error)) {
-	call := s.fab.Trigger(client, s.obj, baseobj.Invocation{Op: baseobj.OpWriteMax, Arg: v})
+	call := s.fab.Trigger(client, s.obj, baseobj.Invocation{Op: baseobj.OpWriteMax, Arg: v, Data: s.payload(v)})
 	call.OnComplete(func(o fabric.Outcome) { report(o.Resp.Val, o.Err) })
 }
 
@@ -73,6 +86,10 @@ type Options struct {
 	// Servers optionally pins the 2f+1 hosting servers; defaults to
 	// servers 0..2f.
 	Servers []types.ServerID
+	// ValueSize, when positive, makes every write carry a payload of that
+	// many bytes into each replica — the replicated bytes-per-server
+	// baseline the coded construction is measured against.
+	ValueSize int
 }
 
 // New places one max-register on each of 2f+1 servers of the fabric's
@@ -97,7 +114,7 @@ func New(fab *fabric.Fabric, k, f int, opts Options) (*quorumreg.Register, error
 		if err != nil {
 			return nil, fmt.Errorf("abdmax: placing max-register: %w", err)
 		}
-		stores = append(stores, &store{fab: fab, obj: obj, server: server})
+		stores = append(stores, &store{fab: fab, obj: obj, server: server, valueSize: opts.ValueSize})
 	}
 	var engineOpts []abdcore.Option
 	if opts.ReadWriteBack {

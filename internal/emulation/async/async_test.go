@@ -519,7 +519,6 @@ func startWriteErr(c *async.Client) error {
 	}
 }
 
-
 // TestAsyncCloseDuringSelfSustainingLoop is the shutdown-livelock
 // regression test: on the synchronous in-process lane a client that
 // unconditionally reissues from its completion callback keeps the mailbox

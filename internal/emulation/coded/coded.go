@@ -1,0 +1,448 @@
+// Coded register construction: a fault-tolerant k-writer register whose
+// per-server space is a *fragment* of the value, not a copy.
+//
+// Each write erasure-codes its payload into n fragments (systematic
+// Reed–Solomon, any kData reconstruct — see rs.go) and stripes them across
+// n fragment stores, one per server. The write is three quorum rounds:
+//
+//  1. collect:  OpFragTS on all n, gather n−f, bump the max timestamp;
+//  2. put:      OpPutFrag of fragment i to server i, gather n−f acks;
+//  3. commit:   OpCommitFrag(ts) on all n, gather n−f acks.
+//
+// A read gathers OpGetFrags from n−f stores, reconstructs the highest
+// timestamp holding ≥ kData distinct fragments, and verifies the decoded
+// payload (types.Payload embeds its own value derivation, so a stripe mixed
+// from two writes can never decode silently). In atomic mode the reader
+// writes the stripe back (re-encoded put + commit) before returning, unless
+// every gathered store already committed it.
+//
+// Safety needs kData ≤ n−2f: a reader's n−f stores intersect the put
+// quorum of the newest committed stripe in ≥ n−2f stores, and the
+// fragment-store retention rule (baseobj.FragStore) guarantees each of
+// those still holds its fragment. That is exactly the register-emulation
+// space tension the paper quantifies: tolerating more failures at fixed n
+// forces kData down, and at n = 2f+1 the construction degenerates to
+// kData = 1 — full replication, the Ω(f·D) per-value regime of the SCC
+// lower bound. The win exists only in the n > 2f+1 slack.
+package coded
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/baseobj"
+	"repro/internal/emulation"
+	"repro/internal/emulation/rounds"
+	"repro/internal/fabric"
+	"repro/internal/spec"
+	"repro/internal/types"
+)
+
+// DefaultValueSize is the payload size used when Options.ValueSize is zero.
+const DefaultValueSize = 64
+
+// Options configure the construction.
+type Options struct {
+	// History receives the high-level operations (optional).
+	History *spec.History
+	// ValueSize is the payload size in bytes each write stores (default
+	// DefaultValueSize, minimum types.MinPayloadSize).
+	ValueSize int
+	// DataShards is the coder's k — the number of fragments that suffice
+	// to reconstruct. Defaults to n−2f, the largest safe value; anything
+	// above it is rejected.
+	DataShards int
+	// Atomic upgrades reads to the linearizable protocol at the cost of
+	// readers writing the stripe back.
+	Atomic bool
+	// Servers optionally pins the n hosting servers; defaults to every
+	// server of the fabric's cluster.
+	Servers []types.ServerID
+}
+
+// Register implements emulation.Register over striped fragment stores.
+type Register struct {
+	k, f      int
+	n         int
+	valueSize int
+	atomic    bool
+	coder     *Coder
+	fab       *fabric.Fabric
+	objs      []types.ObjectID
+	hist      *spec.History
+	readers   emulation.ReaderIDs
+}
+
+// Compile-time interface compliance check.
+var _ emulation.Register = (*Register)(nil)
+
+// New places one fragment store on each hosting server and returns the
+// emulated k-writer register.
+func New(fab *fabric.Fabric, k, f int, opts Options) (*Register, error) {
+	if err := emulation.ValidateWriters(k); err != nil {
+		return nil, fmt.Errorf("coded: %w", err)
+	}
+	if f <= 0 {
+		return nil, fmt.Errorf("coded: f must be positive, got %d", f)
+	}
+	c := fab.Cluster()
+	servers := opts.Servers
+	if servers == nil {
+		servers = c.Members()
+	}
+	n := len(servers)
+	if n < 2*f+1 {
+		return nil, fmt.Errorf("coded: need n ≥ 2f+1 = %d servers, got %d", 2*f+1, n)
+	}
+	kData := opts.DataShards
+	if kData == 0 {
+		kData = n - 2*f
+	}
+	if kData < 1 || kData > n-2*f {
+		return nil, fmt.Errorf("coded: data shards must be in [1, n−2f] = [1, %d], got %d (a reader's n−f stores only provably intersect a put quorum in n−2f)", n-2*f, kData)
+	}
+	coder, err := NewCoder(kData, n)
+	if err != nil {
+		return nil, fmt.Errorf("coded: %w", err)
+	}
+	valueSize := opts.ValueSize
+	if valueSize <= 0 {
+		valueSize = DefaultValueSize
+	}
+	if valueSize < types.MinPayloadSize {
+		valueSize = types.MinPayloadSize
+	}
+	objs := make([]types.ObjectID, 0, n)
+	for _, server := range servers {
+		obj, err := c.PlaceFragStore(server)
+		if err != nil {
+			return nil, fmt.Errorf("coded: placing fragment store: %w", err)
+		}
+		objs = append(objs, obj)
+	}
+	hist := opts.History
+	if hist == nil {
+		hist = &spec.History{}
+	}
+	return &Register{
+		k: k, f: f, n: n,
+		valueSize: valueSize,
+		atomic:    opts.Atomic,
+		coder:     coder,
+		fab:       fab,
+		objs:      objs,
+		hist:      hist,
+	}, nil
+}
+
+// Name implements emulation.Register.
+func (r *Register) Name() string { return "coded" }
+
+// K implements emulation.Register.
+func (r *Register) K() int { return r.k }
+
+// F implements emulation.Register.
+func (r *Register) F() int { return r.f }
+
+// DataShards returns the coder's k: fragments sufficient to reconstruct.
+func (r *Register) DataShards() int { return r.coder.K() }
+
+// ValueSize returns the payload size each write stores.
+func (r *Register) ValueSize() int { return r.valueSize }
+
+// ResourceComplexity implements emulation.Register: one fragment store per
+// server. The paper's object-count measure is blind to the win here — the
+// bytes-per-server axis (cluster.PerServerBytes) is what separates coded
+// from replicated.
+func (r *Register) ResourceComplexity() int { return r.n }
+
+// History returns the recorded high-level history.
+func (r *Register) History() *spec.History { return r.hist }
+
+// need is the quorum size of every round.
+func (r *Register) need() int { return r.n - r.f }
+
+// Writer implements emulation.Register.
+func (r *Register) Writer(i int) (emulation.Writer, error) {
+	if i < 0 || i >= r.k {
+		return nil, fmt.Errorf("coded: writer %d out of range (k=%d)", i, r.k)
+	}
+	return &writerHandle{reg: r, client: types.ClientID(i)}, nil
+}
+
+// NewReader implements emulation.Register.
+func (r *Register) NewReader() emulation.Reader {
+	return &readerHandle{reg: r, client: r.readers.Next()}
+}
+
+// tsTargets builds the collect round: the max stripe timestamp of each store.
+func (r *Register) tsTargets() []rounds.Target {
+	ts := make([]rounds.Target, len(r.objs))
+	for i, obj := range r.objs {
+		ts[i] = rounds.Target{Object: obj, Inv: baseobj.Invocation{Op: baseobj.OpFragTS}}
+	}
+	return ts
+}
+
+// getTargets builds the gather round: every store's fragment snapshot.
+func (r *Register) getTargets() []rounds.Target {
+	ts := make([]rounds.Target, len(r.objs))
+	for i, obj := range r.objs {
+		ts[i] = rounds.Target{Object: obj, Inv: baseobj.Invocation{Op: baseobj.OpGetFrags}}
+	}
+	return ts
+}
+
+// putTargets builds the striped put round: fragment i goes to store i.
+func (r *Register) putTargets(ts types.TSValue, length int, shards [][]byte) []rounds.Target {
+	targets := make([]rounds.Target, len(r.objs))
+	for i, obj := range r.objs {
+		frag := &baseobj.Fragment{
+			TS:     ts,
+			Index:  i,
+			K:      r.coder.K(),
+			Length: length,
+			Data:   shards[i],
+		}
+		targets[i] = rounds.Target{Object: obj, Inv: baseobj.Invocation{Op: baseobj.OpPutFrag, Frag: frag}}
+	}
+	return targets
+}
+
+// commitTargets builds the commit round.
+func (r *Register) commitTargets(ts types.TSValue) []rounds.Target {
+	targets := make([]rounds.Target, len(r.objs))
+	for i, obj := range r.objs {
+		targets[i] = rounds.Target{Object: obj, Inv: baseobj.Invocation{Op: baseobj.OpCommitFrag, Arg: ts}}
+	}
+	return targets
+}
+
+// startWrite runs the three-round write as a completion chain: collect the
+// max timestamp, stripe the payload across the put quorum, commit. done
+// fires exactly once; it never fires if the failure assumption is violated,
+// like any pending op.
+func (r *Register) startWrite(client types.ClientID, v types.Value, done func(error)) {
+	rounds.ScatterFold(r.fab, client, r.tsTargets(), r.need(), func(cur types.TSValue, err error) {
+		if err != nil {
+			done(fmt.Errorf("coded: write collect: %w", err))
+			return
+		}
+		ts := types.TSValue{TS: cur.TS + 1, Writer: client, Val: v}
+		payload := types.PayloadFor(v, r.valueSize)
+		r.startPut(client, ts, payload, func(err error) {
+			if err != nil {
+				done(fmt.Errorf("coded: write: %w", err))
+				return
+			}
+			done(nil)
+		})
+	})
+}
+
+// startPut stripes payload at timestamp ts across the stores and commits:
+// rounds 2 and 3 of a write, also the write-back of an atomic read.
+func (r *Register) startPut(client types.ClientID, ts types.TSValue, payload types.Payload, done func(error)) {
+	shards := r.coder.Encode(payload)
+	rounds.ScatterFoldReports(r.fab, client, r.putTargets(ts, len(payload), shards), r.need(), func(_ []rounds.Report, err error) {
+		if err != nil {
+			done(fmt.Errorf("stripe put: %w", err))
+			return
+		}
+		rounds.ScatterFold(r.fab, client, r.commitTargets(ts), r.need(), func(_ types.TSValue, err error) {
+			if err != nil {
+				done(fmt.Errorf("stripe commit: %w", err))
+				return
+			}
+			done(nil)
+		})
+	})
+}
+
+// startRead gathers n−f fragment snapshots, reconstructs the newest
+// reconstructible stripe, and (atomic mode) writes it back before
+// returning.
+func (r *Register) startRead(client types.ClientID, done func(types.Value, error)) {
+	rounds.ScatterFoldReports(r.fab, client, r.getTargets(), r.need(), func(reps []rounds.Report, err error) {
+		if err != nil {
+			done(types.InitialValue, fmt.Errorf("coded: read gather: %w", err))
+			return
+		}
+		ts, payload, committed, err := r.reconstruct(reps)
+		if err != nil {
+			done(types.InitialValue, fmt.Errorf("coded: read: %w", err))
+			return
+		}
+		if ts == types.ZeroTSValue {
+			done(types.InitialValue, nil)
+			return
+		}
+		v, err := payload.Value()
+		if err != nil {
+			done(types.InitialValue, fmt.Errorf("coded: read: %w", err))
+			return
+		}
+		if v != ts.Val {
+			done(types.InitialValue, fmt.Errorf("coded: read: stripe %v decodes to value %d", ts, v))
+			return
+		}
+		if !r.atomic || committed {
+			done(v, nil)
+			return
+		}
+		// Write-back: make the stripe as stable as a completed write, so a
+		// later reader cannot observe an older value (the ABD new/old
+		// inversion). Re-encoding regenerates the fragments the gather
+		// didn't see.
+		r.startPut(client, ts, payload, func(err error) {
+			if err != nil {
+				done(types.InitialValue, fmt.Errorf("coded: read write-back: %w", err))
+				return
+			}
+			done(v, nil)
+		})
+	})
+}
+
+// reconstruct decodes the newest stripe with ≥ kData distinct fragments
+// among the gathered reports. committed reports whether every gathered
+// store's commit watermark already covers that stripe — the atomic-mode
+// fast path that skips the write-back. A zero timestamp means the register
+// is in its initial state.
+//
+// The newest *committed* stripe is always reconstructible here (retention
+// rule + quorum intersection, see the package comment), so the chosen
+// stripe is never older than a completed write. A newer pending stripe
+// that happens to be reconstructible may win instead; its write is
+// concurrent, so returning it is regular — and the write-back makes it
+// stable before an atomic read returns.
+func (r *Register) reconstruct(reps []rounds.Report) (types.TSValue, types.Payload, bool, error) {
+	type stripe struct {
+		length int
+		frags  map[int][]byte
+	}
+	stripes := make(map[types.TSValue]*stripe)
+	for _, rep := range reps {
+		for _, f := range rep.Frags {
+			if f.K != r.coder.K() {
+				return types.ZeroTSValue, nil, false, fmt.Errorf("fragment of stripe %v has k=%d, coder has k=%d", f.TS, f.K, r.coder.K())
+			}
+			s := stripes[f.TS]
+			if s == nil {
+				s = &stripe{length: f.Length, frags: make(map[int][]byte)}
+				stripes[f.TS] = s
+			}
+			s.frags[f.Index] = f.Data
+		}
+	}
+	best := types.ZeroTSValue
+	for ts, s := range stripes {
+		if len(s.frags) >= r.coder.K() && best.Less(ts) {
+			best = ts
+		}
+	}
+	if best == types.ZeroTSValue {
+		return types.ZeroTSValue, nil, true, nil
+	}
+	data, err := r.coder.Decode(stripes[best].length, stripes[best].frags)
+	if err != nil {
+		return types.ZeroTSValue, nil, false, fmt.Errorf("decoding stripe %v: %w", best, err)
+	}
+	committed := true
+	for _, rep := range reps {
+		if rep.Val.Less(best) { // watermark below the stripe: not yet committed there
+			committed = false
+			break
+		}
+	}
+	return best, types.Payload(data), committed, nil
+}
+
+// writerHandle is the per-writer handle.
+type writerHandle struct {
+	reg    *Register
+	client types.ClientID
+}
+
+// Compile-time interface compliance checks: the handles serve both the
+// blocking and the completion-based client paths.
+var (
+	_ emulation.Writer      = (*writerHandle)(nil)
+	_ emulation.AsyncWriter = (*writerHandle)(nil)
+	_ emulation.Reader      = (*readerHandle)(nil)
+	_ emulation.AsyncReader = (*readerHandle)(nil)
+)
+
+// Client implements emulation.Writer.
+func (w *writerHandle) Client() types.ClientID { return w.client }
+
+// StartWrite implements emulation.AsyncWriter.
+func (w *writerHandle) StartWrite(v types.Value, done func(error)) {
+	pw := w.reg.hist.BeginWrite(w.client, v)
+	w.reg.startWrite(w.client, v, func(err error) {
+		if err == nil {
+			pw.End()
+		}
+		done(err)
+	})
+}
+
+// Write implements emulation.Writer.
+func (w *writerHandle) Write(ctx context.Context, v types.Value) error {
+	pw := w.reg.hist.BeginWrite(w.client, v)
+	errc := make(chan error, 1)
+	w.reg.startWrite(w.client, v, func(err error) { errc <- err })
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("coded: write: %w", ctx.Err())
+	case err := <-errc:
+		if err != nil {
+			return err
+		}
+		pw.End()
+		return nil
+	}
+}
+
+// readerHandle is the per-reader handle.
+type readerHandle struct {
+	reg    *Register
+	client types.ClientID
+}
+
+// Client implements emulation.Reader.
+func (r *readerHandle) Client() types.ClientID { return r.client }
+
+// StartRead implements emulation.AsyncReader.
+func (r *readerHandle) StartRead(done func(types.Value, error)) {
+	pr := r.reg.hist.BeginRead(r.client)
+	r.reg.startRead(r.client, func(v types.Value, err error) {
+		if err != nil {
+			done(types.InitialValue, err)
+			return
+		}
+		pr.End(v)
+		done(v, nil)
+	})
+}
+
+// Read implements emulation.Reader.
+func (r *readerHandle) Read(ctx context.Context) (types.Value, error) {
+	pr := r.reg.hist.BeginRead(r.client)
+	type result struct {
+		v   types.Value
+		err error
+	}
+	resc := make(chan result, 1)
+	r.reg.startRead(r.client, func(v types.Value, err error) { resc <- result{v, err} })
+	select {
+	case <-ctx.Done():
+		return types.InitialValue, fmt.Errorf("coded: read: %w", ctx.Err())
+	case res := <-resc:
+		if res.err != nil {
+			return types.InitialValue, res.err
+		}
+		pr.End(res.v)
+		return res.v, nil
+	}
+}

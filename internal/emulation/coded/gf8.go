@@ -1,0 +1,97 @@
+// Package coded implements k-of-n erasure-coded register storage: a
+// systematic Reed–Solomon coder over GF(2^8) and a register construction
+// that stripes each written value into n timestamped fragments (one per
+// server), any k of which reconstruct the payload. The coded register
+// reuses the rounds engine for fragment scatter/gather and the fragment
+// store base object (baseobj.FragStore) for per-server storage, so it
+// rides every lane backend, the chaos gate, and view-based
+// reconfiguration unchanged.
+//
+// The space story follows Spiegelman–Cassuto–Chockler: a read quorum of
+// n−f servers intersects a completed write's n−f acked set in at least
+// n−2f servers, so reconstruction from any read quorum requires
+// k ≤ n−2f. At n=5, f=1 coding stores |v|/3 bytes per server (beating
+// 2f+1 whole replicas); at f=2 the bound forces k=1 — whole-value
+// replication — which is exactly the coded lower bound's message.
+package coded
+
+// GF(2^8) arithmetic with the AES-independent primitive polynomial
+// x^8+x^4+x^3+x^2+1 (0x11d), the conventional choice for storage codes.
+// Multiplication and inversion go through log/exp tables built once at
+// package init; the generator is 2.
+
+const gfPoly = 0x11d
+
+var (
+	gfExp [510]byte // gfExp[i] = 2^i, doubled so mul can skip a mod 255
+	gfLog [256]byte // gfLog[x] for x != 0
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= gfPoly
+		}
+	}
+	for i := 255; i < 510; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+// gfMul multiplies two field elements.
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+// gfDiv divides a by b; b must be non-zero.
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("coded: GF(2^8) division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+// gfInv returns the multiplicative inverse of a non-zero element.
+func gfInv(a byte) byte { return gfDiv(1, a) }
+
+// gfPow returns base^exp.
+func gfPow(base byte, exp int) byte {
+	if exp == 0 {
+		return 1
+	}
+	if base == 0 {
+		return 0
+	}
+	return gfExp[(int(gfLog[base])*exp)%255]
+}
+
+// mulRowAdd accumulates dst ^= c * src over a whole row. This is the
+// encode/decode hot loop; fragments are a few tens of KiB so the simple
+// table walk is fine without SIMD.
+func mulRowAdd(dst, src []byte, c byte) {
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i := range src {
+			dst[i] ^= src[i]
+		}
+		return
+	}
+	lc := int(gfLog[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= gfExp[lc+int(gfLog[s])]
+		}
+	}
+}

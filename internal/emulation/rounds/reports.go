@@ -1,0 +1,129 @@
+package rounds
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/types"
+)
+
+// Report-level gathers: the coded construction folds nothing — it needs the
+// raw per-server responses (fragment lists, payload bytes) to reconstruct a
+// stripe, so these gathers collect whole Reports instead of a MaxTSValue
+// fold. The quorum and crash semantics are identical to Gather/ScatterFold.
+
+// GatherReports blocks until need successful reports arrived on ch,
+// returning them in arrival order. It fails fast on report errors and fails
+// deterministically when ctx is done.
+func GatherReports(ctx context.Context, ch <-chan Report, need int) ([]Report, error) {
+	out := make([]Report, 0, need)
+	for len(out) < need {
+		// A done context fails deterministically even when reports are
+		// already buffered (select picks ready cases at random).
+		if err := ctx.Err(); err != nil {
+			return out, fmt.Errorf("rounds: report gather (%d/%d): %w", len(out), need, err)
+		}
+		select {
+		case <-ctx.Done():
+			return out, fmt.Errorf("rounds: report gather (%d/%d): %w", len(out), need, ctx.Err())
+		case rep := <-ch:
+			if rep.Err != nil {
+				return out, fmt.Errorf("rounds: store error: %w", rep.Err)
+			}
+			out = append(out, rep)
+		}
+	}
+	return out, nil
+}
+
+// AwaitReports blocks until need responses arrived, returning the raw
+// reports instead of a folded maximum.
+func (r *Round) AwaitReports(ctx context.Context, need int) ([]Report, error) {
+	return GatherReports(ctx, r.ch, need)
+}
+
+// reportFold accumulates whole reports and fires exactly once: on the
+// need'th successful report or the first error. Late completions after the
+// fire are absorbed silently, like Fold's.
+type reportFold struct {
+	mu     sync.Mutex
+	need   int
+	got    []Report
+	done   bool
+	report func([]Report, error)
+}
+
+func (j *reportFold) complete(rep Report) {
+	j.mu.Lock()
+	if j.done {
+		j.mu.Unlock()
+		return
+	}
+	if rep.Err != nil {
+		j.done = true
+		r := j.report
+		j.mu.Unlock()
+		r(nil, rep.Err)
+		return
+	}
+	j.got = append(j.got, rep)
+	if len(j.got) < j.need {
+		j.mu.Unlock()
+		return
+	}
+	j.done = true
+	r := j.report
+	got := j.got
+	j.mu.Unlock()
+	r(got, nil)
+}
+
+// viewRetryReports is ViewRetry for report-level folds: a round whose first
+// error is a view change re-scatters whole through fresh routes after
+// fabric.ViewRetryDelay, up to fabric.MaxViewRetries attempts. Sound for the
+// same reason as ViewRetry — the view-change completion guarantees the op
+// never applied, and every member of a coded round is an idempotent read or
+// (re)write of the same timestamped fragment.
+func viewRetryReports(attempt int, report func([]Report, error), rescatter func(attempt int)) func([]Report, error) {
+	return func(reps []Report, err error) {
+		if err != nil && fabric.IsViewChange(err) && attempt < fabric.MaxViewRetries {
+			next := attempt + 1
+			time.AfterFunc(fabric.ViewRetryDelay(attempt), func() { rescatter(next) })
+			return
+		}
+		report(reps, err)
+	}
+}
+
+// ScatterFoldReports triggers every target in one batch and invokes report
+// exactly once: with the first need successful reports (in arrival order)
+// or the first error. It never blocks — completions run on fabric
+// goroutines — and rounds that race a reconfiguration retry transparently,
+// exactly like ScatterFold. If fewer than need responses ever arrive (held
+// or crashed operations), the report never fires; callers bound the wait at
+// a higher level.
+func ScatterFoldReports(fab *fabric.Fabric, client types.ClientID, targets []Target, need int, report func([]Report, error)) {
+	scatterFoldReportsAttempt(fab, client, targets, need, report, 0)
+}
+
+func scatterFoldReportsAttempt(fab *fabric.Fabric, client types.ClientID, targets []Target, need int, report func([]Report, error), attempt int) {
+	if need <= 0 || need > len(targets) {
+		report(nil, fmt.Errorf("rounds: report fold needs %d of %d targets", need, len(targets)))
+		return
+	}
+	j := &reportFold{need: need, report: viewRetryReports(attempt, report, func(next int) {
+		scatterFoldReportsAttempt(fab, client, targets, need, report, next)
+	})}
+	batch := make([]fabric.BatchOp, len(targets))
+	for i, t := range targets {
+		srv, _ := fab.ServerFor(t.Object)
+		i, t, srv := i, t, srv
+		batch[i] = fabric.BatchOp{Object: t.Object, Inv: t.Inv, Done: func(o fabric.Outcome) {
+			j.complete(Report{Index: i, Object: t.Object, Server: srv, Val: o.Resp.Val, Data: o.Resp.Data, Frags: o.Resp.Frags, Err: o.Err})
+		}}
+	}
+	fab.TriggerBatch(client, batch)
+}

@@ -97,6 +97,11 @@ type Report struct {
 	Server types.ServerID
 	// Val is the response value.
 	Val types.TSValue
+	// Data carries response payload bytes (payload registers).
+	Data types.Payload
+	// Frags carries the response fragment list (fragment stores — the
+	// coded construction's gather rounds).
+	Frags []baseobj.Fragment
 	// Err is a protocol error (wrong op, unauthorized writer) — crash
 	// failures never produce a report at all.
 	Err error
@@ -156,7 +161,7 @@ func scatter(fab *fabric.Fabric, client types.ClientID, targets []Target, scan b
 		srv, _ := fab.ServerFor(t.Object)
 		i, t, srv := i, t, srv
 		batch[i] = fabric.BatchOp{Object: t.Object, Inv: t.Inv, Done: func(o fabric.Outcome) {
-			Deliver(r.ch, Report{Index: i, Object: t.Object, Server: srv, Val: o.Resp.Val, Err: o.Err})
+			Deliver(r.ch, Report{Index: i, Object: t.Object, Server: srv, Val: o.Resp.Val, Data: o.Resp.Data, Frags: o.Resp.Frags, Err: o.Err})
 		}}
 	}
 	if scan {

@@ -165,18 +165,22 @@ func (f *Fabric) awaitQuiesce(ctx context.Context, l *lane) error {
 // sound because the lane has quiesced and its freeze rejects new sends, so
 // the node can receive no further write for this fabric's objects before
 // the connection closes.
-func (f *Fabric) fetchState(ctx context.Context, l *lane, o baseobj.Object) (types.TSValue, error) {
-	sealer, ok := o.(baseobj.Sealer)
-	if !ok {
-		return types.TSValue{}, fmt.Errorf("object %d (%T) does not support state transfer", o.ID(), o)
+func (f *Fabric) fetchState(ctx context.Context, l *lane, o baseobj.Object) (baseobj.State, error) {
+	var local baseobj.State
+	switch sealer := o.(type) {
+	case baseobj.StateSealer:
+		local = sealer.SealState()
+	case baseobj.Sealer:
+		local = baseobj.State{Val: sealer.Seal()}
+	default:
+		return baseobj.State{}, fmt.Errorf("object %d (%T) does not support state transfer", o.ID(), o)
 	}
-	local := sealer.Seal()
 	if _, remote := l.backend.(ObjectMirror); !remote {
 		return local, nil
 	}
 	inv, err := stateReadInv(o.Kind())
 	if err != nil {
-		return types.TSValue{}, err
+		return baseobj.State{}, err
 	}
 	// The fetch is a real wire delivery with a synthetic client identity —
 	// it bypasses routing, gating, and in-flight bookkeeping because the
@@ -198,20 +202,22 @@ func (f *Fabric) fetchState(ctx context.Context, l *lane, o baseobj.Object) (typ
 		})
 	select {
 	case <-ctx.Done():
-		return types.TSValue{}, ctx.Err()
+		return baseobj.State{}, ctx.Err()
 	case out := <-done:
 		if out.Err != nil {
-			return types.TSValue{}, out.Err
+			return baseobj.State{}, out.Err
 		}
-		return out.Resp.Val, nil
+		return baseobj.State{Val: out.Resp.Val, Data: out.Resp.Data, Frags: out.Resp.Frags}, nil
 	}
 }
 
 // stateReadInv builds the invocation that reads an object's full state
-// without mutating it. Registers and max-registers have plain reads; a CAS
-// cell's state is observed via a compare that can never succeed (no writer
-// ID is negative), whose response carries the previous — i.e. current —
-// value.
+// without mutating it. Registers and max-registers have plain reads (their
+// responses carry the payload bytes alongside the TSValue); a fragment
+// store's OpGetFrags returns its commit watermark plus every fragment; a
+// CAS cell's state is observed via a compare that can never succeed (no
+// writer ID is negative), whose response carries the previous — i.e.
+// current — value.
 func stateReadInv(kind baseobj.Kind) (baseobj.Invocation, error) {
 	switch kind {
 	case baseobj.KindRegister:
@@ -221,6 +227,8 @@ func stateReadInv(kind baseobj.Kind) (baseobj.Invocation, error) {
 	case baseobj.KindCAS:
 		probe := types.TSValue{TS: math.MaxUint64, Writer: -1, Val: -1}
 		return baseobj.Invocation{Op: baseobj.OpCAS, Exp: probe, New: probe}, nil
+	case baseobj.KindFragStore:
+		return baseobj.Invocation{Op: baseobj.OpGetFrags}, nil
 	default:
 		return baseobj.Invocation{}, fmt.Errorf("fabric: no state read for object kind %v", kind)
 	}

@@ -114,6 +114,10 @@ type Client struct {
 	stopOnce sync.Once
 
 	coalesced atomic.Uint64
+	bytesOut  atomic.Uint64
+	bytesIn   atomic.Uint64
+	framesOut atomic.Uint64
+	framesIn  atomic.Uint64
 
 	// testHook, when set before the first delivery, runs on the flusher
 	// goroutine after each queue drain and before the batch is encoded and
@@ -208,6 +212,27 @@ func (c *Client) SetCrashHook(fn func()) {
 // identical queued read instead of going on the wire themselves.
 func (c *Client) CoalescedReads() uint64 { return c.coalesced.Load() }
 
+// ConnStats is a point-in-time snapshot of one connection's traffic.
+// Byte counts include the 4-byte frame headers — they are what actually
+// crossed the wire, which is the quantity the space/bandwidth experiments
+// compare against the coded fragment sizes.
+type ConnStats struct {
+	FramesOut uint64 // frames written (after coalescing)
+	FramesIn  uint64 // response frames received
+	BytesOut  uint64 // bytes written, headers included
+	BytesIn   uint64 // bytes received, headers included
+}
+
+// Stats returns this connection's traffic counters.
+func (c *Client) Stats() ConnStats {
+	return ConnStats{
+		FramesOut: c.framesOut.Load(),
+		FramesIn:  c.framesIn.Load(),
+		BytesOut:  c.bytesOut.Load(),
+		BytesIn:   c.bytesIn.Load(),
+	}
+}
+
 // enqueue appends one frame to the outbound queue and nudges the flusher.
 func (c *Client) enqueue(it outItem) {
 	c.qmu.Lock()
@@ -224,7 +249,15 @@ func (c *Client) enqueue(it outItem) {
 // any operation on the object is delivered. The placement rides the same
 // FIFO queue as invocations, preserving place-before-apply.
 func (c *Client) MirrorObject(obj baseobj.Object) {
-	p := placeReq{obj: obj.ID(), kind: obj.Kind(), state: obj.Peek()}
+	p := placeReq{obj: obj.ID(), kind: obj.Kind()}
+	// Ship the full state when the object exposes it (payload registers,
+	// fragment stores); the timestamp alone loses payload bytes and
+	// fragments on reconfiguration.
+	if sp, ok := obj.(baseobj.StatePeeker); ok {
+		p.state = sp.PeekState()
+	} else {
+		p.state = baseobj.State{Val: obj.Peek()}
+	}
 	if reg, ok := obj.(*baseobj.Register); ok {
 		p.writers = reg.Writers()
 	}
@@ -315,6 +348,7 @@ func (c *Client) flusher() {
 			c.fail()
 			return
 		}
+		c.bytesOut.Add(uint64(len(buf)))
 	}
 }
 
@@ -334,7 +368,7 @@ func (c *Client) encodeBatch(buf []byte, batch []outItem) []byte {
 		it := &batch[i]
 		switch it.kind {
 		case outPlace:
-			buf = appendFrame(buf, it.payload)
+			buf = c.countFrame(buf, it.payload)
 		case outApply:
 			if it.ev.Inv.Op.IsRead() {
 				k := readKey{obj: it.ev.Object, op: it.ev.Inv.Op}
@@ -353,12 +387,12 @@ func (c *Client) encodeBatch(buf []byte, batch []outItem) []byte {
 				}
 				readReq[k] = req
 				c.register(req, pendingEntry{completes: []fabric.CompleteFunc{it.complete}})
-				buf = appendFrame(buf, encodeApply(applyReq{req: req, obj: it.ev.Object, client: it.ev.Client, inv: it.ev.Inv}))
+				buf = c.countFrame(buf, encodeApply(applyReq{req: req, obj: it.ev.Object, client: it.ev.Client, inv: it.ev.Inv}))
 				continue
 			}
 			req := c.nextReq.Add(1)
 			c.register(req, pendingEntry{completes: []fabric.CompleteFunc{it.complete}})
-			buf = appendFrame(buf, encodeApply(applyReq{req: req, obj: it.ev.Object, client: it.ev.Client, inv: it.ev.Inv}))
+			buf = c.countFrame(buf, encodeApply(applyReq{req: req, obj: it.ev.Object, client: it.ev.Client, inv: it.ev.Inv}))
 		case outScan:
 			req := c.nextReq.Add(1)
 			entries := make([]scanEntry, len(it.ops))
@@ -368,7 +402,7 @@ func (c *Client) encodeBatch(buf []byte, batch []outItem) []byte {
 				completes[j] = op.Complete
 			}
 			c.register(req, pendingEntry{completes: completes, scan: true})
-			buf = appendFrame(buf, encodeScan(nil, req, entries))
+			buf = c.countFrame(buf, encodeScan(nil, req, entries))
 		}
 		// Release references so the reused batch slice doesn't retain them.
 		*it = outItem{}
@@ -380,6 +414,13 @@ func (c *Client) encodeBatch(buf []byte, batch []outItem) []byte {
 func appendFrame(buf, payload []byte) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
 	return append(buf, payload...)
+}
+
+// countFrame is appendFrame plus the outbound frame counter; encodeBatch
+// routes every frame through it so Stats reflects what hit the wire.
+func (c *Client) countFrame(buf, payload []byte) []byte {
+	c.framesOut.Add(1)
+	return appendFrame(buf, payload)
 }
 
 // register records a pending request.
@@ -413,6 +454,8 @@ func (c *Client) readLoop() {
 			c.fail()
 			return
 		}
+		c.framesIn.Add(1)
+		c.bytesIn.Add(uint64(len(payload)) + 4) // + the frame header
 		switch payload[0] {
 		case msgResp:
 			r, err := decodeResp(payload[1:])

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"reflect"
 	"testing"
 	"time"
 
@@ -99,7 +100,7 @@ func TestProtoRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ad != a {
+	if !reflect.DeepEqual(ad, a) {
 		t.Fatalf("apply round trip = %+v, want %+v", ad, a)
 	}
 
@@ -108,8 +109,89 @@ func TestProtoRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rd != r {
+	if !reflect.DeepEqual(rd, r) {
 		t.Fatalf("resp round trip = %+v, want %+v", rd, r)
+	}
+}
+
+// TestProtoPayloadRoundTrip pins the wire encoding of the payload- and
+// fragment-carrying message extensions added for coded storage.
+func TestProtoPayloadRoundTrip(t *testing.T) {
+	frag := baseobj.Fragment{
+		TS:        types.TSValue{TS: 9, Writer: 2, Val: 77},
+		Index:     3,
+		K:         3,
+		Length:    1 << 16,
+		Committed: true,
+		Data:      types.Payload{0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4},
+	}
+
+	// Apply carrying a write payload.
+	a := applyReq{
+		req: 1, obj: 5, client: 2,
+		inv: baseobj.Invocation{
+			Op:   baseobj.OpWrite,
+			Arg:  types.TSValue{TS: 3, Writer: 2, Val: 44},
+			Data: types.PayloadFor(44, 64),
+		},
+	}
+	ad, err := decodeApply(encodeApply(a)[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ad, a) {
+		t.Fatalf("payload apply round trip = %+v, want %+v", ad, a)
+	}
+
+	// Apply carrying a fragment put.
+	af := applyReq{
+		req: 2, obj: 5, client: 2,
+		inv: baseobj.Invocation{Op: baseobj.OpPutFrag, Frag: &frag},
+	}
+	afd, err := decodeApply(encodeApply(af)[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(afd, af) {
+		t.Fatalf("fragment apply round trip = %+v, want %+v", afd, af)
+	}
+
+	// Response carrying payload bytes and a fragment list.
+	pending := frag
+	pending.Committed = false
+	pending.Index = 4
+	r := applyResp{
+		req: 3, status: statusOK,
+		resp: baseobj.Response{
+			Op:    baseobj.OpGetFrags,
+			Val:   types.TSValue{TS: 9, Writer: 2, Val: 77},
+			Data:  types.PayloadFor(77, 32),
+			Frags: []baseobj.Fragment{frag, pending},
+		},
+	}
+	rd, err := decodeResp(encodeResp(r)[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rd, r) {
+		t.Fatalf("fragment resp round trip = %+v, want %+v", rd, r)
+	}
+
+	// Placement carrying full transferred state.
+	p := placeReq{
+		obj: 7, kind: baseobj.KindFragStore,
+		state: baseobj.State{
+			Val:   types.TSValue{TS: 9, Writer: 2, Val: 77},
+			Data:  types.PayloadFor(77, 16),
+			Frags: []baseobj.Fragment{frag},
+		},
+	}
+	pd, err := decodePlace(encodePlace(p)[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pd, p) {
+		t.Fatalf("state place round trip = %+v, want %+v", pd, p)
 	}
 }
 

@@ -119,6 +119,26 @@ func (n *Node) NumTables() int {
 	return len(n.tables)
 }
 
+// BytesStored returns the payload bytes currently held across all tables
+// — the node-side reading of the bytes-per-server space metric (on the
+// TCP lane the node's tables are the authoritative object state, not the
+// fabric's local placeholders).
+func (n *Node) BytesStored() int64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	var total int64
+	for _, t := range n.tables {
+		t.mu.RLock()
+		for _, o := range t.objects {
+			if sz, ok := o.(baseobj.Sizer); ok {
+				total += int64(sz.SizeBytes())
+			}
+		}
+		t.mu.RUnlock()
+	}
+	return total
+}
+
 // Serve accepts connections until the listener is closed. Each connection
 // is served on its own goroutine; all connections share the node's object
 // table, so a client that reconnects (a *new* fabric — the lane itself
@@ -315,13 +335,20 @@ func (t *nodeTable) place(p placeReq) {
 		obj = baseobj.NewMaxRegister(p.obj)
 	case baseobj.KindCAS:
 		obj = baseobj.NewCASCell(p.obj)
+	case baseobj.KindFragStore:
+		obj = baseobj.NewFragStore(p.obj)
 	default:
 		return
 	}
 	// A fresh placement materializes at the mirrored state: for migrated
-	// objects this IS the state transfer onto the replacement node.
-	if s, ok := obj.(baseobj.Sealer); ok {
-		s.Restore(p.state)
+	// objects this IS the state transfer onto the replacement node. The
+	// full-state path carries payload bytes and fragments; the TSValue
+	// fallback keeps exotic Sealer-only objects placeable.
+	switch s := obj.(type) {
+	case baseobj.StateSealer:
+		s.RestoreState(p.state)
+	case baseobj.Sealer:
+		s.Restore(p.state.Val)
 	}
 	t.objects[p.obj] = obj
 }

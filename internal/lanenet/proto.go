@@ -60,21 +60,22 @@ const (
 )
 
 // maxFrame bounds a frame so a corrupt length prefix cannot allocate
-// unboundedly. Scans carry a whole collect round in one frame (9 bytes per
-// member), so the bound admits the largest plausible round with room to
-// spare.
-const maxFrame = 1 << 20
+// unboundedly. Frames now carry real value payloads — a replicated
+// 64 KiB read response, or a fragment store's whole pending set — so the
+// bound admits several large stripes per frame with room to spare.
+const maxFrame = 8 << 20
 
 // placeReq is the decoded form of msgPlace.
 type placeReq struct {
 	obj     types.ObjectID
 	kind    baseobj.Kind
 	writers []types.ClientID
-	// state is the object's value at mirror time. A fresh placement is
-	// materialized at this state, which is what carries transferred state
-	// onto a replacement server's node; re-placements of an already-hosted
+	// state is the object's full state at mirror time (TSValue plus
+	// payload bytes plus fragments). A fresh placement is materialized at
+	// this state, which is what carries transferred state onto a
+	// replacement server's node; re-placements of an already-hosted
 	// object ignore it (the node's copy is authoritative).
-	state types.TSValue
+	state baseobj.State
 }
 
 // applyReq is the decoded form of msgApply.
@@ -145,9 +146,98 @@ func tsValueAt(b []byte, off int) (types.TSValue, int, error) {
 	return v, off + 20, nil
 }
 
+// appendPayload encodes a byte-slice payload: u32 length + bytes.
+func appendPayload(b []byte, p types.Payload) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+// payloadAt decodes a payload at offset off. Empty payloads decode to
+// nil so payload-free frames stay allocation-free.
+func payloadAt(b []byte, off int) (types.Payload, int, error) {
+	if len(b) < off+4 {
+		return nil, 0, fmt.Errorf("lanenet: truncated payload length")
+	}
+	n := int(binary.BigEndian.Uint32(b[off:]))
+	off += 4
+	if n > maxFrame || len(b) < off+n {
+		return nil, 0, fmt.Errorf("lanenet: truncated payload (%d bytes)", n)
+	}
+	if n == 0 {
+		return nil, off, nil
+	}
+	p := make(types.Payload, n)
+	copy(p, b[off:off+n])
+	return p, off + n, nil
+}
+
+// appendFragment encodes one erasure-coded fragment: TSValue (20) +
+// index u16 + k u16 + stripe length u32 + committed flag + payload.
+func appendFragment(b []byte, f baseobj.Fragment) []byte {
+	b = appendTSValue(b, f.TS)
+	b = binary.BigEndian.AppendUint16(b, uint16(f.Index))
+	b = binary.BigEndian.AppendUint16(b, uint16(f.K))
+	b = binary.BigEndian.AppendUint32(b, uint32(f.Length))
+	committed := byte(0)
+	if f.Committed {
+		committed = 1
+	}
+	b = append(b, committed)
+	return appendPayload(b, f.Data)
+}
+
+// fragmentAt decodes one fragment at offset off.
+func fragmentAt(b []byte, off int) (baseobj.Fragment, int, error) {
+	var f baseobj.Fragment
+	var err error
+	if f.TS, off, err = tsValueAt(b, off); err != nil {
+		return f, 0, err
+	}
+	if len(b) < off+9 {
+		return f, 0, fmt.Errorf("lanenet: truncated fragment header")
+	}
+	f.Index = int(binary.BigEndian.Uint16(b[off:]))
+	f.K = int(binary.BigEndian.Uint16(b[off+2:]))
+	f.Length = int(binary.BigEndian.Uint32(b[off+4:]))
+	f.Committed = b[off+8] == 1
+	if f.Data, off, err = payloadAt(b, off+9); err != nil {
+		return f, 0, err
+	}
+	return f, off, nil
+}
+
+// appendFragList encodes a fragment list: u16 count + fragments.
+func appendFragList(b []byte, frags []baseobj.Fragment) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(frags)))
+	for _, f := range frags {
+		b = appendFragment(b, f)
+	}
+	return b
+}
+
+// fragListAt decodes a fragment list at offset off.
+func fragListAt(b []byte, off int) ([]baseobj.Fragment, int, error) {
+	if len(b) < off+2 {
+		return nil, 0, fmt.Errorf("lanenet: truncated fragment list")
+	}
+	n := int(binary.BigEndian.Uint16(b[off:]))
+	off += 2
+	if n == 0 {
+		return nil, off, nil
+	}
+	frags := make([]baseobj.Fragment, n)
+	var err error
+	for i := 0; i < n; i++ {
+		if frags[i], off, err = fragmentAt(b, off); err != nil {
+			return nil, 0, err
+		}
+	}
+	return frags, off, nil
+}
+
 // encodePlace encodes a msgPlace payload.
 func encodePlace(p placeReq) []byte {
-	b := make([]byte, 0, 8+4*len(p.writers)+20)
+	b := make([]byte, 0, 8+4*len(p.writers)+20+8+len(p.state.Data))
 	b = append(b, msgPlace)
 	b = binary.BigEndian.AppendUint32(b, uint32(p.obj))
 	b = append(b, byte(p.kind))
@@ -155,7 +245,9 @@ func encodePlace(p placeReq) []byte {
 	for _, w := range p.writers {
 		b = binary.BigEndian.AppendUint32(b, uint32(w))
 	}
-	return appendTSValue(b, p.state)
+	b = appendTSValue(b, p.state.Val)
+	b = appendPayload(b, p.state.Data)
+	return appendFragList(b, p.state.Frags)
 }
 
 // decodePlace decodes a msgPlace payload (after the type byte).
@@ -175,15 +267,28 @@ func decodePlace(b []byte) (placeReq, error) {
 		p.writers = append(p.writers, types.ClientID(int32(binary.BigEndian.Uint32(b[7+4*i:]))))
 	}
 	var err error
-	if p.state, _, err = tsValueAt(b, 7+4*n); err != nil {
+	off := 7 + 4*n
+	if p.state.Val, off, err = tsValueAt(b, off); err != nil {
+		return placeReq{}, err
+	}
+	if p.state.Data, off, err = payloadAt(b, off); err != nil {
+		return placeReq{}, err
+	}
+	if p.state.Frags, _, err = fragListAt(b, off); err != nil {
 		return placeReq{}, err
 	}
 	return p, nil
 }
 
-// encodeApply encodes a msgApply payload.
+// encodeApply encodes a msgApply payload: the fixed header and TSValue
+// arguments, the invocation payload, and (for OpPutFrag) the fragment,
+// flagged by a presence byte.
 func encodeApply(a applyReq) []byte {
-	b := make([]byte, 0, 1+8+4+4+1+3*20)
+	size := 1 + 8 + 4 + 4 + 1 + 3*20 + 4 + len(a.inv.Data) + 1
+	if a.inv.Frag != nil {
+		size += 33 + len(a.inv.Frag.Data)
+	}
+	b := make([]byte, 0, size)
 	b = append(b, msgApply)
 	b = binary.BigEndian.AppendUint64(b, a.req)
 	b = binary.BigEndian.AppendUint32(b, uint32(a.obj))
@@ -192,7 +297,12 @@ func encodeApply(a applyReq) []byte {
 	b = appendTSValue(b, a.inv.Arg)
 	b = appendTSValue(b, a.inv.Exp)
 	b = appendTSValue(b, a.inv.New)
-	return b
+	b = appendPayload(b, a.inv.Data)
+	if a.inv.Frag == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	return appendFragment(b, *a.inv.Frag)
 }
 
 // decodeApply decodes a msgApply payload (after the type byte).
@@ -214,27 +324,85 @@ func decodeApply(b []byte) (applyReq, error) {
 	if a.inv.Exp, off, err = tsValueAt(b, off); err != nil {
 		return applyReq{}, err
 	}
-	if a.inv.New, _, err = tsValueAt(b, off); err != nil {
+	if a.inv.New, off, err = tsValueAt(b, off); err != nil {
 		return applyReq{}, err
 	}
+	if a.inv.Data, off, err = payloadAt(b, off); err != nil {
+		return applyReq{}, err
+	}
+	if len(b) < off+1 {
+		return applyReq{}, fmt.Errorf("lanenet: truncated apply fragment flag")
+	}
+	if b[off] == 1 {
+		var f baseobj.Fragment
+		if f, _, err = fragmentAt(b, off+1); err != nil {
+			return applyReq{}, err
+		}
+		a.inv.Frag = &f
+	}
 	return a, nil
+}
+
+// respBodySize returns the encoded size of one response body (shared by
+// msgResp and msgScanResp members), after clipping the diagnostic text.
+func respBodySize(r *applyResp) int {
+	if len(r.msg) > 1024 {
+		r.msg = r.msg[:1024]
+	}
+	size := 1 + 1 + 20 + 2 + len(r.msg) + 4 + len(r.resp.Data) + 2
+	for _, f := range r.resp.Frags {
+		size += 33 + len(f.Data)
+	}
+	return size
+}
+
+// appendRespBody encodes one response body: status, op, TSValue, message,
+// payload bytes, fragment list.
+func appendRespBody(b []byte, r applyResp) []byte {
+	b = append(b, r.status, byte(r.resp.Op))
+	b = appendTSValue(b, r.resp.Val)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(r.msg)))
+	b = append(b, r.msg...)
+	b = appendPayload(b, r.resp.Data)
+	return appendFragList(b, r.resp.Frags)
+}
+
+// respBodyAt decodes one response body at offset off.
+func respBodyAt(b []byte, off int) (applyResp, int, error) {
+	if len(b) < off+2+20+2 {
+		return applyResp{}, 0, fmt.Errorf("lanenet: truncated response body")
+	}
+	r := applyResp{status: b[off]}
+	r.resp.Op = baseobj.OpCode(b[off+1])
+	var err error
+	if r.resp.Val, off, err = tsValueAt(b, off+2); err != nil {
+		return applyResp{}, 0, err
+	}
+	if len(b) < off+2 {
+		return applyResp{}, 0, fmt.Errorf("lanenet: truncated response message length")
+	}
+	m := int(binary.BigEndian.Uint16(b[off:]))
+	if len(b) < off+2+m {
+		return applyResp{}, 0, fmt.Errorf("lanenet: truncated response message")
+	}
+	r.msg = string(b[off+2 : off+2+m])
+	off += 2 + m
+	if r.resp.Data, off, err = payloadAt(b, off); err != nil {
+		return applyResp{}, 0, err
+	}
+	if r.resp.Frags, off, err = fragListAt(b, off); err != nil {
+		return applyResp{}, 0, err
+	}
+	return r, off, nil
 }
 
 // encodeResp encodes a msgResp payload. Error text is diagnostic only and
 // is clipped so a pathological message cannot blow the frame bound.
 func encodeResp(r applyResp) []byte {
-	if len(r.msg) > 1024 {
-		r.msg = r.msg[:1024]
-	}
-	msg := []byte(r.msg)
-	b := make([]byte, 0, 1+8+1+1+20+2+len(msg))
+	b := make([]byte, 0, 1+8+respBodySize(&r))
 	b = append(b, msgResp)
 	b = binary.BigEndian.AppendUint64(b, r.req)
-	b = append(b, r.status, byte(r.resp.Op))
-	b = appendTSValue(b, r.resp.Val)
-	b = binary.BigEndian.AppendUint16(b, uint16(len(msg)))
-	b = append(b, msg...)
-	return b
+	return appendRespBody(b, r)
 }
 
 // scanEntry is one member of a msgScan request: a read invocation addressed
@@ -288,20 +456,14 @@ func decodeScan(b []byte) (uint64, []scanEntry, error) {
 func encodeScanResp(req uint64, results []applyResp) []byte {
 	size := 1 + 8 + 2
 	for i := range results {
-		if len(results[i].msg) > 1024 {
-			results[i].msg = results[i].msg[:1024]
-		}
-		size += 1 + 1 + 20 + 2 + len(results[i].msg)
+		size += respBodySize(&results[i])
 	}
 	b := make([]byte, 0, size)
 	b = append(b, msgScanResp)
 	b = binary.BigEndian.AppendUint64(b, req)
 	b = binary.BigEndian.AppendUint16(b, uint16(len(results)))
 	for _, r := range results {
-		b = append(b, r.status, byte(r.resp.Op))
-		b = appendTSValue(b, r.resp.Val)
-		b = binary.BigEndian.AppendUint16(b, uint16(len(r.msg)))
-		b = append(b, r.msg...)
+		b = appendRespBody(b, r)
 	}
 	return b
 }
@@ -316,21 +478,12 @@ func decodeScanResp(b []byte) (uint64, []applyResp, error) {
 	results := make([]applyResp, 0, n)
 	off := 10
 	for i := 0; i < n; i++ {
-		if len(b) < off+2+20+2 {
-			return 0, nil, fmt.Errorf("lanenet: truncated scan result")
+		r, next, err := respBodyAt(b, off)
+		if err != nil {
+			return 0, nil, fmt.Errorf("lanenet: scan result %d: %w", i, err)
 		}
-		r := applyResp{req: req, status: b[off]}
-		r.resp.Op = baseobj.OpCode(b[off+1])
-		var err error
-		if r.resp.Val, off, err = tsValueAt(b, off+2); err != nil {
-			return 0, nil, err
-		}
-		m := int(binary.BigEndian.Uint16(b[off:]))
-		if len(b) < off+2+m {
-			return 0, nil, fmt.Errorf("lanenet: truncated scan result message")
-		}
-		r.msg = string(b[off+2 : off+2+m])
-		off += 2 + m
+		r.req = req
+		off = next
 		results = append(results, r)
 	}
 	return req, results, nil
@@ -358,23 +511,13 @@ func decodeBind(b []byte) (string, error) {
 
 // decodeResp decodes a msgResp payload (after the type byte).
 func decodeResp(b []byte) (applyResp, error) {
-	if len(b) < 8+1+1+20+2 {
+	if len(b) < 8 {
 		return applyResp{}, fmt.Errorf("lanenet: truncated response")
 	}
-	r := applyResp{
-		req:    binary.BigEndian.Uint64(b),
-		status: b[8],
-	}
-	r.resp.Op = baseobj.OpCode(b[9])
-	var err error
-	off := 10
-	if r.resp.Val, off, err = tsValueAt(b, off); err != nil {
+	r, _, err := respBodyAt(b, 8)
+	if err != nil {
 		return applyResp{}, err
 	}
-	n := int(binary.BigEndian.Uint16(b[off:]))
-	if len(b) < off+2+n {
-		return applyResp{}, fmt.Errorf("lanenet: truncated response message")
-	}
-	r.msg = string(b[off+2 : off+2+n])
+	r.req = binary.BigEndian.Uint64(b)
 	return r, nil
 }

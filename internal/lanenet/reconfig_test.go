@@ -3,6 +3,7 @@ package lanenet
 import (
 	"context"
 	"net"
+	"reflect"
 	"testing"
 	"time"
 
@@ -16,12 +17,12 @@ import (
 // transfer onto a replacement node), while a re-place of an existing object
 // ignores the state — the node's copy is authoritative.
 func TestPlaceFrameCarriesState(t *testing.T) {
-	p := placeReq{obj: 7, kind: baseobj.KindMaxRegister, state: types.TSValue{TS: 3, Writer: 1, Val: 42}}
+	p := placeReq{obj: 7, kind: baseobj.KindMaxRegister, state: baseobj.State{Val: types.TSValue{TS: 3, Writer: 1, Val: 42}}}
 	pd, err := decodePlace(encodePlace(p)[1:])
 	if err != nil {
 		t.Fatal(err)
 	}
-	if pd.state != p.state {
+	if !reflect.DeepEqual(pd.state, p.state) {
 		t.Fatalf("place state round trip = %+v, want %+v", pd.state, p.state)
 	}
 
@@ -33,7 +34,7 @@ func TestPlaceFrameCarriesState(t *testing.T) {
 		t.Fatalf("read after stateful place = %+v, want val 42", resp)
 	}
 	// Re-placing must not roll the object back.
-	tbl.place(placeReq{obj: 7, kind: baseobj.KindMaxRegister, state: types.TSValue{TS: 99, Val: -5}})
+	tbl.place(placeReq{obj: 7, kind: baseobj.KindMaxRegister, state: baseobj.State{Val: types.TSValue{TS: 99, Val: -5}}})
 	resp = tbl.apply(applyReq{req: 2, obj: 7, client: 0, inv: baseobj.Invocation{Op: baseobj.OpReadMax}})
 	if resp.status != statusOK || resp.resp.Val.Val != 42 {
 		t.Fatalf("read after re-place = %+v, want the original val 42", resp)

@@ -123,6 +123,11 @@ type Config struct {
 	DialTimeout time.Duration
 	Seed        int64
 
+	// ValueSize, when positive, makes writes carry payloads of that many
+	// bytes (replicated or striped per Kind) so the result reports a
+	// bytes-per-server space axis alongside throughput.
+	ValueSize int
+
 	// NoHistory disables history recording (and therefore all checks):
 	// the pure-throughput mode.
 	NoHistory bool
@@ -186,6 +191,7 @@ type Result struct {
 	Engines   int     `json:"engines"`
 	Procs     int     `json:"procs"`
 	Rate      float64 `json:"rate,omitempty"`
+	ValueSize int     `json:"value_size,omitempty"`
 
 	DurationSec float64 `json:"duration_sec"`
 	Ops         int64   `json:"ops"`
@@ -205,6 +211,12 @@ type Result struct {
 	// total recorded high-level ops, SampledOps how many the
 	// linearizability samples covered, and Violations any checker
 	// failures (empty on a healthy run).
+	// BytesPerServer is each server slot's storage footprint summed
+	// across shards (zero-valued on the TCP lane, where bytes live in the
+	// node processes); TotalBytes is their sum.
+	BytesPerServer []int64 `json:"bytes_per_server,omitempty"`
+	TotalBytes     int64   `json:"total_bytes,omitempty"`
+
 	Checked    bool     `json:"checked"`
 	HistoryOps int      `json:"history_ops"`
 	SampledOps int      `json:"sampled_ops"`
@@ -305,8 +317,8 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	st, err := shardstore.Open(ctx, shardstore.Config{
 		Shards: cfg.Shards, Engines: cfg.Engines, Keys: cfg.KeySpace,
 		Kind: cfg.Kind, WritersPerKey: maxWPerKey, F: cfg.F, N: cfg.N,
-		Atomic: cfg.Atomic,
-		Lane:   cfg.Lane, Profile: cfg.Profile,
+		Atomic: cfg.Atomic, ValueSize: cfg.ValueSize,
+		Lane: cfg.Lane, Profile: cfg.Profile,
 		NodeAddrs: cfg.NodeAddrs, DialTimeout: cfg.DialTimeout,
 		Seed: cfg.Seed, NoHistory: cfg.NoHistory,
 		Mailbox: cfg.Mailbox, Coalesce: cfg.Coalesce,
@@ -468,8 +480,11 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		Engines:     cfg.Engines,
 		Procs:       runtime.GOMAXPROCS(0),
 		Rate:        cfg.Rate,
+		ValueSize:   cfg.ValueSize,
 		DurationSec: elapsed.Seconds(),
 	}
+	res.BytesPerServer = st.PerServerBytes()
+	res.TotalBytes = st.TotalBytes()
 	perShardKeys := st.MaterializedKeys()
 	all, wh, rh := stats.NewHistogram(), stats.NewHistogram(), stats.NewHistogram()
 	for s := 0; s < cfg.Shards; s++ {

@@ -276,3 +276,61 @@ func TestConfigValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestCodedSpaceAxis runs the coded construction through the full load path
+// and checks the space axis: every touched server stores strictly less than
+// a replicated copy per register, and a matched replicated run stores more
+// in total.
+func TestCodedSpaceAxis(t *testing.T) {
+	const size = 4096
+	coded, err := Run(context.Background(), Config{
+		Kind:         runner.KindCoded,
+		ValueSize:    size,
+		Clients:      8,
+		ReadFraction: 0.5,
+		Registers:    2,
+		Duration:     time.Second,
+		MaxOps:       400,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coded.Failed != 0 || len(coded.Violations) != 0 {
+		t.Fatalf("coded run: failed=%d violations=%v", coded.Failed, coded.Violations)
+	}
+	if coded.N != 5 {
+		t.Fatalf("coded N = %d, want the chaos default 5", coded.N)
+	}
+	if coded.ValueSize != size {
+		t.Fatalf("result value size = %d, want %d", coded.ValueSize, size)
+	}
+	if coded.TotalBytes == 0 {
+		t.Fatal("coded run stored no bytes")
+	}
+	// Two registers, each fragment is ceil(size/3) rounded into the coder:
+	// no server may hold two full copies.
+	for s, b := range coded.BytesPerServer {
+		if b >= 2*size {
+			t.Errorf("server %d stores %d bytes, not less than %d (replication)", s, b, 2*size)
+		}
+	}
+
+	replicated, err := Run(context.Background(), Config{
+		Kind:         runner.KindABDMax,
+		ValueSize:    size,
+		Clients:      8,
+		ReadFraction: 0.5,
+		Registers:    2,
+		Duration:     time.Second,
+		MaxOps:       400,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replicated.TotalBytes <= coded.TotalBytes {
+		t.Errorf("replicated stores %d bytes, coded %d: striping should win",
+			replicated.TotalBytes, coded.TotalBytes)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/emulation/aacmax"
 	"repro/internal/emulation/abdmax"
 	"repro/internal/emulation/casmax"
+	"repro/internal/emulation/coded"
 	"repro/internal/emulation/naiveabd"
 	"repro/internal/emulation/regemu"
 	"repro/internal/fabric"
@@ -22,18 +23,19 @@ import (
 // Kind selects an emulation construction.
 type Kind string
 
-// The five constructions.
+// The six constructions.
 const (
 	KindRegEmu Kind = "regemu"  // Algorithm 2 over plain registers
 	KindABDMax Kind = "abd-max" // ABD over per-server max-registers
 	KindCASMax Kind = "abd-cas" // ABD over per-server single-CAS max-registers
 	KindAACMax Kind = "aac-max" // ABD over per-server k-writer max-registers of k registers
 	KindNaive  Kind = "naive"   // under-provisioned baseline (1 register/server)
+	KindCoded  Kind = "coded"   // erasure-coded stripes over per-server fragment stores
 )
 
 // Kinds lists every construction.
 func Kinds() []Kind {
-	return []Kind{KindRegEmu, KindABDMax, KindCASMax, KindAACMax, KindNaive}
+	return []Kind{KindRegEmu, KindABDMax, KindCASMax, KindAACMax, KindNaive, KindCoded}
 }
 
 // BaseObjectOf names the base-object type a construction consumes (the
@@ -46,6 +48,8 @@ func BaseObjectOf(kind Kind) string {
 		return "max-register"
 	case KindCASMax:
 		return "cas"
+	case KindCoded:
+		return "frag-store"
 	default:
 		return "unknown"
 	}
@@ -73,26 +77,54 @@ func NewEnv(n int, gate fabric.Gate, extra ...fabric.Option) (*Env, error) {
 	return &Env{Cluster: c, Fabric: fabric.New(c, opts...)}, nil
 }
 
+// BuildOpts carry the cross-construction build knobs.
+type BuildOpts struct {
+	// ValueSize, when positive, makes writes carry payloads of that many
+	// bytes (abd-max replicates them, coded stripes them); the other
+	// constructions track timestamps only and ignore it.
+	ValueSize int
+	// Atomic upgrades reads to the linearizable protocol where supported
+	// (abd-max, abd-cas, coded).
+	Atomic bool
+}
+
 // Build constructs the chosen emulation on the environment's fabric, wiring
 // a shared history for checking. The casmax retry metrics are discarded
 // here; call casmax.New directly when they matter.
 func Build(kind Kind, fab *fabric.Fabric, k, f int) (emulation.Register, *spec.History, error) {
+	return BuildWith(kind, fab, k, f, BuildOpts{})
+}
+
+// BuildWith is Build with explicit knobs.
+func BuildWith(kind Kind, fab *fabric.Fabric, k, f int, opts BuildOpts) (emulation.Register, *spec.History, error) {
 	hist := &spec.History{}
 	switch kind {
 	case KindRegEmu:
+		if opts.Atomic {
+			return nil, nil, fmt.Errorf("runner: %q has no atomic read mode (readers cannot write)", kind)
+		}
 		reg, err := regemu.New(fab, k, f, regemu.Options{History: hist})
 		return reg, hist, err
 	case KindABDMax:
-		reg, err := abdmax.New(fab, k, f, abdmax.Options{History: hist})
+		reg, err := abdmax.New(fab, k, f, abdmax.Options{History: hist, ReadWriteBack: opts.Atomic, ValueSize: opts.ValueSize})
 		return reg, hist, err
 	case KindCASMax:
-		reg, _, err := casmax.New(fab, k, f, casmax.Options{History: hist})
+		reg, _, err := casmax.New(fab, k, f, casmax.Options{History: hist, ReadWriteBack: opts.Atomic})
 		return reg, hist, err
 	case KindAACMax:
+		if opts.Atomic {
+			return nil, nil, fmt.Errorf("runner: %q has no atomic read mode (readers cannot write)", kind)
+		}
 		reg, err := aacmax.New(fab, k, f, aacmax.Options{History: hist})
 		return reg, hist, err
 	case KindNaive:
+		if opts.Atomic {
+			return nil, nil, fmt.Errorf("runner: %q has no atomic read mode (readers cannot write)", kind)
+		}
 		reg, err := naiveabd.New(fab, k, f, naiveabd.Options{History: hist})
+		return reg, hist, err
+	case KindCoded:
+		reg, err := coded.New(fab, k, f, coded.Options{History: hist, Atomic: opts.Atomic, ValueSize: opts.ValueSize})
 		return reg, hist, err
 	default:
 		return nil, nil, fmt.Errorf("runner: unknown emulation kind %q", kind)

@@ -1,0 +1,117 @@
+package runner
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/lanenet"
+)
+
+// tornAssert runs one torn-stripe attack and checks the invariants every
+// lane must uphold: zero wrong reads (the torn stripe is invisible), the
+// expected number of parked ops, and a WS-Regular history after the
+// stragglers land.
+func tornAssert(t *testing.T, cfg TornConfig) {
+	t.Helper()
+	ctx := testCtx(t)
+	rep, err := RunTorn(ctx, cfg)
+	if err != nil {
+		t.Fatalf("RunTorn: %v", err)
+	}
+	if rep.WrongReads != 0 {
+		t.Errorf("%d of %d reads saw something other than the last completed value", rep.WrongReads, rep.Reads)
+	}
+	if rep.Reads == 0 {
+		t.Error("no reads raced the torn stripe")
+	}
+	if rep.HeldOps < cfg.N-rep.DataShards+1 {
+		t.Errorf("gate held %d ops, want at least n−(kData−1) = %d", rep.HeldOps, cfg.N-rep.DataShards+1)
+	}
+	if rep.Checks.WSSafety != nil {
+		t.Errorf("WS-Safety: %v", rep.Checks.WSSafety)
+	}
+	if rep.Checks.WSRegularity != nil {
+		t.Errorf("WS-Regularity: %v", rep.Checks.WSRegularity)
+	}
+}
+
+// TestTornStripeInProc tears stripes at every torn width j < kData on the
+// synchronous lane.
+func TestTornStripeInProc(t *testing.T) {
+	for allow := 1; allow <= 2; allow++ {
+		tornAssert(t, TornConfig{F: 1, N: 5, AllowFrags: allow, ValueSize: 1024})
+	}
+}
+
+// TestTornStripeLatency runs the attack under seeded asynchronous delivery
+// (pinned seeds): the straggler delay composes with the gate's holds.
+func TestTornStripeLatency(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		tornAssert(t, TornConfig{F: 1, N: 5, ValueSize: 1024, Lane: LaneLatency, Seed: seed})
+	}
+}
+
+// TestTornStripeTCP runs the attack with fragments travelling over TCP to
+// real storage-node processes.
+func TestTornStripeTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns node processes")
+	}
+	addrs, _ := startLanenodes(t, 5)
+	maker, clients, err := lanenet.Lanes(addrs, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, c := range clients {
+			_ = c.Close()
+		}
+	})
+	tornAssert(t, TornConfig{F: 1, N: 5, ValueSize: 4096, LaneMaker: maker})
+}
+
+// TestChaosCodedStaySafe puts the coded construction through the standard
+// chaos net (seeded holds of fragment puts and commits, late releases) at
+// both ends of the shard axis: f=1 (kData=3, real striping) and f=2
+// (kData=1, degenerate replication). Pinned seeds; zero violations is the
+// acceptance bar.
+func TestChaosCodedStaySafe(t *testing.T) {
+	ctx := testCtx(t)
+	for _, f := range []int{1, 2} {
+		for seed := int64(0); seed < 10; seed++ {
+			cfg := ChaosConfig{
+				Kind: KindCoded, K: 3, F: f, N: ChaosServers(KindCoded),
+				Ops: 25, Seed: seed,
+			}
+			rep, err := RunChaos(ctx, cfg)
+			if err != nil {
+				t.Fatalf("f=%d seed %d: %v", f, seed, err)
+			}
+			if !rep.Checks.OK() {
+				t.Errorf("f=%d seed %d: safety=%v regularity=%v (holds=%d releases=%d)",
+					f, seed, rep.Checks.WSSafety, rep.Checks.WSRegularity, rep.Holds, rep.Releases)
+			}
+		}
+	}
+}
+
+// TestChaosCodedWithChurn adds live reconfiguration: fragment stores
+// migrate (with their fragments) mid-chaos and the checkers must stay
+// green.
+func TestChaosCodedWithChurn(t *testing.T) {
+	ctx := testCtx(t)
+	for seed := int64(0); seed < 6; seed++ {
+		cfg := ChaosConfig{
+			Kind: KindCoded, K: 2, F: 1, N: 5,
+			Ops: 20, Seed: seed, ChurnProb: 0.2,
+		}
+		rep, err := RunChaos(ctx, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !rep.Checks.OK() {
+			t.Errorf("seed %d: safety=%v regularity=%v (replacements=%d)",
+				seed, rep.Checks.WSSafety, rep.Checks.WSRegularity, rep.Replacements)
+		}
+	}
+}

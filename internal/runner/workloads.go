@@ -6,8 +6,6 @@ import (
 	"sync"
 
 	"repro/internal/emulation"
-	"repro/internal/emulation/abdmax"
-	"repro/internal/emulation/casmax"
 	"repro/internal/fabric"
 	"repro/internal/faults"
 	"repro/internal/spec"
@@ -15,19 +13,14 @@ import (
 	"repro/internal/workload"
 )
 
-// BuildAtomic builds the max-register or CAS construction with read
+// BuildAtomic builds the max-register, CAS, or coded construction with read
 // write-back enabled, upgrading reads to the atomic (linearizable)
 // protocol. Other kinds do not support atomic reads (their readers cannot
 // write), mirroring the paper's focus on regularity.
 func BuildAtomic(kind Kind, fab *fabric.Fabric, k, f int) (emulation.Register, *spec.History, error) {
-	hist := &spec.History{}
 	switch kind {
-	case KindABDMax:
-		reg, err := abdmax.New(fab, k, f, abdmax.Options{History: hist, ReadWriteBack: true})
-		return reg, hist, err
-	case KindCASMax:
-		reg, _, err := casmax.New(fab, k, f, casmax.Options{History: hist, ReadWriteBack: true})
-		return reg, hist, err
+	case KindABDMax, KindCASMax, KindCoded:
+		return BuildWith(kind, fab, k, f, BuildOpts{Atomic: true})
 	default:
 		return nil, nil, fmt.Errorf("runner: %q has no atomic read mode (readers cannot write)", kind)
 	}

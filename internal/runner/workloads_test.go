@@ -134,8 +134,8 @@ func TestBuildUnknownKind(t *testing.T) {
 }
 
 func TestKindMetadata(t *testing.T) {
-	if len(Kinds()) != 5 {
-		t.Fatalf("Kinds = %v, want 5 entries", Kinds())
+	if len(Kinds()) != 6 {
+		t.Fatalf("Kinds = %v, want 6 entries", Kinds())
 	}
 	want := map[Kind]string{
 		KindRegEmu: "register",
@@ -143,6 +143,7 @@ func TestKindMetadata(t *testing.T) {
 		KindCASMax: "cas",
 		KindAACMax: "register",
 		KindNaive:  "register",
+		KindCoded:  "frag-store",
 	}
 	for kind, base := range want {
 		if got := BaseObjectOf(kind); got != base {

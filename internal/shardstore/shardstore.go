@@ -113,6 +113,11 @@ type Config struct {
 	F, N          int
 	Atomic        bool
 
+	// ValueSize, when positive, makes every register's writes carry
+	// payloads of that many bytes (replicated by abd-max, striped by
+	// coded) so BytesPerServer measures real storage, not just metadata.
+	ValueSize int
+
 	// Lane selects each shard's dispatch backend: runner.LaneInProc
 	// (default), runner.LaneLatency with Profile, or runner.LaneTCP over
 	// the NodeAddrs pool. Seed drives lane delay streams per shard.
@@ -364,11 +369,8 @@ func (st *Store) keyreg(key uint64) (*keyreg, error) {
 	if kr, hit := sh.keys[key]; hit {
 		return kr, nil
 	}
-	build := runner.Build
-	if st.cfg.Atomic {
-		build = runner.BuildAtomic
-	}
-	reg, hist, err := build(st.cfg.Kind, sh.env.Fabric, st.cfg.WritersPerKey, st.cfg.F)
+	reg, hist, err := runner.BuildWith(st.cfg.Kind, sh.env.Fabric, st.cfg.WritersPerKey, st.cfg.F,
+		runner.BuildOpts{ValueSize: st.cfg.ValueSize, Atomic: st.cfg.Atomic})
 	if err != nil {
 		return nil, fmt.Errorf("shardstore: materializing key %d: %w", key, err)
 	}
@@ -445,6 +447,33 @@ func (st *Store) MaterializedKeys() []int {
 		sh.mu.RUnlock()
 	}
 	return counts
+}
+
+// PerServerBytes sums every shard's per-server storage footprint
+// index-wise: entry j is the bytes held by server slot j across all
+// shards. Bytes are tracked by the in-process clusters, so on the TCP
+// lane (where objects live in node processes) every entry is zero — query
+// the nodes' own BytesStored counters there.
+func (st *Store) PerServerBytes() []int64 {
+	var out []int64
+	for _, sh := range st.shards {
+		for j, b := range sh.env.Cluster.PerServerBytes() {
+			for len(out) <= j {
+				out = append(out, 0)
+			}
+			out[j] += b
+		}
+	}
+	return out
+}
+
+// TotalBytes is the sum of PerServerBytes across all shards and servers.
+func (st *Store) TotalBytes() int64 {
+	var total int64
+	for _, b := range st.PerServerBytes() {
+		total += b
+	}
+	return total
 }
 
 // EngineStats snapshots every engine loop's operation counters.

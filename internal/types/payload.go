@@ -1,0 +1,78 @@
+package types
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Payload is the byte-slice value representation: the variable-length
+// bytes a register physically stores for one logical Value. The logical
+// domain stays the int64 Value — every checker, history, and sweep works
+// on Values — while Payload is what travels in frames, lands in object
+// tables, and is striped by the erasure coder. The two are linked by a
+// deterministic, self-verifying codec: PayloadFor(v, size) embeds v in
+// the first 8 bytes and fills the rest with a splitmix stream derived
+// from v, so Value() can both recover v and detect any corrupted or
+// cross-write-mixed byte.
+type Payload []byte
+
+// MinPayloadSize is the smallest payload that can carry a Value.
+const MinPayloadSize = 8
+
+// PayloadFor materializes the payload for v at the given size (clamped
+// up to MinPayloadSize): 8-byte big-endian value, then the verification
+// fill.
+func PayloadFor(v Value, size int) Payload {
+	if size < MinPayloadSize {
+		size = MinPayloadSize
+	}
+	p := make(Payload, size)
+	binary.BigEndian.PutUint64(p, uint64(v))
+	fillPayload(p, v)
+	return p
+}
+
+// Value recovers the logical value, verifying the fill byte-for-byte. A
+// payload assembled from fragments of two different writes fails here —
+// this is the torn-stripe detector.
+func (p Payload) Value() (Value, error) {
+	if len(p) < MinPayloadSize {
+		return 0, fmt.Errorf("types: payload too short (%d bytes)", len(p))
+	}
+	v := Value(binary.BigEndian.Uint64(p))
+	want := make(Payload, len(p))
+	binary.BigEndian.PutUint64(want, uint64(v))
+	fillPayload(want, v)
+	for i := range p {
+		if p[i] != want[i] {
+			return 0, fmt.Errorf("types: payload corrupt at byte %d (value %d)", i, v)
+		}
+	}
+	return v, nil
+}
+
+// Clone returns an independent copy (nil stays nil).
+func (p Payload) Clone() Payload {
+	if p == nil {
+		return nil
+	}
+	c := make(Payload, len(p))
+	copy(c, p)
+	return c
+}
+
+// fillPayload writes the deterministic splitmix64 fill after the value
+// prefix.
+func fillPayload(p Payload, v Value) {
+	x := uint64(v) ^ 0x9e3779b97f4a7c15
+	var buf [8]byte
+	for off := MinPayloadSize; off < len(p); off += 8 {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		binary.BigEndian.PutUint64(buf[:], z)
+		copy(p[off:], buf[:])
+	}
+}

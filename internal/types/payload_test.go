@@ -1,0 +1,69 @@
+package types
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPayloadRoundTrip(t *testing.T) {
+	for _, v := range []Value{0, 1, -1, 42, 1 << 40, -(1 << 40)} {
+		for _, size := range []int{0, 1, 8, 9, 64, 1024, 64 << 10} {
+			p := PayloadFor(v, size)
+			if len(p) < MinPayloadSize {
+				t.Fatalf("payload shorter than minimum: %d", len(p))
+			}
+			if size >= MinPayloadSize && len(p) != size {
+				t.Fatalf("PayloadFor(%d, %d) has %d bytes", v, size, len(p))
+			}
+			got, err := p.Value()
+			if err != nil {
+				t.Fatalf("Value() for v=%d size=%d: %v", v, size, err)
+			}
+			if got != v {
+				t.Fatalf("round trip %d -> %d", v, got)
+			}
+		}
+	}
+}
+
+func TestPayloadDetectsCorruption(t *testing.T) {
+	p := PayloadFor(7, 256)
+	for _, idx := range []int{0, 7, 8, 100, 255} {
+		q := p.Clone()
+		q[idx] ^= 0x01
+		if _, err := q.Value(); err == nil {
+			t.Fatalf("corruption at byte %d undetected", idx)
+		}
+	}
+}
+
+func TestPayloadDetectsMix(t *testing.T) {
+	// Splicing halves of two different writes' payloads must not verify —
+	// this is what makes a torn (mixed-fragment) reconstruction visible.
+	a, b := PayloadFor(1, 128), PayloadFor(2, 128)
+	mix := append(a[:64].Clone(), b[64:]...)
+	if _, err := Payload(mix).Value(); err == nil {
+		t.Fatal("mixed payload verified")
+	}
+}
+
+func TestPayloadDeterministic(t *testing.T) {
+	if !bytes.Equal(PayloadFor(9, 512), PayloadFor(9, 512)) {
+		t.Fatal("PayloadFor not deterministic")
+	}
+	if bytes.Equal(PayloadFor(9, 512)[8:], PayloadFor(10, 512)[8:]) {
+		t.Fatal("fill does not depend on value")
+	}
+}
+
+func TestPayloadClone(t *testing.T) {
+	if Payload(nil).Clone() != nil {
+		t.Fatal("nil clone not nil")
+	}
+	p := PayloadFor(3, 32)
+	c := p.Clone()
+	c[9] ^= 0xff
+	if p[9] == c[9] {
+		t.Fatal("clone aliases original")
+	}
+}
