@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-json fabric-bench loadgen-smoke lint race-lanes race-lanes-mailbox1 race-shards race-churn race-coded
+.PHONY: all build vet test race bench bench-smoke bench-json fabric-bench loadgen-smoke lint race-lanes race-lanes-mailbox1 race-shards race-churn race-coded race-resize
 
 all: vet build test
 
@@ -100,3 +100,17 @@ race-churn:
 CODED_TESTS = 'TestGF|TestCoder|TestCoded|TestFragStore|TestTornStripe|TestChaosCoded|TestCodedSpaceAxis'
 race-coded:
 	$(GO) test -race -count 1 -run $(CODED_TESTS) ./internal/emulation/coded ./internal/baseobj ./internal/runner ./internal/loadgen
+
+# Live view-resizing suite under the race detector: batched transitions
+# (grow, shrink, f change) as single epoch bumps — the fabric coordinator
+# and its abort path (a leaver or transfer target crashing inside the
+# sealed-but-not-activated window must roll the old view back intact, on
+# all three lane backends), grow/shrink under open client load with zero
+# failed ops, the coded construction's restripe-or-reject on kData change,
+# the resize chaos net on its pinned seeds (E27: sound constructions clean,
+# naive caught), the transition-crash matrix (E28), and per-shard resizing
+# through the sharded store (in-process and over real cmd/lanenode
+# processes).
+RESIZE_TESTS = 'TestResize|TestCodedResize|TestTransitionCrash|TestShardStoreResize|TestShardStoreTCPResize'
+race-resize:
+	$(GO) test -race -count 1 -run $(RESIZE_TESTS) ./internal/fabric ./internal/runner ./internal/emulation/coded ./internal/shardstore

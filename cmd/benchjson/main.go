@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/buildinfo"
+	"repro/internal/fabric"
 	"repro/internal/loadgen"
 	"repro/internal/runner"
 )
@@ -75,6 +76,26 @@ type Snapshot struct {
 	// unless the coded points store strictly less than their replicated
 	// counterparts wherever striping is non-degenerate (kData > 1).
 	Space []*SpacePoint `json:"space,omitempty"`
+	// Reconfig is the reconfiguration-latency axis: freeze-to-activate
+	// wall-clock of a batched view transition, per membership delta size,
+	// on a live abd-max register (state transfer and quorum re-derivation
+	// included).
+	Reconfig []*ReconfigPoint `json:"reconfig,omitempty"`
+}
+
+// ReconfigPoint is one delta size: Joins servers join and Leaves servers
+// leave in a single epoch bump, repeated Iters times on the same live
+// register (each grow is undone by the paired shrink before the next
+// iteration, so every measurement starts from the same n).
+type ReconfigPoint struct {
+	Delta  string `json:"delta"`
+	Joins  int    `json:"joins"`
+	Leaves int    `json:"leaves"`
+	Iters  int    `json:"iters"`
+	// MeanNS and MaxNS are over the forward transitions' ResizeResult
+	// durations (freeze -> activate, the window clients retry through).
+	MeanNS int64 `json:"mean_ns"`
+	MaxNS  int64 `json:"max_ns"`
 }
 
 // SpacePoint is one cell of the space grid: a short write-heavy run plus
@@ -154,6 +175,11 @@ func run() error {
 			return err
 		}
 		snap.Space = space
+		reconfig, err := runReconfig()
+		if err != nil {
+			return err
+		}
+		snap.Reconfig = reconfig
 	}
 	path := *out
 	if path == "" {
@@ -305,6 +331,76 @@ func runRateCurve(dur time.Duration) (*RateCurve, error) {
 			time.Duration(res.Latency.P50), time.Duration(res.Latency.P99), marker)
 	}
 	return curve, nil
+}
+
+// runReconfig measures the freeze-to-activate wall-clock of batched view
+// transitions per membership delta size: a live abd-max register at n=5,
+// f=1 is grown or swapped (and restored to n=5 between iterations), and
+// the forward transition's ResizeResult.Duration — the window concurrent
+// clients retry through — is recorded. No client load runs during the
+// measurement; this is the floor cost of the transition itself (freeze,
+// drain, reshape seeding, transfer, activation).
+func runReconfig() ([]*ReconfigPoint, error) {
+	ctx := context.Background()
+	deltas := []struct {
+		name          string
+		joins, leaves int
+	}{
+		{"join1", 1, 0}, {"join2", 2, 0}, {"swap1", 1, 1}, {"swap2", 2, 2},
+	}
+	const iters = 8
+	var out []*ReconfigPoint
+	for _, d := range deltas {
+		env, err := runner.NewEnv(5, nil)
+		if err != nil {
+			return nil, err
+		}
+		reg, _, err := runner.BuildWith(runner.KindABDMax, env.Fabric, 1, 1, runner.BuildOpts{Atomic: true})
+		if err != nil {
+			env.Fabric.Close()
+			return nil, fmt.Errorf("reconfig %s: %w", d.name, err)
+		}
+		w, err := reg.Writer(0)
+		if err != nil {
+			env.Fabric.Close()
+			return nil, err
+		}
+		if err := w.Write(ctx, 7); err != nil {
+			env.Fabric.Close()
+			return nil, fmt.Errorf("reconfig %s: seeding write: %w", d.name, err)
+		}
+		var sum, max time.Duration
+		for i := 0; i < iters; i++ {
+			spec := fabric.ResizeSpec{Join: make([]fabric.LaneMaker, d.joins)}
+			view := env.Cluster.View()
+			spec.Leave = append(spec.Leave, view.Members[:d.leaves]...)
+			res, err := runner.ResizeRegister(ctx, env, reg, spec)
+			if err != nil {
+				env.Fabric.Close()
+				return nil, fmt.Errorf("reconfig %s iter %d: %w", d.name, i, err)
+			}
+			sum += res.Duration
+			if res.Duration > max {
+				max = res.Duration
+			}
+			if d.joins > d.leaves {
+				// Restore n before the next iteration (unmeasured).
+				if _, err := runner.ResizeRegister(ctx, env, reg, fabric.ResizeSpec{Leave: res.Joined}); err != nil {
+					env.Fabric.Close()
+					return nil, fmt.Errorf("reconfig %s iter %d restore: %w", d.name, i, err)
+				}
+			}
+		}
+		env.Fabric.Close()
+		mean := sum / iters
+		fmt.Printf("reconfig %s (+%d/-%d): mean=%v max=%v over %d transitions\n",
+			d.name, d.joins, d.leaves, mean, max, iters)
+		out = append(out, &ReconfigPoint{
+			Delta: d.name, Joins: d.joins, Leaves: d.leaves, Iters: iters,
+			MeanNS: mean.Nanoseconds(), MaxNS: max.Nanoseconds(),
+		})
+	}
+	return out, nil
 }
 
 // runSpaceGrid measures the bytes-per-server axis: replicated (abd-max)

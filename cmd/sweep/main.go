@@ -34,13 +34,14 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment: table1 | figure1 | figure2 | separation | theorem2 | theorem6 | theorem7 | theorem8 | coincidence | churn | all")
+	exp := flag.String("exp", "all", "experiment: table1 | figure1 | figure2 | separation | theorem2 | theorem6 | theorem7 | theorem8 | coincidence | churn | resize | all")
 	k := flag.Int("k", 5, "number of writers (single-experiment runs)")
 	f := flag.Int("f", 2, "failure threshold (exhaustive sweeps support 1 or 2)")
 	n := flag.Int("n", 6, "number of servers")
 	workers := flag.Int("workers", 0, "sweep pool size for exhaustive/chaos (0 = one per CPU)")
 	lane := flag.String("lane", "both", "chaos dispatch lane: inproc | latency | both")
 	churn := flag.Float64("churn", 0.25, "churn experiment: per-op server-replacement probability")
+	resizeProb := flag.Float64("resize", 0.25, "resize experiment: per-op batched-transition probability")
 	jsonOut := flag.Bool("json", false, "emit exhaustive/chaos reports as JSON instead of tables")
 	timeout := flag.Duration("timeout", 5*time.Minute, "total timeout")
 	flag.Parse()
@@ -78,6 +79,7 @@ func run() error {
 		"exhaustive":  func(ctx context.Context) error { return expExhaustive(ctx, exhaustF, *workers, *jsonOut) },
 		"chaos":       func(ctx context.Context) error { return expChaos(ctx, *workers, *lane, *jsonOut) },
 		"churn":       func(ctx context.Context) error { return expChurn(ctx, *workers, *churn, *jsonOut) },
+		"resize":      func(ctx context.Context) error { return expResize(ctx, *workers, *resizeProb, *jsonOut) },
 	}
 	if *exp != "all" {
 		fn, ok := experiments[*exp]
@@ -89,7 +91,7 @@ func run() error {
 	for _, name := range []string{
 		"table1", "figure1", "figure2", "separation", "theorem2", "theorem5",
 		"theorem6", "theorem7", "theorem8", "coincidence", "exhaustive", "chaos",
-		"churn",
+		"churn", "resize",
 	} {
 		fmt.Printf("==== %s ====\n", name)
 		if err := experiments[name](ctx); err != nil {
@@ -358,6 +360,47 @@ func expChurn(ctx context.Context, workers int, churnProb float64, jsonOut bool)
 		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%s\n",
 			rep.Kind, rep.Seeds, rep.Replacements, rep.Holds, rep.Releases,
 			rep.Violating, rep.Elapsed.Round(time.Millisecond))
+	}
+	return w.Flush()
+}
+
+// expResize sweeps the chaos net with live batched view transitions
+// (experiments E27 and E28): between high-level ops, random grows, shrinks,
+// and member swaps commit as single epoch bumps with the construction's
+// reshape re-deriving the quorum geometry. The first section runs clean
+// transitions (E27); the second arms the transition crasher so the
+// sealed-but-not-activated window loses a server inside every other
+// transition (E28) — crashed transitions must abort back onto the old view.
+// Seeds are pinned at 0..23: sound constructions must report zero violating
+// seeds; the naive baseline is expected to be caught. regemu is excluded —
+// it has no reshape path and rejects resize by type.
+func expResize(ctx context.Context, workers int, resizeProb float64, jsonOut bool) error {
+	kinds := []runner.Kind{
+		runner.KindABDMax, runner.KindCASMax, runner.KindAACMax,
+		runner.KindCoded, runner.KindNaive,
+	}
+	var reports []*runner.ChaosSweepReport
+	for _, crashProb := range []float64{0, 0.5} {
+		for _, kind := range kinds {
+			rep, err := runner.RunChaosSweep(ctx, runner.ChaosConfig{
+				Kind: kind, K: 3, F: 2, N: runner.ChaosServers(kind),
+				Ops: 30, ResizeProb: resizeProb, TransitionCrashProb: crashProb,
+			}, 24, workers)
+			if err != nil {
+				return err
+			}
+			reports = append(reports, rep)
+		}
+	}
+	if jsonOut {
+		return emitJSON(reports)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "construction\tseeds\tresizes\taborts\ttransition crashes\tholds\tviolating seeds (expected: naive only)\twall-clock")
+	for _, rep := range reports {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			rep.Kind, rep.Seeds, rep.Resizes, rep.ResizeAborts, rep.TransitionCrashes,
+			rep.Holds, rep.Violating, rep.Elapsed.Round(time.Millisecond))
 	}
 	return w.Flush()
 }

@@ -79,6 +79,20 @@ func (c *Chaos) Released(client types.ClientID, token uint64) {
 	}
 }
 
+// Narrow permanently shrinks the liveness budget by n (not below zero).
+// A fail-stop crash consumes a unit of the same f budget the holds draw
+// from: after a crash, at most f-1 of a writer's ops may be held, so
+// crashed servers plus held responses never exceed f together and every
+// quorum round still reaches its n-f threshold.
+func (c *Chaos) Narrow(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.budget -= n
+	if c.budget < 0 {
+		c.budget = 0
+	}
+}
+
 // Holds returns the total number of holds performed.
 func (c *Chaos) Holds() int {
 	c.mu.Lock()

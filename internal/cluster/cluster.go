@@ -41,6 +41,11 @@ var (
 	// ErrNotMember is returned when removing a server that is not in the
 	// current view.
 	ErrNotMember = errors.New("cluster: server is not a view member")
+	// ErrObjectRetired is returned when routing to an object a view
+	// transition removed. Unlike ErrNoSuchObject (an ID that never
+	// existed) it marks a stale route: the operation never applied and
+	// may safely retry against the construction's new placement.
+	ErrObjectRetired = errors.New("cluster: object retired by a view transition")
 )
 
 // Server is a fault-prone server hosting base objects.
@@ -68,6 +73,11 @@ func (s *Server) Departing() bool { return s.departing.Load() }
 // Depart freezes the server for a view change. New operations routed here
 // fail with a retryable view-change error instead of silently pending.
 func (s *Server) Depart() { s.departing.Store(true) }
+
+// Undepart lifts a freeze set by Depart: an aborted transition returns the
+// server to service. It never resurrects a crashed server — the crash flag
+// is checked before the departing flag on every fabric path.
+func (s *Server) Undepart() { s.departing.Store(false) }
 
 // NumObjects returns |delta^-1({s})|, the number of base objects stored on
 // the server.
@@ -143,13 +153,19 @@ type View struct {
 	Epoch uint64
 	// Members are the view's servers in ascending ID order.
 	Members []types.ServerID
+	// F is the view's failure budget. It lives in the view — not at call
+	// sites — so a resize that changes f can never race a quorum threshold
+	// computed from a caller's remembered budget: the threshold and the
+	// member set come from the same epoch snapshot.
+	F int
 }
 
 // N returns the view's cardinality.
 func (v View) N() int { return len(v.Members) }
 
-// Quorum returns the view's quorum threshold n-f for failure budget f.
-func (v View) Quorum(f int) int { return len(v.Members) - f }
+// Quorum returns the view's quorum threshold n-f, derived entirely from
+// the snapshot: no caller-supplied f can go stale across a resize.
+func (v View) Quorum() int { return len(v.Members) - v.F }
 
 // Cluster is the set of servers plus the delta mapping.
 type Cluster struct {
@@ -165,13 +181,15 @@ type Cluster struct {
 	// the fabric's route hot path.
 	epoch atomic.Uint64
 
-	// mu guards the delta and object tables plus the membership list.
-	// Placement and membership changes are rare; every hot-path access is
-	// a read, hence the RWMutex.
+	// mu guards the delta and object tables plus the membership list and
+	// the view's failure budget. Placement and membership changes are
+	// rare; every hot-path access is a read, hence the RWMutex.
 	mu      sync.RWMutex
 	members []types.ServerID
+	f       int
 	delta   map[types.ObjectID]types.ServerID
 	objects map[types.ObjectID]baseobj.Object
+	retired map[types.ObjectID]struct{}
 	nextID  types.ObjectID
 }
 
@@ -184,6 +202,7 @@ func New(n int) (*Cluster, error) {
 	c := &Cluster{
 		delta:   make(map[types.ObjectID]types.ServerID),
 		objects: make(map[types.ObjectID]baseobj.Object),
+		retired: make(map[types.ObjectID]struct{}),
 	}
 	servers := make([]*Server, n)
 	c.members = make([]types.ServerID, n)
@@ -214,10 +233,32 @@ func (c *Cluster) View() View {
 		c.mu.RLock()
 		members := make([]types.ServerID, len(c.members))
 		copy(members, c.members)
+		f := c.f
 		c.mu.RUnlock()
 		if c.epoch.Load() == e {
-			return View{Epoch: e, Members: members}
+			return View{Epoch: e, Members: members, F: f}
 		}
+	}
+}
+
+// F returns the current view's failure budget.
+func (c *Cluster) F() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.f
+}
+
+// SetF records the view's failure budget, activating a new epoch when the
+// budget actually changes: new quorum thresholds are a view change even
+// when the member set is untouched. Constructions set it at build time;
+// resizes change it atomically through CommitView instead.
+func (c *Cluster) SetF(f int) {
+	c.mu.Lock()
+	changed := c.f != f
+	c.f = f
+	c.mu.Unlock()
+	if changed {
+		c.epoch.Add(1)
 	}
 }
 
@@ -271,6 +312,48 @@ func (c *Cluster) RemoveServer(id types.ServerID) error {
 	return nil
 }
 
+// CommitView atomically activates a resized view: every server in leave is
+// retired from the member list and the failure budget becomes f, under ONE
+// epoch bump. This is the activation step of a batched transition — no
+// reader can ever observe some leavers gone with others still present, or
+// the new member set paired with the old threshold. Each leaver must be a
+// member and must be empty (state moved off first); on any validation
+// failure nothing changes.
+func (c *Cluster) CommitView(leave []types.ServerID, f int) error {
+	for _, id := range leave {
+		s, err := c.Server(id)
+		if err != nil {
+			return err
+		}
+		if n := s.NumObjects(); n != 0 {
+			return fmt.Errorf("%w: server %d has %d objects", ErrServerNotEmpty, id, n)
+		}
+	}
+	c.mu.Lock()
+	kept := c.members[:0:0]
+	for _, m := range c.members {
+		retired := false
+		for _, id := range leave {
+			if m == id {
+				retired = true
+				break
+			}
+		}
+		if !retired {
+			kept = append(kept, m)
+		}
+	}
+	if len(kept) != len(c.members)-len(leave) {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: leave set %v not all members of %v", ErrNotMember, leave, c.members)
+	}
+	c.members = kept
+	c.f = f
+	c.mu.Unlock()
+	c.epoch.Add(1)
+	return nil
+}
+
 // MoveObject transfers an object to a new hosting server: a fresh unsealed
 // clone holding the transferred state is placed on the target, delta is
 // repointed, and the epoch advances so every cached route to the old copy
@@ -282,6 +365,9 @@ func (c *Cluster) MoveObject(obj types.ObjectID, to types.ServerID, state baseob
 	target, err := c.Server(to)
 	if err != nil {
 		return err
+	}
+	if target.Crashed() {
+		return fmt.Errorf("%w: cannot move object %d to crashed server %d", ErrServerCrashed, obj, to)
 	}
 	c.mu.RLock()
 	from, ok := c.delta[obj]
@@ -306,6 +392,61 @@ func (c *Cluster) MoveObject(obj types.ObjectID, to types.ServerID, state baseob
 	if src, err := c.Server(from); err == nil {
 		src.remove(obj)
 	}
+	return nil
+}
+
+// ReplaceObject swaps an object's hosted copy for a fresh unsealed clone
+// holding the given state, on the same server, activating a new epoch so
+// cached routes re-resolve to the clone. The reconfiguration coordinator
+// uses it to roll back a sealed-but-unmoved object when a transition
+// aborts: base objects have no unseal, so the rollback is a clone.
+func (c *Cluster) ReplaceObject(obj types.ObjectID, state baseobj.State) error {
+	c.mu.RLock()
+	server, ok := c.delta[obj]
+	o := c.objects[obj]
+	c.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchObject, obj)
+	}
+	clone, err := baseobj.CloneAtState(o, state)
+	if err != nil {
+		return err
+	}
+	s, err := c.Server(server)
+	if err != nil {
+		return err
+	}
+	s.place(clone)
+	c.mu.Lock()
+	c.objects[obj] = clone
+	c.mu.Unlock()
+	c.epoch.Add(1)
+	return nil
+}
+
+// RemoveObject retires a base object from the cluster: delta forgets it,
+// the hosting server drops it, and the epoch advances so stale routes fail
+// instead of resolving to the retired copy. Constructions call it when a
+// resize shrinks their base-object set (the inverse of Place*); retiring
+// an unknown object is an error.
+func (c *Cluster) RemoveObject(obj types.ObjectID) error {
+	c.mu.Lock()
+	server, ok := c.delta[obj]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrNoSuchObject, obj)
+	}
+	delete(c.delta, obj)
+	delete(c.objects, obj)
+	// Tombstone the ID: an operation that snapshotted the old placement
+	// before the transition may still route here afterwards, and it must
+	// see a retryable stale-route error, not a hard unknown-object one.
+	c.retired[obj] = struct{}{}
+	c.mu.Unlock()
+	if s, err := c.Server(server); err == nil {
+		s.remove(obj)
+	}
+	c.epoch.Add(1)
 	return nil
 }
 
@@ -408,8 +549,12 @@ func (c *Cluster) Route(obj types.ObjectID) (*Server, baseobj.Object, error) {
 	c.mu.RLock()
 	server, ok := c.delta[obj]
 	o := c.objects[obj]
+	_, wasRetired := c.retired[obj]
 	c.mu.RUnlock()
 	if !ok {
+		if wasRetired {
+			return nil, nil, fmt.Errorf("%w: %d", ErrObjectRetired, obj)
+		}
 		return nil, nil, fmt.Errorf("%w: %d", ErrNoSuchObject, obj)
 	}
 	return c.serverList()[server], o, nil

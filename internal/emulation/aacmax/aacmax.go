@@ -85,6 +85,63 @@ func (s *store) StartReadMax(client types.ClientID, report func(types.TSValue, e
 	rounds.ScatterFold(s.fab, client, s.scan, len(s.scan), report)
 }
 
+// storeReshaper re-places per-server k-register stores across a view
+// resize. The folded maximum is seeded into its own writer's register —
+// carrying the writer's identity, since the base registers are
+// single-writer — and the store's client-side floor advances with it so a
+// later write-max by that writer still skips stale values.
+type storeReshaper struct {
+	fab *fabric.Fabric
+	k   int
+}
+
+var _ quorumreg.StoreReshaper = (*storeReshaper)(nil)
+
+func (sr *storeReshaper) StoreObjects(s abdcore.MaxStore) []types.ObjectID {
+	return s.(*store).regs
+}
+
+func (sr *storeReshaper) NewStore(rs *fabric.Reshaper, server types.ServerID, m types.TSValue) (abdcore.MaxStore, int, error) {
+	c := sr.fab.Cluster()
+	st := &store{
+		fab:    sr.fab,
+		server: server,
+		regs:   make([]types.ObjectID, 0, sr.k),
+		last:   make(map[types.ClientID]types.TSValue, sr.k),
+	}
+	for w := 0; w < sr.k; w++ {
+		obj, err := c.PlaceRegister(server, baseobj.WithWriters([]types.ClientID{types.ClientID(w)}))
+		if err != nil {
+			return nil, 0, err
+		}
+		st.regs = append(st.regs, obj)
+		st.scan = append(st.scan, rounds.Target{Object: obj, Inv: baseobj.Invocation{Op: baseobj.OpRead}})
+	}
+	if err := sr.ReseedStore(rs, st, m); err != nil {
+		return nil, 0, err
+	}
+	return st, sr.k, nil
+}
+
+func (sr *storeReshaper) ReseedStore(rs *fabric.Reshaper, s abdcore.MaxStore, m types.TSValue) error {
+	if !types.ZeroTSValue.Less(m) {
+		return nil
+	}
+	st := s.(*store)
+	if int(m.Writer) < 0 || int(m.Writer) >= len(st.regs) {
+		return fmt.Errorf("aacmax: folded maximum written by client %d, not a writer (k=%d)", m.Writer, len(st.regs))
+	}
+	if _, err := rs.ApplyAs(m.Writer, st.regs[m.Writer], baseobj.Invocation{Op: baseobj.OpWrite, Arg: m}); err != nil {
+		return err
+	}
+	st.mu.Lock()
+	if st.last[m.Writer].Less(m) {
+		st.last[m.Writer] = m
+	}
+	st.mu.Unlock()
+	return nil
+}
+
 // Options configure the construction.
 type Options struct {
 	// History receives the high-level operations (optional).
@@ -142,5 +199,6 @@ func New(fab *fabric.Fabric, k, f int, opts Options) (*quorumreg.Register, error
 		Fabric:    fab,
 		Resources: total,
 		History:   opts.History,
+		Reshaper:  &storeReshaper{fab: fab, k: k},
 	})
 }

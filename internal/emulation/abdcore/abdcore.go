@@ -24,6 +24,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/emulation/rounds"
 	"repro/internal/fabric"
@@ -50,20 +51,34 @@ var (
 	ErrTooFewStores = errors.New("abdcore: need at least 2f+1 stores")
 )
 
-// Engine is the quorum read/write core. It is stateless across operations
-// and safe for concurrent use by multiple clients.
-type Engine struct {
-	stores        []MaxStore
-	f             int
-	readWriteBack bool
+// placement is one epoch's worth of quorum geometry: the store set, the
+// failure budget, and the precomputed direct-dispatch artifacts. It is
+// immutable once published — a resize installs a whole new placement — so
+// every round derives its targets and its n−f threshold from ONE snapshot
+// and can never pair the new store set with the old budget or vice versa.
+type placement struct {
+	stores []MaxStore
+	f      int
 
-	// fab enables the batch-scatter fast path; readTargets is non-nil
-	// when every store is a rounds.DirectReader (the per-store read-max
-	// invocations, precomputed — they are constant), and directWriters is
-	// non-nil when every store is a rounds.DirectWriter.
-	fab           *fabric.Fabric
+	// readTargets is non-nil when every store is a rounds.DirectReader
+	// (the per-store read-max invocations, precomputed — they are constant
+	// for a placement), and directWriters is non-nil when every store is a
+	// rounds.DirectWriter.
 	readTargets   []rounds.Target
 	directWriters []rounds.DirectWriter
+}
+
+func (p *placement) quorum() int { return len(p.stores) - p.f }
+
+// Engine is the quorum read/write core. It is stateless across operations
+// and safe for concurrent use by multiple clients; Resize swaps the
+// placement atomically while operations are in flight.
+type Engine struct {
+	p             atomic.Pointer[placement]
+	readWriteBack bool
+
+	// fab enables the batch-scatter fast path for direct stores.
+	fab *fabric.Fabric
 }
 
 // Option configures an Engine.
@@ -87,16 +102,28 @@ func WithFabric(fab *fabric.Fabric) Option {
 
 // New creates an engine over the given stores with failure threshold f.
 func New(stores []MaxStore, f int, opts ...Option) (*Engine, error) {
+	e := &Engine{}
+	for _, opt := range opts {
+		opt(e)
+	}
+	p, err := e.buildPlacement(stores, f)
+	if err != nil {
+		return nil, err
+	}
+	e.p.Store(p)
+	return e, nil
+}
+
+// buildPlacement validates a store set + budget pair and precomputes its
+// direct-dispatch artifacts.
+func (e *Engine) buildPlacement(stores []MaxStore, f int) (*placement, error) {
 	if f <= 0 {
 		return nil, fmt.Errorf("abdcore: f must be positive, got %d", f)
 	}
 	if len(stores) < 2*f+1 {
 		return nil, fmt.Errorf("%w: have %d, f=%d", ErrTooFewStores, len(stores), f)
 	}
-	e := &Engine{stores: stores, f: f}
-	for _, opt := range opts {
-		opt(e)
-	}
+	p := &placement{stores: stores, f: f}
 	if e.fab != nil {
 		readTargets := make([]rounds.Target, 0, len(stores))
 		writers := make([]rounds.DirectWriter, 0, len(stores))
@@ -109,18 +136,40 @@ func New(stores []MaxStore, f int, opts ...Option) (*Engine, error) {
 			}
 		}
 		if len(readTargets) == len(stores) {
-			e.readTargets = readTargets
+			p.readTargets = readTargets
 		}
 		if len(writers) == len(stores) {
-			e.directWriters = writers
+			p.directWriters = writers
 		}
 	}
-	return e, nil
+	return p, nil
 }
 
+// Resize atomically installs a new store set and failure budget. In-flight
+// rounds keep their current snapshot — completing against the old stores
+// is sound while they exist — and every round started (or retried) after
+// the swap derives both its targets and its threshold from the new
+// placement. Callers resize inside a frozen fabric transition, where old
+// rounds can only bounce with retryable view-change errors.
+func (e *Engine) Resize(stores []MaxStore, f int) error {
+	p, err := e.buildPlacement(stores, f)
+	if err != nil {
+		return err
+	}
+	e.p.Store(p)
+	return nil
+}
+
+// Stores returns the current placement's store set (do not mutate).
+func (e *Engine) Stores() []MaxStore { return e.p.Load().stores }
+
+// F returns the current placement's failure budget.
+func (e *Engine) F() int { return e.p.Load().f }
+
 // Quorum returns the number of store responses each phase waits for:
-// len(stores) - f, a majority when len(stores) = 2f+1.
-func (e *Engine) Quorum() int { return len(e.stores) - e.f }
+// len(stores) - f, a majority when len(stores) = 2f+1 — derived from one
+// placement snapshot, never from a caller's remembered f.
+func (e *Engine) Quorum() int { return e.p.Load().quorum() }
 
 // Collect reads the highest timestamped value from a quorum of stores. A
 // round that races a reconfiguration (some member completed with a
@@ -134,8 +183,11 @@ func (e *Engine) Collect(ctx context.Context, client types.ClientID) (types.TSVa
 }
 
 func (e *Engine) collectOnce(ctx context.Context, client types.ClientID) (types.TSValue, error) {
-	if e.readTargets != nil {
-		v, err := rounds.Scatter(e.fab, client, e.readTargets).AwaitMax(ctx, e.Quorum())
+	// One snapshot per attempt: a retry after a resize re-enters here and
+	// loads the new placement — targets and threshold together.
+	p := e.p.Load()
+	if p.readTargets != nil {
+		v, err := rounds.Scatter(e.fab, client, p.readTargets).AwaitMax(ctx, p.quorum())
 		if err != nil {
 			return v, fmt.Errorf("abdcore: %w", err)
 		}
@@ -144,14 +196,14 @@ func (e *Engine) collectOnce(ctx context.Context, client types.ClientID) (types.
 	// The channel is sized for one report per store; Deliver keeps a
 	// misbehaving store (or a late report after this gather was abandoned
 	// on ctx cancellation) from ever blocking a fabric goroutine.
-	ch := make(chan rounds.Report, len(e.stores))
-	for i, s := range e.stores {
+	ch := make(chan rounds.Report, len(p.stores))
+	for i, s := range p.stores {
 		i := i
 		s.StartReadMax(client, func(v types.TSValue, err error) {
 			rounds.Deliver(ch, rounds.Report{Index: i, Val: v, Err: err})
 		})
 	}
-	v, err := rounds.Gather(ctx, ch, e.Quorum())
+	v, err := rounds.Gather(ctx, ch, p.quorum())
 	if err != nil {
 		return v, fmt.Errorf("abdcore: %w", err)
 	}
@@ -169,12 +221,13 @@ func (e *Engine) WriteMax(ctx context.Context, client types.ClientID, v types.TS
 }
 
 func (e *Engine) writeMaxOnce(ctx context.Context, client types.ClientID, v types.TSValue) error {
-	if e.directWriters != nil {
-		targets := make([]rounds.Target, len(e.directWriters))
-		for i, dw := range e.directWriters {
+	p := e.p.Load()
+	if p.directWriters != nil {
+		targets := make([]rounds.Target, len(p.directWriters))
+		for i, dw := range p.directWriters {
 			targets[i] = dw.WriteTarget(v)
 		}
-		if _, err := rounds.Scatter(e.fab, client, targets).AwaitMax(ctx, e.Quorum()); err != nil {
+		if _, err := rounds.Scatter(e.fab, client, targets).AwaitMax(ctx, p.quorum()); err != nil {
 			return fmt.Errorf("abdcore: %w", err)
 		}
 		return nil
@@ -182,14 +235,14 @@ func (e *Engine) writeMaxOnce(ctx context.Context, client types.ClientID, v type
 	// One report per store fits the buffer even if this gather is
 	// abandoned: casmax's multi-step Algorithm 1 chains keep running on
 	// fabric goroutines after a ctx cancellation and report here late.
-	ch := make(chan rounds.Report, len(e.stores))
-	for i, s := range e.stores {
+	ch := make(chan rounds.Report, len(p.stores))
+	for i, s := range p.stores {
 		i := i
 		s.StartWriteMax(client, v, func(got types.TSValue, err error) {
 			rounds.Deliver(ch, rounds.Report{Index: i, Val: got, Err: err})
 		})
 	}
-	if _, err := rounds.Gather(ctx, ch, e.Quorum()); err != nil {
+	if _, err := rounds.Gather(ctx, ch, p.quorum()); err != nil {
 		return fmt.Errorf("abdcore: %w", err)
 	}
 	return nil
@@ -206,14 +259,21 @@ func (e *Engine) startCollect(client types.ClientID, report func(types.TSValue, 
 }
 
 func (e *Engine) startCollectAttempt(client types.ClientID, report func(types.TSValue, error), attempt int) {
-	if e.readTargets != nil {
-		rounds.ScatterFold(e.fab, client, e.readTargets, e.Quorum(), report)
+	// Each attempt — including view-change rescatters — snapshots the
+	// placement afresh, so a retry that crosses a resize gathers against
+	// the new targets at the new n−f, never a mixed view.
+	p := e.p.Load()
+	if p.readTargets != nil {
+		rounds.ScatterFoldDyn(e.fab, client, func() ([]rounds.Target, int) {
+			p := e.p.Load()
+			return p.readTargets, p.quorum()
+		}, report)
 		return
 	}
-	j := rounds.NewFold(e.Quorum(), rounds.ViewRetry(attempt, report, func(next int) {
+	j := rounds.NewFold(p.quorum(), rounds.ViewRetry(attempt, report, func(next int) {
 		e.startCollectAttempt(client, report, next)
 	}))
-	for _, s := range e.stores {
+	for _, s := range p.stores {
 		s.StartReadMax(client, j.Complete)
 	}
 }
@@ -225,18 +285,22 @@ func (e *Engine) startPush(client types.ClientID, v types.TSValue, report func(t
 }
 
 func (e *Engine) startPushAttempt(client types.ClientID, v types.TSValue, report func(types.TSValue, error), attempt int) {
-	if e.directWriters != nil {
-		targets := make([]rounds.Target, len(e.directWriters))
-		for i, dw := range e.directWriters {
-			targets[i] = dw.WriteTarget(v)
-		}
-		rounds.ScatterFold(e.fab, client, targets, e.Quorum(), report)
+	p := e.p.Load()
+	if p.directWriters != nil {
+		rounds.ScatterFoldDyn(e.fab, client, func() ([]rounds.Target, int) {
+			p := e.p.Load()
+			targets := make([]rounds.Target, len(p.directWriters))
+			for i, dw := range p.directWriters {
+				targets[i] = dw.WriteTarget(v)
+			}
+			return targets, p.quorum()
+		}, report)
 		return
 	}
-	j := rounds.NewFold(e.Quorum(), rounds.ViewRetry(attempt, report, func(next int) {
+	j := rounds.NewFold(p.quorum(), rounds.ViewRetry(attempt, report, func(next int) {
 		e.startPushAttempt(client, v, report, next)
 	}))
-	for _, s := range e.stores {
+	for _, s := range p.stores {
 		s.StartWriteMax(client, v, j.Complete)
 	}
 }

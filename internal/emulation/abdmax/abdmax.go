@@ -76,6 +76,41 @@ func (s *store) StartReadMax(client types.ClientID, report func(types.TSValue, e
 	call.OnComplete(func(o fabric.Outcome) { report(o.Resp.Val, o.Err) })
 }
 
+// storeReshaper re-places max-register stores across a view resize: a fresh
+// store is one max-register seeded with a write-max of the folded maximum —
+// the monotone write-max also makes re-seeding survivors idempotent.
+type storeReshaper struct {
+	fab       *fabric.Fabric
+	valueSize int
+}
+
+var _ quorumreg.StoreReshaper = (*storeReshaper)(nil)
+
+func (sr *storeReshaper) StoreObjects(s abdcore.MaxStore) []types.ObjectID {
+	return []types.ObjectID{s.(*store).obj}
+}
+
+func (sr *storeReshaper) NewStore(rs *fabric.Reshaper, server types.ServerID, m types.TSValue) (abdcore.MaxStore, int, error) {
+	obj, err := sr.fab.Cluster().PlaceMaxRegister(server)
+	if err != nil {
+		return nil, 0, err
+	}
+	st := &store{fab: sr.fab, obj: obj, server: server, valueSize: sr.valueSize}
+	if err := sr.ReseedStore(rs, st, m); err != nil {
+		return nil, 0, err
+	}
+	return st, 1, nil
+}
+
+func (sr *storeReshaper) ReseedStore(rs *fabric.Reshaper, s abdcore.MaxStore, m types.TSValue) error {
+	if !types.ZeroTSValue.Less(m) {
+		return nil
+	}
+	st := s.(*store)
+	_, err := rs.Apply(st.obj, baseobj.Invocation{Op: baseobj.OpWriteMax, Arg: m, Data: st.payload(m)})
+	return err
+}
+
 // Options configure the construction.
 type Options struct {
 	// History receives the high-level operations (optional).
@@ -129,5 +164,6 @@ func New(fab *fabric.Fabric, k, f int, opts Options) (*quorumreg.Register, error
 		Resources:  len(stores),
 		History:    opts.History,
 		EngineOpts: engineOpts,
+		Reshaper:   &storeReshaper{fab: fab, valueSize: opts.ValueSize},
 	})
 }

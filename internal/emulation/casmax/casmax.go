@@ -124,6 +124,49 @@ func (s *store) StartWriteMax(client types.ClientID, v types.TSValue, report fun
 	attempt()
 }
 
+// storeReshaper re-places CAS-cell stores across a view resize. Seeding is
+// one frozen-window compare-and-swap from the cell's current content to the
+// folded maximum — sound because nothing else can touch the cell between
+// the read and the swap.
+type storeReshaper struct {
+	fab     *fabric.Fabric
+	metrics *Metrics
+}
+
+var _ quorumreg.StoreReshaper = (*storeReshaper)(nil)
+
+func (sr *storeReshaper) StoreObjects(s abdcore.MaxStore) []types.ObjectID {
+	return []types.ObjectID{s.(*store).obj}
+}
+
+func (sr *storeReshaper) NewStore(rs *fabric.Reshaper, server types.ServerID, m types.TSValue) (abdcore.MaxStore, int, error) {
+	obj, err := sr.fab.Cluster().PlaceCASCell(server)
+	if err != nil {
+		return nil, 0, err
+	}
+	st := &store{fab: sr.fab, obj: obj, server: server, metrics: sr.metrics}
+	if err := sr.ReseedStore(rs, st, m); err != nil {
+		return nil, 0, err
+	}
+	return st, 1, nil
+}
+
+func (sr *storeReshaper) ReseedStore(rs *fabric.Reshaper, s abdcore.MaxStore, m types.TSValue) error {
+	if !types.ZeroTSValue.Less(m) {
+		return nil
+	}
+	st := s.(*store)
+	state, err := rs.State(st.obj)
+	if err != nil {
+		return err
+	}
+	if !state.Val.Less(m) {
+		return nil
+	}
+	_, err = rs.Apply(st.obj, baseobj.Invocation{Op: baseobj.OpCAS, Exp: state.Val, New: m})
+	return err
+}
+
 // Options configure the construction.
 type Options struct {
 	// History receives the high-level operations (optional).
@@ -172,6 +215,7 @@ func New(fab *fabric.Fabric, k, f int, opts Options) (*quorumreg.Register, *Metr
 		Resources:  len(stores),
 		History:    opts.History,
 		EngineOpts: engineOpts,
+		Reshaper:   &storeReshaper{fab: fab, metrics: metrics},
 	})
 	if err != nil {
 		return nil, nil, err

@@ -28,7 +28,9 @@ package coded
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/baseobj"
 	"repro/internal/emulation"
@@ -37,6 +39,12 @@ import (
 	"repro/internal/spec"
 	"repro/internal/types"
 )
+
+// ErrKDataChanged marks a resize rejected because the construction was
+// built with a pinned DataShards count that the new geometry cannot host:
+// kData must stay ≤ n−2f, and a pinned coder cannot restripe. Constructions
+// with a defaulted (n−2f) shard count restripe instead.
+var ErrKDataChanged = errors.New("coded: pinned data shards incompatible with resized view")
 
 // DefaultValueSize is the payload size used when Options.ValueSize is zero.
 const DefaultValueSize = 64
@@ -60,21 +68,40 @@ type Options struct {
 	Servers []types.ServerID
 }
 
-// Register implements emulation.Register over striped fragment stores.
-type Register struct {
-	k, f      int
-	n         int
-	valueSize int
-	atomic    bool
-	coder     *Coder
-	fab       *fabric.Fabric
-	objs      []types.ObjectID
-	hist      *spec.History
-	readers   emulation.ReaderIDs
+// placement is one immutable striping geometry: the fragment stores, the
+// failure budget, and the coder whose kData matches them. Rounds derive
+// their targets and their n−f threshold from a single placement snapshot,
+// so an operation retried across a resize epoch re-encodes and re-gathers
+// against the new geometry — never a mix of old stores and new thresholds.
+type placement struct {
+	objs  []types.ObjectID
+	n, f  int
+	coder *Coder
 }
 
-// Compile-time interface compliance check.
-var _ emulation.Register = (*Register)(nil)
+// need is the quorum size of every round under this placement.
+func (p *placement) need() int { return p.n - p.f }
+
+// Register implements emulation.Register over striped fragment stores.
+type Register struct {
+	k         int
+	valueSize int
+	atomic    bool
+	// pinned records an explicit Options.DataShards: a pinned coder cannot
+	// restripe, so a resize that would change kData is rejected
+	// (ErrKDataChanged) instead.
+	pinned  bool
+	p       atomic.Pointer[placement]
+	fab     *fabric.Fabric
+	hist    *spec.History
+	readers emulation.ReaderIDs
+}
+
+// Compile-time interface compliance checks.
+var (
+	_ emulation.Register      = (*Register)(nil)
+	_ emulation.ViewResizable = (*Register)(nil)
+)
 
 // New places one fragment store on each hosting server and returns the
 // emulated k-writer register.
@@ -124,15 +151,19 @@ func New(fab *fabric.Fabric, k, f int, opts Options) (*Register, error) {
 	if hist == nil {
 		hist = &spec.History{}
 	}
-	return &Register{
-		k: k, f: f, n: n,
+	r := &Register{
+		k:         k,
 		valueSize: valueSize,
 		atomic:    opts.Atomic,
-		coder:     coder,
+		pinned:    opts.DataShards != 0,
 		fab:       fab,
-		objs:      objs,
 		hist:      hist,
-	}, nil
+	}
+	r.p.Store(&placement{objs: objs, n: n, f: f, coder: coder})
+	// Record the failure budget on the view: resize coordinators default
+	// their new threshold to it, and churn drivers guard shrinks with it.
+	c.SetF(f)
+	return r, nil
 }
 
 // Name implements emulation.Register.
@@ -142,10 +173,10 @@ func (r *Register) Name() string { return "coded" }
 func (r *Register) K() int { return r.k }
 
 // F implements emulation.Register.
-func (r *Register) F() int { return r.f }
+func (r *Register) F() int { return r.p.Load().f }
 
 // DataShards returns the coder's k: fragments sufficient to reconstruct.
-func (r *Register) DataShards() int { return r.coder.K() }
+func (r *Register) DataShards() int { return r.p.Load().coder.K() }
 
 // ValueSize returns the payload size each write stores.
 func (r *Register) ValueSize() int { return r.valueSize }
@@ -154,13 +185,10 @@ func (r *Register) ValueSize() int { return r.valueSize }
 // server. The paper's object-count measure is blind to the win here — the
 // bytes-per-server axis (cluster.PerServerBytes) is what separates coded
 // from replicated.
-func (r *Register) ResourceComplexity() int { return r.n }
+func (r *Register) ResourceComplexity() int { return r.p.Load().n }
 
 // History returns the recorded high-level history.
 func (r *Register) History() *spec.History { return r.hist }
-
-// need is the quorum size of every round.
-func (r *Register) need() int { return r.n - r.f }
 
 // Writer implements emulation.Register.
 func (r *Register) Writer(i int) (emulation.Writer, error) {
@@ -176,31 +204,31 @@ func (r *Register) NewReader() emulation.Reader {
 }
 
 // tsTargets builds the collect round: the max stripe timestamp of each store.
-func (r *Register) tsTargets() []rounds.Target {
-	ts := make([]rounds.Target, len(r.objs))
-	for i, obj := range r.objs {
+func (p *placement) tsTargets() []rounds.Target {
+	ts := make([]rounds.Target, len(p.objs))
+	for i, obj := range p.objs {
 		ts[i] = rounds.Target{Object: obj, Inv: baseobj.Invocation{Op: baseobj.OpFragTS}}
 	}
 	return ts
 }
 
 // getTargets builds the gather round: every store's fragment snapshot.
-func (r *Register) getTargets() []rounds.Target {
-	ts := make([]rounds.Target, len(r.objs))
-	for i, obj := range r.objs {
+func (p *placement) getTargets() []rounds.Target {
+	ts := make([]rounds.Target, len(p.objs))
+	for i, obj := range p.objs {
 		ts[i] = rounds.Target{Object: obj, Inv: baseobj.Invocation{Op: baseobj.OpGetFrags}}
 	}
 	return ts
 }
 
 // putTargets builds the striped put round: fragment i goes to store i.
-func (r *Register) putTargets(ts types.TSValue, length int, shards [][]byte) []rounds.Target {
-	targets := make([]rounds.Target, len(r.objs))
-	for i, obj := range r.objs {
+func (p *placement) putTargets(ts types.TSValue, length int, shards [][]byte) []rounds.Target {
+	targets := make([]rounds.Target, len(p.objs))
+	for i, obj := range p.objs {
 		frag := &baseobj.Fragment{
 			TS:     ts,
 			Index:  i,
-			K:      r.coder.K(),
+			K:      p.coder.K(),
 			Length: length,
 			Data:   shards[i],
 		}
@@ -210,9 +238,9 @@ func (r *Register) putTargets(ts types.TSValue, length int, shards [][]byte) []r
 }
 
 // commitTargets builds the commit round.
-func (r *Register) commitTargets(ts types.TSValue) []rounds.Target {
-	targets := make([]rounds.Target, len(r.objs))
-	for i, obj := range r.objs {
+func (p *placement) commitTargets(ts types.TSValue) []rounds.Target {
+	targets := make([]rounds.Target, len(p.objs))
+	for i, obj := range p.objs {
 		targets[i] = rounds.Target{Object: obj, Inv: baseobj.Invocation{Op: baseobj.OpCommitFrag, Arg: ts}}
 	}
 	return targets
@@ -223,7 +251,10 @@ func (r *Register) commitTargets(ts types.TSValue) []rounds.Target {
 // fires exactly once; it never fires if the failure assumption is violated,
 // like any pending op.
 func (r *Register) startWrite(client types.ClientID, v types.Value, done func(error)) {
-	rounds.ScatterFold(r.fab, client, r.tsTargets(), r.need(), func(cur types.TSValue, err error) {
+	rounds.ScatterFoldDyn(r.fab, client, func() ([]rounds.Target, int) {
+		p := r.p.Load()
+		return p.tsTargets(), p.need()
+	}, func(cur types.TSValue, err error) {
 		if err != nil {
 			done(fmt.Errorf("coded: write collect: %w", err))
 			return
@@ -241,15 +272,22 @@ func (r *Register) startWrite(client types.ClientID, v types.Value, done func(er
 }
 
 // startPut stripes payload at timestamp ts across the stores and commits:
-// rounds 2 and 3 of a write, also the write-back of an atomic read.
+// rounds 2 and 3 of a write, also the write-back of an atomic read. Each
+// attempt re-encodes against the placement it scatters over, so a put
+// retried across a resize epoch stripes with the new coder's kData.
 func (r *Register) startPut(client types.ClientID, ts types.TSValue, payload types.Payload, done func(error)) {
-	shards := r.coder.Encode(payload)
-	rounds.ScatterFoldReports(r.fab, client, r.putTargets(ts, len(payload), shards), r.need(), func(_ []rounds.Report, err error) {
+	rounds.ScatterFoldReportsDyn(r.fab, client, func() ([]rounds.Target, int) {
+		p := r.p.Load()
+		return p.putTargets(ts, len(payload), p.coder.Encode(payload)), p.need()
+	}, func(_ []rounds.Report, err error) {
 		if err != nil {
 			done(fmt.Errorf("stripe put: %w", err))
 			return
 		}
-		rounds.ScatterFold(r.fab, client, r.commitTargets(ts), r.need(), func(_ types.TSValue, err error) {
+		rounds.ScatterFoldDyn(r.fab, client, func() ([]rounds.Target, int) {
+			p := r.p.Load()
+			return p.commitTargets(ts), p.need()
+		}, func(_ types.TSValue, err error) {
 			if err != nil {
 				done(fmt.Errorf("stripe commit: %w", err))
 				return
@@ -263,12 +301,20 @@ func (r *Register) startPut(client types.ClientID, ts types.TSValue, payload typ
 // reconstructible stripe, and (atomic mode) writes it back before
 // returning.
 func (r *Register) startRead(client types.ClientID, done func(types.Value, error)) {
-	rounds.ScatterFoldReports(r.fab, client, r.getTargets(), r.need(), func(reps []rounds.Report, err error) {
+	// gathered pins the placement the final gather attempt scattered over:
+	// reconstruct must use that attempt's coder, not whatever r.p holds by
+	// the time the fold callback runs (a resize may swap it in between).
+	var gathered atomic.Pointer[placement]
+	rounds.ScatterFoldReportsDyn(r.fab, client, func() ([]rounds.Target, int) {
+		p := r.p.Load()
+		gathered.Store(p)
+		return p.getTargets(), p.need()
+	}, func(reps []rounds.Report, err error) {
 		if err != nil {
 			done(types.InitialValue, fmt.Errorf("coded: read gather: %w", err))
 			return
 		}
-		ts, payload, committed, err := r.reconstruct(reps)
+		ts, payload, committed, err := gathered.Load().reconstruct(reps)
 		if err != nil {
 			done(types.InitialValue, fmt.Errorf("coded: read: %w", err))
 			return
@@ -316,7 +362,7 @@ func (r *Register) startRead(client types.ClientID, done func(types.Value, error
 // that happens to be reconstructible may win instead; its write is
 // concurrent, so returning it is regular — and the write-back makes it
 // stable before an atomic read returns.
-func (r *Register) reconstruct(reps []rounds.Report) (types.TSValue, types.Payload, bool, error) {
+func (p *placement) reconstruct(reps []rounds.Report) (types.TSValue, types.Payload, bool, error) {
 	type stripe struct {
 		length int
 		frags  map[int][]byte
@@ -324,8 +370,8 @@ func (r *Register) reconstruct(reps []rounds.Report) (types.TSValue, types.Paylo
 	stripes := make(map[types.TSValue]*stripe)
 	for _, rep := range reps {
 		for _, f := range rep.Frags {
-			if f.K != r.coder.K() {
-				return types.ZeroTSValue, nil, false, fmt.Errorf("fragment of stripe %v has k=%d, coder has k=%d", f.TS, f.K, r.coder.K())
+			if f.K != p.coder.K() {
+				return types.ZeroTSValue, nil, false, fmt.Errorf("fragment of stripe %v has k=%d, coder has k=%d", f.TS, f.K, p.coder.K())
 			}
 			s := stripes[f.TS]
 			if s == nil {
@@ -337,14 +383,14 @@ func (r *Register) reconstruct(reps []rounds.Report) (types.TSValue, types.Paylo
 	}
 	best := types.ZeroTSValue
 	for ts, s := range stripes {
-		if len(s.frags) >= r.coder.K() && best.Less(ts) {
+		if len(s.frags) >= p.coder.K() && best.Less(ts) {
 			best = ts
 		}
 	}
 	if best == types.ZeroTSValue {
 		return types.ZeroTSValue, nil, true, nil
 	}
-	data, err := r.coder.Decode(stripes[best].length, stripes[best].frags)
+	data, err := p.coder.Decode(stripes[best].length, stripes[best].frags)
 	if err != nil {
 		return types.ZeroTSValue, nil, false, fmt.Errorf("decoding stripe %v: %w", best, err)
 	}
@@ -356,6 +402,82 @@ func (r *Register) reconstruct(reps []rounds.Report) (types.TSValue, types.Paylo
 		}
 	}
 	return best, types.Payload(data), committed, nil
+}
+
+// Reshape implements emulation.ViewResizable by restriping: inside the
+// frozen window it reads every old store's full fragment state (the
+// authoritative whole — no quorum sampling needed), reconstructs the newest
+// reconstructible stripe, re-encodes it with the new geometry's coder, and
+// seeds fresh fragment stores on every new member — survivors included,
+// because their old stores hold fragments striped at the old kData, which
+// the new coder must never see. The placement swap happens before the old
+// stores retire, so an in-window retry can never route to a missing object.
+//
+// A register built with a pinned DataShards count cannot restripe to a
+// different kData: if the new geometry's ceiling n−2f falls below the pin,
+// the resize is rejected with ErrKDataChanged and the old view stays.
+func (r *Register) Reshape(rs *fabric.Reshaper) error {
+	old := r.p.Load()
+	members := rs.Members()
+	newN := len(members)
+	newF := rs.F()
+	if newF <= 0 {
+		return fmt.Errorf("coded: f must be positive, got %d", newF)
+	}
+	if newN < 2*newF+1 {
+		return fmt.Errorf("coded: need n ≥ 2f+1 = %d servers, got %d", 2*newF+1, newN)
+	}
+	newK := newN - 2*newF
+	if r.pinned {
+		if old.coder.K() > newN-2*newF {
+			return fmt.Errorf("coded: %w: pinned kData=%d, resized ceiling n−2f=%d", ErrKDataChanged, old.coder.K(), newN-2*newF)
+		}
+		newK = old.coder.K()
+	}
+	reps := make([]rounds.Report, 0, len(old.objs))
+	for i, obj := range old.objs {
+		st, err := rs.State(obj)
+		if err != nil {
+			return fmt.Errorf("coded: reading fragment store %d: %w", obj, err)
+		}
+		reps = append(reps, rounds.Report{Index: i, Object: obj, Val: st.Val, Frags: st.Frags})
+	}
+	ts, payload, _, err := old.reconstruct(reps)
+	if err != nil {
+		return fmt.Errorf("coded: restripe: %w", err)
+	}
+	coder, err := NewCoder(newK, newN)
+	if err != nil {
+		return fmt.Errorf("coded: restripe: %w", err)
+	}
+	c := r.fab.Cluster()
+	objs := make([]types.ObjectID, 0, newN)
+	for _, sid := range members {
+		obj, err := c.PlaceFragStore(sid)
+		if err != nil {
+			return fmt.Errorf("coded: placing fragment store on server %d: %w", sid, err)
+		}
+		objs = append(objs, obj)
+	}
+	if ts != types.ZeroTSValue {
+		shards := coder.Encode(payload)
+		for i, obj := range objs {
+			frag := &baseobj.Fragment{TS: ts, Index: i, K: newK, Length: len(payload), Data: shards[i]}
+			if _, err := rs.Apply(obj, baseobj.Invocation{Op: baseobj.OpPutFrag, Frag: frag}); err != nil {
+				return fmt.Errorf("coded: seeding fragment %d: %w", i, err)
+			}
+			if _, err := rs.Apply(obj, baseobj.Invocation{Op: baseobj.OpCommitFrag, Arg: ts}); err != nil {
+				return fmt.Errorf("coded: committing seeded stripe on store %d: %w", obj, err)
+			}
+		}
+	}
+	r.p.Store(&placement{objs: objs, n: newN, f: newF, coder: coder})
+	for _, obj := range old.objs {
+		if err := rs.Retire(obj); err != nil {
+			return fmt.Errorf("coded: retiring fragment store %d: %w", obj, err)
+		}
+	}
+	return nil
 }
 
 // writerHandle is the per-writer handle.

@@ -2,6 +2,7 @@ package coded
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -206,7 +207,7 @@ func TestCodedBytesPerServer(t *testing.T) {
 	if err := w.Write(ctx, 42); err != nil {
 		t.Fatal(err)
 	}
-	frag := reg.coder.FragmentSize(size)
+	frag := reg.p.Load().coder.FragmentSize(size)
 	for s, b := range fab.Cluster().PerServerBytes() {
 		if b == 0 {
 			continue // a server the put quorum skipped may hold nothing yet
@@ -247,6 +248,94 @@ func TestCodedDegenerateReplication(t *testing.T) {
 	rd := reg.NewReader()
 	if v, err := rd.Read(ctx); err != nil || v != 9 {
 		t.Fatalf("read = %d, %v; want 9", v, err)
+	}
+}
+
+// TestCodedResizeRestripe grows a defaulted-shard register n=5→7 at f=1:
+// the reshape reconstructs the newest stripe from the quiesced old stores,
+// re-encodes it at the new ceiling kData = n−2f = 5, and seeds fresh
+// fragment stores on every member. The value must survive, the shard count
+// must widen, and new writes must stripe at the new geometry.
+func TestCodedResizeRestripe(t *testing.T) {
+	ctx := testCtx(t)
+	fab := codedEnv(t, 5)
+	reg, err := New(fab, 1, 1, Options{ValueSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := reg.Writer(0)
+	rd := reg.NewReader()
+	if err := w.Write(ctx, 51); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.DataShards(); got != 3 {
+		t.Fatalf("DataShards before resize = %d, want 3", got)
+	}
+	res, err := fab.Resize(ctx, fabric.ResizeSpec{Join: []fabric.LaneMaker{nil, nil}},
+		func(rs *fabric.Reshaper) error { return reg.Reshape(rs) })
+	if err != nil {
+		t.Fatalf("resize: %v", err)
+	}
+	if len(res.Joined) != 2 {
+		t.Fatalf("joined %v, want 2 servers", res.Joined)
+	}
+	if got := reg.DataShards(); got != 5 {
+		t.Fatalf("DataShards after grow = %d, want n−2f = 5", got)
+	}
+	if v, err := rd.Read(ctx); err != nil || v != 51 {
+		t.Fatalf("read after restripe = %d, %v; want 51", v, err)
+	}
+	if err := w.Write(ctx, 52); err != nil {
+		t.Fatalf("write at the new geometry: %v", err)
+	}
+	if v, err := rd.Read(ctx); err != nil || v != 52 {
+		t.Fatalf("read after post-resize write = %d, %v; want 52", v, err)
+	}
+	if err := spec.CheckWSRegularity(reg.History().Snapshot(), 0); err != nil {
+		t.Errorf("WS-Regularity after restripe: %v", err)
+	}
+}
+
+// TestCodedResizeRejected pins the typed rejection: a register built with
+// an explicit DataShards count cannot restripe, so a resize whose new
+// ceiling n−2f falls below the pin aborts with ErrKDataChanged reachable
+// through the abort wrapper — and the old view keeps serving.
+func TestCodedResizeRejected(t *testing.T) {
+	ctx := testCtx(t)
+	fab := codedEnv(t, 5)
+	reg, err := New(fab, 1, 1, Options{DataShards: 3, ValueSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := reg.Writer(0)
+	if err := w.Write(ctx, 61); err != nil {
+		t.Fatal(err)
+	}
+	epoch := fab.Cluster().Epoch()
+	// f 1→2 keeps n=5 but drops the ceiling to n−2f = 1 < pinned 3.
+	_, err = fab.Resize(ctx, fabric.ResizeSpec{F: 2},
+		func(rs *fabric.Reshaper) error { return reg.Reshape(rs) })
+	if !fabric.IsResizeAborted(err) {
+		t.Fatalf("pinned-shards resize returned %v, want ErrResizeAborted", err)
+	}
+	if !errors.Is(err, ErrKDataChanged) {
+		t.Fatalf("abort cause = %v, want ErrKDataChanged reachable", err)
+	}
+	view := fab.Cluster().View()
+	if view.F != 1 || view.N() != 5 {
+		t.Fatalf("view after rejected resize: n=%d f=%d, want n=5 f=1", view.N(), view.F)
+	}
+	if got := reg.DataShards(); got != 3 {
+		t.Fatalf("DataShards after rejected resize = %d, want the pinned 3", got)
+	}
+	if fab.Cluster().Epoch() == epoch {
+		t.Log("epoch unchanged after abort (no joiners to admit)")
+	}
+	if v, err := reg.NewReader().Read(ctx); err != nil || v != 61 {
+		t.Fatalf("read after rejected resize = %d, %v; want 61", v, err)
+	}
+	if err := w.Write(ctx, 62); err != nil {
+		t.Fatalf("write after rejected resize: %v", err)
 	}
 }
 

@@ -24,11 +24,28 @@ package emulation
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/fabric"
 	"repro/internal/types"
 )
+
+// ErrResizeUnsupported marks a construction that cannot re-place its base
+// objects across a view resize (regemu's covering-proof placement is pinned
+// to the seed view). Callers that drive fabric.Resize with a reshape must
+// check for it and fall back to same-shape replacement.
+var ErrResizeUnsupported = errors.New("emulation: construction does not support view resizing")
+
+// ViewResizable is implemented by registers that can re-place and re-seed
+// their base objects during a fabric view transition. Reshape is invoked by
+// the transition coordinator inside the frozen window (every old member
+// departed and quiesced), so implementations may read authoritative state
+// and seed new placements directly without racing client operations.
+type ViewResizable interface {
+	Reshape(rs *fabric.Reshaper) error
+}
 
 // ReaderIDBase is the first client ID handed to readers, keeping them
 // disjoint from writer IDs 0..k-1. Constructions must reject k >=

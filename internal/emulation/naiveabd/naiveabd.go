@@ -67,6 +67,41 @@ func (s *store) StartReadMax(client types.ClientID, report func(types.TSValue, e
 	call.OnComplete(func(o fabric.Outcome) { report(o.Resp.Val, o.Err) })
 }
 
+// storeReshaper re-places plain-register stores across a view resize. The
+// seed is an unconditional overwrite of the folded maximum — faithful to
+// the baseline's (flawed) write-max, and sound here because the window is
+// frozen: the resize itself never loses a value, only the construction's
+// normal operation can.
+type storeReshaper struct {
+	fab *fabric.Fabric
+}
+
+var _ quorumreg.StoreReshaper = (*storeReshaper)(nil)
+
+func (sr *storeReshaper) StoreObjects(s abdcore.MaxStore) []types.ObjectID {
+	return []types.ObjectID{s.(*store).obj}
+}
+
+func (sr *storeReshaper) NewStore(rs *fabric.Reshaper, server types.ServerID, m types.TSValue) (abdcore.MaxStore, int, error) {
+	obj, err := sr.fab.Cluster().PlaceRegister(server)
+	if err != nil {
+		return nil, 0, err
+	}
+	st := &store{fab: sr.fab, obj: obj, server: server}
+	if err := sr.ReseedStore(rs, st, m); err != nil {
+		return nil, 0, err
+	}
+	return st, 1, nil
+}
+
+func (sr *storeReshaper) ReseedStore(rs *fabric.Reshaper, s abdcore.MaxStore, m types.TSValue) error {
+	if !types.ZeroTSValue.Less(m) {
+		return nil
+	}
+	_, err := rs.Apply(s.(*store).obj, baseobj.Invocation{Op: baseobj.OpWrite, Arg: m})
+	return err
+}
+
 // Options configure the baseline.
 type Options struct {
 	// History receives the high-level operations (optional).
@@ -107,5 +142,6 @@ func New(fab *fabric.Fabric, k, f int, opts Options) (*quorumreg.Register, error
 		Fabric:    fab,
 		Resources: len(stores),
 		History:   opts.History,
+		Reshaper:  &storeReshaper{fab: fab},
 	})
 }

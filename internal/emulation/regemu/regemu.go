@@ -76,6 +76,9 @@ func New(fab *fabric.Fabric, k, f int, opts Options) (*Emulation, error) {
 	if err := emulation.ValidateWriters(k); err != nil {
 		return nil, fmt.Errorf("regemu: %w", err)
 	}
+	// Record the failure budget on the view (see cluster.SetF); regemu has
+	// no resize path, but the budget still drives crash accounting guards.
+	c.SetF(f)
 	hist := opts.History
 	if hist == nil {
 		hist = &spec.History{}

@@ -106,16 +106,25 @@ func viewRetryReports(attempt int, report func([]Report, error), rescatter func(
 // or crashed operations), the report never fires; callers bound the wait at
 // a higher level.
 func ScatterFoldReports(fab *fabric.Fabric, client types.ClientID, targets []Target, need int, report func([]Report, error)) {
-	scatterFoldReportsAttempt(fab, client, targets, need, report, 0)
+	ScatterFoldReportsDyn(fab, client, func() ([]Target, int) { return targets, need }, report)
 }
 
-func scatterFoldReportsAttempt(fab *fabric.Fabric, client types.ClientID, targets []Target, need int, report func([]Report, error), attempt int) {
+// ScatterFoldReportsDyn is ScatterFoldReports with per-attempt geometry
+// (see Plan): build runs before every scatter, so a coded round retried
+// across a resize epoch re-encodes against the new fragment placement and
+// folds at the new n−f instead of replaying its first attempt's shape.
+func ScatterFoldReportsDyn(fab *fabric.Fabric, client types.ClientID, build Plan, report func([]Report, error)) {
+	scatterFoldReportsDynAttempt(fab, client, build, report, 0)
+}
+
+func scatterFoldReportsDynAttempt(fab *fabric.Fabric, client types.ClientID, build Plan, report func([]Report, error), attempt int) {
+	targets, need := build()
 	if need <= 0 || need > len(targets) {
 		report(nil, fmt.Errorf("rounds: report fold needs %d of %d targets", need, len(targets)))
 		return
 	}
 	j := &reportFold{need: need, report: viewRetryReports(attempt, report, func(next int) {
-		scatterFoldReportsAttempt(fab, client, targets, need, report, next)
+		scatterFoldReportsDynAttempt(fab, client, build, report, next)
 	})}
 	batch := make([]fabric.BatchOp, len(targets))
 	for i, t := range targets {

@@ -332,16 +332,32 @@ func ViewRetry(attempt int, report func(types.TSValue, error), rescatter func(at
 // fires, exactly like any pending op. Rounds that race a reconfiguration
 // retry transparently (see viewRetry).
 func ScatterFold(fab *fabric.Fabric, client types.ClientID, targets []Target, need int, report func(types.TSValue, error)) {
-	scatterFoldAttempt(fab, client, targets, need, report, 0)
+	ScatterFoldDyn(fab, client, func() ([]Target, int) { return targets, need }, report)
 }
 
-func scatterFoldAttempt(fab *fabric.Fabric, client types.ClientID, targets []Target, need int, report func(types.TSValue, error), attempt int) {
+// Plan supplies one attempt's round geometry: the targets to scatter and
+// the quorum threshold to fold at. Dynamic rounds call it afresh on every
+// attempt, so a retry that crosses a resize epoch re-scatters against the
+// NEW placement and the NEW n−f — a plan captured at first call would pin
+// a gather spanning the epoch to the old, possibly retired, object set and
+// the old threshold.
+type Plan func() (targets []Target, need int)
+
+// ScatterFoldDyn is ScatterFold with per-attempt geometry: build runs
+// before every scatter (including view-change retries), so rounds follow
+// live resizes instead of replaying the shape of their first attempt.
+func ScatterFoldDyn(fab *fabric.Fabric, client types.ClientID, build Plan, report func(types.TSValue, error)) {
+	scatterFoldDynAttempt(fab, client, build, report, 0)
+}
+
+func scatterFoldDynAttempt(fab *fabric.Fabric, client types.ClientID, build Plan, report func(types.TSValue, error), attempt int) {
+	targets, need := build()
 	if need <= 0 || need > len(targets) {
 		report(types.ZeroTSValue, fmt.Errorf("rounds: fold needs %d of %d targets", need, len(targets)))
 		return
 	}
 	j := NewFold(need, ViewRetry(attempt, report, func(next int) {
-		scatterFoldAttempt(fab, client, targets, need, report, next)
+		scatterFoldDynAttempt(fab, client, build, report, next)
 	}))
 	done := func(o fabric.Outcome) { j.Complete(o.Resp.Val, o.Err) }
 	batch := make([]fabric.BatchOp, len(targets))

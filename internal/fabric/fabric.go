@@ -525,8 +525,27 @@ type Fabric struct {
 	laneMu sync.Mutex
 	routes routeTable
 
-	// reconfMu serializes view changes (Replace/AddServer coordination).
+	// reconfMu serializes view changes (Replace/Resize/AddServer
+	// coordination).
 	reconfMu sync.Mutex
+
+	// Transition test hooks (nil outside tests): crash-injection points at
+	// the two windows where real systems lose data. See HookTransition.
+	testAfterFreeze func()
+	testBeforeMove  func(obj types.ObjectID, to types.ServerID)
+}
+
+// HookTransition installs test-only callbacks at the edges of a
+// transition's transfer window: afterFreeze fires once per Resize after
+// every departing lane froze and drained (before the quiesce wait);
+// beforeMove fires after an object's state was fetched and sealed, right
+// before its MoveObject. Tests use them to crash servers inside the
+// sealed-but-not-activated window; production code must leave them nil.
+// Install hooks before starting any transition — the fields are read
+// without synchronization by the coordinator.
+func (f *Fabric) HookTransition(afterFreeze func(), beforeMove func(obj types.ObjectID, to types.ServerID)) {
+	f.testAfterFreeze = afterFreeze
+	f.testBeforeMove = beforeMove
 }
 
 // laneList returns the published lane list.
@@ -656,6 +675,12 @@ func (f *Fabric) route(obj types.ObjectID) (*route, error) {
 	}
 	srv, o, err := f.cluster.Route(obj)
 	if err != nil {
+		if errors.Is(err, cluster.ErrObjectRetired) {
+			// A stale route to an object a transition retired: the op never
+			// applied, so it may retry against the construction's new
+			// placement like any other view-change completion.
+			return nil, fmt.Errorf("%w: %v", ErrViewChanged, err)
+		}
 		return nil, err
 	}
 	l := f.laneFor(srv.ID())

@@ -200,6 +200,15 @@ func (l *lane) setDeparting() []*heldOp {
 	return parked
 }
 
+// clearDeparting lifts a freeze set by setDeparting: an aborted transition
+// returns the lane to service. Taken under the same lock as the freeze, so
+// the unfreeze is as clean as the freeze was.
+func (l *lane) clearDeparting() {
+	l.mu.Lock()
+	l.departing = false
+	l.mu.Unlock()
+}
+
 // inflightCount reports how many ops are on the wire.
 func (l *lane) inflightCount() int {
 	l.mu.Lock()

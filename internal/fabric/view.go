@@ -1,45 +1,55 @@
-// View-change coordination: live replacement of a server with state
-// transfer, without stopping reads or writes.
+// View-change coordination: live resizing of the membership — grow n,
+// shrink n, change f, swap any number of servers — with state transfer,
+// without stopping reads or writes.
 //
-// The protocol is freeze → drain → transfer → activate:
+// The protocol generalizes the PR 8 replacement into a batched transition,
+// committed as ONE activation:
 //
-//  1. Admit the joiner (Fabric.AddServer): a fresh server ID, an empty
-//     object table, and a new dispatch lane. Epoch bump #1 — but routes
-//     still resolve to the old server, so traffic is undisturbed.
-//  2. Freeze the departing server (Server.Depart + lane.setDeparting).
-//     From this point every NEW operation routed to it completes with a
-//     retryable ErrViewChanged before touching the wire; the freeze is
-//     taken under the lane mutex, so no op can slip between the freeze and
-//     the state fetch.
-//  3. Drain: force-complete the gate-parked ops (PhaseApply never applied
-//     → retryable error; PhaseRespond already linearized → its real
-//     response) and wait for the on-the-wire ops to complete — they
-//     legally finish in the old view and their effects are part of the
-//     transferred state.
-//  4. Transfer: seal each object (the seal point is the authoritative
-//     cutoff for local-state backends; network backends are read over the
-//     wire after the drain) and move the state onto the joiner
-//     (cluster.MoveObject). Each move bumps the epoch, so cached routes
-//     re-resolve object by object.
-//  5. Retire: remove the old server from the view and close its backend.
-//     A network backend's Close marks it closing first, so tearing down
-//     the connection reads as a clean leave, not a crash.
+//  1. Admit every joiner (Fabric.AddServer): fresh server IDs, empty
+//     object tables, new dispatch lanes. Joiners receive no traffic yet —
+//     routes still resolve to the old placement.
+//  2. Freeze the departing servers together (Server.Depart +
+//     lane.setDeparting). A transition that reshapes quorum sets (a
+//     construction-level resize) freezes EVERY old member: thresholds
+//     derived from the old view must never gather concurrently with
+//     seeding of the new placement, or a write acked by an old quorum
+//     could miss every member of a new one. A same-shape transition (the
+//     1-for-1 Replace) freezes only the leavers.
+//  3. Drain once: force-complete the gate-parked ops of every frozen lane
+//     (PhaseApply never applied → retryable error; PhaseRespond already
+//     linearized → its real response) and wait for on-the-wire ops to
+//     finish. A frozen server that crashes mid-drain is detected — its
+//     in-flight ops move to dropped, not completed — and the transition
+//     aborts cleanly instead of transferring unsound state.
+//  4. Transfer: the reshape callback (construction resize) re-places and
+//     re-seeds base objects against the quiesced state; any objects still
+//     hosted by leavers are then sealed, fetched, and moved one by one.
+//  5. Activate: cluster.CommitView retires every leaver and installs the
+//     new failure budget under a single epoch bump — no operation can
+//     ever observe a mixed view — then surviving frozen lanes unfreeze
+//     and leaver backends close.
 //
-// Clients never stop: in-flight ops complete in the old view, ops that hit
-// the freeze window retry transparently into the new one (see ErrViewChanged
-// — the error guarantees the op never applied, so the retry is exactly-once
-// safe even for CAS), and the round engines re-scatter on view-change
-// completions automatically.
+// Clients never stop: ops caught in a freeze window complete with a
+// retryable ErrViewChanged (the error guarantees the op never applied, so
+// the retry is exactly-once safe even for CAS) and re-execute against the
+// new view once it activates. An aborted transition (ErrResizeAborted)
+// restores the old view: sealed-but-unmoved objects are rolled back via
+// fresh unsealed clones, frozen survivors unfreeze, and empty joiners are
+// retired. A leave is not a crash; a crash mid-transfer is — the abort
+// spends nothing from the fail-stop budget beyond the crash that caused
+// it.
 package fabric
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"time"
 
 	"repro/internal/baseobj"
+	"repro/internal/cluster"
 	"repro/internal/types"
 )
 
@@ -49,74 +59,420 @@ import (
 // transport, not the coordinator.
 const quiescePoll = 200 * time.Microsecond
 
-// Replace performs a live replacement of server old: a fresh server joins
-// the view, the departing server freezes and drains, every object it hosts
-// transfers (with state) onto the joiner, and the old server leaves the
-// view. Reads and writes continue throughout — operations caught in the
-// freeze window complete with a retryable view-change error and re-execute
-// in the new view.
+// ErrResizeAborted marks a transition that was rolled back — typically
+// because a frozen server crashed mid-drain or a transfer target crashed
+// inside the sealed-but-not-activated window. The old view stays active
+// (minus whatever the causing crash cost); the resize can be retried.
+var ErrResizeAborted = errors.New("fabric: resize aborted")
+
+// IsResizeAborted reports whether err is (or wraps) an aborted transition.
+func IsResizeAborted(err error) bool { return errors.Is(err, ErrResizeAborted) }
+
+// ResizeSpec describes a membership delta: any mix of joins, leaves, and a
+// failure-budget change, committed as one transition.
+type ResizeSpec struct {
+	// Join lists the lane makers for the joining servers, one per joiner;
+	// a nil entry uses the fabric's default maker.
+	Join []LaneMaker
+	// Leave lists the departing members. Each must be a live, non-departing
+	// member of the current view.
+	Leave []types.ServerID
+	// F is the new failure budget; 0 keeps the current one.
+	F int
+}
+
+// ResizeResult reports a committed transition.
+type ResizeResult struct {
+	// Joined are the admitted servers' IDs, in admission order.
+	Joined []types.ServerID
+	// Epoch is the activated view's epoch.
+	Epoch uint64
+	// Moved counts the objects transferred off leavers by the coordinator
+	// (objects re-placed by a reshape callback are not counted here).
+	Moved int
+	// Duration is the freeze→activate wall-clock: how long operations
+	// routed at frozen servers had to retry.
+	Duration time.Duration
+}
+
+// ReshapeFunc is a construction-level resize run inside the frozen window:
+// every old member is quiesced, so the callback may read authoritative
+// state, create and seed base objects on the new placement, and retire old
+// ones through the Reshaper without racing any client operation. A nil
+// ReshapeFunc transfers leaver state 1-for-1 instead (the Replace shape).
+type ReshapeFunc func(rs *Reshaper) error
+
+// Replace performs a live 1-for-1 replacement of server old: a fresh
+// server joins the view, the departing server freezes and drains, every
+// object it hosts transfers (with state) onto the joiner, and the old
+// server leaves the view. Reads and writes continue throughout. It is the
+// same-shape special case of Resize.
 //
 // maker builds the joiner's lane backend; nil uses the fabric's default
-// maker. Replace returns the joiner's server ID. Concurrent Replace calls
+// maker. Replace returns the joiner's server ID. Concurrent view changes
 // serialize; replacing a crashed or already-departing server fails.
 func (f *Fabric) Replace(ctx context.Context, old types.ServerID, maker LaneMaker) (types.ServerID, error) {
+	res, err := f.Resize(ctx, ResizeSpec{Join: []LaneMaker{maker}, Leave: []types.ServerID{old}}, nil)
+	if err != nil {
+		return 0, err
+	}
+	return res.Joined[0], nil
+}
+
+// Resize commits an arbitrary membership delta as one transition: admit
+// all joiners, freeze the departing set together, drain once, transfer
+// each object's state to its new placement, then activate the new view —
+// with its re-derived quorum thresholds — atomically. No operation ever
+// gathers against a mixed view: the old view serves until the freeze, the
+// new one from the single CommitView epoch bump.
+//
+// With a nil reshape the transition is placement-preserving: only the
+// leavers freeze, and their objects move 1-for-1 onto the joiners (round-
+// robin; onto surviving members if there are none). With a reshape the
+// transition is quorum-reshaping: every old member freezes, and the
+// callback re-places construction state against the quiesced world before
+// activation (see Reshaper).
+//
+// A frozen server crashing at any point before activation aborts the
+// transition (ErrResizeAborted): sealed-but-unmoved objects are restored,
+// surviving frozen lanes unfreeze, empty joiners retire, and the old view
+// stays active. The causing crash — and only it — is spent from the
+// fail-stop budget.
+func (f *Fabric) Resize(ctx context.Context, spec ResizeSpec, reshape ReshapeFunc) (*ResizeResult, error) {
 	f.reconfMu.Lock()
 	defer f.reconfMu.Unlock()
 
-	srv, err := f.cluster.Server(old)
-	if err != nil {
-		return 0, err
+	// Validate the departing set before disturbing anything.
+	type leaver struct {
+		srv *cluster.Server
+		l   *lane
 	}
-	if srv.Crashed() {
-		return 0, fmt.Errorf("fabric: cannot replace crashed server %d (its state is lost)", old)
-	}
-	if srv.Departing() {
-		return 0, fmt.Errorf("fabric: server %d is already departing", old)
-	}
-	l := f.laneFor(old)
-	if l == nil {
-		return 0, fmt.Errorf("fabric: no dispatch lane for server %d", old)
-	}
-
-	// 1. Admit the joiner before freezing anything: if admission fails the
-	// old server was never disturbed.
-	newID, err := f.AddServer(maker)
-	if err != nil {
-		return 0, err
-	}
-
-	// 2+3. Freeze and drain.
-	srv.Depart()
-	f.drainParked(l.setDeparting())
-	if err := f.awaitQuiesce(ctx, l); err != nil {
-		return newID, fmt.Errorf("fabric: drain of server %d: %w", old, err)
-	}
-
-	// 4. Transfer every hosted object onto the joiner.
-	for _, obj := range f.cluster.ObjectsOn(old) {
-		o, err := f.cluster.Object(obj)
+	seen := make(map[types.ServerID]bool, len(spec.Leave))
+	leavers := make([]leaver, 0, len(spec.Leave))
+	for _, old := range spec.Leave {
+		if seen[old] {
+			return nil, fmt.Errorf("fabric: server %d listed twice in the leave set", old)
+		}
+		seen[old] = true
+		srv, err := f.cluster.Server(old)
 		if err != nil {
-			return newID, err
+			return nil, err
 		}
-		state, err := f.fetchState(ctx, l, o)
+		if srv.Crashed() {
+			return nil, fmt.Errorf("fabric: cannot retire crashed server %d (its state is lost)", old)
+		}
+		if srv.Departing() {
+			return nil, fmt.Errorf("fabric: server %d is already departing", old)
+		}
+		l := f.laneFor(old)
+		if l == nil {
+			return nil, fmt.Errorf("fabric: no dispatch lane for server %d", old)
+		}
+		leavers = append(leavers, leaver{srv: srv, l: l})
+	}
+	newF := spec.F
+	if newF == 0 {
+		newF = f.cluster.F()
+	}
+	oldMembers := f.cluster.Members()
+
+	// 1. Admit every joiner before freezing anything: if an admission
+	// fails, the old members were never disturbed (earlier joiners stay as
+	// empty members; the caller may retire them with another Resize).
+	joined := make([]types.ServerID, 0, len(spec.Join))
+	for _, maker := range spec.Join {
+		id, err := f.AddServer(maker)
 		if err != nil {
-			return newID, fmt.Errorf("fabric: state fetch for object %d on server %d: %w", obj, old, err)
+			return nil, fmt.Errorf("fabric: admitting joiner: %w", err)
 		}
-		if err := f.cluster.MoveObject(obj, newID, state); err != nil {
-			return newID, fmt.Errorf("fabric: move object %d to server %d: %w", obj, newID, err)
+		joined = append(joined, id)
+	}
+
+	// 2. Freeze. A reshape must freeze every old member: a quorum gathered
+	// against the old thresholds concurrently with seeding could ack a
+	// write on old members only, and a new-view quorum might intersect
+	// that ack set nowhere. A placement-preserving transition keeps the
+	// old quorum geometry, so only the leavers freeze.
+	frozen := leavers
+	if reshape != nil {
+		for _, m := range oldMembers {
+			if seen[m] {
+				continue // already in the leaver set
+			}
+			srv, err := f.cluster.Server(m)
+			if err != nil {
+				return nil, err
+			}
+			l := f.laneFor(m)
+			if l == nil {
+				return nil, fmt.Errorf("fabric: no dispatch lane for server %d", m)
+			}
+			frozen = append(frozen, leaver{srv: srv, l: l})
+		}
+	}
+	freezeStart := time.Now()
+	for _, fr := range frozen {
+		fr.srv.Depart()
+		f.drainParked(fr.l.setDeparting())
+	}
+	if f.testAfterFreeze != nil {
+		f.testAfterFreeze()
+	}
+
+	// Abort restores the old view: roll back sealed-but-unmoved objects,
+	// unfreeze surviving frozen lanes, retire joiners that stayed empty.
+	sealed := make(map[types.ObjectID]baseobj.State)
+	abort := func(cause error) error {
+		for obj, state := range sealed {
+			if err := f.cluster.ReplaceObject(obj, state); err != nil {
+				cause = fmt.Errorf("%v (rollback of object %d failed: %v)", cause, obj, err)
+			}
+		}
+		for _, fr := range frozen {
+			if fr.srv.Crashed() {
+				continue // a crashed server stays down; crashed wins over departing
+			}
+			fr.srv.Undepart()
+			fr.l.clearDeparting()
+		}
+		for _, id := range joined {
+			srv, err := f.cluster.Server(id)
+			if err != nil || srv.NumObjects() != 0 {
+				continue // a joiner that already hosts state stays a member
+			}
+			if err := f.cluster.RemoveServer(id); err == nil {
+				if l := f.laneFor(id); l != nil {
+					_ = l.backend.Close()
+				}
+			}
+		}
+		// Both the abort marker and the cause stay matchable: callers branch
+		// on IsResizeAborted, constructions' typed rejections (e.g. a pinned
+		// coder refusing a restripe) stay reachable through errors.Is.
+		return fmt.Errorf("%w: %w", ErrResizeAborted, cause)
+	}
+
+	// 3. Drain: wait out every frozen lane's on-the-wire ops. A frozen
+	// server crashing here moves its in-flight ops to dropped — the count
+	// reaches zero, but nothing completed — so the crash check, not the
+	// count, is the exit condition that matters.
+	for _, fr := range frozen {
+		if err := f.awaitQuiesce(ctx, fr.l, fr.srv); err != nil {
+			return nil, abort(fmt.Errorf("drain of server %d: %w", fr.l.server, err))
 		}
 	}
 
-	// 5. Retire: leave the view, then tear down the transport. Close is
-	// ordered after RemoveServer so a backend whose Close reports failure
-	// (reconnect-as-crash) cannot crash a server that is still a member.
-	if err := f.cluster.RemoveServer(old); err != nil {
-		return newID, err
+	// 4a. Construction-level reshape against the quiesced world.
+	if reshape != nil {
+		members := make([]types.ServerID, 0, len(oldMembers)+len(joined))
+		for _, m := range oldMembers {
+			if !seen[m] {
+				members = append(members, m)
+			}
+		}
+		members = append(members, joined...)
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		rs := &Reshaper{f: f, ctx: ctx, members: members, joined: joined, newF: newF}
+		if err := reshape(rs); err != nil {
+			return nil, abort(fmt.Errorf("reshape: %w", err))
+		}
 	}
-	if err := l.backend.Close(); err != nil {
-		return newID, fmt.Errorf("fabric: closing lane backend of server %d: %w", old, err)
+
+	// 4b. Transfer whatever the leavers still host, in ascending server
+	// then object order: seal + fetch the authoritative state, then move —
+	// onto the joiners round-robin, or onto surviving members when the
+	// view only shrinks.
+	targets := joined
+	if len(targets) == 0 {
+		for _, m := range oldMembers {
+			if !seen[m] {
+				targets = append(targets, m)
+			}
+		}
 	}
-	return newID, nil
+	moved := 0
+	for _, fr := range leavers {
+		old := fr.l.server
+		for _, obj := range f.cluster.ObjectsOn(old) {
+			if fr.srv.Crashed() {
+				return nil, abort(fmt.Errorf("server %d crashed before object %d transferred", old, obj))
+			}
+			if len(targets) == 0 {
+				return nil, abort(fmt.Errorf("no transfer target for object %d (every member is leaving)", obj))
+			}
+			o, err := f.cluster.Object(obj)
+			if err != nil {
+				return nil, abort(err)
+			}
+			state, err := f.fetchState(ctx, fr.l, fr.srv, o)
+			_, canSeal := o.(baseobj.StateSealer)
+			if !canSeal {
+				_, canSeal = o.(baseobj.Sealer)
+			}
+			if err != nil {
+				if canSeal {
+					// fetchState seals before it can fail, so the rollback
+					// must restore the pre-seal state.
+					sealed[obj] = state
+				}
+				return nil, abort(fmt.Errorf("state fetch for object %d on server %d: %w", obj, old, err))
+			}
+			sealed[obj] = state
+			to := targets[moved%len(targets)]
+			if f.testBeforeMove != nil {
+				f.testBeforeMove(obj, to)
+			}
+			if err := f.cluster.MoveObject(obj, to, state); err != nil {
+				return nil, abort(fmt.Errorf("move object %d to server %d: %w", obj, to, err))
+			}
+			delete(sealed, obj)
+			moved++
+		}
+	}
+
+	// 5. Activate: one epoch bump retires every leaver and installs the
+	// new failure budget; then surviving frozen lanes return to service
+	// and leaver backends tear down. Close is ordered after CommitView so
+	// a backend whose Close reports failure (reconnect-as-crash) cannot
+	// crash a server that is still a member.
+	if err := f.cluster.CommitView(spec.Leave, newF); err != nil {
+		return nil, abort(fmt.Errorf("activate: %w", err))
+	}
+	duration := time.Since(freezeStart)
+	for _, fr := range frozen {
+		if seen[fr.l.server] || fr.srv.Crashed() {
+			continue
+		}
+		fr.srv.Undepart()
+		fr.l.clearDeparting()
+	}
+	var closeErr error
+	for _, fr := range leavers {
+		if err := fr.l.backend.Close(); err != nil && closeErr == nil {
+			closeErr = fmt.Errorf("fabric: closing lane backend of server %d: %w", fr.l.server, err)
+		}
+	}
+	res := &ResizeResult{Joined: joined, Epoch: f.cluster.Epoch(), Moved: moved, Duration: duration}
+	return res, closeErr
+}
+
+// Reshaper is the handle a ReshapeFunc uses to re-place construction state
+// during the frozen window. Every old member is departed and quiesced and
+// the coordinator holds the reconfiguration lock, so the direct state
+// reads and applies below cannot race client operations — they are the
+// seeding primitive that makes a quorum-geometry change sound.
+type Reshaper struct {
+	f       *Fabric
+	ctx     context.Context
+	members []types.ServerID
+	joined  []types.ServerID
+	newF    int
+}
+
+// Context returns the transition's context.
+func (rs *Reshaper) Context() context.Context { return rs.ctx }
+
+// Members returns the post-activation member set in ascending ID order:
+// the servers a construction should place its resized quorum sets on.
+func (rs *Reshaper) Members() []types.ServerID { return rs.members }
+
+// Joined returns the admitted joiners' IDs.
+func (rs *Reshaper) Joined() []types.ServerID { return rs.joined }
+
+// F returns the post-activation failure budget.
+func (rs *Reshaper) F() int { return rs.newF }
+
+// Fabric returns the fabric, for cluster placement (Place*) calls.
+func (rs *Reshaper) Fabric() *Fabric { return rs.f }
+
+// State reads an object's authoritative state without sealing or retiring
+// it: local state for in-process/latency backends, a wire read for
+// external-store backends. It fails — rather than hanging — if the hosting
+// server has crashed.
+func (rs *Reshaper) State(obj types.ObjectID) (baseobj.State, error) {
+	rt, err := rs.f.route(obj)
+	if err != nil {
+		return baseobj.State{}, err
+	}
+	inv, err := stateReadInv(rt.obj.Kind())
+	if err != nil {
+		return baseobj.State{}, err
+	}
+	resp, err := rs.f.directApply(rs.ctx, rt, types.ClientID(-1), inv)
+	if err != nil {
+		return baseobj.State{}, err
+	}
+	return baseobj.State{Val: resp.Val, Data: resp.Data, Frags: resp.Frags}, nil
+}
+
+// Apply applies an invocation directly to an object's authoritative copy,
+// bypassing routing gates, freezes, and in-flight bookkeeping — legal only
+// because the world is frozen. Constructions use it to seed fresh objects
+// and re-seed surviving ones with the folded maximum of the old placement.
+func (rs *Reshaper) Apply(obj types.ObjectID, inv baseobj.Invocation) (baseobj.Response, error) {
+	return rs.ApplyAs(types.ClientID(-1), obj, inv)
+}
+
+// ApplyAs is Apply with an explicit client identity, for seeding
+// writer-restricted base objects: a single-writer register accepts only its
+// owner, so the seed must carry the owning writer's ID rather than the
+// synthetic coordinator identity.
+func (rs *Reshaper) ApplyAs(client types.ClientID, obj types.ObjectID, inv baseobj.Invocation) (baseobj.Response, error) {
+	rt, err := rs.f.route(obj)
+	if err != nil {
+		return baseobj.Response{}, err
+	}
+	return rs.f.directApply(rs.ctx, rt, client, inv)
+}
+
+// Retire removes a base object the construction no longer places (a store
+// dropped by a shrink). The epoch bump fails stale routes instead of
+// resolving them to the retired copy.
+func (rs *Reshaper) Retire(obj types.ObjectID) error {
+	return rs.f.cluster.RemoveObject(obj)
+}
+
+// directApply performs one frozen-window operation against an object's
+// authoritative copy: a direct local apply for local-state backends, a
+// real wire delivery (with a synthetic client identity, crash-polled) for
+// external-store backends.
+func (f *Fabric) directApply(ctx context.Context, rt *route, client types.ClientID, inv baseobj.Invocation) (baseobj.Response, error) {
+	if rt.srv.Crashed() {
+		return baseobj.Response{}, fmt.Errorf("fabric: server %d crashed", rt.server)
+	}
+	if _, remote := rt.lane.backend.(ObjectMirror); !remote {
+		return rt.obj.Apply(client, inv)
+	}
+	ev := TriggerEvent{
+		Token:  f.nextToken.Add(1),
+		Client: client,
+		Object: rt.obj.ID(),
+		Server: rt.server,
+		Inv:    inv,
+	}
+	done := make(chan Outcome, 1)
+	rt.lane.backend.Deliver(ev,
+		func() (baseobj.Response, error) {
+			return baseobj.Response{}, fmt.Errorf("fabric: direct apply for object %d applied locally on a remote-state backend", rt.obj.ID())
+		},
+		func(resp baseobj.Response, err error) {
+			done <- Outcome{Resp: resp, Err: err}
+		})
+	for {
+		t := time.NewTimer(quiescePoll)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return baseobj.Response{}, ctx.Err()
+		case out := <-done:
+			t.Stop()
+			return out.Resp, out.Err
+		case <-t.C:
+			if rt.srv.Crashed() {
+				return baseobj.Response{}, fmt.Errorf("fabric: server %d crashed mid-delivery", rt.server)
+			}
+		}
+	}
 }
 
 // drainParked force-completes the ops the gate had parked on a now-frozen
@@ -139,10 +495,15 @@ func (f *Fabric) drainParked(parked []*heldOp) {
 
 // awaitQuiesce waits until the frozen lane has no operation on the wire.
 // Every such op was admitted before the freeze, so it completes in the old
-// view (or its server crashes); new ops cannot join (putInflight rejects
-// them under the same lock that set the freeze).
-func (f *Fabric) awaitQuiesce(ctx context.Context, l *lane) error {
+// view — unless the server crashes, which moves its in-flight ops to
+// dropped (not completed): the count still reaches zero, so the crash is
+// detected explicitly, before and after the wait, and reported as an
+// error the coordinator turns into a clean abort.
+func (f *Fabric) awaitQuiesce(ctx context.Context, l *lane, srv *cluster.Server) error {
 	for l.inflightCount() > 0 {
+		if srv.Crashed() {
+			return fmt.Errorf("server %d crashed mid-drain (its in-flight ops are dropped, not completed)", l.server)
+		}
 		t := time.NewTimer(quiescePoll)
 		select {
 		case <-ctx.Done():
@@ -150,6 +511,9 @@ func (f *Fabric) awaitQuiesce(ctx context.Context, l *lane) error {
 			return fmt.Errorf("quiesce (%d in flight): %w", l.inflightCount(), ctx.Err())
 		case <-t.C:
 		}
+	}
+	if srv.Crashed() {
+		return fmt.Errorf("server %d crashed mid-drain (its state is lost)", l.server)
 	}
 	return nil
 }
@@ -164,8 +528,9 @@ func (f *Fabric) awaitQuiesce(ctx context.Context, l *lane) error {
 // storage node and is read over the still-open connection. The read is
 // sound because the lane has quiesced and its freeze rejects new sends, so
 // the node can receive no further write for this fabric's objects before
-// the connection closes.
-func (f *Fabric) fetchState(ctx context.Context, l *lane, o baseobj.Object) (baseobj.State, error) {
+// the connection closes. A server crashing mid-fetch fails the read
+// instead of hanging it — the caller rolls the seal back.
+func (f *Fabric) fetchState(ctx context.Context, l *lane, srv *cluster.Server, o baseobj.Object) (baseobj.State, error) {
 	var local baseobj.State
 	switch sealer := o.(type) {
 	case baseobj.StateSealer:
@@ -180,7 +545,7 @@ func (f *Fabric) fetchState(ctx context.Context, l *lane, o baseobj.Object) (bas
 	}
 	inv, err := stateReadInv(o.Kind())
 	if err != nil {
-		return baseobj.State{}, err
+		return local, err
 	}
 	// The fetch is a real wire delivery with a synthetic client identity —
 	// it bypasses routing, gating, and in-flight bookkeeping because the
@@ -200,14 +565,23 @@ func (f *Fabric) fetchState(ctx context.Context, l *lane, o baseobj.Object) (bas
 		func(resp baseobj.Response, err error) {
 			done <- Outcome{Resp: resp, Err: err}
 		})
-	select {
-	case <-ctx.Done():
-		return baseobj.State{}, ctx.Err()
-	case out := <-done:
-		if out.Err != nil {
-			return baseobj.State{}, out.Err
+	for {
+		t := time.NewTimer(quiescePoll)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return local, ctx.Err()
+		case out := <-done:
+			t.Stop()
+			if out.Err != nil {
+				return local, out.Err
+			}
+			return baseobj.State{Val: out.Resp.Val, Data: out.Resp.Data, Frags: out.Resp.Frags}, nil
+		case <-t.C:
+			if srv.Crashed() {
+				return local, fmt.Errorf("server %d crashed mid-fetch (object %d)", l.server, o.ID())
+			}
 		}
-		return baseobj.State{Val: out.Resp.Val, Data: out.Resp.Data, Frags: out.Resp.Frags}, nil
 	}
 }
 

@@ -1,0 +1,308 @@
+package fabric
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/baseobj"
+	"repro/internal/cluster"
+	"repro/internal/types"
+)
+
+// maxEnv builds an n-server fabric with one max-register per server
+// (max-registers transfer and re-seed under every transition).
+func maxEnv(t *testing.T, n int, opts ...Option) (*Fabric, []types.ObjectID) {
+	t.Helper()
+	c, err := cluster.New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := make([]types.ObjectID, n)
+	for s := 0; s < n; s++ {
+		if objs[s], err = c.PlaceMaxRegister(types.ServerID(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fab := New(c, opts...)
+	t.Cleanup(func() { fab.Close() })
+	return fab, objs
+}
+
+// latencyEnv is maxEnv on the latency lane.
+func latencyEnv(t *testing.T, n int, laneSeed int64) (*Fabric, []types.ObjectID) {
+	t.Helper()
+	return maxEnv(t, n, WithLanes(LatencyLanes(laneSeed, LatencyProfile{Jitter: 50 * time.Microsecond})))
+}
+
+func writeMaxInv(ts uint64, v types.Value) baseobj.Invocation {
+	return baseobj.Invocation{Op: baseobj.OpWriteMax, Arg: types.TSValue{TS: ts, Val: v}}
+}
+
+func readMaxInv() baseobj.Invocation {
+	return baseobj.Invocation{Op: baseobj.OpReadMax}
+}
+
+// startRetryWriters launches writers hammering objs through RetryView.
+// Each failure lands on errs; close stop and call wait to finish.
+func startRetryWriters(ctx context.Context, t *testing.T, fab *Fabric, objs []types.ObjectID, writers int) (chan struct{}, chan error, func()) {
+	t.Helper()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ts := uint64(1); ; ts++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				obj := objs[int(ts)%len(objs)]
+				inv := baseobj.Invocation{Op: baseobj.OpWriteMax, Arg: types.TSValue{TS: ts, Writer: types.ClientID(w), Val: types.Value(ts)}}
+				if _, err := RetryView(ctx, func() (types.TSValue, error) {
+					o := waitOutcome(t, fab.Trigger(types.ClientID(w), obj, inv))
+					return o.Resp.Val, o.Err
+				}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	return stop, errs, wg.Wait
+}
+
+// TestResizeGrowAndShrink commits a two-joiner grow and then a two-leaver
+// shrink, each as one epoch bump: values survive the transfers, no leave
+// costs a crash, and Moved/Duration report honestly.
+func TestResizeGrowAndShrink(t *testing.T) {
+	fab, objs := testEnv(t, nil)
+	c := fab.Cluster()
+	ctx := context.Background()
+	for i, obj := range objs {
+		if o := mustOutcome(t, fab.Trigger(0, obj, writeInv(uint64(i+1), types.Value(100+i)))); o.Err != nil {
+			t.Fatalf("seed write %d: %v", i, o.Err)
+		}
+	}
+	epochBefore := c.Epoch()
+
+	grow, err := fab.Resize(ctx, ResizeSpec{Join: []LaneMaker{nil, nil}}, nil)
+	if err != nil {
+		t.Fatalf("grow: %v", err)
+	}
+	if len(grow.Joined) != 2 || grow.Joined[0] != 3 || grow.Joined[1] != 4 {
+		t.Fatalf("grow joined %v, want [3 4]", grow.Joined)
+	}
+	if grow.Moved != 0 {
+		t.Fatalf("grow moved %d objects, want 0 (nobody left)", grow.Moved)
+	}
+	if grow.Duration <= 0 {
+		t.Fatalf("grow duration %v, want > 0", grow.Duration)
+	}
+	if n := c.View().N(); n != 5 {
+		t.Fatalf("view N after grow = %d, want 5", n)
+	}
+	if c.Epoch() <= epochBefore {
+		t.Fatal("epoch did not advance across the grow")
+	}
+
+	shrink, err := fab.Resize(ctx, ResizeSpec{Leave: []types.ServerID{0, 1}}, nil)
+	if err != nil {
+		t.Fatalf("shrink: %v", err)
+	}
+	if shrink.Moved != 2 {
+		t.Fatalf("shrink moved %d objects, want 2 (one per leaver)", shrink.Moved)
+	}
+	view := c.View()
+	if view.N() != 3 {
+		t.Fatalf("view N after shrink = %d, want 3", view.N())
+	}
+	for _, m := range view.Members {
+		if m == 0 || m == 1 {
+			t.Fatalf("retired server %d still in the view %v", m, view.Members)
+		}
+	}
+	// Both batched transitions were leaves, not failures.
+	if c.Crashes() != 0 {
+		t.Fatalf("Crashes = %d after two clean transitions, want 0", c.Crashes())
+	}
+	for i, obj := range objs {
+		if o := mustOutcome(t, fab.Trigger(1, obj, readInv())); o.Err != nil || o.Resp.Val.Val != types.Value(100+i) {
+			t.Fatalf("read %d after resize = %+v, want val %d", i, o, 100+i)
+		}
+	}
+}
+
+// TestResizeChangesF: an f-only delta is a real view change — new quorum
+// thresholds activate under an epoch bump with the member set untouched.
+func TestResizeChangesF(t *testing.T) {
+	fab, _ := testEnv(t, nil)
+	c := fab.Cluster()
+	epochBefore := c.Epoch()
+	membersBefore := c.View().N()
+	if _, err := fab.Resize(context.Background(), ResizeSpec{F: 1}, nil); err != nil {
+		t.Fatalf("f-only resize: %v", err)
+	}
+	view := c.View()
+	if view.F != 1 {
+		t.Fatalf("view F = %d, want 1", view.F)
+	}
+	if view.N() != membersBefore {
+		t.Fatalf("member count changed across an f-only resize: %d -> %d", membersBefore, view.N())
+	}
+	if c.Epoch() <= epochBefore {
+		t.Fatal("epoch did not advance across an f-only resize")
+	}
+}
+
+// TestResizeAbortsWhenLeaverCrashesMidDrain is the no-escape regression:
+// the departing server crashes between the freeze and the quiesce, and the
+// coordinator must detect it and abort instead of spinning forever on a
+// drain that can never complete (the crashed lane's in-flight ops are
+// dropped, not completed). The old view stays active minus the crash.
+func TestResizeAbortsWhenLeaverCrashesMidDrain(t *testing.T) {
+	fab, objs := testEnv(t, nil)
+	c := fab.Cluster()
+	fab.HookTransition(func() {
+		if err := fab.Crash(0); err != nil {
+			t.Errorf("crash inside the freeze window: %v", err)
+		}
+	}, nil)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, err := fab.Resize(ctx, ResizeSpec{Join: []LaneMaker{nil}, Leave: []types.ServerID{0}}, nil)
+	if !IsResizeAborted(err) {
+		t.Fatalf("resize with a mid-drain crash returned %v, want ErrResizeAborted", err)
+	}
+	if ctx.Err() != nil {
+		t.Fatal("abort only came from the context deadline — the crash was not detected")
+	}
+	// Only the causing crash is spent from the fail-stop budget.
+	if c.Crashes() != 1 {
+		t.Fatalf("Crashes = %d, want 1", c.Crashes())
+	}
+	// The empty joiner was retired with the abort.
+	view := c.View()
+	if view.N() != 3 {
+		t.Fatalf("view N after abort = %d, want 3 (empty joiner retired)", view.N())
+	}
+	// Survivors returned to service: their objects still answer.
+	for s := 1; s <= 2; s++ {
+		srv, err := c.Server(types.ServerID(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if srv.Departing() {
+			t.Fatalf("survivor %d still departing after abort", s)
+		}
+		if o := mustOutcome(t, fab.Trigger(0, objs[s], writeInv(9, 77))); o.Err != nil {
+			t.Fatalf("write on survivor %d after abort: %v", s, o.Err)
+		}
+	}
+}
+
+// TestResizeAbortsWhenTransferTargetCrashes kills the joiner inside the
+// sealed-but-not-activated window — after an object's state is fetched and
+// sealed, before MoveObject lands it — on both local-state lane backends
+// (the TCP variant lives in the runner suite, which owns the node
+// processes). The abort must roll the seal back: the object stays on its
+// old server, readable and writable, and no op is lost or doubly applied.
+func TestResizeAbortsWhenTransferTargetCrashes(t *testing.T) {
+	t.Run("inproc", func(t *testing.T) {
+		fab, objs := maxEnv(t, 3)
+		testTransferTargetCrash(t, fab, objs)
+	})
+	t.Run("latency", func(t *testing.T) {
+		fab, objs := latencyEnv(t, 3, 13)
+		testTransferTargetCrash(t, fab, objs)
+	})
+}
+
+func testTransferTargetCrash(t *testing.T, fab *Fabric, objs []types.ObjectID) {
+	c := fab.Cluster()
+	if o := waitOutcome(t, fab.Trigger(0, objs[0], writeMaxInv(5, 42))); o.Err != nil {
+		t.Fatalf("seed write: %v", o.Err)
+	}
+	fired := false
+	fab.HookTransition(nil, func(_ types.ObjectID, to types.ServerID) {
+		if fired {
+			return
+		}
+		fired = true
+		if err := fab.Crash(to); err != nil {
+			t.Errorf("crash of transfer target %d: %v", to, err)
+		}
+	})
+
+	_, err := fab.Resize(context.Background(), ResizeSpec{Join: []LaneMaker{nil}, Leave: []types.ServerID{0}}, nil)
+	if !IsResizeAborted(err) {
+		t.Fatalf("resize with a crashed transfer target returned %v, want ErrResizeAborted", err)
+	}
+	if !fired {
+		t.Fatal("beforeMove hook never fired")
+	}
+	if c.Crashes() != 1 {
+		t.Fatalf("Crashes = %d, want 1 (only the injected crash)", c.Crashes())
+	}
+	// The seal rolled back: the object serves from its old server again.
+	srv, err := c.Server(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Departing() {
+		t.Fatal("server 0 still departing after abort")
+	}
+	if s, err := c.Delta(objs[0]); err != nil || s != 0 {
+		t.Fatalf("Delta(%d) = %d, %v; want 0 (object stayed put)", objs[0], s, err)
+	}
+	if o := waitOutcome(t, fab.Trigger(1, objs[0], readMaxInv())); o.Err != nil || o.Resp.Val.Val != 42 {
+		t.Fatalf("read after abort = %+v, want the sealed-then-restored val 42", o)
+	}
+	if o := waitOutcome(t, fab.Trigger(0, objs[0], writeMaxInv(6, 43))); o.Err != nil {
+		t.Fatalf("write after abort: %v", o.Err)
+	}
+	if o := waitOutcome(t, fab.Trigger(1, objs[0], readMaxInv())); o.Err != nil || o.Resp.Val.Val != 43 {
+		t.Fatalf("read after post-abort write = %+v, want val 43", o)
+	}
+}
+
+// TestResizeAbortUnderLatencyLaneLoad drives the mid-drain abort with real
+// in-flight operations on the latency lane: concurrent RetryView writers
+// keep running through the aborted transition, and none of their ops may
+// fail — an op caught by the freeze or the rollback retries transparently.
+func TestResizeAbortUnderLatencyLaneLoad(t *testing.T) {
+	fab, objs := latencyEnv(t, 3, 11)
+	c := fab.Cluster()
+	fab.HookTransition(func() {
+		_ = fab.Crash(0)
+	}, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	// Writers avoid server 0's object: ops routed at a crashed server hang
+	// by design, and this test is about the abort path, not crash hangs.
+	stop, errs, wait := startRetryWriters(ctx, t, fab, objs[1:], 4)
+	_, err := fab.Resize(ctx, ResizeSpec{Join: []LaneMaker{nil}, Leave: []types.ServerID{0}}, nil)
+	close(stop)
+	wait()
+	if !IsResizeAborted(err) {
+		t.Fatalf("resize returned %v, want ErrResizeAborted", err)
+	}
+	select {
+	case err := <-errs:
+		t.Fatalf("client op failed across the aborted transition: %v", err)
+	default:
+	}
+	if c.Crashes() != 1 {
+		t.Fatalf("Crashes = %d, want 1", c.Crashes())
+	}
+	if n := c.View().N(); n != 3 {
+		t.Fatalf("view N after abort = %d, want 3", n)
+	}
+}

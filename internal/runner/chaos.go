@@ -87,6 +87,17 @@ type ChaosConfig struct {
 	// with state transfer, so the run additionally exercises view changes,
 	// transparent retries, and coordinator drains of gate-held ops.
 	ChurnProb float64
+	// ResizeProb performs a random batched view transition between
+	// high-level ops with this probability (default 0): a fabric.Resize
+	// with a construction reshape — grow, shrink, or swap — so the run
+	// exercises quorum-geometry re-derivation and frozen-window seeding.
+	// Constructions without a reshape path (regemu) reject it.
+	ResizeProb float64
+	// TransitionCrashProb crashes one frozen server inside each resize
+	// transition with this probability (within the fail-stop budget):
+	// the sealed-but-not-activated window of E28. The crashed transition
+	// aborts cleanly and the run continues on the restored old view.
+	TransitionCrashProb float64
 	// Lane selects the dispatch backend (default LaneInProc).
 	Lane Lane
 	// LaneMaker, when set, overrides Lane with caller-built backends —
@@ -122,7 +133,14 @@ type ChaosReport struct {
 	Releases int
 	// Replacements counts the live server replacements churn performed.
 	Replacements int
-	Checks       CheckResult
+	// Resizes counts committed batched transitions; ResizeAborts counts
+	// transitions rolled back by an in-window crash (not errors — the old
+	// view stayed active); TransitionCrashes counts the crashes the run
+	// injected inside transitions (honest budget: each is a real crash).
+	Resizes           int
+	ResizeAborts      int
+	TransitionCrashes int
+	Checks            CheckResult
 	// History is the recorded high-level history, for checks beyond the
 	// write-sequential pair (the TCP chaos suite also runs the
 	// linearizability checker over it).
@@ -167,6 +185,11 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 
 	schedule := rand.New(rand.NewSource(seed.Sub(cfg.Seed, chaosStreamSchedule)))
 	churn := rand.New(rand.NewSource(seed.Sub(cfg.Seed, chaosStreamChurn)))
+	var crasher *transitionCrasher
+	if cfg.ResizeProb > 0 && cfg.TransitionCrashProb > 0 {
+		crasher = &transitionCrasher{env: env, f: cfg.F, gate: gate}
+		crasher.install()
+	}
 	values := workload.NewValueGen()
 	readers := []emulation.Reader{reg.NewReader(), reg.NewReader()}
 	rep := &ChaosReport{Cfg: cfg}
@@ -198,6 +221,21 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 				rep.Replacements++
 			}
 		}
+		if cfg.ResizeProb > 0 && churn.Float64() < cfg.ResizeProb {
+			resized, aborted, err := churnResize(ctx, env, reg, churn, crasher, cfg.TransitionCrashProb)
+			if err != nil {
+				return nil, fmt.Errorf("chaos op %d resize: %w", op, err)
+			}
+			if resized {
+				rep.Resizes++
+			}
+			if aborted {
+				rep.ResizeAborts++
+			}
+		}
+	}
+	if crasher != nil {
+		rep.TransitionCrashes = crasher.fired
 	}
 	rep.Holds = gate.Holds()
 	rep.Checks = Check(hist)
@@ -246,6 +284,9 @@ type ChaosSweepReport struct {
 	// Writes, Reads, Holds, Releases, and Replacements are summed across
 	// all seeds.
 	Writes, Reads, Holds, Releases, Replacements int
+	// Resizes, ResizeAborts, and TransitionCrashes are summed across all
+	// seeds (see ChaosReport).
+	Resizes, ResizeAborts, TransitionCrashes int
 	// Elapsed is the sweep wall-clock time.
 	Elapsed time.Duration
 }
@@ -282,6 +323,9 @@ func RunChaosSweep(ctx context.Context, cfg ChaosConfig, seeds, workers int) (*C
 		rep.Holds += r.Holds
 		rep.Releases += r.Releases
 		rep.Replacements += r.Replacements
+		rep.Resizes += r.Resizes
+		rep.ResizeAborts += r.ResizeAborts
+		rep.TransitionCrashes += r.TransitionCrashes
 		if !r.Checks.OK() {
 			rep.Violating++
 			if rep.FirstViolatingSeed == -1 {

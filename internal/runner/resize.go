@@ -1,0 +1,130 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/adversary"
+	"repro/internal/emulation"
+	"repro/internal/fabric"
+	"repro/internal/types"
+)
+
+// ResizeRegister drives a batched view transition that also re-places the
+// register's base objects: the fabric freezes every old member, the
+// register's Reshape seeds the new placement inside the frozen window, and
+// the new view (with its re-derived quorum thresholds) activates under one
+// epoch bump. Constructions without a reshape path (regemu) are rejected
+// with emulation.ErrResizeUnsupported before anything is disturbed.
+func ResizeRegister(ctx context.Context, env *Env, reg emulation.Register, spec fabric.ResizeSpec) (*fabric.ResizeResult, error) {
+	vr, ok := reg.(emulation.ViewResizable)
+	if !ok {
+		return nil, fmt.Errorf("runner: %s: %w", reg.Name(), emulation.ErrResizeUnsupported)
+	}
+	return env.Fabric.Resize(ctx, spec, func(rs *fabric.Reshaper) error { return vr.Reshape(rs) })
+}
+
+// churnResize performs one random batched transition on a live run: a
+// member swap (join one, leave one), a grow by one, or — when the view has
+// slack above 2f+1 — a shrink by one, each with a construction reshape so
+// the quorum geometry genuinely re-derives. The failure budget f is left
+// unchanged; explicit f changes are exercised by the dedicated
+// resize-under-load tests. An aborted transition (a concurrent crash won
+// the race) is not an error: the old view stayed active and the run
+// continues.
+func churnResize(ctx context.Context, env *Env, reg emulation.Register, rng *rand.Rand, tc *transitionCrasher, crashProb float64) (done, aborted bool, err error) {
+	view := env.Cluster.View()
+	var candidates []types.ServerID
+	for _, id := range view.Members {
+		srv, err := env.Cluster.Server(id)
+		if err != nil || srv.Crashed() || srv.Departing() {
+			continue
+		}
+		candidates = append(candidates, id)
+	}
+	if len(candidates) == 0 {
+		return false, false, nil
+	}
+	var spec fabric.ResizeSpec
+	switch choice := rng.Intn(3); {
+	case choice == 0:
+		spec.Join = []fabric.LaneMaker{nil}
+		spec.Leave = []types.ServerID{candidates[rng.Intn(len(candidates))]}
+	case choice == 1:
+		spec.Join = []fabric.LaneMaker{nil}
+	default:
+		if len(candidates) <= 2*view.F+1 {
+			return false, false, nil // no slack: a shrink would starve the quorums
+		}
+		spec.Leave = []types.ServerID{candidates[rng.Intn(len(candidates))]}
+	}
+	if tc != nil && rng.Float64() < crashProb {
+		// Prefer crashing the leaver — the mid-drain no-escape regression —
+		// else any frozen member of the reshaping transition.
+		victim := candidates[rng.Intn(len(candidates))]
+		if len(spec.Leave) > 0 {
+			victim = spec.Leave[0]
+		}
+		tc.arm(victim)
+		defer tc.disarm()
+	}
+	if _, err := ResizeRegister(ctx, env, reg, spec); err != nil {
+		if fabric.IsResizeAborted(err) {
+			return false, true, nil
+		}
+		return false, false, err
+	}
+	return true, false, nil
+}
+
+// transitionCrasher arms the fabric's transition hooks to crash one frozen
+// server (or a transfer target) inside the sealed-but-not-activated window,
+// within the fail-stop budget. It is armed per transition by the chaos
+// loop — the loop is synchronous, so the hook draws race nothing — and
+// disarms itself after firing once.
+type transitionCrasher struct {
+	env *Env
+	f   int
+	// gate, when set, has its hold budget narrowed by one per crash: the
+	// crash and the holds draw on the same fail-stop allowance of f, so
+	// together they never leave a quorum round short of its n-f threshold.
+	gate   *adversary.Chaos
+	armed  bool
+	victim types.ServerID
+	fired  int
+}
+
+// install wires the hooks once, before any transition starts (the hook
+// fields are read unsynchronized).
+func (tc *transitionCrasher) install() {
+	tc.env.Fabric.HookTransition(
+		func() { tc.fire(tc.victim) },
+		func(_ types.ObjectID, to types.ServerID) { tc.fire(to) },
+	)
+}
+
+// arm chooses the victim for the next transition: the hooks stay inert
+// when not armed, so un-crashed transitions pay nothing.
+func (tc *transitionCrasher) arm(victim types.ServerID) {
+	tc.armed = true
+	tc.victim = victim
+}
+
+func (tc *transitionCrasher) disarm() { tc.armed = false }
+
+func (tc *transitionCrasher) fire(victim types.ServerID) {
+	if !tc.armed {
+		return
+	}
+	if tc.env.Cluster.Crashes() >= tc.f {
+		return // the fail-stop budget is spent; stay within the model
+	}
+	tc.armed = false
+	if err := tc.env.Fabric.Crash(victim); err == nil {
+		tc.fired++
+		if tc.gate != nil {
+			tc.gate.Narrow(1)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package runner
+
+import (
+	"testing"
+)
+
+// resizeSeeds is the pinned seed range of the resize chaos net
+// (EXPERIMENTS.md E27 and E28 use the same range): within it every sound
+// construction stays clean and the naive baseline is caught.
+const resizeSeeds = 24
+
+// resizableKinds are the constructions with a live reshape path; regemu has
+// none and rejects resize with emulation.ErrResizeUnsupported (pinned by
+// TestResizeUnsupportedKind).
+var resizableKinds = []Kind{KindABDMax, KindCASMax, KindAACMax, KindCoded}
+
+// TestResizeChurnSoundConstructionsStaySafe is the E27 net: between
+// high-level ops, random batched view transitions fire — grows, shrinks,
+// and swaps, each one epoch bump with the construction's reshape seeding
+// the re-derived quorum geometry inside the frozen window — while the
+// chaos gate's holds and stale releases keep landing. Sound constructions
+// must stay WS-safe and WS-regular on every pinned seed, and the
+// transitions must actually commit.
+func TestResizeChurnSoundConstructionsStaySafe(t *testing.T) {
+	ctx := testCtx(t)
+	for _, kind := range resizableKinds {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			resizes := 0
+			for seed := int64(0); seed < resizeSeeds; seed++ {
+				cfg := ChaosConfig{
+					Kind: kind, K: 3, F: 2, N: ChaosServers(kind),
+					Ops: 25, Seed: seed, ResizeProb: 0.25,
+				}
+				rep, err := RunChaos(ctx, cfg)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if rep.Checks.WSSafety != nil {
+					t.Errorf("seed %d: WS-Safety: %v (resizes=%d)", seed, rep.Checks.WSSafety, rep.Resizes)
+				}
+				if rep.Checks.WSRegularity != nil {
+					t.Errorf("seed %d: WS-Regularity: %v (resizes=%d)", seed, rep.Checks.WSRegularity, rep.Resizes)
+				}
+				resizes += rep.Resizes
+			}
+			if resizes == 0 {
+				t.Error("resize churn never committed a transition — the net is vacuous")
+			}
+		})
+	}
+}
+
+// TestResizeChurnStillCatchesNaive guards the net's teeth: batched
+// transitions must not blunt the detection of the under-provisioned
+// baseline — its reshape faithfully re-places one register per server, so
+// the covering hole survives every resize. Over the pinned seed range the
+// naive construction must violate at least once.
+func TestResizeChurnStillCatchesNaive(t *testing.T) {
+	ctx := testCtx(t)
+	var violating []int64
+	for seed := int64(0); seed < resizeSeeds; seed++ {
+		rep, err := RunChaos(ctx, ChaosConfig{
+			Kind: KindNaive, K: 3, F: 2, N: 5, Ops: 30, Seed: seed, ResizeProb: 0.25,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !rep.Checks.OK() {
+			violating = append(violating, seed)
+		}
+	}
+	if len(violating) == 0 {
+		t.Fatalf("naive baseline survived all %d resize seeds — the net lost its teeth", resizeSeeds)
+	}
+	t.Logf("naive baseline violated WS conditions in %d/%d resize seeds: %v", len(violating), resizeSeeds, violating)
+}
+
+// TestResizeChurnDeterministicPerSeed: resize draws come from the same
+// churn sub-stream of the run seed, so the whole run — schedule, holds,
+// releases, transitions, and aborts — must replay identically.
+func TestResizeChurnDeterministicPerSeed(t *testing.T) {
+	ctx := testCtx(t)
+	cfg := ChaosConfig{
+		Kind: KindABDMax, K: 3, F: 2, N: 5, Ops: 30, Seed: 5, ResizeProb: 0.3,
+	}
+	a, err := RunChaos(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaos(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Writes != b.Writes || a.Reads != b.Reads || a.Resizes != b.Resizes || a.Holds != b.Holds {
+		t.Fatalf("same seed diverged: %d/%d/%d/%d vs %d/%d/%d/%d (writes/reads/resizes/holds)",
+			a.Writes, a.Reads, a.Resizes, a.Holds, b.Writes, b.Reads, b.Resizes, b.Holds)
+	}
+	if a.Resizes == 0 {
+		t.Error("pinned seed produced no committed transitions")
+	}
+}
+
+// TestTransitionCrashChaos is the E28 matrix: every resize transition may
+// lose one frozen server inside the sealed-but-not-activated window — after
+// the freeze, or as a transfer target mid-move — within the fail-stop
+// budget (each crash also narrows the gate's hold budget, so crashes plus
+// holds never starve a quorum round). Crashed transitions must abort
+// cleanly back onto the old view, later transitions and client ops must
+// keep completing, and the histories must stay clean on every pinned seed,
+// on both the in-process and the latency lane.
+func TestTransitionCrashChaos(t *testing.T) {
+	ctx := testCtx(t)
+	for _, lane := range []Lane{LaneInProc, LaneLatency} {
+		lane := lane
+		t.Run(string(lane), func(t *testing.T) {
+			for _, kind := range resizableKinds {
+				kind := kind
+				t.Run(string(kind), func(t *testing.T) {
+					resizes, aborts, crashes := 0, 0, 0
+					for seed := int64(0); seed < resizeSeeds; seed++ {
+						cfg := ChaosConfig{
+							Kind: kind, K: 3, F: 2, N: ChaosServers(kind),
+							Ops: 25, Seed: seed, Lane: lane,
+							ResizeProb: 0.3, TransitionCrashProb: 0.5,
+						}
+						rep, err := RunChaos(ctx, cfg)
+						if err != nil {
+							t.Fatalf("seed %d: %v", seed, err)
+						}
+						if !rep.Checks.OK() {
+							t.Errorf("seed %d: WS checks failed: safety=%v regularity=%v (crashes=%d aborts=%d)",
+								seed, rep.Checks.WSSafety, rep.Checks.WSRegularity, rep.TransitionCrashes, rep.ResizeAborts)
+						}
+						resizes += rep.Resizes
+						aborts += rep.ResizeAborts
+						crashes += rep.TransitionCrashes
+					}
+					if crashes == 0 {
+						t.Error("no transition ever lost a server — the matrix is vacuous")
+					}
+					if aborts == 0 {
+						t.Error("no transition ever aborted — the crash window was never hit")
+					}
+					if resizes == 0 {
+						t.Error("no transition ever committed — the net only measures aborts")
+					}
+					t.Logf("%s/%s: %d committed, %d aborted, %d transition crashes over %d seeds",
+						lane, kind, resizes, aborts, crashes, resizeSeeds)
+				})
+			}
+		})
+	}
+}

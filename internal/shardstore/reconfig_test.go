@@ -1,6 +1,7 @@
 package shardstore
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -97,6 +98,197 @@ func TestShardStoreReconfigureOutOfRange(t *testing.T) {
 	}
 	if err := st.Reconfigure(ctx, 2); err == nil {
 		t.Fatal("Reconfigure(2) succeeded")
+	}
+}
+
+// TestShardStoreResize commits a batched grow (n=5,f=1 → n=7,f=2) and then
+// a shrink back (→ n=5,f=1) on every shard, mid-load: each transition is
+// one epoch bump with every materialized register re-placed against the
+// re-derived quorum geometry. Zero client ops may fail, histories must
+// stay clean, and no clean transition may cost a crash.
+func TestShardStoreResize(t *testing.T) {
+	ctx := testCtx(t)
+	st, err := Open(ctx, Config{
+		Shards: 2, Engines: 2, Keys: 1 << 12, N: 5, F: 1,
+		Kind: runner.KindABDMax, Atomic: true, Seed: 19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	keys := st.BalancedKeys(6)
+
+	var resizeWG sync.WaitGroup
+	resizeErrs := make(chan error, 2*st.NumShards())
+	var once sync.Once
+	hook := func(done int) {
+		if done < 6 {
+			return
+		}
+		once.Do(func() {
+			for s := 0; s < st.NumShards(); s++ {
+				s := s
+				resizeWG.Add(1)
+				go func() {
+					defer resizeWG.Done()
+					if _, err := st.Resize(ctx, s, ResizeSpec{Grow: 2, F: 2}); err != nil {
+						resizeErrs <- err
+						return
+					}
+					view := st.Env(s).Cluster.View()
+					if view.N() != 7 || view.F != 2 {
+						resizeErrs <- fmt.Errorf("shard %d after grow: n=%d f=%d, want n=7 f=2", s, view.N(), view.F)
+						return
+					}
+					if _, err := st.Resize(ctx, s, ResizeSpec{Shrink: 2, F: 1}); err != nil {
+						resizeErrs <- err
+					}
+				}()
+			}
+		})
+	}
+	driveStore(ctx, t, st, keys, 16, hook)
+	resizeWG.Wait()
+	close(resizeErrs)
+	for err := range resizeErrs {
+		t.Fatalf("Resize: %v", err)
+	}
+
+	for s := 0; s < st.NumShards(); s++ {
+		view := st.Env(s).Cluster.View()
+		if view.N() != 5 || view.F != 1 {
+			t.Fatalf("shard %d final view: n=%d f=%d, want n=5 f=1", s, view.N(), view.F)
+		}
+		if crashes := st.Env(s).Cluster.Crashes(); crashes != 0 {
+			t.Fatalf("shard %d: %d crashes after clean transitions, want 0", s, crashes)
+		}
+	}
+	if err := st.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rep := st.CheckAll(4, 23)
+	if len(rep.Violations) > 0 {
+		t.Fatalf("violations after resizing: %v", rep.Violations)
+	}
+	if rep.Keys != len(keys) {
+		t.Fatalf("checked %d keys, want %d", rep.Keys, len(keys))
+	}
+	// A key materializing after the resize pins to the live member set.
+	late := uint64(0)
+	for ; late < st.cfg.Keys; late++ {
+		if !containsKey(keys, late) {
+			break
+		}
+	}
+	errc := make(chan error, 1)
+	st.StartWrite(late, 0, 7, func(err error) { errc <- err })
+	if err := <-errc; err != nil {
+		t.Fatalf("write on a post-resize key: %v", err)
+	}
+}
+
+func containsKey(keys []uint64, k uint64) bool {
+	for _, have := range keys {
+		if have == k {
+			return true
+		}
+	}
+	return false
+}
+
+// TestShardStoreTCPResize runs a batched grow and then a shrink back
+// through the TCP lane: the joiners dial their own connections into the
+// node pool (tables namespaced by their monotone server IDs), the reshape
+// seeds node-hosted state over the wire, the grown view serves with f=2,
+// and the shrink retires the oldest members' connections cleanly.
+func TestShardStoreTCPResize(t *testing.T) {
+	ctx := testCtx(t)
+	addrs, _ := startLanenodes(t, 2)
+	st, err := Open(ctx, Config{
+		Shards: 2, Engines: 2, Keys: 1 << 10, N: 5, F: 1,
+		Kind: runner.KindABDMax, Atomic: true,
+		Lane: runner.LaneTCP, NodeAddrs: addrs,
+		Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	keys := st.BalancedKeys(4)
+
+	var resizeWG sync.WaitGroup
+	resizeErrs := make(chan error, st.NumShards())
+	var once sync.Once
+	hook := func(done int) {
+		if done < 5 {
+			return
+		}
+		once.Do(func() {
+			for s := 0; s < st.NumShards(); s++ {
+				s := s
+				resizeWG.Add(1)
+				go func() {
+					defer resizeWG.Done()
+					if _, err := st.Resize(ctx, s, ResizeSpec{Grow: 2, F: 2}); err != nil {
+						resizeErrs <- err
+						return
+					}
+					view := st.Env(s).Cluster.View()
+					if view.N() != 7 || view.F != 2 {
+						resizeErrs <- fmt.Errorf("shard %d after grow: n=%d f=%d, want n=7 f=2", s, view.N(), view.F)
+						return
+					}
+					if _, err := st.Resize(ctx, s, ResizeSpec{Shrink: 2, F: 1}); err != nil {
+						resizeErrs <- err
+					}
+				}()
+			}
+		})
+	}
+	driveStore(ctx, t, st, keys, 10, hook)
+	resizeWG.Wait()
+	close(resizeErrs)
+	for err := range resizeErrs {
+		if err != nil {
+			t.Fatalf("Resize: %v", err)
+		}
+	}
+	for s := 0; s < st.NumShards(); s++ {
+		view := st.Env(s).Cluster.View()
+		if view.N() != 5 || view.F != 1 {
+			t.Fatalf("shard %d final view: n=%d f=%d, want n=5 f=1", s, view.N(), view.F)
+		}
+		if crashes := st.Env(s).Cluster.Crashes(); crashes != 0 {
+			t.Fatalf("shard %d: %d crashes, want 0", s, crashes)
+		}
+	}
+	if err := st.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if rep := st.CheckAll(3, 37); len(rep.Violations) > 0 {
+		t.Fatalf("violations after TCP resize: %v", rep.Violations)
+	}
+}
+
+// TestShardStoreResizeValidation pins the frontend validation.
+func TestShardStoreResizeValidation(t *testing.T) {
+	ctx := testCtx(t)
+	st, err := Open(ctx, Config{Shards: 1, Kind: runner.KindABDMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.Resize(ctx, -1, ResizeSpec{Grow: 1}); err == nil {
+		t.Fatal("Resize(-1) succeeded")
+	}
+	if _, err := st.Resize(ctx, 1, ResizeSpec{Grow: 1}); err == nil {
+		t.Fatal("Resize(1) succeeded on a 1-shard store")
+	}
+	if _, err := st.Resize(ctx, 0, ResizeSpec{Grow: -1}); err == nil {
+		t.Fatal("negative grow succeeded")
+	}
+	if _, err := st.Resize(ctx, 0, ResizeSpec{Shrink: 99}); err == nil {
+		t.Fatal("shrink past the member count succeeded")
 	}
 }
 

@@ -154,6 +154,12 @@ type shard struct {
 
 	mu   sync.RWMutex
 	keys map[uint64]*keyreg
+	// f is the shard's live failure budget — it starts at cfg.F and moves
+	// with Resize. resized marks that the view no longer matches the
+	// Open-time geometry, so registers materializing later must pin their
+	// placement to the live member set instead of the default IDs 0..2f.
+	f       int
+	resized bool
 }
 
 // keyreg is one key's materialized register.
@@ -215,7 +221,7 @@ func Open(ctx context.Context, cfg Config) (*Store, error) {
 		if err != nil {
 			return nil, err
 		}
-		st.shards = append(st.shards, &shard{env: env, keys: make(map[uint64]*keyreg)})
+		st.shards = append(st.shards, &shard{env: env, keys: make(map[uint64]*keyreg), f: cfg.F})
 	}
 	ok = true
 	return st, nil
@@ -316,7 +322,7 @@ func (st *Store) Reconfigure(ctx context.Context, s int) error {
 	sh := st.shards[s]
 	view := sh.env.Cluster.View()
 	for _, old := range view.Members {
-		maker, err := st.joinerMaker(s)
+		maker, err := st.joinerMakerAt(s, st.Env(s).Cluster.N())
 		if err != nil {
 			return fmt.Errorf("shardstore: shard %d joiner for server %d: %w", s, old, err)
 		}
@@ -327,17 +333,84 @@ func (st *Store) Reconfigure(ctx context.Context, s int) error {
 	return nil
 }
 
-// joinerMaker builds the lane maker for one joiner on shard s. TCP shards
-// need a real maker — the Open-time maker closes over a fixed client slice
-// and cannot serve a grown server ID — so the joiner's connection is dialed
-// here, round-robin over the node pool by its (monotone, never reused)
-// server ID. Other lanes return nil: the fabric's default maker already
+// ResizeSpec describes one shard's batched membership delta: admit Grow
+// joiners, retire the Shrink longest-serving members, and (optionally)
+// move the failure budget to F — all under a single epoch bump.
+type ResizeSpec struct {
+	// Grow is how many fresh servers join; Shrink how many current members
+	// leave (the lowest-ID members of the live view are chosen, mirroring
+	// Reconfigure's oldest-first order). Both may be zero.
+	Grow, Shrink int
+	// F, when positive, is the shard's new failure budget; 0 keeps the
+	// current one.
+	F int
+}
+
+// Resize commits a batched view transition on shard s: all joins, leaves,
+// and the f change activate together with re-derived quorum thresholds,
+// and every materialized register re-places its base objects against the
+// new geometry inside the frozen window (emulation.ViewResizable.Reshape).
+// Constructions without a reshape path (regemu) reject the resize before
+// the view is disturbed.
+//
+// The shard's register table is locked for the whole transition: a
+// quorum-reshaping transition freezes every member anyway, so ops queue
+// behind the freeze rather than racing a half-moved placement, and keys
+// materializing afterwards pin to the new member set with the new f.
+func (st *Store) Resize(ctx context.Context, s int, spec ResizeSpec) (*fabric.ResizeResult, error) {
+	if s < 0 || s >= len(st.shards) {
+		return nil, fmt.Errorf("shardstore: shard %d outside [0, %d)", s, len(st.shards))
+	}
+	if spec.Grow < 0 || spec.Shrink < 0 || spec.F < 0 {
+		return nil, fmt.Errorf("shardstore: negative resize spec %+v", spec)
+	}
+	sh := st.shards[s]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	view := sh.env.Cluster.View()
+	if spec.Shrink > len(view.Members) {
+		return nil, fmt.Errorf("shardstore: shard %d cannot shed %d of %d members", s, spec.Shrink, len(view.Members))
+	}
+	fspec := fabric.ResizeSpec{Leave: view.Members[:spec.Shrink], F: spec.F}
+	for i := 0; i < spec.Grow; i++ {
+		maker, err := st.joinerMakerAt(s, sh.env.Cluster.N()+i)
+		if err != nil {
+			return nil, fmt.Errorf("shardstore: shard %d joiner %d: %w", s, i, err)
+		}
+		fspec.Join = append(fspec.Join, maker)
+	}
+	res, err := sh.env.Fabric.Resize(ctx, fspec, func(rs *fabric.Reshaper) error {
+		for key, kr := range sh.keys {
+			vr, ok := kr.reg.(emulation.ViewResizable)
+			if !ok {
+				return fmt.Errorf("shardstore: key %d (%s): %w", key, kr.reg.Name(), emulation.ErrResizeUnsupported)
+			}
+			if err := vr.Reshape(rs); err != nil {
+				return fmt.Errorf("shardstore: key %d: %w", key, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("shardstore: shard %d resize: %w", s, err)
+	}
+	sh.f = sh.env.Cluster.F()
+	sh.resized = true
+	return res, nil
+}
+
+// joinerMakerAt builds the lane maker for the joiner that will be assigned
+// server ID next on shard s (IDs are monotone: Cluster.N() + the joiner's
+// index within the batch). TCP shards need a real maker — the Open-time
+// maker closes over a fixed client slice and cannot serve a grown server
+// ID — so the joiner's connection is dialed here, round-robin over the
+// node pool. Other lanes return nil: the fabric's default maker already
 // covers any ID.
-func (st *Store) joinerMaker(s int) (fabric.LaneMaker, error) {
+func (st *Store) joinerMakerAt(s, next int) (fabric.LaneMaker, error) {
 	if st.cfg.Lane != runner.LaneTCP {
 		return nil, nil
 	}
-	next := st.Env(s).Cluster.N() // the ID AddServer will assign
 	addr := st.cfg.NodeAddrs[(s*st.cfg.N+next)%len(st.cfg.NodeAddrs)]
 	// The joiner's table is namespaced by its server ID, not just the
 	// shard: node processes never delete objects, so a joiner landing on a
@@ -369,8 +442,12 @@ func (st *Store) keyreg(key uint64) (*keyreg, error) {
 	if kr, hit := sh.keys[key]; hit {
 		return kr, nil
 	}
-	reg, hist, err := runner.BuildWith(st.cfg.Kind, sh.env.Fabric, st.cfg.WritersPerKey, st.cfg.F,
-		runner.BuildOpts{ValueSize: st.cfg.ValueSize, Atomic: st.cfg.Atomic})
+	var servers []types.ServerID
+	if sh.resized {
+		servers = sh.env.Cluster.View().Members
+	}
+	reg, hist, err := runner.BuildWith(st.cfg.Kind, sh.env.Fabric, st.cfg.WritersPerKey, sh.f,
+		runner.BuildOpts{ValueSize: st.cfg.ValueSize, Atomic: st.cfg.Atomic, Servers: servers})
 	if err != nil {
 		return nil, fmt.Errorf("shardstore: materializing key %d: %w", key, err)
 	}
